@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Exports gnuplot-ready data and scripts for the paper's graphical
+ * figures (2, 3, 7c, 11, 12) into ./plots. Run, then:
+ *     cd plots && gnuplot *.gp
+ * to render SVGs of the reproduced figures.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "analysis/features.hh"
+#include "analysis/historical.hh"
+#include "analysis/pareto_study.hh"
+#include "core/lab.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+std::ofstream
+openOut(const std::filesystem::path &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        lhr::fatal("cannot write " + path.string());
+    return out;
+}
+
+void
+writeScript(const std::filesystem::path &dir, const std::string &name,
+            const std::string &body)
+{
+    auto out = openOut(dir / (name + ".gp"));
+    out << "set terminal svg size 760,540 background 'white'\n"
+        << "set output '" << name << ".svg'\n"
+        << "set grid\n"
+        << body;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::filesystem::path dir = "plots";
+    std::filesystem::create_directories(dir);
+
+    lhr::Lab lab;
+    auto &runner = lab.runner();
+    const auto &ref = lab.reference();
+
+    // ---- Figure 2: measured power vs TDP (log/log) -----------------
+    {
+        auto out = openOut(dir / "fig02_tdp.dat");
+        out << "# tdp_w power_w processor\n";
+        for (const auto &spec : lhr::allProcessors()) {
+            const auto cfg = lhr::stockConfig(spec);
+            for (const auto &bench : lhr::allBenchmarks()) {
+                out << spec.tdpW << " "
+                    << lab.measure(cfg, bench).powerW << " \""
+                    << spec.id << "\"\n";
+            }
+        }
+        writeScript(dir, "fig02_tdp",
+                    "set logscale xy\n"
+                    "set xlabel 'TDP (W)'\n"
+                    "set ylabel 'Measured power (W)'\n"
+                    "set key off\n"
+                    "plot 'fig02_tdp.dat' using 1:2 with points "
+                    "pt 7 ps 0.4, x with lines dt 2\n");
+    }
+
+    // ---- Figure 3: i7 power/performance scatter by group -----------
+    {
+        auto out = openOut(dir / "fig03_scatter.dat");
+        out << "# perf power group_index\n";
+        const auto cfg =
+            lhr::stockConfig(lhr::processorById("i7 (45)"));
+        for (const auto &bench : lhr::allBenchmarks()) {
+            const auto r = lab.result(cfg, bench);
+            out << r.perf << " " << r.powerW << " "
+                << static_cast<int>(bench.group) << "\n";
+        }
+        writeScript(
+            dir, "fig03_scatter",
+            "set xlabel 'Performance / reference'\n"
+            "set ylabel 'Power (W)'\n"
+            "plot for [g=0:3] 'fig03_scatter.dat' "
+            "using ($3==g?$1:1/0):2 with points pt g+5 ps 0.7 "
+            "title sprintf('group %d', g)\n");
+    }
+
+    // ---- Figure 7c: clock-scaling energy curves ---------------------
+    {
+        auto out = openOut(dir / "fig07c_clock.dat");
+        out << "# processor_index perf_rel energy_rel\n";
+        int index = 0;
+        for (const char *id : {"i7 (45)", "C2D (45)", "i5 (32)"}) {
+            for (const auto &pt : lhr::clockSweep(runner, ref, id, 6))
+                out << index << " " << pt.perfRelBase << " "
+                    << pt.energyRelBase << "\n";
+            out << "\n\n"; // gnuplot dataset separator
+            ++index;
+        }
+        writeScript(
+            dir, "fig07c_clock",
+            "set xlabel 'Performance / performance at base clock'\n"
+            "set ylabel 'Energy / energy at base clock'\n"
+            "plot 'fig07c_clock.dat' index 0 using 2:3 "
+            "with linespoints title 'i7 (45)', "
+            "'' index 1 using 2:3 with linespoints "
+            "title 'C2D (45)', "
+            "'' index 2 using 2:3 with linespoints "
+            "title 'i5 (32)'\n");
+    }
+
+    // ---- Figure 11: historical power/performance --------------------
+    {
+        auto out = openOut(dir / "fig11_historical.dat");
+        out << "# perf power perf_per_mtran mw_per_mtran label\n";
+        for (const auto &pt : lhr::historicalOverview(runner, ref)) {
+            out << pt.aggregate.weighted.perf << " "
+                << pt.aggregate.weighted.powerW << " "
+                << 1e3 * pt.perfPerMtran() << " "
+                << 1e3 * pt.powerPerMtran() << " \""
+                << pt.spec->id << "\"\n";
+        }
+        writeScript(
+            dir, "fig11_historical",
+            "set logscale xy\n"
+            "set xlabel 'Performance / reference'\n"
+            "set ylabel 'Power (W)'\n"
+            "set key off\n"
+            "plot 'fig11_historical.dat' using 1:2 with points "
+            "pt 7 ps 1.2, '' using 1:2:5 with labels offset 1,0.6\n");
+    }
+
+    // ---- Figure 12: Pareto frontiers ---------------------------------
+    {
+        auto out = openOut(dir / "fig12_pareto.dat");
+        out << "# perf energy\n";
+        auto dump = [&](std::optional<lhr::Group> group) {
+            for (const auto &pt :
+                 lhr::paretoFrontier45nm(runner, ref, group))
+                out << pt.performance << " " << pt.energy << "\n";
+            out << "\n\n";
+        };
+        dump(std::nullopt);
+        for (const auto group : lhr::allGroups())
+            dump(group);
+        writeScript(
+            dir, "fig12_pareto",
+            "set xlabel 'Group performance / reference'\n"
+            "set ylabel 'Normalized group energy'\n"
+            "plot 'fig12_pareto.dat' index 0 with linespoints "
+            "title 'Average', "
+            "'' index 1 with linespoints title 'Native Non-scal.', "
+            "'' index 2 with linespoints title 'Native Scalable', "
+            "'' index 3 with linespoints title 'Java Non-scal.', "
+            "'' index 4 with linespoints title 'Java Scalable'\n");
+    }
+
+    std::cout << "wrote gnuplot data and scripts for figures 2, 3, "
+                 "7c, 11, 12 to ./plots\n";
+    return 0;
+}

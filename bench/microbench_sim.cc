@@ -1,0 +1,167 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: the cost
+ * of the performance model, the power model, the sensor chain, and a
+ * full measurement, so regressions in the lab's own speed are
+ * visible.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/lab.hh"
+#include "counters/hwcounters.hh"
+#include "pipesim/pipeline.hh"
+#include "stats/bootstrap.hh"
+#include "trace/generator.hh"
+#include "jvm/jvm_model.hh"
+
+namespace
+{
+
+const lhr::ProcessorSpec &i7()
+{
+    return lhr::processorById("i7 (45)");
+}
+
+void
+BM_ThreadCpi(benchmark::State &state)
+{
+    const lhr::PerfModel model(i7());
+    const auto &bench = lhr::benchmarkByName("mcf");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.threadCpi(bench, 2.667, 1, 1.0).total());
+    }
+}
+BENCHMARK(BM_ThreadCpi);
+
+void
+BM_PerfEvaluate(benchmark::State &state)
+{
+    const lhr::PerfModel model(i7());
+    const auto &bench = lhr::benchmarkByName("fluidanimate");
+    const auto cfg = lhr::stockConfig(i7());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.evaluate(bench, cfg, 2.667,
+                           bench.instructionsB() * 1e9,
+                           bench.appThreads).timeSec);
+    }
+}
+BENCHMARK(BM_PerfEvaluate);
+
+void
+BM_JvmRun(benchmark::State &state)
+{
+    const lhr::PerfModel model(i7());
+    const auto &bench = lhr::benchmarkByName("lusearch");
+    const auto cfg = lhr::stockConfig(i7());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            lhr::JvmModel::run(model, bench, cfg, 2.667).timeSec);
+    }
+}
+BENCHMARK(BM_JvmRun);
+
+void
+BM_PowerCompute(benchmark::State &state)
+{
+    const lhr::ChipPowerModel model(i7());
+    const auto cfg = lhr::stockConfig(i7());
+    const std::vector<double> activity(4, 0.6);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.compute(cfg, 2.667, activity, 0.4, 5.0).total());
+    }
+}
+BENCHMARK(BM_PowerCompute);
+
+void
+BM_SensorSample(benchmark::State &state)
+{
+    const lhr::PowerChannel channel(lhr::SensorVariant::A30, 7);
+    lhr::Rng rng(11);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(channel.sampleCounts(50.0, rng));
+}
+BENCHMARK(BM_SensorSample);
+
+void
+BM_FullMeasurement(benchmark::State &state)
+{
+    const auto cfg = lhr::stockConfig(i7());
+    const auto &bench = lhr::benchmarkByName("xalan");
+    for (auto _ : state) {
+        // A fresh runner each iteration so the cache cannot hide
+        // the work being measured.
+        lhr::ExperimentRunner runner(state.iterations());
+        benchmark::DoNotOptimize(runner.measure(cfg, bench).powerW);
+    }
+}
+BENCHMARK(BM_FullMeasurement);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    lhr::TraceGenerator trace(lhr::benchmarkByName("gcc"), 3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trace.next().addr);
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_CacheSimAccess(benchmark::State &state)
+{
+    lhr::HierarchySim caches({{32.0, 8}, {256.0, 8}, {8192.0, 16}});
+    lhr::AddressGenerator gen(lhr::benchmarkByName("gcc").miss, 0.35,
+                              4);
+    for (auto _ : state)
+        caches.access(gen.next());
+}
+BENCHMARK(BM_CacheSimAccess);
+
+void
+BM_PipelineKiloInstr(benchmark::State &state)
+{
+    const auto &spec = i7();
+    const auto cfg = lhr::PipelineConfig::of(spec, 2.667);
+    for (auto _ : state) {
+        lhr::PipelineSim pipe(cfg, {{32.0, 8}, {256.0, 8},
+                                    {8192.0, 16}});
+        benchmark::DoNotOptimize(
+            pipe.run(lhr::benchmarkByName("gcc"), 1000,
+                     state.iterations(), 0).ipc);
+    }
+}
+BENCHMARK(BM_PipelineKiloInstr);
+
+void
+BM_Characterize100k(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            lhr::characterizeWorkload(lhr::benchmarkByName("gcc"),
+                                      i7(), 100000,
+                                      state.iterations(), 0.0, 0)
+                .l1Mpki);
+    }
+}
+BENCHMARK(BM_Characterize100k);
+
+void
+BM_BootstrapCi(benchmark::State &state)
+{
+    lhr::Rng rng(5);
+    std::vector<double> samples;
+    for (int i = 0; i < 20; ++i)
+        samples.push_back(rng.gaussian(100.0, 2.0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            lhr::bootstrapCi95(samples, rng, 400).hi);
+    }
+}
+BENCHMARK(BM_BootstrapCi);
+
+} // namespace
+
+BENCHMARK_MAIN();

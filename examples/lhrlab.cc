@@ -1,0 +1,437 @@
+/**
+ * @file
+ * lhrlab — command-line front end to the measurement laboratory.
+ *
+ * Subcommands:
+ *   processors                      list the eight processors
+ *   benchmarks [group]              list benchmarks (nn|ns|jn|js)
+ *   configs [--45nm]                list experimental configurations
+ *   measure <proc-id> <bench> [opts]   measure one benchmark
+ *   aggregate <proc-id> [opts]         Table 4-style row
+ *   counters <proc-id> <bench>         event-counter profile
+ *
+ * Options for measure/aggregate:
+ *   --cores N   --smt on|off   --clock GHZ   --turbo on|off
+ *
+ * Example:
+ *   lhrlab measure "i7 (45)" mcf --cores 2 --smt off --clock 1.6
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <fstream>
+
+#include "core/lab.hh"
+#include "counters/hwcounters.hh"
+#include "harness/corun.hh"
+#include "harness/multiprog.hh"
+#include "store/results_store.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "usage: lhrlab <command> [args]\n"
+        "  processors\n"
+        "  benchmarks [nn|ns|jn|js]\n"
+        "  configs [--45nm]\n"
+        "  measure <proc-id> <bench> [--cores N] [--smt on|off]\n"
+        "          [--clock GHZ] [--turbo on|off]\n"
+        "  aggregate <proc-id> [same options]\n"
+        "  counters <proc-id> <bench>\n"
+        "  rate <proc-id> <bench>\n"
+        "  corun <proc-id> <bench-a> <bench-b>\n"
+        "  snapshot <file.csv> [--45nm]\n"
+        "  compare <before.csv> <after.csv> [tolerance]\n";
+}
+
+/** Apply --cores/--smt/--clock/--turbo options to a config. */
+const lhr::ProcessorSpec &
+procArg(const std::string &id)
+{
+    const lhr::ProcessorSpec *found = lhr::findProcessor(id);
+    if (!found)
+        lhr::fatal("unknown processor '" + id +
+                   "' (see: lhrlab processors)");
+    return *found;
+}
+
+const lhr::Benchmark &
+benchArg(const std::string &name)
+{
+    const lhr::Benchmark *found = lhr::findBenchmark(name);
+    if (!found)
+        lhr::fatal("unknown benchmark '" + name +
+                   "' (see: lhrlab benchmarks)");
+    return *found;
+}
+
+lhr::MachineConfig
+applyOptions(lhr::MachineConfig cfg,
+             const std::vector<std::string> &args, size_t first)
+{
+    for (size_t i = first; i < args.size(); i += 2) {
+        if (i + 1 >= args.size())
+            lhr::fatal("option " + args[i] + " needs a value");
+        const std::string &opt = args[i];
+        const std::string &value = args[i + 1];
+        if (opt == "--cores") {
+            const int cores = std::atoi(value.c_str());
+            if (cores < 1 || cores > cfg.spec->cores)
+                lhr::fatal("--cores must be 1.." +
+                           std::to_string(cfg.spec->cores) + " for " +
+                           cfg.spec->id);
+            cfg = lhr::withCores(cfg, cores);
+        } else if (opt == "--smt") {
+            if (value == "on" && cfg.spec->smtWays < 2)
+                lhr::fatal(cfg.spec->id + " has no SMT");
+            cfg = lhr::withSmt(cfg, value == "on");
+        } else if (opt == "--clock") {
+            const double clock = std::atof(value.c_str());
+            if (clock < cfg.spec->fMinGhz ||
+                clock > cfg.spec->stockClockGhz) {
+                lhr::fatal("--clock must be within " +
+                           lhr::formatFixed(cfg.spec->fMinGhz, 2) +
+                           ".." +
+                           lhr::formatFixed(cfg.spec->stockClockGhz, 2) +
+                           " GHz for " + cfg.spec->id);
+            }
+            cfg = lhr::withClock(cfg, clock);
+        } else if (opt == "--turbo") {
+            if (value == "on" && !cfg.spec->hasTurbo)
+                lhr::fatal(cfg.spec->id + " has no Turbo Boost");
+            cfg = lhr::withTurbo(cfg, value == "on");
+        } else {
+            lhr::fatal("unknown option " + opt);
+        }
+    }
+    return cfg;
+}
+
+int
+cmdProcessors()
+{
+    lhr::TableWriter table;
+    table.addColumn("Id", lhr::TableWriter::Align::Left);
+    table.addColumn("Model", lhr::TableWriter::Align::Left);
+    table.addColumn("uArch", lhr::TableWriter::Align::Left);
+    table.addColumn("nm");
+    table.addColumn("Config", lhr::TableWriter::Align::Left);
+    table.addColumn("GHz");
+    table.addColumn("TDP W");
+    for (const auto &spec : lhr::allProcessors()) {
+        table.beginRow();
+        table.cell(spec.id);
+        table.cell(spec.model);
+        table.cell(lhr::familyName(spec.family));
+        table.cell(static_cast<long>(spec.tech().featureNm));
+        table.cell(lhr::msgOf(spec.cores, "C", spec.smtWays, "T"));
+        table.cell(spec.stockClockGhz, 2);
+        table.cell(spec.tdpW, 0);
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdBenchmarks(const std::vector<std::string> &args)
+{
+    std::optional<lhr::Group> filter;
+    if (args.size() > 2) {
+        const std::string &which = args[2];
+        if (which == "nn")
+            filter = lhr::Group::NativeNonScalable;
+        else if (which == "ns")
+            filter = lhr::Group::NativeScalable;
+        else if (which == "jn")
+            filter = lhr::Group::JavaNonScalable;
+        else if (which == "js")
+            filter = lhr::Group::JavaScalable;
+        else
+            lhr::fatal("unknown group " + which);
+    }
+    lhr::TableWriter table;
+    table.addColumn("Name", lhr::TableWriter::Align::Left);
+    table.addColumn("Group", lhr::TableWriter::Align::Left);
+    table.addColumn("Suite", lhr::TableWriter::Align::Left);
+    table.addColumn("Ref s");
+    for (const auto &bench : lhr::allBenchmarks()) {
+        if (filter && bench.group != *filter)
+            continue;
+        table.beginRow();
+        table.cell(bench.name);
+        table.cell(lhr::groupName(bench.group));
+        table.cell(lhr::suiteName(bench.suite));
+        table.cell(bench.refTimeSec, 1);
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdConfigs(const std::vector<std::string> &args)
+{
+    const bool only45 = args.size() > 2 && args[2] == "--45nm";
+    const auto configs = only45 ? lhr::configurations45nm()
+                                : lhr::standardConfigurations();
+    for (const auto &cfg : configs)
+        std::cout << cfg.label() << "\n";
+    std::cout << "(" << configs.size() << " configurations)\n";
+    return 0;
+}
+
+int
+cmdMeasure(const std::vector<std::string> &args)
+{
+    if (args.size() < 4)
+        lhr::fatal("measure needs <proc-id> <bench>");
+    auto cfg =
+        applyOptions(lhr::stockConfig(procArg(args[2])),
+                     args, 4);
+    const auto &bench = benchArg(args[3]);
+
+    lhr::Lab lab;
+    const auto &m = lab.measure(cfg, bench);
+    const auto r = lab.result(cfg, bench);
+    std::cout << bench.name << " on " << cfg.label() << ":\n"
+              << "  time    " << lhr::formatFixed(m.timeSec, 3)
+              << " s  (+-" << lhr::formatFixed(100 * m.timeCi95Rel, 2)
+              << "%, " << m.invocations << " invocations)\n"
+              << "  power   " << lhr::formatFixed(m.powerW, 2)
+              << " W  (+-" << lhr::formatFixed(100 * m.powerCi95Rel, 2)
+              << "%)\n"
+              << "  energy  " << lhr::formatFixed(m.energyJ(), 1)
+              << " J\n"
+              << "  perf/ref    " << lhr::formatFixed(r.perf, 3) << "\n"
+              << "  energy/ref  " << lhr::formatFixed(r.energy, 3)
+              << "\n";
+    return 0;
+}
+
+int
+cmdAggregate(const std::vector<std::string> &args)
+{
+    if (args.size() < 3)
+        lhr::fatal("aggregate needs <proc-id>");
+    auto cfg =
+        applyOptions(lhr::stockConfig(procArg(args[2])),
+                     args, 3);
+    lhr::Lab lab;
+    const auto agg = lab.aggregate(cfg);
+    lhr::TableWriter table;
+    table.addColumn("", lhr::TableWriter::Align::Left);
+    table.addColumn("Perf/Ref");
+    table.addColumn("Power W");
+    table.addColumn("Energy/Ref");
+    for (size_t gi = 0; gi < 4; ++gi) {
+        table.beginRow();
+        table.cell(lhr::groupName(lhr::allGroups()[gi]));
+        table.cell(agg.byGroup[gi].perf, 2);
+        table.cell(agg.byGroup[gi].powerW, 1);
+        table.cell(agg.byGroup[gi].energy, 2);
+    }
+    table.beginRow();
+    table.cell(std::string("Average (weighted)"));
+    table.cell(agg.weighted.perf, 2);
+    table.cell(agg.weighted.powerW, 1);
+    table.cell(agg.weighted.energy, 2);
+    std::cout << cfg.label() << ":\n";
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdCounters(const std::vector<std::string> &args)
+{
+    if (args.size() < 4)
+        lhr::fatal("counters needs <proc-id> <bench>");
+    const auto &spec = procArg(args[2]);
+    const auto &bench = benchArg(args[3]);
+    const auto profile =
+        lhr::characterizeWorkload(bench, spec, 400000, 7);
+
+    std::cout << "perf-stat-like profile of " << bench.name << " on "
+              << spec.id << " (400k-instruction synthetic trace):\n";
+    lhr::TableWriter table;
+    table.addColumn("event", lhr::TableWriter::Align::Left);
+    table.addColumn("count");
+    table.addColumn("per Ki");
+    for (const auto event :
+         {lhr::HwEvent::Instructions, lhr::HwEvent::MemAccesses,
+          lhr::HwEvent::L1dMisses, lhr::HwEvent::L2Misses,
+          lhr::HwEvent::LlcMisses, lhr::HwEvent::BranchInstructions,
+          lhr::HwEvent::BranchMispredicts, lhr::HwEvent::DtlbAccesses,
+          lhr::HwEvent::DtlbMisses}) {
+        table.beginRow();
+        table.cell(lhr::hwEventName(event));
+        table.cell(static_cast<long>(profile.counters.read(event)));
+        table.cell(profile.counters.perKi(event), 2);
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+cmdRate(const std::vector<std::string> &args)
+{
+    if (args.size() < 4)
+        lhr::fatal("rate needs <proc-id> <bench>");
+    lhr::Lab lab;
+    lhr::RateRunner rate(lab.runner());
+    auto cfg = lhr::stockConfig(procArg(args[2]));
+    if (cfg.spec->hasTurbo)
+        cfg = lhr::withTurbo(cfg, false);
+    const auto &bench = benchArg(args[3]);
+
+    std::cout << "SPECrate-style sweep of " << bench.name << " on "
+              << cfg.label() << ":\n";
+    lhr::TableWriter table;
+    table.addColumn("Copies");
+    table.addColumn("Throughput");
+    table.addColumn("Efficiency");
+    table.addColumn("Power W");
+    table.addColumn("J/copy");
+    for (const auto &r : rate.sweep(cfg, bench)) {
+        table.beginRow();
+        table.cell(static_cast<long>(r.copies));
+        table.cell(r.throughput, 2);
+        table.cell(r.rateEfficiency, 2);
+        table.cell(r.powerW, 1);
+        table.cell(r.energyPerCopyJ, 0);
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdCorun(const std::vector<std::string> &args)
+{
+    if (args.size() < 5)
+        lhr::fatal("corun needs <proc-id> <bench-a> <bench-b>");
+    lhr::Lab lab;
+    lhr::CoRunner corunner(lab.runner());
+    auto cfg = lhr::stockConfig(procArg(args[2]));
+    if (cfg.spec->hasTurbo)
+        cfg = lhr::withTurbo(cfg, false);
+    if (cfg.smtPerCore > 1)
+        cfg = lhr::withSmt(cfg, false);
+    const auto r = corunner.run(cfg, benchArg(args[3]),
+                                benchArg(args[4]));
+    std::cout << args[3] << " + " << args[4] << " on " << cfg.label()
+              << ":\n  slowdowns " << lhr::formatFixed(r.slowdownA, 3)
+              << " / " << lhr::formatFixed(r.slowdownB, 3)
+              << "\n  LLC share of " << args[3] << ": "
+              << lhr::formatFixed(100.0 * r.llcShareA, 1)
+              << "%\n  chip power "
+              << lhr::formatFixed(r.powerW, 1) << " W\n";
+    return 0;
+}
+
+int
+cmdSnapshot(const std::vector<std::string> &args)
+{
+    if (args.size() < 3)
+        lhr::fatal("snapshot needs <file.csv>");
+    const bool only45 = args.size() > 3 && args[3] == "--45nm";
+    lhr::Lab lab;
+    const auto store = lhr::ResultStore::snapshot(
+        lab.runner(), only45 ? lhr::configurations45nm()
+                             : lhr::standardConfigurations());
+    std::ofstream out(args[2]);
+    if (!out)
+        lhr::fatal("cannot write " + args[2]);
+    store.save(out);
+    std::cout << "wrote " << store.size() << " measurements to "
+              << args[2] << "\n";
+    return 0;
+}
+
+int
+cmdCompare(const std::vector<std::string> &args)
+{
+    if (args.size() < 4)
+        lhr::fatal("compare needs <before.csv> <after.csv>");
+    const double tolerance =
+        args.size() > 4 ? std::atof(args[4].c_str()) : 0.02;
+    std::ifstream beforeFile(args[2]), afterFile(args[3]);
+    if (!beforeFile)
+        lhr::fatal("cannot read " + args[2]);
+    if (!afterFile)
+        lhr::fatal("cannot read " + args[3]);
+    const auto before = lhr::ResultStore::load(beforeFile);
+    const auto after = lhr::ResultStore::load(afterFile);
+    const auto cmp = lhr::compareStores(before, after, tolerance);
+
+    std::cout << "compared " << cmp.compared << " rows at +-"
+              << lhr::formatFixed(100.0 * tolerance, 1) << "%\n";
+    if (cmp.clean()) {
+        std::cout << "no regressions\n";
+        return 0;
+    }
+    if (!cmp.regressions.empty()) {
+        lhr::TableWriter table;
+        table.addColumn("Configuration", lhr::TableWriter::Align::Left);
+        table.addColumn("Benchmark", lhr::TableWriter::Align::Left);
+        table.addColumn("Time x");
+        table.addColumn("Power x");
+        table.addColumn("Energy x");
+        for (const auto &delta : cmp.regressions) {
+            table.beginRow();
+            table.cell(delta.configLabel);
+            table.cell(delta.benchmark);
+            table.cell(delta.timeRatio, 3);
+            table.cell(delta.powerRatio, 3);
+            table.cell(delta.energyRatio, 3);
+        }
+        table.print(std::cout);
+    }
+    for (const auto &missing : cmp.onlyInBefore)
+        std::cout << "only in before: " << missing << "\n";
+    for (const auto &missing : cmp.onlyInAfter)
+        std::cout << "only in after: " << missing << "\n";
+    return 1;
+}
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv, argv + argc);
+    if (args.size() < 2) {
+        usage();
+        return 1;
+    }
+    const std::string &command = args[1];
+    if (command == "processors")
+        return cmdProcessors();
+    if (command == "benchmarks")
+        return cmdBenchmarks(args);
+    if (command == "configs")
+        return cmdConfigs(args);
+    if (command == "measure")
+        return cmdMeasure(args);
+    if (command == "aggregate")
+        return cmdAggregate(args);
+    if (command == "counters")
+        return cmdCounters(args);
+    if (command == "rate")
+        return cmdRate(args);
+    if (command == "corun")
+        return cmdCorun(args);
+    if (command == "snapshot")
+        return cmdSnapshot(args);
+    if (command == "compare")
+        return cmdCompare(args);
+    usage();
+    return 1;
+}

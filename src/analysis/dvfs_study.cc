@@ -1,0 +1,57 @@
+#include "analysis/dvfs_study.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+DvfsProfile
+dvfsProfile(ExperimentRunner &runner, const ReferenceSet &ref,
+            const std::string &processor_id, int steps)
+{
+    if (steps < 2)
+        panic("dvfsProfile: need at least two steps");
+
+    const ProcessorSpec &spec = processorById(processor_id);
+    auto base = stockConfig(spec);
+    if (spec.hasTurbo)
+        base = withTurbo(base, false);
+
+    DvfsProfile profile;
+    profile.processorId = processor_id;
+    profile.featureNm = spec.tech().featureNm;
+    profile.fMinGhz = spec.fMinGhz;
+    profile.fMaxGhz = spec.stockClockGhz;
+
+    double bestEnergy = std::numeric_limits<double>::infinity();
+    double energyAtMin = 0.0, energyAtMax = 0.0;
+    for (int i = 0; i < steps; ++i) {
+        const double f = spec.fMinGhz +
+            (spec.stockClockGhz - spec.fMinGhz) * i / (steps - 1);
+        const auto agg =
+            aggregateConfig(runner, ref, withClock(base, f));
+        const double energy = agg.weighted.energy;
+        if (energy < bestEnergy) {
+            bestEnergy = energy;
+            profile.energyOptimalGhz = f;
+        }
+        if (i == 0)
+            energyAtMin = energy;
+        if (i == steps - 1)
+            energyAtMax = energy;
+    }
+    profile.energyAtMinRel = energyAtMin / bestEnergy;
+    profile.energyAtMaxRel = energyAtMax / bestEnergy;
+
+    // Static share at the lowest clock for a representative
+    // mid-intensity workload.
+    const auto slow = withClock(base, spec.fMinGhz);
+    const auto prof =
+        runner.profile(slow, benchmarkByName("xalancbmk"));
+    profile.staticShareAtMin = prof.power.leakW / prof.power.total();
+    return profile;
+}
+
+} // namespace lhr

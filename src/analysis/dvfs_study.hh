@@ -1,0 +1,56 @@
+/**
+ * @file
+ * DVFS "laws of diminishing returns" study.
+ *
+ * The paper's related work discusses Le Sueur and Heiser's finding
+ * that as technology shrinks to 45nm, down-clocking saves less
+ * energy because static power grows relative to dynamic power (§5).
+ * Our substrate can test that claim directly: for each processor,
+ * sweep the clock, find the energy-optimal frequency, and decompose
+ * the energy at the extremes into static and dynamic shares.
+ */
+
+#ifndef LHR_ANALYSIS_DVFS_STUDY_HH
+#define LHR_ANALYSIS_DVFS_STUDY_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/aggregate.hh"
+
+namespace lhr
+{
+
+/** The DVFS profile of one processor. */
+struct DvfsProfile
+{
+    std::string processorId;
+    int featureNm;
+
+    double fMinGhz;
+    double fMaxGhz;
+    double energyOptimalGhz;  ///< clock minimizing weighted energy
+
+    /** Energy at min/max clock relative to the optimum (>= 1). */
+    double energyAtMinRel;
+    double energyAtMaxRel;
+
+    /**
+     * Static (leakage) share of chip power when running the
+     * weighted-average workload at the lowest clock — the quantity
+     * whose growth causes the diminishing returns.
+     */
+    double staticShareAtMin;
+};
+
+/**
+ * Sweep a processor's clock in `steps` points and extract its DVFS
+ * profile (Turbo disabled throughout).
+ */
+DvfsProfile dvfsProfile(ExperimentRunner &runner,
+                        const ReferenceSet &ref,
+                        const std::string &processor_id, int steps);
+
+} // namespace lhr
+
+#endif // LHR_ANALYSIS_DVFS_STUDY_HH

@@ -1,0 +1,53 @@
+#include "analysis/energy_metrics.hh"
+
+#include <algorithm>
+
+#include "analysis/pareto_study.hh"
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+std::string
+efficiencyMetricName(EfficiencyMetric metric)
+{
+    switch (metric) {
+      case EfficiencyMetric::Energy: return "energy";
+      case EfficiencyMetric::Edp:    return "EDP";
+      case EfficiencyMetric::Ed2p:   return "ED^2P";
+    }
+    panic("efficiencyMetricName: unknown metric");
+}
+
+double
+efficiencyValue(EfficiencyMetric metric, double perf, double energy)
+{
+    if (perf <= 0.0 || energy <= 0.0)
+        panic("efficiencyValue: non-positive inputs");
+    switch (metric) {
+      case EfficiencyMetric::Energy: return energy;
+      case EfficiencyMetric::Edp:    return energy / perf;
+      case EfficiencyMetric::Ed2p:   return energy / (perf * perf);
+    }
+    panic("efficiencyValue: unknown metric");
+}
+
+std::vector<RankedConfig>
+rankConfigurations45nm(ExperimentRunner &runner, const ReferenceSet &ref,
+                       EfficiencyMetric metric,
+                       std::optional<Group> group)
+{
+    std::vector<RankedConfig> ranked;
+    for (const auto &pt : paretoPoints45nm(runner, ref, group)) {
+        ranked.push_back(
+            {pt.label, pt.performance, pt.energy,
+             efficiencyValue(metric, pt.performance, pt.energy)});
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const RankedConfig &a, const RankedConfig &b) {
+                  return a.value < b.value;
+              });
+    return ranked;
+}
+
+} // namespace lhr

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Energy-efficiency metrics beyond plain energy.
+ *
+ * The paper analyzes energy (power x time) and the
+ * energy/performance Pareto space. The design-exploration literature
+ * it engages (Azizi et al., Horowitz et al.) also ranks designs by
+ * energy-delay product (EDP) and energy-delay-squared (ED2P), which
+ * weight performance progressively more. These helpers extend the
+ * Pareto study with those metrics.
+ */
+
+#ifndef LHR_ANALYSIS_ENERGY_METRICS_HH
+#define LHR_ANALYSIS_ENERGY_METRICS_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/aggregate.hh"
+
+namespace lhr
+{
+
+/** The efficiency metric used to rank configurations. */
+enum class EfficiencyMetric
+{
+    Energy,  ///< normalized energy (the paper's y-axis)
+    Edp,     ///< energy x delay
+    Ed2p     ///< energy x delay^2
+};
+
+/** Printable metric name. */
+std::string efficiencyMetricName(EfficiencyMetric metric);
+
+/**
+ * Metric value from a normalized (perf, energy) pair: delay is the
+ * reciprocal of normalized performance, so
+ *   Energy: E,   EDP: E / perf,   ED2P: E / perf^2.
+ * Smaller is better for all three.
+ */
+double efficiencyValue(EfficiencyMetric metric, double perf,
+                       double energy);
+
+/** One configuration ranked under a metric. */
+struct RankedConfig
+{
+    std::string label;
+    double perf;
+    double energy;
+    double value;   ///< the metric value (smaller is better)
+};
+
+/**
+ * Rank the 45nm configurations under a metric for one group (or the
+ * equal-weight average when group is empty), best first.
+ */
+std::vector<RankedConfig>
+rankConfigurations45nm(ExperimentRunner &runner, const ReferenceSet &ref,
+                       EfficiencyMetric metric,
+                       std::optional<Group> group);
+
+} // namespace lhr
+
+#endif // LHR_ANALYSIS_ENERGY_METRICS_HH

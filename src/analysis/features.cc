@@ -1,0 +1,283 @@
+#include "analysis/features.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+FeatureEffect
+ratioOf(const GroupAggregate &subject, const GroupAggregate &baseline)
+{
+    return {subject.perf / baseline.perf,
+            subject.powerW / baseline.powerW,
+            subject.energy / baseline.energy};
+}
+
+} // namespace
+
+GroupedEffect
+compareConfigs(ExperimentRunner &runner, const ReferenceSet &ref,
+               const MachineConfig &subject, const MachineConfig &baseline,
+               const std::string &label)
+{
+    const ConfigAggregate s = aggregateConfig(runner, ref, subject);
+    const ConfigAggregate b = aggregateConfig(runner, ref, baseline);
+    GroupedEffect effect;
+    effect.label = label;
+    effect.average = ratioOf(s.weighted, b.weighted);
+    for (size_t gi = 0; gi < effect.byGroup.size(); ++gi)
+        effect.byGroup[gi] = ratioOf(s.byGroup[gi], b.byGroup[gi]);
+    return effect;
+}
+
+std::vector<GroupedEffect>
+cmpStudy(ExperimentRunner &runner, const ReferenceSet &ref)
+{
+    std::vector<GroupedEffect> effects;
+    for (const std::string id : {"i7 (45)", "i5 (32)"}) {
+        auto base = stockConfig(processorById(id));
+        base = withTurbo(withSmt(base, false), false);
+        const auto one = withCores(base, 1);
+        const auto two = withCores(base, 2);
+        effects.push_back(
+            compareConfigs(runner, ref, two, one, id));
+    }
+    return effects;
+}
+
+std::vector<GroupedEffect>
+smtStudy(ExperimentRunner &runner, const ReferenceSet &ref)
+{
+    std::vector<GroupedEffect> effects;
+    for (const std::string id :
+             {"Pentium4 (130)", "i7 (45)", "Atom (45)", "i5 (32)"}) {
+        auto base = withCores(stockConfig(processorById(id)), 1);
+        if (base.spec->hasTurbo)
+            base = withTurbo(base, false);
+        const auto smtOff = withSmt(base, false);
+        const auto smtOn = withSmt(base, true);
+        effects.push_back(
+            compareConfigs(runner, ref, smtOn, smtOff, id));
+    }
+    return effects;
+}
+
+std::vector<GroupedEffect>
+clockStudy(ExperimentRunner &runner, const ReferenceSet &ref)
+{
+    std::vector<GroupedEffect> effects;
+    for (const std::string id : {"i7 (45)", "C2D (45)", "i5 (32)"}) {
+        auto base = stockConfig(processorById(id));
+        if (base.spec->hasTurbo)
+            base = withTurbo(base, false);
+        const auto slow = withClock(base, base.spec->fMinGhz);
+        const auto fast = withClock(base, base.spec->stockClockGhz);
+        GroupedEffect span =
+            compareConfigs(runner, ref, fast, slow, id);
+
+        // Normalize the min-to-max span to one clock doubling.
+        const double doublings =
+            std::log2(base.spec->stockClockGhz / base.spec->fMinGhz);
+        auto perDoubling = [doublings](FeatureEffect &e) {
+            e.perf = std::pow(e.perf, 1.0 / doublings);
+            e.power = std::pow(e.power, 1.0 / doublings);
+            e.energy = std::pow(e.energy, 1.0 / doublings);
+        };
+        perDoubling(span.average);
+        for (auto &g : span.byGroup)
+            perDoubling(g);
+        effects.push_back(span);
+    }
+    return effects;
+}
+
+std::vector<ClockPoint>
+clockSweep(ExperimentRunner &runner, const ReferenceSet &ref,
+           const std::string &processor_id, int steps)
+{
+    if (steps < 2)
+        panic("clockSweep: need at least two steps");
+    auto base = stockConfig(processorById(processor_id));
+    if (base.spec->hasTurbo)
+        base = withTurbo(base, false);
+    const double fLo = base.spec->fMinGhz;
+    const double fHi = base.spec->stockClockGhz;
+
+    std::vector<ClockPoint> points;
+    double basePerf = 0.0;
+    double baseEnergy = 0.0;
+    for (int i = 0; i < steps; ++i) {
+        const double f = fLo + (fHi - fLo) * i / (steps - 1);
+        const auto cfg = withClock(base, f);
+        const ConfigAggregate agg = aggregateConfig(runner, ref, cfg);
+        if (i == 0) {
+            basePerf = agg.weighted.perf;
+            baseEnergy = agg.weighted.energy;
+        }
+        ClockPoint pt;
+        pt.clockGhz = f;
+        pt.perfRelBase = agg.weighted.perf / basePerf;
+        pt.energyRelBase = agg.weighted.energy / baseEnergy;
+        for (size_t gi = 0; gi < pt.groupPerfAbs.size(); ++gi) {
+            pt.groupPerfAbs[gi] = agg.byGroup[gi].perf;
+            pt.groupPowerW[gi] = agg.byGroup[gi].powerW;
+        }
+        points.push_back(pt);
+    }
+    return points;
+}
+
+std::vector<GroupedEffect>
+dieShrinkStudy(ExperimentRunner &runner, const ReferenceSet &ref,
+               bool matched_clocks)
+{
+    std::vector<GroupedEffect> effects;
+
+    // Core family: Conroe (65nm) -> Wolfdale (45nm), both 2C1T.
+    {
+        const auto oldCfg = stockConfig(processorById("C2D (65)"));
+        auto newCfg = stockConfig(processorById("C2D (45)"));
+        if (matched_clocks)
+            newCfg = withClock(newCfg, 2.4);
+        effects.push_back(compareConfigs(
+            runner, ref, newCfg, oldCfg,
+            matched_clocks ? "Core 2.4GHz" : "Core"));
+    }
+
+    // Nehalem family: Bloomfield (45nm) -> Clarkdale (32nm),
+    // controlling the i7 to the i5's two cores.
+    {
+        auto oldCfg = withCores(
+            withTurbo(stockConfig(processorById("i7 (45)")), false), 2);
+        auto newCfg = withTurbo(
+            stockConfig(processorById("i5 (32)")), false);
+        if (matched_clocks)
+            newCfg = withClock(newCfg, oldCfg.spec->stockClockGhz);
+        effects.push_back(compareConfigs(
+            runner, ref, newCfg, oldCfg,
+            matched_clocks ? "Nehalem 2C2T 2.6GHz" : "Nehalem 2C2T"));
+    }
+    return effects;
+}
+
+std::vector<GroupedEffect>
+uarchStudy(ExperimentRunner &runner, const ReferenceSet &ref)
+{
+    std::vector<GroupedEffect> effects;
+
+    // i7 vs Atom D510: 2 cores, 2 threads, 1.7GHz.
+    {
+        const auto atomD = stockConfig(processorById("AtomD (45)"));
+        auto i7 = withTurbo(stockConfig(processorById("i7 (45)")), false);
+        i7 = withClock(withCores(i7, 2), atomD.spec->stockClockGhz);
+        effects.push_back(compareConfigs(
+            runner, ref, i7, atomD, "Bonnell: i7 (45) / AtomD (45)"));
+    }
+
+    // i7 vs Pentium 4: 1 core, 2 threads, 2.4GHz.
+    {
+        const auto p4 = stockConfig(processorById("Pentium4 (130)"));
+        auto i7 = withTurbo(stockConfig(processorById("i7 (45)")), false);
+        i7 = withClock(withCores(i7, 1), 2.4);
+        effects.push_back(compareConfigs(
+            runner, ref, i7, p4, "NetBurst: i7 (45) / Pentium4 (130)"));
+    }
+
+    // i7 vs Core 2 Duo E7600: 2 cores, 1 thread, at the i7's clock.
+    {
+        auto i7 = withTurbo(stockConfig(processorById("i7 (45)")), false);
+        i7 = withSmt(withCores(i7, 2), false);
+        auto c2d = withClock(stockConfig(processorById("C2D (45)")),
+                             i7.clockGhz);
+        effects.push_back(compareConfigs(
+            runner, ref, i7, c2d, "Core: i7 (45) / C2D (45)"));
+    }
+
+    // i5 vs Core 2 Duo E6600: 2 cores, 1 thread, 2.4GHz.
+    {
+        const auto c2d = stockConfig(processorById("C2D (65)"));
+        auto i5 = withTurbo(stockConfig(processorById("i5 (32)")), false);
+        i5 = withClock(withSmt(i5, false), 2.4);
+        effects.push_back(compareConfigs(
+            runner, ref, i5, c2d, "Core: i5 (32) / C2D (65)"));
+    }
+    return effects;
+}
+
+std::vector<GroupedEffect>
+turboStudy(ExperimentRunner &runner, const ReferenceSet &ref)
+{
+    std::vector<GroupedEffect> effects;
+    for (const std::string id : {"i7 (45)", "i5 (32)"}) {
+        const auto stock = stockConfig(processorById(id));
+        effects.push_back(compareConfigs(
+            runner, ref, withTurbo(stock, true),
+            withTurbo(stock, false),
+            msgOf(id, " ", stock.enabledCores, "C",
+                  stock.smtPerCore, "T")));
+        const auto single = withSmt(withCores(stock, 1), false);
+        effects.push_back(compareConfigs(
+            runner, ref, withTurbo(single, true),
+            withTurbo(single, false), id + " 1C1T"));
+    }
+    return effects;
+}
+
+std::vector<std::pair<std::string, double>>
+javaScalability(ExperimentRunner &runner)
+{
+    auto base = withTurbo(stockConfig(processorById("i7 (45)")), false);
+    const auto full = base;                                   // 4C2T
+    const auto single = withSmt(withCores(base, 1), false);   // 1C1T
+
+    std::vector<std::pair<std::string, double>> result;
+    for (const auto &bench : allBenchmarks()) {
+        if (bench.language() != Language::Java)
+            continue;
+        const bool multithreaded =
+            bench.appThreads == 0 || bench.appThreads > 1;
+        if (!multithreaded)
+            continue;
+        const double t1 = runner.measure(single, bench).timeSec;
+        const double t8 = runner.measure(full, bench).timeSec;
+        result.emplace_back(bench.name, t1 / t8);
+    }
+    std::sort(result.begin(), result.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+    return result;
+}
+
+std::vector<std::pair<std::string, double>>
+javaSingleThreadedCmp(ExperimentRunner &runner)
+{
+    auto base = withSmt(
+        withTurbo(stockConfig(processorById("i7 (45)")), false), false);
+    const auto one = withCores(base, 1);
+    const auto two = withCores(base, 2);
+
+    std::vector<std::pair<std::string, double>> result;
+    for (const auto &bench : allBenchmarks()) {
+        if (bench.language() != Language::Java)
+            continue;
+        if (bench.appThreads != 1)
+            continue;
+        const double t1 = runner.measure(one, bench).timeSec;
+        const double t2 = runner.measure(two, bench).timeSec;
+        result.emplace_back(bench.name, t1 / t2);
+    }
+    std::sort(result.begin(), result.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+    return result;
+}
+
+} // namespace lhr

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Controlled feature analyses (paper section 3).
+ *
+ * Each study compares pairs of machine configurations that differ in
+ * exactly one feature — core count (CMP), simultaneous
+ * multithreading (SMT), clock frequency, die shrink, gross
+ * microarchitecture, or Turbo Boost — and reports relative
+ * performance, power, and energy, averaged with the paper's
+ * equal-group weighting and broken down per workload group.
+ */
+
+#ifndef LHR_ANALYSIS_FEATURES_HH
+#define LHR_ANALYSIS_FEATURES_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "harness/aggregate.hh"
+
+namespace lhr
+{
+
+/** Relative effect of a feature: ratios of new over old. */
+struct FeatureEffect
+{
+    double perf;
+    double power;
+    double energy;
+};
+
+/** A feature effect with its per-group breakdown. */
+struct GroupedEffect
+{
+    std::string label;                      ///< e.g. "i7 (45)"
+    FeatureEffect average;                  ///< equal-group-weighted
+    std::array<FeatureEffect, 4> byGroup;   ///< Group order
+};
+
+/**
+ * Compare two configurations: ratios of the group aggregates of
+ * `subject` over `baseline`.
+ */
+GroupedEffect compareConfigs(ExperimentRunner &runner,
+                             const ReferenceSet &ref,
+                             const MachineConfig &subject,
+                             const MachineConfig &baseline,
+                             const std::string &label);
+
+/**
+ * CMP study (Figure 4): two cores versus one, SMT and Turbo
+ * disabled, on the i7 (45) and i5 (32).
+ */
+std::vector<GroupedEffect> cmpStudy(ExperimentRunner &runner,
+                                    const ReferenceSet &ref);
+
+/**
+ * SMT study (Figure 5): two threads versus one on a single core, on
+ * Pentium 4 (130), i7 (45), Atom (45), i5 (32); Turbo disabled.
+ */
+std::vector<GroupedEffect> smtStudy(ExperimentRunner &runner,
+                                    const ReferenceSet &ref);
+
+/**
+ * Clock scaling study (Figure 7a/b): effect of doubling the clock,
+ * derived from the min-to-max clock sweep of i7 (45), C2D (45) and
+ * i5 (32), expressed per clock doubling.
+ */
+std::vector<GroupedEffect> clockStudy(ExperimentRunner &runner,
+                                      const ReferenceSet &ref);
+
+/** One point of a clock-scaling energy curve (Figure 7c/d). */
+struct ClockPoint
+{
+    double clockGhz;
+    double perfRelBase;     ///< performance / performance at fMin
+    double energyRelBase;   ///< energy / energy at fMin
+    std::array<double, 4> groupPerfAbs;  ///< perf vs reference
+    std::array<double, 4> groupPowerW;   ///< absolute watts
+};
+
+/** Sweep a processor's clock range in `steps` points. */
+std::vector<ClockPoint> clockSweep(ExperimentRunner &runner,
+                                   const ReferenceSet &ref,
+                                   const std::string &processor_id,
+                                   int steps);
+
+/**
+ * Die shrink study (Figure 8): Core 2D (65)->(45) and Nehalem
+ * i7 (45)->i5 (32) at native and matched clocks, controlling for
+ * core/thread counts.
+ */
+std::vector<GroupedEffect> dieShrinkStudy(ExperimentRunner &runner,
+                                          const ReferenceSet &ref,
+                                          bool matched_clocks);
+
+/**
+ * Gross microarchitecture study (Figure 9): Nehalem versus Bonnell,
+ * NetBurst and Core at matched clock speed and hardware parallelism.
+ */
+std::vector<GroupedEffect> uarchStudy(ExperimentRunner &runner,
+                                      const ReferenceSet &ref);
+
+/**
+ * Turbo Boost study (Figure 10): enabled versus disabled, stock and
+ * single-context, on the i7 (45) and i5 (32).
+ */
+std::vector<GroupedEffect> turboStudy(ExperimentRunner &runner,
+                                      const ReferenceSet &ref);
+
+/**
+ * Scalability of the Java multithreaded benchmarks on the i7
+ * (Figure 1): time on 1C1T divided by time on 4C2T, descending.
+ */
+std::vector<std::pair<std::string, double>>
+javaScalability(ExperimentRunner &runner);
+
+/**
+ * CMP impact for single-threaded Java on the i7 (Figure 6):
+ * time on 1C1T divided by time on 2C1T (SMT and Turbo off).
+ */
+std::vector<std::pair<std::string, double>>
+javaSingleThreadedCmp(ExperimentRunner &runner);
+
+} // namespace lhr
+
+#endif // LHR_ANALYSIS_FEATURES_HH

@@ -1,0 +1,79 @@
+#include "analysis/historical.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+double
+HistoricalPoint::perfPerMtran() const
+{
+    return aggregate.weighted.perf / spec->transistorsM;
+}
+
+double
+HistoricalPoint::powerPerMtran() const
+{
+    return aggregate.weighted.powerW / spec->transistorsM;
+}
+
+std::vector<HistoricalPoint>
+historicalOverview(ExperimentRunner &runner, const ReferenceSet &ref)
+{
+    std::vector<HistoricalPoint> points;
+    for (const auto &spec : allProcessors()) {
+        HistoricalPoint pt{&spec,
+                           aggregateConfig(runner, ref,
+                                           stockConfig(spec))};
+        points.push_back(pt);
+    }
+    return points;
+}
+
+ProjectedPoint
+projectToNode(const HistoricalPoint &point, Node target,
+              double clock_ratio)
+{
+    if (clock_ratio <= 0.0)
+        panic("projectToNode: non-positive clock ratio");
+    const TechNode &from = point.spec->tech();
+    const TechNode &to = techNode(target);
+
+    // Dynamic power scales with effective capacitance, V^2, and
+    // frequency; performance is assumed clock-bound for a fixed
+    // microarchitecture (memory latency in real silicon would eat
+    // some of this — the paper's claim is deliberately first-order).
+    const double vRatio = to.vNominal / from.vNominal;
+    const double powerScale =
+        (to.capScale / from.capScale) * vRatio * vRatio * clock_ratio;
+
+    ProjectedPoint projected;
+    projected.label = point.spec->id + " -> " + to.name +
+        " (projected)";
+    projected.perf = point.aggregate.weighted.perf * clock_ratio;
+    projected.powerW = point.aggregate.weighted.powerW * powerScale;
+    return projected;
+}
+
+std::vector<int>
+rankOf(const std::vector<double> &values, bool ascending)
+{
+    std::vector<int> ranks(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+        int rank = 1;
+        for (size_t j = 0; j < values.size(); ++j) {
+            if (j == i)
+                continue;
+            const bool beats = ascending ? values[j] < values[i]
+                                         : values[j] > values[i];
+            if (beats)
+                ++rank;
+        }
+        ranks[i] = rank;
+    }
+    return ranks;
+}
+
+} // namespace lhr

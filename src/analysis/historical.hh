@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Historical overview (paper section 4.1, Figure 11 and Table 4):
+ * power and performance of the eight stock processors, absolute and
+ * per transistor, with Table 4's rank ordering.
+ */
+
+#ifndef LHR_ANALYSIS_HISTORICAL_HH
+#define LHR_ANALYSIS_HISTORICAL_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/aggregate.hh"
+
+namespace lhr
+{
+
+/** One stock processor's aggregated historical data point. */
+struct HistoricalPoint
+{
+    const ProcessorSpec *spec;
+    ConfigAggregate aggregate;
+
+    /** Weighted performance per million transistors. */
+    double perfPerMtran() const;
+
+    /** Weighted power (W) per million transistors. */
+    double powerPerMtran() const;
+};
+
+/** Aggregate all eight stock processors. */
+std::vector<HistoricalPoint> historicalOverview(ExperimentRunner &runner,
+                                                const ReferenceSet &ref);
+
+/**
+ * Dense ranks (1 = best) of a value among the points; `ascending`
+ * ranks smaller values first (used for power).
+ */
+std::vector<int> rankOf(const std::vector<double> &values, bool ascending);
+
+/** A what-if design point projected to another technology node. */
+struct ProjectedPoint
+{
+    std::string label;
+    double perf;
+    double powerW;
+};
+
+/**
+ * Project a measured historical point to a target node — the
+ * paper's Figure 11 thought experiment: "applying the die shrink
+ * parameters [Finding 4] to the Pentium 4 design across four
+ * generations ... would reduce power four fold and increase
+ * performance two fold." Capacitance and voltage scale with the
+ * technology models; the clock is raised by `clock_ratio` (the
+ * historical ~2x across 130nm to 32nm).
+ */
+ProjectedPoint projectToNode(const HistoricalPoint &point,
+                             Node target, double clock_ratio);
+
+} // namespace lhr
+
+#endif // LHR_ANALYSIS_HISTORICAL_HH

@@ -1,0 +1,27 @@
+#include "analysis/pareto_study.hh"
+
+namespace lhr
+{
+
+std::vector<ParetoPoint>
+paretoPoints45nm(ExperimentRunner &runner, const ReferenceSet &ref,
+                 std::optional<Group> group)
+{
+    std::vector<ParetoPoint> points;
+    for (const auto &cfg : configurations45nm()) {
+        const ConfigAggregate agg = aggregateConfig(runner, ref, cfg);
+        const GroupAggregate &ga =
+            group ? agg.group(*group) : agg.weighted;
+        points.push_back({cfg.label(), ga.perf, ga.energy});
+    }
+    return points;
+}
+
+std::vector<ParetoPoint>
+paretoFrontier45nm(ExperimentRunner &runner, const ReferenceSet &ref,
+                   std::optional<Group> group)
+{
+    return paretoFrontier(paretoPoints45nm(runner, ref, group));
+}
+
+} // namespace lhr

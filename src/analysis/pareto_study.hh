@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Measured Pareto efficiency analysis at 45nm (paper section 4.2,
+ * Table 5 and Figure 12): the 29 45nm processor configurations are
+ * treated as proxies for alternative design points, and the
+ * energy/performance frontier is extracted per workload group and
+ * for the equal-weight average.
+ */
+
+#ifndef LHR_ANALYSIS_PARETO_STUDY_HH
+#define LHR_ANALYSIS_PARETO_STUDY_HH
+
+#include <optional>
+#include <vector>
+
+#include "harness/aggregate.hh"
+#include "stats/pareto.hh"
+
+namespace lhr
+{
+
+/**
+ * Energy/performance points of all 45nm configurations for one
+ * workload group, or for the equal-weight average when `group` is
+ * empty. Performance is speedup over reference; energy is
+ * normalized to reference energy.
+ */
+std::vector<ParetoPoint>
+paretoPoints45nm(ExperimentRunner &runner, const ReferenceSet &ref,
+                 std::optional<Group> group);
+
+/** The Pareto-efficient subset of paretoPoints45nm(). */
+std::vector<ParetoPoint>
+paretoFrontier45nm(ExperimentRunner &runner, const ReferenceSet &ref,
+                   std::optional<Group> group);
+
+} // namespace lhr
+
+#endif // LHR_ANALYSIS_PARETO_STUDY_HH

@@ -1,0 +1,46 @@
+#include "analysis/report.hh"
+
+#include "util/table.hh"
+
+namespace lhr
+{
+
+void
+printGroupedEffects(std::ostream &os, const std::string &title,
+                    const std::vector<GroupedEffect> &effects)
+{
+    os << title << "\n\n(a) average effect\n";
+    {
+        TableWriter table;
+        table.addColumn("", TableWriter::Align::Left);
+        table.addColumn("performance");
+        table.addColumn("power");
+        table.addColumn("energy");
+        for (const auto &e : effects) {
+            table.beginRow();
+            table.cell(e.label);
+            table.cell(e.average.perf, 2);
+            table.cell(e.average.power, 2);
+            table.cell(e.average.energy, 2);
+        }
+        table.print(os);
+    }
+
+    os << "\n(b) energy effect by workload group\n";
+    {
+        TableWriter table;
+        table.addColumn("", TableWriter::Align::Left);
+        for (const auto group : allGroups())
+            table.addColumn(groupName(group));
+        for (const auto &e : effects) {
+            table.beginRow();
+            table.cell(e.label);
+            for (const auto &g : e.byGroup)
+                table.cell(g.energy, 2);
+        }
+        table.print(os);
+    }
+    os << "\n";
+}
+
+} // namespace lhr

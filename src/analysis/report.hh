@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Console reporting helpers shared by the bench binaries: the
+ * paper's feature figures all follow the same two-panel layout —
+ * (a) average performance/power/energy ratios, (b) per-group energy
+ * ratios.
+ */
+
+#ifndef LHR_ANALYSIS_REPORT_HH
+#define LHR_ANALYSIS_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analysis/features.hh"
+
+namespace lhr
+{
+
+/**
+ * Print a feature study in the paper's figure layout: panel (a) with
+ * the average perf/power/energy ratios per subject, panel (b) with
+ * the per-group energy ratios.
+ */
+void printGroupedEffects(std::ostream &os, const std::string &title,
+                         const std::vector<GroupedEffect> &effects);
+
+} // namespace lhr
+
+#endif // LHR_ANALYSIS_REPORT_HH

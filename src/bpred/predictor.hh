@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Branch predictor simulation: bimodal and gshare schemes, used by
+ * the workload characterizer to turn synthetic branch streams into
+ * mispredictions-per-kilo-instruction, the event the interval model
+ * charges at the pipeline-depth penalty.
+ */
+
+#ifndef LHR_BPRED_PREDICTOR_HH
+#define LHR_BPRED_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace lhr
+{
+
+/** Common predictor interface. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the outcome of the branch at pc. */
+    virtual bool predict(uint64_t pc) const = 0;
+
+    /** Train with the actual outcome. */
+    virtual void update(uint64_t pc, bool taken) = 0;
+
+    /** Predict, train, and count; returns true on misprediction. */
+    bool run(uint64_t pc, bool taken);
+
+    uint64_t branches() const { return branchCount; }
+    uint64_t mispredictions() const { return mispredictCount; }
+    double mispredictRatio() const;
+
+  private:
+    uint64_t branchCount = 0;
+    uint64_t mispredictCount = 0;
+};
+
+/** Per-pc table of 2-bit saturating counters. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    explicit BimodalPredictor(int table_bits = 12);
+
+    bool predict(uint64_t pc) const override;
+    void update(uint64_t pc, bool taken) override;
+
+  private:
+    uint32_t index(uint64_t pc) const;
+
+    uint32_t mask;
+    std::vector<uint8_t> counters; ///< 0..3, >=2 predicts taken
+};
+
+/** Global-history-xor-pc indexed 2-bit counters. */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    explicit GsharePredictor(int table_bits = 12);
+
+    bool predict(uint64_t pc) const override;
+    void update(uint64_t pc, bool taken) override;
+
+  private:
+    uint32_t index(uint64_t pc) const;
+
+    uint32_t mask;
+    uint32_t history;
+    std::vector<uint8_t> counters;
+};
+
+} // namespace lhr
+
+#endif // LHR_BPRED_PREDICTOR_HH

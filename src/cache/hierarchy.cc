@@ -1,0 +1,86 @@
+#include "cache/hierarchy.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+double
+MissCurve::missPerKi(double capacityKb) const
+{
+    if (mpki32 <= 0.0 || workingSetKb <= 0.0)
+        panic("MissCurve: invalid parameters");
+    if (capacityKb <= 0.0)
+        return 3.0 * mpki32;
+    if (capacityKb >= workingSetKb)
+        return coldMpki;
+    const double scaled = mpki32 * std::pow(capacityKb / 32.0, -beta);
+    // A cache smaller than the 32KB reference cannot miss more than
+    // every access plausibly allows; cap the growth at 3x.
+    return std::clamp(scaled, coldMpki, 3.0 * mpki32);
+}
+
+CacheHierarchy::CacheHierarchy(std::vector<CacheLevel> levels,
+                               double dram_latency_ns)
+    : cacheLevels(std::move(levels)), dramLatencyNs(dram_latency_ns)
+{
+    if (cacheLevels.empty())
+        panic("CacheHierarchy: needs at least one level");
+    double prev = 0.0;
+    for (const auto &level : cacheLevels) {
+        if (level.capacityKb <= 0.0 || level.latencyNs < 0.0)
+            panic("CacheHierarchy: invalid level parameters");
+        if (level.latencyNs < prev)
+            warn("CacheHierarchy: latency not monotonic across levels");
+        prev = level.latencyNs;
+    }
+    if (dramLatencyNs <= 0.0)
+        panic("CacheHierarchy: invalid DRAM latency");
+}
+
+CacheHierarchy::Traffic
+CacheHierarchy::evaluate(const MissCurve &curve, double core_divisor,
+                         double llc_divisor) const
+{
+    if (core_divisor < 1.0 || llc_divisor < 1.0)
+        panic("CacheHierarchy::evaluate: divisors must be >= 1");
+
+    Traffic traffic{0.0, 0.0, 0.0};
+    double missMpki = 0.0; // misses per Ki leaving the previous level
+    bool first = true;
+    for (const auto &level : cacheLevels) {
+        double effective = level.capacityKb;
+        switch (level.scope) {
+          case CacheScope::PerThread:
+            break;
+          case CacheScope::PerCore:
+            effective /= core_divisor;
+            break;
+          case CacheScope::Shared:
+            effective /= std::min(llc_divisor,
+                                  core_divisor * level.sharedByCores);
+            break;
+        }
+        // Misses leaving this level; monotonically non-increasing
+        // down the hierarchy.
+        double levelMpki = curve.missPerKi(effective);
+        if (!first) {
+            levelMpki = std::min(levelMpki, missMpki);
+            // Traffic entering this level pays its latency.
+            traffic.stallNsPerInstr +=
+                missMpki / 1000.0 * level.latencyNs;
+        } else {
+            traffic.l1Mpki = levelMpki;
+            first = false;
+        }
+        missMpki = levelMpki;
+    }
+    traffic.stallNsPerInstr += missMpki / 1000.0 * dramLatencyNs;
+    traffic.dramMpki = missMpki;
+    return traffic;
+}
+
+} // namespace lhr

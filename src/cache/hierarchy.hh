@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Analytic cache hierarchy model.
+ *
+ * Rather than simulating individual accesses, the model evaluates
+ * each benchmark's miss curve against the effective capacity each
+ * hardware thread sees at every level. SMT threads split their
+ * core's private capacity; cores split a shared LLC. This is what
+ * makes SMT costly on the 512KB Pentium 4 while nearly free on the
+ * 8MB i7 (paper Findings 2 and W2).
+ */
+
+#ifndef LHR_CACHE_HIERARCHY_HH
+#define LHR_CACHE_HIERARCHY_HH
+
+#include <string>
+#include <vector>
+
+namespace lhr
+{
+
+/** Sharing scope of a cache level. */
+enum class CacheScope
+{
+    PerThread,  ///< replicated per hardware thread (not used today)
+    PerCore,    ///< private to a core, shared by its SMT threads
+    Shared      ///< shared by a group of cores
+};
+
+/** One level of the cache hierarchy. */
+struct CacheLevel
+{
+    std::string name;     ///< "L1", "L2", "L3"
+    double capacityKb;    ///< total capacity at this level instance
+    double latencyNs;     ///< load-to-use latency
+    CacheScope scope;
+    int sharedByCores;    ///< cores sharing one instance (Shared scope)
+};
+
+/**
+ * A benchmark's locality behaviour as a capacity miss curve: misses
+ * per kilo-instruction at a cache of capacity C follow the classic
+ * power law
+ *
+ *   mpki(C) = mpki32 * (C / 32KB) ^ -beta
+ *
+ * floored at the cold/streaming miss rate, and dropping to that
+ * floor once C covers the working set. Small beta means poor reuse
+ * (pointer chasing, streaming); large beta means more capacity keeps
+ * helping.
+ *
+ * The sub-32KB growth cap is 3*mpki32; keep mpki32 below a third of
+ * the benchmark's access rate (memAccessPerInstr * 1000) or tiny
+ * SMT-split caches can report more misses than accesses.
+ */
+struct MissCurve
+{
+    double mpki32;        ///< misses per Ki at a 32KB cache
+    double beta;          ///< capacity decay exponent (0.15 - 0.6)
+    double workingSetKb;  ///< beyond this, only cold misses remain
+    double coldMpki;      ///< compulsory / streaming floor
+
+    /** Misses per kilo-instruction at capacity capacityKb. */
+    double missPerKi(double capacityKb) const;
+};
+
+/**
+ * The cache hierarchy of one processor configuration together with
+ * the logic to turn a miss curve into per-level stall time.
+ */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(std::vector<CacheLevel> levels, double dramLatencyNs);
+
+    /** Miss traffic of one thread through the hierarchy. */
+    struct Traffic
+    {
+        /**
+         * Average memory stall time per instruction, in
+         * nanoseconds: every miss at level i pays level i+1's
+         * latency (first-level hit latency is folded into base
+         * CPI).
+         */
+        double stallNsPerInstr;
+
+        /** DRAM misses per kilo-instruction. */
+        double dramMpki;
+
+        /** First-level misses per kilo-instruction. */
+        double l1Mpki;
+    };
+
+    /**
+     * Evaluate a thread's traffic given how the capacity is shared.
+     *
+     * Divisors are fractional: two SMT threads with a cache-pressure
+     * factor of 0.4 divide their core's capacity by 1.8, not 2.0,
+     * because their footprints partially overlap.
+     *
+     * @param curve the benchmark thread's miss curve
+     * @param coreDivisor effective capacity divisor for per-core
+     *                    levels (>= 1)
+     * @param llcDivisor  effective capacity divisor for shared
+     *                    levels (>= 1), including both SMT threads
+     *                    and sibling cores
+     */
+    Traffic evaluate(const MissCurve &curve, double coreDivisor,
+                     double llcDivisor) const;
+
+    /** The configured levels (outermost last). */
+    const std::vector<CacheLevel> &levels() const { return cacheLevels; }
+
+    /** DRAM access latency in nanoseconds. */
+    double dramLatency() const { return dramLatencyNs; }
+
+  private:
+    std::vector<CacheLevel> cacheLevels;
+    double dramLatencyNs;
+};
+
+} // namespace lhr
+
+#endif // LHR_CACHE_HIERARCHY_HH

@@ -1,0 +1,161 @@
+#include "cachesim/cache_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(int x)
+{
+    return x > 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace
+
+CacheArray::CacheArray(double capacity_kb, int ways, int line_bytes)
+    : wayCount(ways), lineBytes(line_bytes), accessCount(0),
+      missCount(0)
+{
+    if (capacity_kb <= 0.0 || ways < 1 || !isPowerOfTwo(line_bytes))
+        panic("CacheArray: invalid geometry");
+    const double lines = capacity_kb * 1024.0 / line_bytes;
+    setCount = std::max(1, static_cast<int>(lines / ways));
+    // Round the set count down to a power of two for indexing.
+    while (!isPowerOfTwo(setCount))
+        --setCount;
+    tagSets.assign(setCount, {});
+}
+
+bool
+CacheArray::access(uint64_t addr)
+{
+    ++accessCount;
+    const uint64_t line = addr / lineBytes;
+    auto &set = tagSets[line & (setCount - 1)];
+    const uint64_t tag = line / setCount;
+
+    const auto it = std::find(set.begin(), set.end(), tag);
+    if (it != set.end()) {
+        // Hit: move to MRU.
+        set.erase(it);
+        set.insert(set.begin(), tag);
+        return true;
+    }
+    ++missCount;
+    set.insert(set.begin(), tag);
+    if (static_cast<int>(set.size()) > wayCount)
+        set.pop_back();
+    return false;
+}
+
+double
+CacheArray::missRatio() const
+{
+    return accessCount == 0
+        ? 0.0
+        : static_cast<double>(missCount) / accessCount;
+}
+
+void
+CacheArray::reset()
+{
+    for (auto &set : tagSets)
+        set.clear();
+    accessCount = 0;
+    missCount = 0;
+}
+
+TlbArray::TlbArray(int entries, int page_bytes)
+    : entryCount(entries), pageBytes(page_bytes), accessCount(0),
+      missCount(0)
+{
+    if (entries < 1 || !isPowerOfTwo(page_bytes))
+        panic("TlbArray: invalid geometry");
+}
+
+bool
+TlbArray::access(uint64_t addr)
+{
+    ++accessCount;
+    const uint64_t page = addr / pageBytes;
+    const auto it = std::find(pages.begin(), pages.end(), page);
+    if (it != pages.end()) {
+        pages.erase(it);
+        pages.insert(pages.begin(), page);
+        return true;
+    }
+    ++missCount;
+    pages.insert(pages.begin(), page);
+    if (pages.size() > entryCount)
+        pages.pop_back();
+    return false;
+}
+
+void
+TlbArray::displace(double fraction)
+{
+    if (fraction < 0.0 || fraction > 1.0)
+        panic("TlbArray::displace: fraction out of range");
+    const size_t keep = static_cast<size_t>(
+        std::ceil(pages.size() * (1.0 - fraction)));
+    pages.resize(keep);
+}
+
+void
+TlbArray::reset()
+{
+    pages.clear();
+    accessCount = 0;
+    missCount = 0;
+}
+
+HierarchySim::HierarchySim(
+    const std::vector<std::pair<double, int>> &levels)
+{
+    if (levels.empty())
+        panic("HierarchySim: needs at least one level");
+    arrays.reserve(levels.size());
+    for (const auto &[capacityKb, ways] : levels)
+        arrays.emplace_back(capacityKb, ways);
+}
+
+void
+HierarchySim::access(uint64_t addr)
+{
+    accessHitLevel(addr);
+}
+
+int
+HierarchySim::accessHitLevel(uint64_t addr)
+{
+    for (size_t level = 0; level < arrays.size(); ++level) {
+        if (arrays[level].access(addr))
+            return static_cast<int>(level);
+    }
+    return -1;
+}
+
+double
+HierarchySim::mpki(size_t level, uint64_t instructions) const
+{
+    if (instructions == 0)
+        panic("HierarchySim::mpki: zero instructions");
+    return arrays.at(level).misses() * 1000.0 /
+        static_cast<double>(instructions);
+}
+
+void
+HierarchySim::reset()
+{
+    for (auto &array : arrays)
+        array.reset();
+}
+
+} // namespace lhr

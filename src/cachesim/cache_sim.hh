@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Structural cache and TLB simulation.
+ *
+ * Where the interval model (lhr::cache) evaluates analytic miss
+ * curves, this module simulates actual set-associative arrays with
+ * LRU replacement, access by access. It exists to (a) characterize
+ * synthetic traces the way hardware event counters characterize real
+ * executions, and (b) cross-validate the analytic curves
+ * (bench/ablation_tracesim).
+ */
+
+#ifndef LHR_CACHESIM_CACHE_SIM_HH
+#define LHR_CACHESIM_CACHE_SIM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace lhr
+{
+
+/** One set-associative, true-LRU cache array. */
+class CacheArray
+{
+  public:
+    /**
+     * @param capacity_kb total capacity
+     * @param ways associativity (capacity must cover >= 1 set)
+     * @param line_bytes line size
+     */
+    CacheArray(double capacity_kb, int ways, int line_bytes = 64);
+
+    /** Access a byte address; returns true on hit. Updates LRU. */
+    bool access(uint64_t addr);
+
+    uint64_t accesses() const { return accessCount; }
+    uint64_t misses() const { return missCount; }
+    double missRatio() const;
+
+    int sets() const { return setCount; }
+    int associativity() const { return wayCount; }
+
+    /** Invalidate everything and clear statistics. */
+    void reset();
+
+  private:
+    int wayCount;
+    int lineBytes;
+    int setCount;
+    uint64_t accessCount;
+    uint64_t missCount;
+    /** Per set: tags in LRU order, MRU first. */
+    std::vector<std::vector<uint64_t>> tagSets;
+};
+
+/** A fully-associative LRU TLB. */
+class TlbArray
+{
+  public:
+    /**
+     * @param entries number of TLB entries
+     * @param page_bytes page size (4KB on the study's systems)
+     */
+    explicit TlbArray(int entries, int page_bytes = 4096);
+
+    /** Access a byte address; returns true on TLB hit. */
+    bool access(uint64_t addr);
+
+    uint64_t accesses() const { return accessCount; }
+    uint64_t misses() const { return missCount; }
+
+    /**
+     * Model GC-style displacement: evict a fraction of the TLB, as
+     * a collector scanning the heap on the same core does to the
+     * application (the paper's db observation, section 3.1).
+     */
+    void displace(double fraction);
+
+    void reset();
+
+  private:
+    size_t entryCount;
+    int pageBytes;
+    uint64_t accessCount;
+    uint64_t missCount;
+    std::vector<uint64_t> pages; ///< MRU first
+};
+
+/**
+ * A multi-level simulated hierarchy: each level is accessed only on
+ * a miss in the previous one (inclusive, no prefetching).
+ */
+class HierarchySim
+{
+  public:
+    /** Level specs as (capacityKb, ways) pairs, innermost first. */
+    explicit HierarchySim(
+        const std::vector<std::pair<double, int>> &levels);
+
+    /** Access an address through the hierarchy. */
+    void access(uint64_t addr);
+
+    /**
+     * Access an address and report where it hit: the level index,
+     * or -1 when it missed every level (DRAM).
+     */
+    int accessHitLevel(uint64_t addr);
+
+    /** Misses of one level per kilo-instruction. */
+    double mpki(size_t level, uint64_t instructions) const;
+
+    size_t levelCount() const { return arrays.size(); }
+    const CacheArray &level(size_t i) const { return arrays.at(i); }
+
+    void reset();
+
+  private:
+    std::vector<CacheArray> arrays;
+};
+
+} // namespace lhr
+
+#endif // LHR_CACHESIM_CACHE_SIM_HH

@@ -1,0 +1,37 @@
+#include "core/lab.hh"
+
+namespace lhr
+{
+
+Lab::Lab(uint64_t seed)
+    : experimentRunner(seed)
+{
+}
+
+const ReferenceSet &
+Lab::reference()
+{
+    if (!referenceSet)
+        referenceSet = std::make_unique<ReferenceSet>(experimentRunner);
+    return *referenceSet;
+}
+
+const Measurement &
+Lab::measure(const MachineConfig &cfg, const Benchmark &bench)
+{
+    return experimentRunner.measure(cfg, bench);
+}
+
+BenchResult
+Lab::result(const MachineConfig &cfg, const Benchmark &bench)
+{
+    return benchResult(experimentRunner, reference(), cfg, bench);
+}
+
+ConfigAggregate
+Lab::aggregate(const MachineConfig &cfg)
+{
+    return aggregateConfig(experimentRunner, reference(), cfg);
+}
+
+} // namespace lhr

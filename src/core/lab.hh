@@ -1,0 +1,65 @@
+/**
+ * @file
+ * lhr::Lab — the public facade of lhrlab.
+ *
+ * A Lab owns an ExperimentRunner (the measurement harness) and the
+ * ReferenceSet (the four-machine normalization baseline), and exposes
+ * the operations a user needs to reproduce the paper or run their own
+ * studies:
+ *
+ *   lhr::Lab lab;
+ *   auto cfg = lhr::stockConfig(lhr::processorById("i7 (45)"));
+ *   auto agg = lab.aggregate(cfg);   // Table 4 row
+ *   auto m = lab.measure(cfg, lhr::benchmarkByName("mcf"));
+ *
+ * Everything is deterministic for a given seed.
+ */
+
+#ifndef LHR_CORE_LAB_HH
+#define LHR_CORE_LAB_HH
+
+#include <memory>
+
+#include "analysis/features.hh"
+#include "analysis/historical.hh"
+#include "analysis/pareto_study.hh"
+#include "harness/aggregate.hh"
+#include "harness/reference.hh"
+#include "harness/runner.hh"
+
+namespace lhr
+{
+
+/** The measurement laboratory: harness + reference + analyses. */
+class Lab
+{
+  public:
+    explicit Lab(uint64_t seed = 0xC0FFEEull);
+
+    Lab(const Lab &) = delete;
+    Lab &operator=(const Lab &) = delete;
+
+    /** The underlying experiment runner. */
+    ExperimentRunner &runner() { return experimentRunner; }
+
+    /** The four-machine reference set (built lazily). */
+    const ReferenceSet &reference();
+
+    /** Measure one benchmark on one configuration. */
+    const Measurement &measure(const MachineConfig &cfg,
+                               const Benchmark &bench);
+
+    /** Reference-normalized result of one benchmark. */
+    BenchResult result(const MachineConfig &cfg, const Benchmark &bench);
+
+    /** Full Table 4-style aggregation of one configuration. */
+    ConfigAggregate aggregate(const MachineConfig &cfg);
+
+  private:
+    ExperimentRunner experimentRunner;
+    std::unique_ptr<ReferenceSet> referenceSet;
+};
+
+} // namespace lhr
+
+#endif // LHR_CORE_LAB_HH

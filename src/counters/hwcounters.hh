@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Hardware event counters and the workload characterizer.
+ *
+ * The paper grounds its analysis in hardware event counters — "just
+ * as hardware event counters provide a quantitative grounding for
+ * performance innovations, power meters are necessary for optimizing
+ * energy" — and uses DTLB miss counts to explain db's CMP speedup
+ * (section 3.1). CounterBank is that facility for our simulated
+ * substrate; characterizeWorkload() runs a synthetic trace through
+ * the structural cache, TLB, and branch-predictor simulators and
+ * fills the counters, the way `perf stat` profiles a real binary.
+ */
+
+#ifndef LHR_COUNTERS_HWCOUNTERS_HH
+#define LHR_COUNTERS_HWCOUNTERS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "machine/processor.hh"
+#include "workload/benchmark.hh"
+
+namespace lhr
+{
+
+/** Countable events. */
+enum class HwEvent
+{
+    Instructions,
+    MemAccesses,
+    L1dMisses,
+    L2Misses,
+    LlcMisses,       ///< misses of the outermost cache level
+    BranchInstructions,
+    BranchMispredicts,
+    DtlbAccesses,
+    DtlbMisses
+};
+
+/** Number of event kinds. */
+constexpr size_t hwEventCount = 9;
+
+/** Printable event name. */
+const char *hwEventName(HwEvent event);
+
+/** A bank of free-running event counters. */
+class CounterBank
+{
+  public:
+    CounterBank();
+
+    void add(HwEvent event, uint64_t n = 1);
+    uint64_t read(HwEvent event) const;
+    void reset();
+
+    /** Events per kilo-instruction. */
+    double perKi(HwEvent event) const;
+
+  private:
+    std::array<uint64_t, hwEventCount> counts;
+};
+
+/**
+ * (capacityKb, ways) pairs for a processor's hierarchy, for the
+ * structural simulators. Associativity follows the era's designs:
+ * 8-way private levels, 16-way shared arrays.
+ */
+std::vector<std::pair<double, int>>
+structuralLevels(const ProcessorSpec &spec);
+
+/** The result of characterizing one workload on one machine. */
+struct Characterization
+{
+    CounterBank counters;
+    double l1Mpki;
+    double llcMpki;       ///< outermost level
+    double branchMispKi;
+    double dtlbMpki;
+};
+
+/**
+ * Profile a benchmark's synthetic trace through the structural
+ * simulators configured like a processor's hierarchy.
+ *
+ * @param bench the workload
+ * @param spec the processor whose geometry to simulate
+ * @param instructions trace length
+ * @param seed deterministic trace seed
+ * @param gc_displacement when nonzero, interleaves same-core
+ *        garbage-collection scan bursts of this intensity through
+ *        the TLB and caches — modeling the displacement the paper's
+ *        db observation attributes to a co-located collector
+ * @param warmup_instructions unmeasured instructions run first so
+ *        the outer cache levels reach steady state (defaults to the
+ *        measured length when SIZE_MAX)
+ */
+Characterization characterizeWorkload(
+    const Benchmark &bench, const ProcessorSpec &spec,
+    uint64_t instructions, uint64_t seed,
+    double gc_displacement = 0.0,
+    uint64_t warmup_instructions = UINT64_MAX);
+
+} // namespace lhr
+
+#endif // LHR_COUNTERS_HWCOUNTERS_HH

@@ -1,0 +1,72 @@
+#include "harness/aggregate.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "stats/summary.hh"
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+const GroupAggregate &
+ConfigAggregate::group(Group g) const
+{
+    return byGroup[static_cast<size_t>(g)];
+}
+
+BenchResult
+benchResult(ExperimentRunner &runner, const ReferenceSet &ref,
+            const MachineConfig &cfg, const Benchmark &bench)
+{
+    const Measurement &m = runner.measure(cfg, bench);
+    BenchResult r;
+    r.bench = &bench;
+    r.perf = ref.refTimeSec(bench) / m.timeSec;
+    r.powerW = m.powerW;
+    r.energy = m.energyJ() / ref.refEnergyJ(bench);
+    return r;
+}
+
+ConfigAggregate
+aggregateConfig(ExperimentRunner &runner, const ReferenceSet &ref,
+                const MachineConfig &cfg)
+{
+    ConfigAggregate agg;
+    agg.minPerf = std::numeric_limits<double>::infinity();
+    agg.maxPerf = -agg.minPerf;
+    agg.minPowerW = agg.minPerf;
+    agg.maxPowerW = agg.maxPerf;
+
+    Summary allPerf, allPower, allEnergy;
+    for (size_t gi = 0; gi < allGroups().size(); ++gi) {
+        Summary perf, power, energy;
+        for (const auto *bench : benchmarksInGroup(allGroups()[gi])) {
+            const BenchResult r = benchResult(runner, ref, cfg, *bench);
+            perf.add(r.perf);
+            power.add(r.powerW);
+            energy.add(r.energy);
+            allPerf.add(r.perf);
+            allPower.add(r.powerW);
+            allEnergy.add(r.energy);
+            agg.minPerf = std::min(agg.minPerf, r.perf);
+            agg.maxPerf = std::max(agg.maxPerf, r.perf);
+            agg.minPowerW = std::min(agg.minPowerW, r.powerW);
+            agg.maxPowerW = std::max(agg.maxPowerW, r.powerW);
+        }
+        agg.byGroup[gi] = {perf.mean(), power.mean(), energy.mean()};
+    }
+
+    Summary groupPerf, groupPower, groupEnergy;
+    for (const auto &g : agg.byGroup) {
+        groupPerf.add(g.perf);
+        groupPower.add(g.powerW);
+        groupEnergy.add(g.energy);
+    }
+    agg.weighted = {groupPerf.mean(), groupPower.mean(),
+                    groupEnergy.mean()};
+    agg.simple = {allPerf.mean(), allPower.mean(), allEnergy.mean()};
+    return agg;
+}
+
+} // namespace lhr

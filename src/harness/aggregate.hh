@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Equal-weight aggregation of benchmark results (paper section 2.6).
+ *
+ * Benchmarks are weighted equally within each group; the four groups
+ * are weighted equally in the overall average (Avg_w), avoiding bias
+ * from the differing group sizes (5 to 27 benchmarks). The simple
+ * benchmark mean (Avg_b) is also reported, as in Table 4.
+ */
+
+#ifndef LHR_HARNESS_AGGREGATE_HH
+#define LHR_HARNESS_AGGREGATE_HH
+
+#include <array>
+
+#include "harness/reference.hh"
+#include "harness/runner.hh"
+#include "workload/benchmark.hh"
+
+namespace lhr
+{
+
+/** Aggregated performance, power and normalized energy. */
+struct GroupAggregate
+{
+    double perf;     ///< mean of refTime / time (speedup over reference)
+    double powerW;   ///< mean measured power
+    double energy;   ///< mean of energy / refEnergy
+};
+
+/** Full aggregation of one configuration over all benchmarks. */
+struct ConfigAggregate
+{
+    std::array<GroupAggregate, 4> byGroup; ///< indexed by Group order
+    GroupAggregate weighted;               ///< Avg_w: mean of groups
+    GroupAggregate simple;                 ///< Avg_b: mean of benchmarks
+    double minPerf, maxPerf;               ///< per-benchmark extremes
+    double minPowerW, maxPowerW;
+
+    const GroupAggregate &group(Group g) const;
+};
+
+/** Per-benchmark normalized result on one configuration. */
+struct BenchResult
+{
+    const Benchmark *bench;
+    double perf;     ///< refTime / time
+    double powerW;
+    double energy;   ///< energy / refEnergy
+};
+
+/** Normalized result of one benchmark on one configuration. */
+BenchResult benchResult(ExperimentRunner &runner, const ReferenceSet &ref,
+                        const MachineConfig &cfg, const Benchmark &bench);
+
+/**
+ * Measure every benchmark on the configuration and aggregate
+ * (Table 4's methodology).
+ */
+ConfigAggregate aggregateConfig(ExperimentRunner &runner,
+                                const ReferenceSet &ref,
+                                const MachineConfig &cfg);
+
+} // namespace lhr
+
+#endif // LHR_HARNESS_AGGREGATE_HH

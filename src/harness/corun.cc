@@ -1,0 +1,98 @@
+#include "harness/corun.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+double
+CoRunner::ipcWithShare(const PerfModel &perf, const Benchmark &bench,
+                       double clock_ghz, double llc_share) const
+{
+    // The share maps to a per-thread LLC capacity divisor.
+    return perf.threadCpi(bench, clock_ghz, 1, 1.0 / llc_share).ipc();
+}
+
+CoRunResult
+CoRunner::run(const MachineConfig &cfg, const Benchmark &a,
+              const Benchmark &b)
+{
+    if (cfg.enabledCores < 2)
+        panic("CoRunner: needs at least two cores");
+    if (a.appThreads != 1 || b.appThreads != 1)
+        panic("CoRunner: both benchmarks must be single-threaded");
+
+    const ProcessorSpec &spec = *cfg.spec;
+    const PerfModel &perf = lab.perfModel(spec);
+    const ChipPowerModel &power = lab.powerModel(spec);
+    const double hz = cfg.clockGhz * 1e9 * spec.perfCal;
+
+    // LRU capacity contention: the thread inserting more lines wins
+    // more of the shared array. Weight by miss pressure at half the
+    // LLC each.
+    const double llcKb = spec.llcMb * 1024.0;
+    const double pressureA = a.miss.missPerKi(llcKb / 2.0) + 0.05;
+    const double pressureB = b.miss.missPerKi(llcKb / 2.0) + 0.05;
+    double shareA = pressureA / (pressureA + pressureB);
+    shareA = std::clamp(shareA, 0.15, 0.85);
+
+    const double soloIpcA = ipcWithShare(perf, a, cfg.clockGhz, 1.0);
+    const double soloIpcB = ipcWithShare(perf, b, cfg.clockGhz, 1.0);
+    double coIpcA = ipcWithShare(perf, a, cfg.clockGhz, shareA);
+    double coIpcB =
+        ipcWithShare(perf, b, cfg.clockGhz, 1.0 - shareA);
+
+    // Shared memory bandwidth: both threads' DRAM traffic together.
+    const auto trafficA =
+        perf.hierarchy().evaluate(a.miss, 1.0, 1.0 / shareA);
+    const auto trafficB =
+        perf.hierarchy().evaluate(b.miss, 1.0, 1.0 / (1.0 - shareA));
+    const double requestedGBs =
+        (coIpcA * hz * trafficA.dramMpki +
+         coIpcB * hz * trafficB.dramMpki) /
+        1000.0 * DramModel::lineBytes / 1e9;
+    const double throttle = spec.memory().throttle(requestedGBs);
+    coIpcA *= throttle;
+    coIpcB *= throttle;
+
+    CoRunResult result;
+    result.llcShareA = shareA;
+    result.slowdownA = soloIpcA / coIpcA;
+    result.slowdownB = soloIpcB / coIpcB;
+
+    // Chip power while both run.
+    const MicroArch &ua = spec.uarch();
+    std::vector<double> activity(cfg.enabledCores, 0.0);
+    activity[0] = switchingActivity(
+        std::min(1.0, coIpcA / ua.issueWidth), a.fpShare);
+    activity[1] = switchingActivity(
+        std::min(1.0, coIpcB / ua.issueWidth), b.fpShare);
+    const double llcActivity = std::min(
+        1.0,
+        (coIpcA * hz * trafficA.l1Mpki +
+         coIpcB * hz * trafficB.l1Mpki) / 1000.0 / 2e8);
+    result.powerW = power.compute(
+        cfg, cfg.clockGhz, activity, llcActivity,
+        std::min(requestedGBs, spec.memory().bandwidthGBs)).total();
+    return result;
+}
+
+std::vector<std::vector<double>>
+CoRunner::matrix(const MachineConfig &cfg,
+                 const std::vector<const Benchmark *> &set)
+{
+    std::vector<std::vector<double>> slowdowns(
+        set.size(), std::vector<double>(set.size(), 1.0));
+    for (size_t i = 0; i < set.size(); ++i) {
+        for (size_t j = 0; j < set.size(); ++j) {
+            const auto result = run(cfg, *set[i], *set[j]);
+            slowdowns[i][j] = result.slowdownA;
+        }
+    }
+    return slowdowns;
+}
+
+} // namespace lhr

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Heterogeneous co-run interference.
+ *
+ * The paper measures benchmarks in isolation (§2.1) and defers
+ * multi-programmed analysis. Beyond homogeneous SPECrate
+ * (harness/multiprog), the other canonical question is heterogeneous
+ * co-location: two different single-threaded programs sharing a
+ * chip's LLC and memory bandwidth. CoRunner computes each program's
+ * slowdown relative to running alone on the same configuration — the
+ * interference matrix that colocation schedulers are built on.
+ */
+
+#ifndef LHR_HARNESS_CORUN_HH
+#define LHR_HARNESS_CORUN_HH
+
+#include "harness/runner.hh"
+
+namespace lhr
+{
+
+/** Result of co-running two benchmarks on two cores. */
+struct CoRunResult
+{
+    double slowdownA;   ///< timeA(co-run) / timeA(alone), >= ~1
+    double slowdownB;
+    double llcShareA;   ///< fraction of the LLC A's footprint wins
+    double powerW;      ///< chip power while both run
+};
+
+/** Evaluates pairwise co-location interference. */
+class CoRunner
+{
+  public:
+    explicit CoRunner(ExperimentRunner &runner) : lab(runner) {}
+
+    /**
+     * Run two single-threaded benchmarks on two cores of the
+     * configuration (SMT unused). panic()s when the configuration
+     * has fewer than two cores or a benchmark is multithreaded.
+     */
+    CoRunResult run(const MachineConfig &cfg, const Benchmark &a,
+                    const Benchmark &b);
+
+    /**
+     * Full interference matrix over a benchmark set: entry [i][j] is
+     * the slowdown of benchmark i when co-run with benchmark j.
+     */
+    std::vector<std::vector<double>>
+    matrix(const MachineConfig &cfg,
+           const std::vector<const Benchmark *> &set);
+
+  private:
+    /** Per-thread IPC with an explicit fractional LLC share. */
+    double ipcWithShare(const PerfModel &perf, const Benchmark &bench,
+                        double clock_ghz, double llc_share) const;
+
+    ExperimentRunner &lab;
+};
+
+} // namespace lhr
+
+#endif // LHR_HARNESS_CORUN_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Measurement results of the experimental harness.
+ */
+
+#ifndef LHR_HARNESS_MEASUREMENT_HH
+#define LHR_HARNESS_MEASUREMENT_HH
+
+#include <vector>
+
+#include "power/chip_power.hh"
+
+namespace lhr
+{
+
+/**
+ * The aggregated measurement of one benchmark on one configuration:
+ * means and relative 95% confidence intervals over the prescribed
+ * number of invocations.
+ */
+struct Measurement
+{
+    double timeSec;        ///< mean measured execution time
+    double timeCi95Rel;    ///< 95% CI as a fraction of the mean
+    double powerW;         ///< mean measured average power
+    double powerCi95Rel;   ///< 95% CI as a fraction of the mean
+    int invocations;       ///< repetitions aggregated
+
+    /** Energy = power x time (paper section 1). */
+    double energyJ() const { return timeSec * powerW; }
+};
+
+/**
+ * One deterministic (noise-free) execution: the ground truth the
+ * sensor chain then measures. Exposed for model-level analyses and
+ * tests that need to see behind the measurement error.
+ */
+struct ExecutionProfile
+{
+    double timeSec;                    ///< true execution time
+    double grantedClockGhz;            ///< after the Turbo governor
+    std::vector<double> coreActivity;  ///< per enabled core (0 idle)
+    double llcActivity;
+    double dramGBs;
+    int activeCores;                   ///< cores with nonzero activity
+    PowerBreakdown power;              ///< true chip power
+};
+
+} // namespace lhr
+
+#endif // LHR_HARNESS_MEASUREMENT_HH

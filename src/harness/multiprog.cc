@@ -1,0 +1,85 @@
+#include "harness/multiprog.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+RateResult
+RateRunner::run(const MachineConfig &cfg, const Benchmark &bench,
+                int copies)
+{
+    if (bench.appThreads != 1)
+        panic(msgOf("RateRunner: ", bench.name,
+                    " is not single-threaded"));
+    if (copies < 1 || copies > cfg.contexts())
+        panic(msgOf("RateRunner: ", copies, " copies out of range"));
+
+    const ProcessorSpec &spec = *cfg.spec;
+    const PerfModel &perf = lab.perfModel(spec);
+    const ChipPowerModel &power = lab.powerModel(spec);
+    const MicroArch &ua = spec.uarch();
+
+    // Copies spread across cores first, then SMT contexts.
+    const int coresUsed = std::min(copies, cfg.enabledCores);
+    const int threadsPerCore = (copies + coresUsed - 1) / coresUsed;
+
+    const double coreIpc = perf.coreIpc(
+        bench, cfg.clockGhz, threadsPerCore, coresUsed);
+    double aggregateIps =
+        coresUsed * coreIpc * cfg.clockGhz * 1e9 * spec.perfCal;
+
+    // DRAM bandwidth ceiling over all copies.
+    const double coreDivisor =
+        1.0 + (threadsPerCore - 1) * 2.0 * ua.smtCachePressure;
+    const auto traffic = perf.hierarchy().evaluate(
+        bench.miss, coreDivisor, coreDivisor * coresUsed);
+    const double requestedGBs = aggregateIps * traffic.dramMpki /
+        1000.0 * DramModel::lineBytes / 1e9;
+    const double throttle = spec.memory().throttle(requestedGBs);
+    aggregateIps *= throttle;
+
+    const double work = bench.instructionsB() * 1e9;
+    RateResult result;
+    result.copies = copies;
+    result.timeSec = copies * work / aggregateIps;
+
+    // Relative throughput: one copy on the same configuration.
+    const double soloIpc =
+        perf.coreIpc(bench, cfg.clockGhz, 1, 1.0) * cfg.clockGhz *
+        1e9 * spec.perfCal;
+    result.throughput = aggregateIps / soloIpc;
+    result.rateEfficiency = result.throughput / copies;
+
+    // Chip power while the batch runs.
+    const double util = coreIpc * throttle / ua.issueWidth;
+    std::vector<double> activity(cfg.enabledCores, 0.0);
+    for (int core = 0; core < coresUsed; ++core) {
+        activity[core] = std::min(
+            1.0, switchingActivity(std::min(1.0, util),
+                                   bench.fpShare) +
+                0.07 * (threadsPerCore - 1));
+    }
+    const double dramGBs = std::min(requestedGBs,
+                                    spec.memory().bandwidthGBs);
+    const double llcActivity = std::min(
+        1.0, aggregateIps * traffic.l1Mpki / 1000.0 / 2e8);
+    result.powerW = power.compute(cfg, cfg.clockGhz, activity,
+                                  llcActivity, dramGBs).total();
+    result.energyPerCopyJ = result.powerW * result.timeSec / copies;
+    return result;
+}
+
+std::vector<RateResult>
+RateRunner::sweep(const MachineConfig &cfg, const Benchmark &bench)
+{
+    std::vector<RateResult> results;
+    for (int copies = 1; copies <= cfg.contexts(); ++copies)
+        results.push_back(run(cfg, bench, copies));
+    return results;
+}
+
+} // namespace lhr

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Multi-programmed (SPECrate-style) workloads.
+ *
+ * The paper's methodology section scopes this out: "While
+ * multi-programmed workload measurements, such as SPECrate, can be
+ * valuable, the methodological and analysis challenges they raise
+ * are beyond the scope of this paper" (§2.1). This module takes it
+ * on: N independent copies of a single-threaded benchmark run on N
+ * hardware contexts, sharing caches, DRAM bandwidth, and the power
+ * budget. The headline metric is rate throughput (copies x work /
+ * time) and the energy per copy.
+ */
+
+#ifndef LHR_HARNESS_MULTIPROG_HH
+#define LHR_HARNESS_MULTIPROG_HH
+
+#include "harness/runner.hh"
+
+namespace lhr
+{
+
+/** Result of a rate run. */
+struct RateResult
+{
+    int copies;
+    double timeSec;        ///< completion time of the batch
+    double throughput;     ///< copies / time, relative to one copy
+    double powerW;         ///< true chip power during the batch
+    double energyPerCopyJ; ///< energy divided by copies
+    double rateEfficiency; ///< throughput / copies (1 = perfect)
+};
+
+/**
+ * Evaluates SPECrate-style homogeneous multiprogramming on a
+ * configuration: each copy is an independent single-threaded
+ * process, so there is no serial section, but the copies contend for
+ * cache capacity and DRAM bandwidth exactly as the paper's scalable
+ * workloads do.
+ */
+class RateRunner
+{
+  public:
+    explicit RateRunner(ExperimentRunner &runner) : lab(runner) {}
+
+    /**
+     * Run `copies` copies of a single-threaded benchmark.
+     * panic()s for multithreaded benchmarks or copies outside
+     * [1, contexts].
+     */
+    RateResult run(const MachineConfig &cfg, const Benchmark &bench,
+                   int copies);
+
+    /** Rate sweep from 1 copy to the configuration's context count. */
+    std::vector<RateResult> sweep(const MachineConfig &cfg,
+                                  const Benchmark &bench);
+
+  private:
+    ExperimentRunner &lab;
+};
+
+} // namespace lhr
+
+#endif // LHR_HARNESS_MULTIPROG_HH

@@ -1,0 +1,61 @@
+#include "harness/reference.hh"
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+const std::vector<std::string> &
+ReferenceSet::referenceProcessorIds()
+{
+    static const std::vector<std::string> ids = {
+        "Pentium4 (130)", "C2D (65)", "Atom (45)", "i5 (32)",
+    };
+    return ids;
+}
+
+ReferenceSet::ReferenceSet(ExperimentRunner &runner)
+{
+    for (const auto &bench : allBenchmarks()) {
+        double timeSum = 0.0;
+        double powerSum = 0.0;
+        for (const auto &id : referenceProcessorIds()) {
+            const auto cfg = stockConfig(processorById(id));
+            const Measurement &m = runner.measure(cfg, bench);
+            timeSum += m.timeSec;
+            powerSum += m.powerW;
+        }
+        const double n = referenceProcessorIds().size();
+        entries[bench.name] = {timeSum / n, powerSum / n};
+    }
+}
+
+const ReferenceSet::Entry &
+ReferenceSet::entry(const Benchmark &bench) const
+{
+    auto it = entries.find(bench.name);
+    if (it == entries.end())
+        panic(msgOf("ReferenceSet: no entry for ", bench.name));
+    return it->second;
+}
+
+double
+ReferenceSet::refTimeSec(const Benchmark &bench) const
+{
+    return entry(bench).timeSec;
+}
+
+double
+ReferenceSet::refPowerW(const Benchmark &bench) const
+{
+    return entry(bench).powerW;
+}
+
+double
+ReferenceSet::refEnergyJ(const Benchmark &bench) const
+{
+    const Entry &e = entry(bench);
+    return e.timeSec * e.powerW;
+}
+
+} // namespace lhr

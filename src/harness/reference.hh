@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reference execution times and energies (paper section 2.6).
+ *
+ * To avoid biasing results toward any one design, each benchmark's
+ * execution time is normalized to its average time on four stock
+ * machines spanning all four microarchitectures and technology
+ * generations: Pentium 4 (130), Core 2 Duo (65), Atom (45) and
+ * i5 (32). Reference energy is the average power on those machines
+ * times the average time.
+ */
+
+#ifndef LHR_HARNESS_REFERENCE_HH
+#define LHR_HARNESS_REFERENCE_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "workload/benchmark.hh"
+
+namespace lhr
+{
+
+/** Per-benchmark reference time / power / energy. */
+class ReferenceSet
+{
+  public:
+    /** Measure all benchmarks on the four reference machines. */
+    explicit ReferenceSet(ExperimentRunner &runner);
+
+    /** Average execution time across the reference machines. */
+    double refTimeSec(const Benchmark &bench) const;
+
+    /** Average power across the reference machines. */
+    double refPowerW(const Benchmark &bench) const;
+
+    /** Reference energy = average power x average time. */
+    double refEnergyJ(const Benchmark &bench) const;
+
+    /** Ids of the four reference processors. */
+    static const std::vector<std::string> &referenceProcessorIds();
+
+  private:
+    struct Entry
+    {
+        double timeSec;
+        double powerW;
+    };
+
+    std::unordered_map<std::string, Entry> entries;
+    const Entry &entry(const Benchmark &bench) const;
+};
+
+} // namespace lhr
+
+#endif // LHR_HARNESS_REFERENCE_HH

@@ -1,0 +1,306 @@
+#include "harness/runner.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "jvm/jvm_model.hh"
+#include "workload/phases.hh"
+#include "power/turbo.hh"
+#include "stats/summary.hh"
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+/**
+ * Exact identity of one experiment. The display label rounds the
+ * clock to one decimal, so it MUST NOT key caches or random
+ * streams: configurations 0.04GHz apart would silently share
+ * measurements.
+ */
+std::string
+experimentKey(const MachineConfig &cfg, const Benchmark &bench)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "|%d|%d|%.6f|%d|",
+                  cfg.enabledCores, cfg.smtPerCore, cfg.clockGhz,
+                  cfg.turboEnabled ? 1 : 0);
+    return cfg.spec->id + buf + bench.name;
+}
+
+/** Switching-activity vector from a PerfResult's utilizations. */
+std::vector<double>
+activityOf(const PerfResult &run, const Benchmark &bench)
+{
+    // A second SMT thread keeps more of the core's front end and
+    // thread-duplicated state toggling even at equal utilization.
+    const double smtBoost = 0.07 * (run.threadsPerCore - 1);
+    std::vector<double> act(run.coreUtilization.size(), 0.0);
+    for (size_t i = 0; i < act.size(); ++i) {
+        if (run.coreUtilization[i] > 0.0) {
+            act[i] = std::min(1.0,
+                switchingActivity(run.coreUtilization[i],
+                                  bench.fpShare) + smtBoost);
+        }
+    }
+    return act;
+}
+
+int
+countActive(const std::vector<double> &activity)
+{
+    int n = 0;
+    for (double a : activity)
+        if (a > 0.0)
+            ++n;
+    return std::max(1, n);
+}
+
+} // namespace
+
+ExperimentRunner::ExperimentRunner(uint64_t seed)
+    : baseSeed(seed)
+{
+}
+
+const PerfModel &
+ExperimentRunner::perfModel(const ProcessorSpec &spec)
+{
+    auto &slot = perfModels[&spec];
+    if (!slot)
+        slot = std::make_unique<PerfModel>(spec);
+    return *slot;
+}
+
+const ChipPowerModel &
+ExperimentRunner::powerModel(const ProcessorSpec &spec)
+{
+    auto &slot = powerModels[&spec];
+    if (!slot)
+        slot = std::make_unique<ChipPowerModel>(spec);
+    return *slot;
+}
+
+const ExperimentRunner::Rig &
+ExperimentRunner::rig(const ProcessorSpec &spec)
+{
+    auto &slot = rigs[&spec];
+    if (!slot.channel) {
+        // Parts whose peak rail current exceeds 5A carry the 30A
+        // sensor (the paper names the i7 explicitly).
+        const bool big = spec.tdpW > 70.0;
+        const auto variant =
+            big ? SensorVariant::A30 : SensorVariant::A5;
+        slot.channel = std::make_unique<PowerChannel>(
+            variant, baseSeed ^ fnv1a(spec.id));
+        Rng calRng(baseSeed ^ fnv1a(spec.id + "/cal"));
+        slot.calib = std::make_unique<Calibration>(
+            Calibration::calibrate(*slot.channel, calRng));
+    }
+    return slot;
+}
+
+const Calibration &
+ExperimentRunner::calibration(const ProcessorSpec &spec)
+{
+    return *rig(spec).calib;
+}
+
+ExecutionProfile
+ExperimentRunner::profile(const MachineConfig &cfg, const Benchmark &bench)
+{
+    const ProcessorSpec &spec = *cfg.spec;
+    const PerfModel &perf = perfModel(spec);
+    const ChipPowerModel &power = powerModel(spec);
+    const double work = bench.instructionsB() * 1e9;
+
+    auto execute = [&](double clock_ghz) {
+        if (bench.language() == Language::Java)
+            return JvmModel::run(perf, bench, cfg, clock_ghz);
+        return perf.evaluate(bench, cfg, clock_ghz, work,
+                             bench.appThreads);
+    };
+
+    PerfResult run = execute(cfg.clockGhz);
+    std::vector<double> activity = activityOf(run, bench);
+    int activeCores = countActive(activity);
+
+    double clock = cfg.clockGhz;
+    if (spec.hasTurbo && cfg.turboEnabled) {
+        auto breakdownAt = [&](double f) {
+            const PerfResult r = execute(f);
+            return power.compute(cfg, f, activityOf(r, bench),
+                                 r.llcActivity, r.dramGBs);
+        };
+        auto powerAt = [&](double f) { return breakdownAt(f).total(); };
+        auto junctionAt = [&](double f) {
+            return breakdownAt(f).junctionC;
+        };
+        clock = TurboGovernor::grant(cfg, activeCores, powerAt,
+                                     junctionAt);
+        if (clock != cfg.clockGhz) {
+            run = execute(clock);
+            activity = activityOf(run, bench);
+            activeCores = countActive(activity);
+        }
+    }
+
+    ExecutionProfile prof;
+    prof.timeSec = run.timeSec;
+    prof.grantedClockGhz = clock;
+    prof.coreActivity = activity;
+    prof.llcActivity = run.llcActivity;
+    prof.dramGBs = run.dramGBs;
+    prof.activeCores = activeCores;
+    prof.power = power.compute(cfg, clock, activity, run.llcActivity,
+                               run.dramGBs);
+    return prof;
+}
+
+const Measurement &
+ExperimentRunner::measure(const MachineConfig &cfg, const Benchmark &bench)
+{
+    const std::string key = experimentKey(cfg, bench);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    return cache.emplace(key, runMeasurement(cfg, bench)).first->second;
+}
+
+std::vector<PowerBreakdown>
+ExperimentRunner::phaseBreakdowns(const MachineConfig &cfg,
+                                  const Benchmark &bench,
+                                  const ExecutionProfile &prof,
+                                  Rng &rng)
+{
+    // Phase behaviour from the workload's phase model: compute- and
+    // memory-leaning intervals plus GC bursts for Java, producing
+    // the nonuniform power traces real workloads show.
+    const ChipPowerModel &power = powerModel(*cfg.spec);
+    Rng phaseRng = rng.fork();
+    PhaseModel phaseModel(bench, phaseRng.next());
+    const auto points = phaseModel.generate(powerPhases);
+
+    std::vector<PowerBreakdown> phases(points.size());
+    for (size_t k = 0; k < points.size(); ++k) {
+        std::vector<double> act = prof.coreActivity;
+        for (double &a : act)
+            a = std::clamp(a * points[k].activityMult, 0.0, 1.0);
+        phases[k] = power.compute(
+            cfg, prof.grantedClockGhz, act,
+            std::clamp(prof.llcActivity * points[k].memoryMult, 0.0,
+                       1.0),
+            prof.dramGBs * points[k].memoryMult);
+    }
+    return phases;
+}
+
+std::vector<PowerBreakdown>
+ExperimentRunner::phasePowerSeries(const MachineConfig &cfg,
+                                   const Benchmark &bench)
+{
+    const ExecutionProfile prof = profile(cfg, bench);
+    Rng rng(baseSeed ^ fnv1a(experimentKey(cfg, bench)));
+    return phaseBreakdowns(cfg, bench, prof, rng);
+}
+
+StructureMeters
+ExperimentRunner::meterRun(const MachineConfig &cfg,
+                           const Benchmark &bench, double *duration_sec)
+{
+    const ExecutionProfile prof = profile(cfg, bench);
+    // The meters see the identical phase series the Hall sensor
+    // samples in measure(): same derived stream, same phases.
+    Rng rng(baseSeed ^ fnv1a(experimentKey(cfg, bench)));
+    const auto phases = phaseBreakdowns(cfg, bench, prof, rng);
+
+    StructureMeters meters;
+    const double dt = prof.timeSec / phases.size();
+    for (const auto &phase : phases)
+        meters.deposit(phase, dt);
+    if (duration_sec)
+        *duration_sec = prof.timeSec;
+    return meters;
+}
+
+Measurement
+ExperimentRunner::runMeasurement(const MachineConfig &cfg,
+                                 const Benchmark &bench)
+{
+    const ProcessorSpec &spec = *cfg.spec;
+    const ExecutionProfile prof = profile(cfg, bench);
+    const Rig &sensorRig = rig(spec);
+    const bool java = bench.language() == Language::Java;
+
+    Rng rng(baseSeed ^ fnv1a(experimentKey(cfg, bench)));
+
+    const std::vector<PowerBreakdown> phases =
+        phaseBreakdowns(cfg, bench, prof, rng);
+    std::vector<double> phasePowerW(phases.size());
+    for (size_t k = 0; k < phases.size(); ++k)
+        phasePowerW[k] = phases[k].total();
+
+    const int invocations = bench.prescribedInvocations();
+    const double timeSigma = java ? 0.016 : 0.004;
+    // Run-to-run power differs beyond sensor noise: thermal drift,
+    // GC/phase alignment, OS scheduling. Phase-rich benchmarks vary
+    // more.
+    const double powerSigma =
+        (java ? 0.012 : 0.008) + 0.04 * bench.phaseVariability;
+
+    Summary timeStats, powerStats;
+    for (int inv = 0; inv < invocations; ++inv) {
+        Rng invRng = rng.fork();
+
+        double trueTime = prof.timeSec;
+        if (java) {
+            // Warm-up iterations 1..4 run unmeasured inside the
+            // invocation; the measured fifth iteration still carries
+            // a little residual compiler activity.
+            trueTime *= JvmModel::warmupFactor(
+                JvmMethodology::measuredIteration);
+            trueTime *= 1.0 + 0.01 * std::fabs(invRng.gaussian());
+        }
+        const double measuredTime =
+            trueTime * (1.0 + timeSigma * invRng.gaussian());
+
+        const double invocationPowerScale =
+            1.0 + powerSigma * invRng.gaussian();
+
+        // Sample the power trace at 50Hz through the sensor chain.
+        const double duration = std::min(measuredTime, maxSampledSec);
+        const int samples = std::max(
+            10, static_cast<int>(duration * PowerChannel::sampleHz));
+        double wattsSum = 0.0;
+        for (int s = 0; s < samples; ++s) {
+            const int k = static_cast<int>(
+                static_cast<int64_t>(s) * powerPhases / samples) %
+                powerPhases;
+            // Supply ripple on the 12V rail (< 1%, section 2.5).
+            const double trueW = phasePowerW[k] * invocationPowerScale *
+                (1.0 + 0.003 * invRng.gaussian());
+            const int counts =
+                sensorRig.channel->sampleCounts(trueW, invRng);
+            wattsSum += sensorRig.calib->wattsFromCounts(counts);
+        }
+
+        timeStats.add(measuredTime);
+        powerStats.add(wattsSum / samples);
+    }
+
+    Measurement m;
+    m.timeSec = timeStats.mean();
+    m.timeCi95Rel = timeStats.ci95Relative();
+    m.powerW = powerStats.mean();
+    m.powerCi95Rel = powerStats.ci95Relative();
+    m.invocations = invocations;
+    return m;
+}
+
+} // namespace lhr

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The experiment runner: executes a benchmark on a machine
+ * configuration end to end — performance model, JVM model for Java,
+ * Turbo governor, chip power model, phase behaviour, the Hall-sensor
+ * measurement chain, and the per-suite repetition methodology — and
+ * returns the Measurement the paper's analyses consume.
+ */
+
+#ifndef LHR_HARNESS_RUNNER_HH
+#define LHR_HARNESS_RUNNER_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "cpu/perf_model.hh"
+#include "harness/measurement.hh"
+#include "machine/processor.hh"
+#include "power/chip_power.hh"
+#include "power/meters.hh"
+#include "sensor/calibration.hh"
+#include "sensor/channel.hh"
+#include "util/rng.hh"
+#include "workload/benchmark.hh"
+
+namespace lhr
+{
+
+/**
+ * Runs experiments and caches results. Deterministic for a given
+ * seed: every (configuration, benchmark) pair derives its own random
+ * stream, so measurements are independent of execution order.
+ */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(uint64_t seed = 0xC0FFEEull);
+
+    /**
+     * Measure a benchmark on a configuration with the paper's
+     * methodology: 3 invocations for SPEC CPU, 5 for PARSEC, 20 JVM
+     * invocations reporting the fifth iteration for Java. Results
+     * are cached.
+     */
+    const Measurement &measure(const MachineConfig &cfg,
+                               const Benchmark &bench);
+
+    /**
+     * The deterministic execution profile (no sensor, no noise) at
+     * the granted (possibly Turbo-boosted) clock.
+     */
+    ExecutionProfile profile(const MachineConfig &cfg,
+                             const Benchmark &bench);
+
+    /** The performance model of a processor (built lazily). */
+    const PerfModel &perfModel(const ProcessorSpec &spec);
+
+    /** The power model of a processor (built lazily). */
+    const ChipPowerModel &powerModel(const ProcessorSpec &spec);
+
+    /** The calibrated measurement channel of a processor's rig. */
+    const Calibration &calibration(const ProcessorSpec &spec);
+
+    /**
+     * The true per-phase power waveform of one execution — the
+     * series the Hall sensor samples and the meters integrate.
+     * Deterministic per (config, benchmark).
+     */
+    std::vector<PowerBreakdown> phasePowerSeries(
+        const MachineConfig &cfg, const Benchmark &bench);
+
+    /**
+     * Replay one execution into on-chip structure meters — the
+     * instrumentation the paper recommends architects expose. The
+     * same phase series drives the external Hall sensor in
+     * measure(), so the two can be compared.
+     *
+     * @param duration_sec out-parameter for the metered interval
+     */
+    StructureMeters meterRun(const MachineConfig &cfg,
+                             const Benchmark &bench,
+                             double *duration_sec = nullptr);
+
+    /** Sensor sampling is capped to this many simulated seconds. */
+    static constexpr double maxSampledSec = 30.0;
+
+    /** Number of power phases per execution. */
+    static constexpr int powerPhases = 64;
+
+  private:
+    struct Rig
+    {
+        std::unique_ptr<PowerChannel> channel;
+        std::unique_ptr<Calibration> calib;
+    };
+
+    const Rig &rig(const ProcessorSpec &spec);
+    Measurement runMeasurement(const MachineConfig &cfg,
+                               const Benchmark &bench);
+    std::vector<PowerBreakdown> phaseBreakdowns(
+        const MachineConfig &cfg, const Benchmark &bench,
+        const ExecutionProfile &prof, Rng &rng);
+
+    uint64_t baseSeed;
+    std::unordered_map<std::string, Measurement> cache;
+    std::unordered_map<const ProcessorSpec *,
+                       std::unique_ptr<PerfModel>> perfModels;
+    std::unordered_map<const ProcessorSpec *,
+                       std::unique_ptr<ChipPowerModel>> powerModels;
+    std::unordered_map<const ProcessorSpec *, Rig> rigs;
+};
+
+} // namespace lhr
+
+#endif // LHR_HARNESS_RUNNER_HH

@@ -1,0 +1,118 @@
+#include "jvm/jvm_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+double
+JvmModel::warmupFactor(int iteration)
+{
+    if (iteration < 1)
+        panic("JvmModel::warmupFactor: iterations are 1-based");
+    switch (iteration) {
+      case 1: return 1.55;
+      case 2: return 1.18;
+      case 3: return 1.08;
+      case 4: return 1.03;
+      default: return 1.0;
+    }
+}
+
+double
+JvmModel::serviceAtHeap(double service_fraction, double heap_factor)
+{
+    if (heap_factor <= 1.0)
+        panic("JvmModel::serviceAtHeap: heap must exceed the minimum");
+    // GC work scales with collection frequency, which is inversely
+    // proportional to the headroom above the live set. The 3x heap
+    // of the methodology is the reference point.
+    const double reference = JvmMethodology::heapFactor - 1.0;
+    const double gcScale = reference / (heap_factor - 1.0);
+    const double gc = service_fraction * gcShareOfService * gcScale;
+    const double jit = service_fraction * (1.0 - gcShareOfService);
+    return std::min(0.49, gc + jit);
+}
+
+PerfResult
+JvmModel::run(const PerfModel &perf, const Benchmark &bench,
+              const MachineConfig &cfg, double clock_ghz,
+              double heap_factor)
+{
+    if (bench.language() != Language::Java)
+        panic(msgOf("JvmModel::run on native benchmark ", bench.name));
+
+    const double svc =
+        serviceAtHeap(bench.jvmServiceFraction, heap_factor);
+    // The database's instruction count is total machine work at the
+    // methodology's 3x heap; a different heap changes the GC share,
+    // so total work rescales around the fixed application work.
+    const double work = bench.instructionsB() * 1e9 *
+        (1.0 - bench.jvmServiceFraction) / (1.0 - svc);
+    PerfResult result =
+        perf.evaluate(bench, cfg, clock_ghz, work, bench.appThreads);
+    if (svc <= 0.0)
+        return result;
+
+    const int spareCores = cfg.enabledCores - result.coresUsed;
+    const bool spareSmt =
+        cfg.smtPerCore > result.threadsPerCore && spareCores == 0;
+
+    if (spareCores > 0) {
+        // Service threads migrate to a spare core: most service work
+        // is hidden, and moving GC off the application core stops it
+        // displacing application cache and DTLB state.
+        const double hidden = 1.0 - offloadEfficiency * svc;
+        const double relief = 1.0 - bench.gcInterferenceRelief;
+        result.timeSec *= hidden * relief;
+        result.aggregateIps = work / result.timeSec;
+
+        // The service core's activity tracks the service share of
+        // the application's own intensity.
+        const double appUtil = result.coreUtilization.empty()
+            ? 0.0 : result.coreUtilization[0];
+        const double svcUtil = std::min(0.5, 1.8 * svc * appUtil);
+        result.coreUtilization[result.coresUsed] = svcUtil;
+    } else if (spareSmt) {
+        // Service threads land on the SMT sibling: some hiding, but
+        // the sibling's footprint squeezes the core's caches for the
+        // fraction of time services run. On a 512KB NetBurst part
+        // with Java's working sets the squeeze wins; on an 8MB
+        // Nehalem the hiding wins.
+        const double aloneCpi = perf.threadCpi(
+            bench, clock_ghz, 1, result.coresUsed).total();
+        const double sharedCpi = perf.threadCpi(
+            bench, clock_ghz, 2, result.coresUsed).total();
+        const double squeeze = sharedCpi / aloneCpi;
+        const double svcResidency = std::min(1.0, 3.0 * svc);
+        const double contention = 1.0 + (squeeze - 1.0) * svcResidency;
+
+        const double hidden = 1.0 - offloadEfficiency * smtOffloadShare * svc;
+        const double relief =
+            1.0 - 0.3 * bench.gcInterferenceRelief;
+        result.timeSec *= contention * hidden * relief;
+        result.aggregateIps = work / result.timeSec;
+
+        // The sibling's service activity shows up as extra
+        // utilization on the application cores.
+        for (int core = 0; core < result.coresUsed; ++core) {
+            result.coreUtilization[core] = std::min(
+                1.0, result.coreUtilization[core] * (1.0 + svc));
+        }
+    } else {
+        // Every context is busy with application threads. The
+        // service work itself is already part of the instruction
+        // stream; what remains is scheduling interference between
+        // service and application threads.
+        result.timeSec *= 1.0 + 0.15 * svc;
+        result.aggregateIps = work / result.timeSec;
+    }
+
+    result.dramGBs *= gcTrafficFactor;
+    return result;
+}
+
+} // namespace lhr

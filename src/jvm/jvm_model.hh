@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Managed-runtime (HotSpot-like JVM) execution model.
+ *
+ * The paper's Java measurements follow the recommended steady-state
+ * methodology: -server, heap at 3x minimum, report the fifth
+ * iteration inside one JVM invocation, twenty invocations for
+ * statistical stability (section 2.2). Its key workload finding is
+ * that the JVM's own services — JIT compilation, profiling, and
+ * garbage collection — are concurrent and parallel, so ostensibly
+ * single-threaded Java benchmarks speed up (about 10% on average, up
+ * to 60%) when a second hardware context exists (Finding W1), partly
+ * because moving GC off the application core stops it displacing
+ * application state from caches and the DTLB (the db observation).
+ *
+ * JvmModel reproduces those mechanisms on top of the native
+ * PerfModel: service work is offloaded to spare contexts when they
+ * exist, interference relief applies when the spare context is a
+ * separate core, and an SMT sibling running service threads both
+ * helps (hiding) and hurts (cache pressure) — the balance is what
+ * makes SMT a loss for Java on the Pentium 4's 512KB cache
+ * (Finding W2) and a win on the i7.
+ */
+
+#ifndef LHR_JVM_JVM_MODEL_HH
+#define LHR_JVM_JVM_MODEL_HH
+
+#include "cpu/perf_model.hh"
+#include "machine/processor.hh"
+#include "workload/benchmark.hh"
+
+namespace lhr
+{
+
+/** Steady-state measurement methodology constants (section 2.2). */
+struct JvmMethodology
+{
+    static constexpr int measuredIteration = 5;   ///< report the 5th
+    static constexpr int invocations = 20;        ///< JVM restarts
+    static constexpr double heapFactor = 3.0;     ///< 3x minimum heap
+};
+
+/** The managed-runtime execution model. */
+class JvmModel
+{
+  public:
+    /**
+     * Warmup multiplier for iteration `iteration` (1-based) within a
+     * JVM invocation: class loading and heavy JIT activity dominate
+     * early iterations; the measured fifth iteration is ~steady.
+     */
+    static double warmupFactor(int iteration);
+
+    /**
+     * Execute a Java benchmark under the runtime: evaluates the
+     * application through the native performance model, then applies
+     * service-thread offloading, interference relief or SMT-sibling
+     * contention, and GC-driven memory traffic.
+     *
+     * @param perf the processor's performance model
+     * @param bench the benchmark (must be a Java benchmark)
+     * @param cfg machine configuration
+     * @param clock_ghz operating clock
+     */
+    static PerfResult run(const PerfModel &perf, const Benchmark &bench,
+                          const MachineConfig &cfg, double clock_ghz,
+                          double heap_factor = JvmMethodology::heapFactor);
+
+    /**
+     * GC's share of the runtime's service work at the methodology's
+     * 3x heap; the rest is JIT and profiling, which heap size does
+     * not touch.
+     */
+    static constexpr double gcShareOfService = 0.60;
+
+    /**
+     * Scale a benchmark's service fraction to a heap size: a
+     * generational collector's work is inversely proportional to
+     * the headroom above the minimum heap (collections happen when
+     * the nursery fills; a tighter heap fills it more often).
+     *
+     * @param service_fraction the 3x-heap service fraction
+     * @param heap_factor heap as a multiple of the minimum (> 1)
+     */
+    static double serviceAtHeap(double service_fraction,
+                                double heap_factor);
+
+    /** Fraction of offloadable service work actually hidden. */
+    static constexpr double offloadEfficiency = 0.60;
+
+    /** Share of hiding achievable on an SMT sibling vs a full core. */
+    static constexpr double smtOffloadShare = 0.35;
+
+    /** GC allocation raises DRAM traffic by this factor. */
+    static constexpr double gcTrafficFactor = 1.15;
+};
+
+} // namespace lhr
+
+#endif // LHR_JVM_JVM_MODEL_HH

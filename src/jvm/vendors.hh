@@ -1,0 +1,72 @@
+/**
+ * @file
+ * JVM vendor models (paper section 2.2).
+ *
+ * The paper reports Oracle HotSpot as its primary JVM and notes
+ * additional experiments with Oracle JRockit and IBM J9: "Their
+ * average performance is similar to HotSpot, but individual
+ * benchmarks vary substantially. We observe aggregate power
+ * differences of up to 10% between JVMs," and calls the influence of
+ * JVMs on power and energy "an interesting avenue for future
+ * research." This module implements that avenue: per-vendor runtime
+ * profiles that perturb a Java benchmark's characteristics
+ * deterministically per (vendor, benchmark) pair.
+ */
+
+#ifndef LHR_JVM_VENDORS_HH
+#define LHR_JVM_VENDORS_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/benchmark.hh"
+
+namespace lhr
+{
+
+/** The three JVMs the paper measured. */
+enum class JvmVendor
+{
+    HotSpot,  ///< Oracle (Sun) HotSpot — the paper's primary JVM
+    JRockit,  ///< Oracle JRockit
+    J9        ///< IBM J9
+};
+
+/** All vendors, HotSpot first. */
+const std::vector<JvmVendor> &allJvmVendors();
+
+/** Characteristics of one vendor's runtime. */
+struct JvmVendorProfile
+{
+    JvmVendor vendor;
+    std::string name;       ///< e.g. "HotSpot"
+    std::string build;      ///< paper-reported build string
+
+    double perfBias;        ///< mean speed vs HotSpot (~1.0)
+    double perfSpread;      ///< per-benchmark variation (fractional)
+    double powerBias;       ///< aggregate power multiplier
+    double serviceBias;     ///< multiplier on JVM service work
+    double heapPressure;    ///< multiplier on working-set size
+};
+
+/** Look up a vendor's profile. */
+const JvmVendorProfile &jvmVendorProfile(JvmVendor vendor);
+
+/**
+ * Deterministic per-benchmark performance factor of a vendor:
+ * centred on perfBias, spread by perfSpread, fixed for a given
+ * (vendor, benchmark) pair — "individual benchmarks vary
+ * substantially".
+ */
+double vendorPerfFactor(const JvmVendorProfile &profile,
+                        const std::string &bench_name);
+
+/**
+ * A copy of a Java benchmark as this vendor's runtime executes it.
+ * panic()s for native benchmarks.
+ */
+Benchmark applyJvmVendor(const Benchmark &bench, JvmVendor vendor);
+
+} // namespace lhr
+
+#endif // LHR_JVM_VENDORS_HH

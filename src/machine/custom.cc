@@ -1,0 +1,151 @@
+#include "machine/custom.hh"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &text)
+{
+    const auto first = text.find_first_not_of(" \t");
+    if (first == std::string::npos)
+        return "";
+    const auto last = text.find_last_not_of(" \t");
+    return text.substr(first, last - first + 1);
+}
+
+Family
+parseFamily(const std::string &name)
+{
+    if (name == "NetBurst")
+        return Family::NetBurst;
+    if (name == "Core")
+        return Family::Core;
+    if (name == "Bonnell")
+        return Family::Bonnell;
+    if (name == "Nehalem")
+        return Family::Nehalem;
+    fatal("CustomProcessor: unknown family '" + name + "'");
+}
+
+double
+parseNumber(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        fatal("CustomProcessor: bad number for " + key + ": '" +
+              value + "'");
+    return parsed;
+}
+
+} // namespace
+
+std::unique_ptr<CustomProcessor>
+CustomProcessor::parse(std::istream &is)
+{
+    std::map<std::string, std::string> kv;
+    std::string line;
+    size_t lineNo = 0;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const auto eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal(msgOf("CustomProcessor: line ", lineNo,
+                        " is not 'key = value'"));
+        kv[trim(line.substr(0, eq))] = trim(line.substr(eq + 1));
+    }
+
+    auto require = [&](const std::string &key) {
+        const auto it = kv.find(key);
+        if (it == kv.end())
+            fatal("CustomProcessor: missing required key '" + key +
+                  "'");
+        return it->second;
+    };
+    auto number = [&](const std::string &key) {
+        return parseNumber(key, require(key));
+    };
+    auto optional = [&](const std::string &key, double fallback) {
+        const auto it = kv.find(key);
+        return it == kv.end() ? fallback
+                              : parseNumber(key, it->second);
+    };
+
+    auto custom = std::unique_ptr<CustomProcessor>(
+        new CustomProcessor());
+    ProcessorSpec &spec = custom->processorSpec;
+
+    spec.id = require("id");
+    spec.model = kv.count("model") ? kv["model"] : spec.id;
+    spec.sSpec = kv.count("sspec") ? kv["sspec"] : "custom";
+    spec.codename = kv.count("codename") ? kv["codename"] : "custom";
+    spec.family = parseFamily(require("family"));
+    const int nm = static_cast<int>(number("node_nm"));
+    spec.node = techNodeByNm(nm).node;
+    spec.releaseDate = kv.count("released") ? kv["released"] : "--";
+    spec.releasePriceUsd = optional("price_usd", 0.0);
+
+    spec.cores = static_cast<int>(number("cores"));
+    spec.smtWays = static_cast<int>(number("smt"));
+    spec.llcMb = number("llc_mb");
+    spec.stockClockGhz = number("clock_ghz");
+    spec.transistorsM = number("transistors_m");
+    spec.dieMm2 = number("die_mm2");
+    spec.tdpW = number("tdp_w");
+    spec.fsbMhz = optional("fsb_mhz", 0.0);
+    spec.dram = require("dram");
+    spec.hasTurbo = optional("turbo", 0.0) != 0.0;
+
+    const TechNode &tech = spec.tech();
+    spec.fMinGhz = optional("fmin_ghz", spec.stockClockGhz);
+    spec.vEffMin = optional("veff_min", tech.vMin + 0.1);
+    spec.vEffMax = optional("veff_max", tech.vNominal);
+    spec.vidMinV = optional("vid_min", spec.vEffMin);
+    spec.vidMaxV = optional("vid_max", spec.vEffMax);
+    spec.vGamma = optional("vgamma", 1.0);
+    spec.uncoreBaseW = optional("uncore_base_w", 0.05 * spec.tdpW);
+    spec.uncoreDynW = optional("uncore_dyn_w", 0.02 * spec.tdpW);
+    spec.perfCal = optional("perf_cal", 1.0);
+    spec.powerCal = optional("power_cal", 1.0);
+    spec.leakCal = optional("leak_cal", 1.0);
+    spec.turboVKickV = optional("turbo_vkick", 0.0);
+
+    // Validate the physics-facing fields now, loudly.
+    if (spec.cores < 1 || spec.smtWays < 1 || spec.smtWays > 2)
+        fatal("CustomProcessor: cores/smt out of range");
+    if (spec.llcMb <= 0.0 || spec.stockClockGhz <= 0.0 ||
+        spec.transistorsM <= 0.0 || spec.tdpW <= 0.0) {
+        fatal("CustomProcessor: non-positive physical parameter");
+    }
+    if (spec.fMinGhz > spec.stockClockGhz)
+        fatal("CustomProcessor: fmin_ghz above clock_ghz");
+    if (spec.vEffMin > spec.vEffMax)
+        fatal("CustomProcessor: veff_min above veff_max");
+    dramModel(spec.dram); // fatal on unknown memory
+
+    return custom;
+}
+
+std::unique_ptr<CustomProcessor>
+CustomProcessor::parseString(const std::string &text)
+{
+    std::istringstream is(text);
+    return parse(is);
+}
+
+} // namespace lhr

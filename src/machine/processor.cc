@@ -1,0 +1,357 @@
+#include "machine/processor.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+// Table 3 of the paper, plus per-part calibration (fMin..powerCal).
+const std::vector<ProcessorSpec> processors = {
+    {
+        "Pentium4 (130)", "Pentium 4", "SL6WF", "Northwood",
+        Family::NetBurst, Node::Nm130, "May '03", 0.0,
+        /* cores */ 1, /* smtWays */ 2, /* llcMb */ 0.5,
+        /* clock */ 2.4, /* transM */ 55, /* die */ 131,
+        /* vid */ 0.0, 0.0, /* tdp */ 66, /* fsb */ 800,
+        "DDR-400", /* turbo */ false,
+        /* fMin */ 2.4, /* vEff */ 1.50, 1.50, /* gamma */ 1.0,
+        /* uncoreBase */ 5.0, /* uncoreDyn */ 3.0,
+        /* perfCal */ 1.0, /* powerCal */ 0.97, /* leakCal */ 1.0,
+        /* turboVKickV */ 0.0,
+    },
+    {
+        "C2D (65)", "Core 2 Duo E6600", "SL9S8", "Conroe",
+        Family::Core, Node::Nm65, "Jul '06", 316.0,
+        2, 1, 4.0,
+        2.4, 291, 143,
+        0.85, 1.50, 65, 1066,
+        "DDR2-800", false,
+        1.6, 1.10, 1.30, 1.0,
+        4.0, 2.0,
+        1.0, 1.0, 1.0, 0.0,
+    },
+    {
+        "C2Q (65)", "Core 2 Quad Q6600", "SL9UM", "Kentsfield",
+        Family::Core, Node::Nm65, "Jan '07", 851.0,
+        4, 1, 8.0,
+        2.4, 582, 286,
+        0.85, 1.50, 105, 1066,
+        "DDR2-800", false,
+        1.6, 1.10, 1.30, 1.0,
+        6.0, 3.0,
+        1.0, 1.12, 1.0, 0.0,
+    },
+    {
+        "i7 (45)", "Core i7 920", "SLBCH", "Bloomfield",
+        Family::Nehalem, Node::Nm45, "Nov '08", 284.0,
+        4, 2, 8.0,
+        2.667, 731, 263,
+        0.80, 1.38, 130, 0,
+        "DDR3-1066", true,
+        1.6, 0.95, 1.25, 1.40,
+        4.5, 1.5,
+        1.0, 0.75, 0.45, 0.09,
+    },
+    {
+        "Atom (45)", "Atom 230", "SLB6Z", "Diamondville",
+        Family::Bonnell, Node::Nm45, "Jun '08", 29.0,
+        1, 2, 0.5,
+        1.667, 47, 26,
+        0.90, 1.16, 4, 533,
+        "DDR2-800-FSB533", false,
+        1.2, 0.95, 1.10, 1.0,
+        0.75, 0.30,
+        1.0, 1.0, 1.0, 0.0,
+    },
+    {
+        "C2D (45)", "Core 2 Duo E7600", "SLGTD", "Wolfdale",
+        Family::Core, Node::Nm45, "May '09", 133.0,
+        2, 1, 3.0,
+        3.06, 228, 82,
+        0.85, 1.36, 65, 1066,
+        "DDR2-800", false,
+        1.6, 0.97, 1.30, 1.50,
+        3.0, 1.5,
+        1.0, 1.0, 1.0, 0.0,
+    },
+    {
+        "AtomD (45)", "Atom D510", "SLBLA", "Pineview",
+        Family::Bonnell, Node::Nm45, "Dec '09", 63.0,
+        2, 2, 1.0,
+        1.667, 176, 87,
+        0.80, 1.17, 13, 665,
+        "DDR2-800-FSB665", false,
+        1.2, 0.90, 1.05, 1.0,
+        1.40, 0.40,
+        1.0, 1.0, 1.0, 0.0,
+    },
+    {
+        "i5 (32)", "Core i5 670", "SLBLT", "Clarkdale",
+        Family::Nehalem, Node::Nm32, "Jan '10", 284.0,
+        2, 2, 4.0,
+        3.46, 382, 81,
+        0.65, 1.40, 73, 0,
+        "DDR3-1333", true,
+        1.2, 1.05, 1.18, 0.80,
+        3.5, 1.5,
+        1.0, 0.88, 0.60, 0.015,
+    },
+};
+
+} // namespace
+
+const MicroArch &
+ProcessorSpec::uarch() const
+{
+    return microArch(family);
+}
+
+const TechNode &
+ProcessorSpec::tech() const
+{
+    return techNode(node);
+}
+
+const DramModel &
+ProcessorSpec::memory() const
+{
+    return dramModel(dram);
+}
+
+const std::vector<ProcessorSpec> &
+allProcessors()
+{
+    return processors;
+}
+
+const ProcessorSpec *
+findProcessor(const std::string &id)
+{
+    for (const auto &spec : processors)
+        if (spec.id == id)
+            return &spec;
+    return nullptr;
+}
+
+const ProcessorSpec &
+processorById(const std::string &id)
+{
+    if (const ProcessorSpec *spec = findProcessor(id))
+        return *spec;
+    panic(msgOf("processorById: unknown processor '", id, "'"));
+}
+
+CacheHierarchy
+makeHierarchy(const ProcessorSpec &spec)
+{
+    // L1 latency is folded into base CPI, so its latencyNs is 0; it
+    // still filters the access stream.
+    using Scope = CacheScope;
+    switch (spec.family) {
+      case Family::NetBurst:
+        return CacheHierarchy({
+            {"L1", 16, 0.0, Scope::PerCore, 1},
+            {"L2", 512, 7.5, Scope::PerCore, 1},
+        }, spec.memory().latencyNs);
+      case Family::Core:
+        // Kentsfield pairs two Conroe dies: each 4MB L2 instance is
+        // shared by two cores.
+        return CacheHierarchy({
+            {"L1", 32, 0.0, Scope::PerCore, 1},
+            {"L2", spec.cores == 4 ? 4096.0 : spec.llcMb * 1024.0,
+             spec.llcMb >= 4.0 ? 5.8 : 4.6, Scope::Shared, 2},
+        }, spec.memory().latencyNs);
+      case Family::Bonnell:
+        return CacheHierarchy({
+            {"L1", 24, 0.0, Scope::PerCore, 1},
+            {"L2", 512, 4.8, Scope::PerCore, 1},
+        }, spec.memory().latencyNs);
+      case Family::Nehalem:
+        return CacheHierarchy({
+            {"L1", 32, 0.0, Scope::PerCore, 1},
+            {"L2", 256, spec.node == Node::Nm32 ? 3.2 : 3.7,
+             Scope::PerCore, 1},
+            {"L3", spec.llcMb * 1024.0,
+             spec.node == Node::Nm32 ? 11.0 : 14.0,
+             Scope::Shared, spec.cores},
+        }, spec.memory().latencyNs);
+    }
+    panic("makeHierarchy: unknown family");
+}
+
+std::string
+MachineConfig::label() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s %dC%dT@%.1fGHz",
+                  spec->id.c_str(), enabledCores, smtPerCore, clockGhz);
+    std::string out = buf;
+    if (spec->hasTurbo && !turboEnabled)
+        out += " NoTB";
+    return out;
+}
+
+double
+MachineConfig::voltageAt(double f_ghz) const
+{
+    const ProcessorSpec &s = *spec;
+    if (f_ghz <= s.fMinGhz)
+        return s.vEffMin;
+    const double span = s.stockClockGhz - s.fMinGhz;
+    if (span <= 0.0)
+        return s.vEffMax;
+    if (f_ghz > s.stockClockGhz + 1e-9) {
+        // Turbo overdrive: the governor raises VID per boost step.
+        const double steps =
+            (f_ghz - s.stockClockGhz) / ProcessorSpec::turboStepGhz;
+        return s.vEffMax + s.turboVKickV * steps;
+    }
+    const double x = (f_ghz - s.fMinGhz) / span;
+    return s.vEffMin + (s.vEffMax - s.vEffMin) * std::pow(x, s.vGamma);
+}
+
+MachineConfig
+stockConfig(const ProcessorSpec &spec)
+{
+    return {&spec, spec.cores, spec.smtWays, spec.stockClockGhz,
+            spec.hasTurbo};
+}
+
+MachineConfig
+withCores(const MachineConfig &base, int cores)
+{
+    if (cores < 1 || cores > base.spec->cores)
+        panic(msgOf("withCores: ", cores, " cores out of range for ",
+                    base.spec->id));
+    MachineConfig cfg = base;
+    cfg.enabledCores = cores;
+    return cfg;
+}
+
+MachineConfig
+withSmt(const MachineConfig &base, bool enabled)
+{
+    if (enabled && base.spec->smtWays < 2)
+        panic(msgOf("withSmt: ", base.spec->id, " has no SMT"));
+    MachineConfig cfg = base;
+    cfg.smtPerCore = enabled ? 2 : 1;
+    return cfg;
+}
+
+MachineConfig
+withClock(const MachineConfig &base, double clock_ghz)
+{
+    if (clock_ghz < base.spec->fMinGhz - 1e-9 ||
+        clock_ghz > base.spec->stockClockGhz + 1e-9) {
+        panic(msgOf("withClock: ", clock_ghz, " GHz out of range for ",
+                    base.spec->id));
+    }
+    MachineConfig cfg = base;
+    cfg.clockGhz = clock_ghz;
+    return cfg;
+}
+
+MachineConfig
+withTurbo(const MachineConfig &base, bool enabled)
+{
+    if (enabled && !base.spec->hasTurbo)
+        panic(msgOf("withTurbo: ", base.spec->id, " has no Turbo Boost"));
+    MachineConfig cfg = base;
+    cfg.turboEnabled = enabled;
+    return cfg;
+}
+
+std::vector<MachineConfig>
+configurations45nm()
+{
+    std::vector<MachineConfig> configs;
+
+    // Atom 230: stock (1C2T) and SMT disabled.
+    const auto atom = stockConfig(processorById("Atom (45)"));
+    configs.push_back(atom);
+    configs.push_back(withSmt(atom, false));
+
+    // Atom D510: all four core/SMT combinations.
+    const auto atomD = stockConfig(processorById("AtomD (45)"));
+    configs.push_back(atomD);
+    configs.push_back(withSmt(atomD, false));
+    configs.push_back(withCores(atomD, 1));
+    configs.push_back(withSmt(withCores(atomD, 1), false));
+
+    // Core 2 Duo E7600: clock ladder plus single core.
+    const auto c2d = stockConfig(processorById("C2D (45)"));
+    configs.push_back(c2d);
+    configs.push_back(withClock(c2d, 2.4));
+    configs.push_back(withClock(c2d, 1.6));
+    configs.push_back(withCores(c2d, 1));
+
+    // Core i7 920: 19 configurations.
+    const auto i7 = stockConfig(processorById("i7 (45)"));
+    const auto i7NoTb = withTurbo(i7, false);
+    for (int cores : {1, 2, 4}) {
+        for (int smt : {1, 2}) {
+            auto cfg = withCores(i7NoTb, cores);
+            cfg.smtPerCore = smt;
+            configs.push_back(cfg);                 // @2.7 NoTB
+            configs.push_back(withClock(cfg, 1.6)); // @1.6
+        }
+    }
+    configs.push_back(withClock(i7NoTb, 2.1));                    // 4C2T@2.1
+    configs.push_back(withClock(withCores(i7NoTb, 1), 2.1));      // 1C2T@2.1
+    configs.push_back(withClock(i7NoTb, 2.4));                    // 4C2T@2.4
+    configs.push_back(withClock(withCores(i7NoTb, 1), 2.4));      // 1C2T@2.4
+    configs.push_back(i7);                                        // stock TB
+    configs.push_back(withSmt(i7, false));                        // 4C1T TB
+    configs.push_back(withSmt(withCores(i7, 1), false));          // 1C1T TB
+
+    return configs;
+}
+
+std::vector<MachineConfig>
+standardConfigurations()
+{
+    std::vector<MachineConfig> configs;
+
+    // Pentium 4: stock (1C2T) and SMT disabled.
+    const auto p4 = stockConfig(processorById("Pentium4 (130)"));
+    configs.push_back(p4);
+    configs.push_back(withSmt(p4, false));
+
+    // Core 2 Duo E6600: stock, single core, down-clocked.
+    const auto c2d65 = stockConfig(processorById("C2D (65)"));
+    configs.push_back(c2d65);
+    configs.push_back(withCores(c2d65, 1));
+    configs.push_back(withClock(c2d65, 1.6));
+
+    // Core 2 Quad Q6600: stock, two cores, one core.
+    const auto c2q = stockConfig(processorById("C2Q (65)"));
+    configs.push_back(c2q);
+    configs.push_back(withCores(c2q, 2));
+    configs.push_back(withCores(c2q, 1));
+
+    // All 29 45nm configurations.
+    for (const auto &cfg : configurations45nm())
+        configs.push_back(cfg);
+
+    // Core i5 670: 8 configurations.
+    const auto i5 = stockConfig(processorById("i5 (32)"));
+    const auto i5NoTb = withTurbo(i5, false);
+    configs.push_back(i5);                                   // stock TB
+    configs.push_back(i5NoTb);                               // 2C2T NoTB
+    configs.push_back(withSmt(i5NoTb, false));               // 2C1T
+    configs.push_back(withCores(i5NoTb, 1));                 // 1C2T
+    configs.push_back(withSmt(withCores(i5NoTb, 1), false)); // 1C1T NoTB
+    configs.push_back(withSmt(withCores(i5, 1), false));     // 1C1T TB
+    configs.push_back(withClock(i5NoTb, 1.73));              // 2C2T@1.7
+    configs.push_back(withClock(i5NoTb, 1.2));               // 2C2T@1.2
+
+    return configs;
+}
+
+} // namespace lhr

@@ -1,0 +1,46 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+// Loaded latencies include controller and (where present) FSB
+// crossing; bandwidths are sustainable rather than peak.
+const DramModel models[] = {
+    // name           latencyNs  bandwidthGBs
+    {"DDR-400",        95.0,       2.6},
+    {"DDR2-800",       70.0,       4.8},
+    {"DDR2-800-FSB533",78.0,       3.4},
+    {"DDR2-800-FSB665",75.0,       4.2},
+    {"DDR3-1066",      55.0,      19.0},
+    {"DDR3-1333",      68.0,      16.0},
+};
+
+} // namespace
+
+double
+DramModel::throttle(double requested_gbs) const
+{
+    if (requested_gbs <= 0.0)
+        return 1.0;
+    if (requested_gbs <= bandwidthGBs)
+        return 1.0;
+    return bandwidthGBs / requested_gbs;
+}
+
+const DramModel &
+dramModel(const std::string &name)
+{
+    for (const auto &m : models)
+        if (m.name == name)
+            return m;
+    panic(msgOf("dramModel: unknown model '", name, "'"));
+}
+
+} // namespace lhr

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Main-memory models: the DRAM generations attached to the eight
+ * processors (paper Table 3), from DDR-400 behind the Pentium 4's
+ * front-side bus to the i5's dual-channel DDR3-1333 on an integrated
+ * memory controller.
+ *
+ * The model has two terms that matter to the study: access latency
+ * (which the clock-scaling analysis converts to cycles — the source
+ * of sub-linear clock scaling, paper section 3.3) and sustainable
+ * bandwidth (which caps multicore scaling of memory-hungry scalable
+ * benchmarks, section 3.1).
+ */
+
+#ifndef LHR_MEM_DRAM_HH
+#define LHR_MEM_DRAM_HH
+
+#include <string>
+
+namespace lhr
+{
+
+/** A main-memory configuration. */
+struct DramModel
+{
+    std::string name;        ///< e.g. "DDR3-1333"
+    double latencyNs;        ///< loaded average access latency
+    double bandwidthGBs;     ///< sustainable bandwidth, GB/s
+
+    /** Cache line transfer size in bytes (64B on all parts). */
+    static constexpr double lineBytes = 64.0;
+
+    /**
+     * Throttle factor for a requested DRAM traffic level: returns
+     * the fraction of the requested instruction throughput that the
+     * memory system can sustain, in (0, 1].
+     *
+     * @param requestedGBs  DRAM traffic the cores would generate if
+     *                      never bandwidth-stalled.
+     */
+    double throttle(double requestedGBs) const;
+};
+
+/** Look up a standard DRAM model by name; panic()s when unknown. */
+const DramModel &dramModel(const std::string &name);
+
+} // namespace lhr
+
+#endif // LHR_MEM_DRAM_HH

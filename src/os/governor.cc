@@ -1,0 +1,139 @@
+#include "os/governor.hh"
+
+#include <algorithm>
+
+#include "power/chip_power.hh"
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+std::string
+governorPolicyName(GovernorPolicy policy)
+{
+    switch (policy) {
+      case GovernorPolicy::Performance: return "performance";
+      case GovernorPolicy::Powersave:   return "powersave";
+      case GovernorPolicy::Ondemand:    return "ondemand";
+      case GovernorPolicy::Userspace:   return "userspace";
+    }
+    panic("governorPolicyName: unknown policy");
+}
+
+CpuFreqGovernor::CpuFreqGovernor(const ProcessorSpec &spec,
+                                 GovernorPolicy policy, int pstates)
+    : processor(spec), policyKind(policy),
+      userspaceGhz(spec.fMinGhz)
+{
+    if (pstates < 2)
+        panic("CpuFreqGovernor: need at least two P-states");
+    for (int i = 0; i < pstates; ++i) {
+        pstateLadder.push_back(
+            spec.fMinGhz +
+            (spec.stockClockGhz - spec.fMinGhz) * i / (pstates - 1));
+    }
+    currentIndex = policy == GovernorPolicy::Performance
+        ? pstateLadder.size() - 1 : 0;
+}
+
+double
+CpuFreqGovernor::clockGhz() const
+{
+    if (policyKind == GovernorPolicy::Userspace)
+        return userspaceGhz;
+    return pstateLadder[currentIndex];
+}
+
+void
+CpuFreqGovernor::setUserspaceGhz(double f_ghz)
+{
+    if (policyKind != GovernorPolicy::Userspace)
+        panic("setUserspaceGhz: governor is not userspace");
+    userspaceGhz = std::clamp(f_ghz, pstateLadder.front(),
+                              pstateLadder.back());
+}
+
+double
+CpuFreqGovernor::step(double utilization)
+{
+    if (utilization < 0.0 || utilization > 1.0)
+        panic("CpuFreqGovernor::step: utilization out of range");
+
+    switch (policyKind) {
+      case GovernorPolicy::Performance:
+        currentIndex = pstateLadder.size() - 1;
+        break;
+      case GovernorPolicy::Powersave:
+        currentIndex = 0;
+        break;
+      case GovernorPolicy::Userspace:
+        break;
+      case GovernorPolicy::Ondemand:
+        // 2.6.31 ondemand: jump straight to max above the up
+        // threshold; otherwise step down one state when utilization
+        // would stay below (up - differential) at the lower state.
+        if (utilization > upThreshold) {
+            currentIndex = pstateLadder.size() - 1;
+        } else if (currentIndex > 0) {
+            const double atLower = utilization *
+                pstateLadder[currentIndex] /
+                pstateLadder[currentIndex - 1];
+            if (atLower < upThreshold - downDifferential)
+                --currentIndex;
+        }
+        break;
+    }
+    return clockGhz();
+}
+
+double
+OsContextScaling::offlinedCoreActivity(const MicroArch &ua,
+                                       bool kernel_bug_5471)
+{
+    // A healthy kernel parks the core as deep as the generation's
+    // gating allows — like an enabled-but-idle core. The buggy path
+    // leaves it polling the idle loop: the core's front end spins.
+    const double parked = ua.idleCoreFraction * 0.45;
+    if (!kernel_bug_5471)
+        return parked;
+    return std::min(1.0, std::max(parked, 0.40));
+}
+
+double
+OsContextScaling::osVsBiosPowerRatio(const ProcessorSpec &spec,
+                                     int offlined,
+                                     bool kernel_bug_5471)
+{
+    if (offlined < 0 || offlined >= spec.cores)
+        panic("osVsBiosPowerRatio: bad offline count");
+
+    const ChipPowerModel power(spec);
+    const MicroArch &ua = spec.uarch();
+    const int active = spec.cores - offlined;
+
+    // BIOS path: the cores are architecturally disabled.
+    MachineConfig biosCfg = stockConfig(spec);
+    biosCfg.turboEnabled = false;
+    biosCfg.enabledCores = active;
+    std::vector<double> biosAct(active, 0.0);
+    biosAct[0] = 0.55; // one busy application core
+    const double biosW =
+        power.compute(biosCfg, spec.stockClockGhz, biosAct, 0.2, 2.0)
+            .total();
+
+    // OS path: all cores stay enabled; offlined ones sit in the
+    // idle loop at whatever activity the kernel achieves.
+    MachineConfig osCfg = stockConfig(spec);
+    osCfg.turboEnabled = false;
+    std::vector<double> osAct(spec.cores, 0.0);
+    osAct[0] = 0.55;
+    for (int core = active; core < spec.cores; ++core)
+        osAct[core] = offlinedCoreActivity(ua, kernel_bug_5471);
+    const double osW =
+        power.compute(osCfg, spec.stockClockGhz, osAct, 0.2, 2.0)
+            .total();
+
+    return osW / biosW;
+}
+
+} // namespace lhr

@@ -1,0 +1,191 @@
+#include "pipesim/pipeline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bpred/predictor.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace lhr
+{
+
+PipelineConfig
+PipelineConfig::of(const ProcessorSpec &spec, double clock_ghz)
+{
+    if (clock_ghz <= 0.0)
+        panic("PipelineConfig::of: non-positive clock");
+    const MicroArch &ua = spec.uarch();
+
+    PipelineConfig cfg;
+    cfg.issueWidth = ua.issueWidth;
+    cfg.inOrder = !ua.outOfOrder;
+    switch (spec.family) {
+      case Family::NetBurst: cfg.windowSize = 48; break;
+      case Family::Core:     cfg.windowSize = 96; break;
+      case Family::Bonnell:  cfg.windowSize = 8; break;
+      case Family::Nehalem:  cfg.windowSize = 128; break;
+    }
+    cfg.branchPenalty = ua.branchPenalty;
+    cfg.issueEfficiency = ua.issueEfficiency;
+    cfg.ilpExtraction = ua.ilpExtraction;
+
+    const CacheHierarchy hierarchy = makeHierarchy(spec);
+    cfg.l1LatencyCycles = 3;
+    for (size_t level = 1; level < hierarchy.levels().size(); ++level) {
+        cfg.levelLatencyCycles.push_back(std::max(
+            1, static_cast<int>(std::lround(
+                   hierarchy.levels()[level].latencyNs * clock_ghz))));
+    }
+    cfg.dramLatencyCycles = std::max(
+        1, static_cast<int>(
+               std::lround(hierarchy.dramLatency() * clock_ghz)));
+    return cfg;
+}
+
+PipelineSim::PipelineSim(
+    const PipelineConfig &config,
+    const std::vector<std::pair<double, int>> &cache_levels)
+    : cfg(config), caches(cache_levels)
+{
+    if (cfg.issueWidth < 1 || cfg.windowSize < 1)
+        panic("PipelineSim: invalid geometry");
+}
+
+int
+PipelineSim::loadLatency(uint64_t addr)
+{
+    const int hitLevel = caches.accessHitLevel(addr);
+    if (hitLevel < 0)
+        return cfg.dramLatencyCycles;
+    if (hitLevel == 0)
+        return cfg.l1LatencyCycles;
+    return cfg.levelLatencyCycles[hitLevel - 1];
+}
+
+PipelineResult
+PipelineSim::run(const Benchmark &bench, uint64_t instructions,
+                 uint64_t seed, uint64_t warmup)
+{
+    if (instructions == 0)
+        panic("PipelineSim::run: zero instructions");
+
+    TraceGenerator trace(bench, seed);
+    BimodalPredictor predictor(14);
+    Rng depRng(seed ^ 0xD0D0);
+
+    // Ring buffers of recent op state (completion time, was-load).
+    const size_t ring = 1024;
+    std::vector<double> completion(ring, 0.0);
+    std::vector<uint8_t> wasLoad(ring, 0);
+
+    // Mean useful dependence distance: how far apart dependent
+    // instructions sit, which is what "exploitable ILP" measures.
+    const double meanDep =
+        std::max(1.05, bench.ilp * cfg.ilpExtraction);
+    // Sustained front-end delivery: issueWidth slots at the
+    // front end's efficiency.
+    const double slotsPerCycle = cfg.issueWidth * cfg.issueEfficiency;
+
+    double frontEnd = 0.0;       // next front-end availability
+    double memStall = 0.0;
+    double branchStall = 0.0;
+    double totalStall = 0.0;
+    double lastCompletion = 0.0;
+    double measureStartCycle = 0.0;
+
+    const uint64_t total = warmup + instructions;
+    for (uint64_t i = 0; i < total; ++i) {
+        if (i == warmup)
+            measureStartCycle = frontEnd;
+
+        const MicroOp op = trace.next();
+        frontEnd += 1.0 / slotsPerCycle;
+
+        // Dependence: this op consumes the value of an op `d`
+        // earlier (exponential distances around the mean).
+        double u = 0.0;
+        do {
+            u = depRng.uniform();
+        } while (u <= 0.0);
+        const uint64_t dist = std::max<uint64_t>(
+            1, static_cast<uint64_t>(std::lround(-meanDep * std::log(u))));
+        double ready = 0.0;
+        bool depOnLoad = false;
+        if (dist <= i && dist < ring) {
+            ready = completion[(i - dist) % ring];
+            depOnLoad = wasLoad[(i - dist) % ring];
+        }
+
+        // Window constraint: no more than windowSize ops in flight
+        // (stall-on-use with a tiny window models in-order issue).
+        const auto window = static_cast<size_t>(cfg.windowSize);
+        double windowReady = 0.0;
+        bool windowOnLoad = false;
+        if (i >= window) {
+            windowReady = completion[(i - window) % ring];
+            windowOnLoad = wasLoad[(i - window) % ring];
+        }
+
+        const double issue = std::max({frontEnd, ready, windowReady});
+
+        // Attribute the stall beyond the front end. Out-of-order
+        // machines keep fetching past a waiting op (only the window
+        // limits them); an in-order machine serializes issue behind
+        // it.
+        const double stall = issue - frontEnd;
+        if (stall > 0.0) {
+            totalStall += stall;
+            if ((ready >= windowReady && depOnLoad) ||
+                (windowReady > ready && windowOnLoad)) {
+                memStall += stall;
+            }
+            if (cfg.inOrder)
+                frontEnd = issue;
+        }
+
+        double latency = 1.0;
+        bool isLoad = false;
+        switch (op.kind) {
+          case MicroOp::Kind::Alu:
+            break;
+          case MicroOp::Kind::Store:
+            // Write buffers hide store latency.
+            caches.access(op.addr);
+            break;
+          case MicroOp::Kind::Load:
+            latency = loadLatency(op.addr);
+            isLoad = true;
+            break;
+          case MicroOp::Kind::Branch: {
+            if (predictor.run(op.pc, op.taken)) {
+                // Redirect after resolution.
+                const double resolve = issue + 1.0;
+                const double redirect = resolve + cfg.branchPenalty;
+                if (redirect > frontEnd) {
+                    branchStall += redirect - frontEnd;
+                    totalStall += redirect - frontEnd;
+                    frontEnd = redirect;
+                }
+            }
+            break;
+          }
+        }
+
+        const double done = issue + latency;
+        completion[i % ring] = done;
+        wasLoad[i % ring] = isLoad ? 1 : 0;
+        lastCompletion = std::max(lastCompletion, done);
+    }
+
+    PipelineResult result;
+    result.instructions = instructions;
+    result.cycles = std::max(1.0, lastCompletion - measureStartCycle);
+    result.ipc = instructions / result.cycles;
+    const double denom = std::max(1e-9, totalStall);
+    result.memStallShare = memStall / denom;
+    result.branchStallShare = branchStall / denom;
+    return result;
+}
+
+} // namespace lhr

@@ -1,0 +1,79 @@
+#include "power/meters.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+const char *
+meterDomainName(MeterDomain domain)
+{
+    switch (domain) {
+      case MeterDomain::Package: return "package";
+      case MeterDomain::Cores:   return "cores";
+      case MeterDomain::Llc:     return "llc";
+      case MeterDomain::Uncore:  return "uncore";
+    }
+    panic("meterDomainName: unknown domain");
+}
+
+StructureMeters::StructureMeters(double energy_unit_j)
+    : unitJ(energy_unit_j)
+{
+    if (unitJ <= 0.0)
+        panic("StructureMeters: non-positive energy unit");
+    units.fill(0);
+    fractional.fill(0.0);
+}
+
+void
+StructureMeters::deposit(const PowerBreakdown &power, double dt_sec)
+{
+    if (dt_sec < 0.0)
+        panic("StructureMeters::deposit: negative interval");
+
+    auto add = [&](MeterDomain domain, double watts) {
+        const auto idx = static_cast<size_t>(domain);
+        const double energy = watts * dt_sec / unitJ + fractional[idx];
+        const double whole = std::floor(energy);
+        units[idx] += static_cast<uint64_t>(whole);
+        fractional[idx] = energy - whole;
+    };
+
+    add(MeterDomain::Package, power.total());
+    add(MeterDomain::Cores, power.coreDynW + power.leakW);
+    add(MeterDomain::Llc, power.llcW);
+    add(MeterDomain::Uncore, power.uncoreW);
+}
+
+uint32_t
+StructureMeters::raw(MeterDomain domain) const
+{
+    return static_cast<uint32_t>(units[static_cast<size_t>(domain)]);
+}
+
+double
+StructureMeters::energyJ(MeterDomain domain) const
+{
+    return units[static_cast<size_t>(domain)] * unitJ;
+}
+
+double
+StructureMeters::energyBetween(uint32_t before, uint32_t after) const
+{
+    // Unsigned subtraction handles a single wrap correctly.
+    return static_cast<uint32_t>(after - before) * unitJ;
+}
+
+double
+StructureMeters::averagePowerW(uint32_t before, uint32_t after,
+                               double dt_sec) const
+{
+    if (dt_sec <= 0.0)
+        panic("StructureMeters::averagePowerW: non-positive interval");
+    return energyBetween(before, after) / dt_sec;
+}
+
+} // namespace lhr

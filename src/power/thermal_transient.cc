@@ -1,0 +1,67 @@
+#include "power/thermal_transient.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+ThermalTransient::ThermalTransient(const ProcessorSpec &spec,
+                                   double time_constant_sec)
+    : steadyState(spec), tau(time_constant_sec),
+      temperature(ThermalModel::ambientC)
+{
+    if (tau <= 0.0)
+        panic("ThermalTransient: non-positive time constant");
+}
+
+double
+ThermalTransient::step(double power_w, double dt_sec)
+{
+    if (dt_sec < 0.0 || power_w < 0.0)
+        panic("ThermalTransient::step: negative inputs");
+    const double target = steadyState.junctionAt(power_w);
+    const double alpha = 1.0 - std::exp(-dt_sec / tau);
+    temperature += (target - temperature) * alpha;
+    return temperature;
+}
+
+void
+ThermalTransient::reset()
+{
+    temperature = ThermalModel::ambientC;
+}
+
+ThermalThrottle::ThermalThrottle(const MachineConfig &cfg,
+                                 int boost_steps,
+                                 double time_constant_sec)
+    : config(cfg), maxSteps(boost_steps), steps(boost_steps),
+      thermal(*cfg.spec, time_constant_sec)
+{
+    if (boost_steps < 0)
+        panic("ThermalThrottle: negative boost steps");
+    if (!cfg.spec->hasTurbo && boost_steps > 0)
+        panic("ThermalThrottle: part has no Turbo Boost");
+}
+
+double
+ThermalThrottle::step(const std::function<double(double)> &power_at,
+                      double dt_sec)
+{
+    const double clock = config.clockGhz +
+        steps * ProcessorSpec::turboStepGhz;
+    thermal.step(power_at(clock), dt_sec);
+
+    if (thermal.junctionC() >= ThermalModel::throttleJunctionC &&
+        steps > 0) {
+        --steps; // shed a boost step
+    } else if (steps < maxSteps &&
+               thermal.junctionC() <
+                   ThermalModel::throttleJunctionC - rearmMarginC) {
+        ++steps; // cool again: re-arm
+    }
+    return clock;
+}
+
+} // namespace lhr

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Thermal transients and thermally-driven throttling.
+ *
+ * The steady-state thermal model in power/chip_power answers "where
+ * does the junction settle"; the Turbo analysis (paper §3.6) also
+ * depends on *when* it gets there: boost is granted while
+ * temperature headroom lasts and withdrawn when the package heats
+ * through its thermal time constant. ThermalTransient integrates
+ * the junction RC dynamics over a power trace; ThermalThrottle
+ * implements the resulting boost-then-throttle behaviour real
+ * Nehalems exhibit on sustained single-core loads.
+ */
+
+#ifndef LHR_POWER_THERMAL_TRANSIENT_HH
+#define LHR_POWER_THERMAL_TRANSIENT_HH
+
+#include <functional>
+
+#include "power/chip_power.hh"
+
+namespace lhr
+{
+
+/** First-order RC junction temperature integrator. */
+class ThermalTransient
+{
+  public:
+    /**
+     * @param spec the processor (sets thermal resistance)
+     * @param time_constant_sec junction+heatsink RC constant
+     */
+    explicit ThermalTransient(const ProcessorSpec &spec,
+                              double time_constant_sec = 12.0);
+
+    /**
+     * Advance by dt at a package power; returns the new junction
+     * temperature.
+     */
+    double step(double power_w, double dt_sec);
+
+    double junctionC() const { return temperature; }
+
+    /** Reset to ambient. */
+    void reset();
+
+    /** Time to come within 5% of a step's steady state. */
+    double settleTimeSec() const { return 3.0 * tau; }
+
+  private:
+    ThermalModel steadyState;
+    double tau;
+    double temperature;
+};
+
+/**
+ * Thermally-aware Turbo: grants boost steps while the transient
+ * junction stays below the throttle point, and withdraws them as the
+ * package heats — the time-domain version of TurboGovernor.
+ */
+class ThermalThrottle
+{
+  public:
+    ThermalThrottle(const MachineConfig &cfg, int boost_steps,
+                    double time_constant_sec = 12.0);
+
+    /**
+     * Advance one interval: given a power-at-clock callback, pick
+     * the clock for this interval (boosted while cool), integrate
+     * temperature, and return the granted clock.
+     */
+    double step(const std::function<double(double)> &power_at,
+                double dt_sec);
+
+    double junctionC() const { return thermal.junctionC(); }
+    int currentSteps() const { return steps; }
+
+    /** Hysteresis: re-boost only after cooling below this margin. */
+    static constexpr double rearmMarginC = 5.0;
+
+  private:
+    MachineConfig config;
+    int maxSteps;
+    int steps;
+    ThermalTransient thermal;
+};
+
+} // namespace lhr
+
+#endif // LHR_POWER_THERMAL_TRANSIENT_HH

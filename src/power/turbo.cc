@@ -1,0 +1,43 @@
+#include "power/turbo.hh"
+
+#include <cmath>
+
+#include "power/chip_power.hh"
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+int
+TurboGovernor::maxSteps(int active_cores)
+{
+    return active_cores <= 1 ? 2 : 1;
+}
+
+double
+TurboGovernor::grant(const MachineConfig &cfg, int active_cores,
+                     const std::function<double(double)> &power_at,
+                     const std::function<double(double)> &junction_at)
+{
+    if (!cfg.spec->hasTurbo || !cfg.turboEnabled)
+        return cfg.clockGhz;
+    // Turbo engages only at the highest clock setting.
+    if (cfg.clockGhz < cfg.spec->stockClockGhz - 1e-9)
+        return cfg.clockGhz;
+    if (active_cores < 1)
+        panic("TurboGovernor: no active cores");
+
+    const double step = ProcessorSpec::turboStepGhz;
+    for (int steps = maxSteps(active_cores); steps > 0; --steps) {
+        const double candidate = cfg.clockGhz + steps * step;
+        const bool powerOk =
+            power_at(candidate) <= tdpHeadroom * cfg.spec->tdpW;
+        const bool thermalOk =
+            junction_at(candidate) < ThermalModel::throttleJunctionC;
+        if (powerOk && thermalOk)
+            return candidate;
+    }
+    return cfg.clockGhz;
+}
+
+} // namespace lhr

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Turbo Boost governor (paper section 3.6).
+ *
+ * On Nehalem parts, when the BIOS clock is at its stock (highest)
+ * setting and Turbo is enabled, all active cores may run one step
+ * (133MHz) above stock; when only one core is active it may run two
+ * steps above — both subject to power, current and temperature
+ * headroom, which the real chips check with the on-chip sensors the
+ * paper asks Intel to expose.
+ */
+
+#ifndef LHR_POWER_TURBO_HH
+#define LHR_POWER_TURBO_HH
+
+#include <functional>
+
+#include "machine/processor.hh"
+
+namespace lhr
+{
+
+/**
+ * Grants a boosted clock to a configuration given a way to estimate
+ * package power at a candidate clock.
+ */
+class TurboGovernor
+{
+  public:
+    /**
+     * Decide the operating clock.
+     *
+     * @param cfg the machine configuration
+     * @param active_cores cores with running threads
+     * @param power_at callback estimating package power (W) at a
+     *                 candidate clock (GHz)
+     * @param junction_at callback estimating junction temperature
+     *                    (C) at a candidate clock
+     * @return granted clock in GHz (== cfg.clockGhz when no boost)
+     */
+    static double grant(const MachineConfig &cfg, int active_cores,
+                        const std::function<double(double)> &power_at,
+                        const std::function<double(double)> &junction_at);
+
+    /** Maximum boost steps for a given active-core count. */
+    static int maxSteps(int active_cores);
+
+    /** Power headroom: boost requires power below this TDP share. */
+    static constexpr double tdpHeadroom = 0.95;
+};
+
+} // namespace lhr
+
+#endif // LHR_POWER_TURBO_HH

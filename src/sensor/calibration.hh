@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Sensor calibration against a laboratory current source
+ * (paper section 2.5): 28 reference currents, a linear fit from ADC
+ * counts to amperes, and an R^2 quality gate of 0.999.
+ */
+
+#ifndef LHR_SENSOR_CALIBRATION_HH
+#define LHR_SENSOR_CALIBRATION_HH
+
+#include "sensor/channel.hh"
+#include "stats/linfit.hh"
+#include "util/rng.hh"
+
+namespace lhr
+{
+
+/**
+ * The counts-to-amperes calibration of one PowerChannel, produced by
+ * sweeping a reference current source through the sensor.
+ */
+class Calibration
+{
+  public:
+    /**
+     * Run the 28-point calibration sweep. Reference currents span
+     * 0.3A-3A for the 5A sensor and 2A-25A for the 30A sensor; each
+     * point averages repeated ADC readings.
+     */
+    static Calibration calibrate(const PowerChannel &channel, Rng &rng);
+
+    /** Decode an ADC reading (possibly averaged, hence double). */
+    double ampsFromCounts(double counts) const;
+
+    /** Decode an ADC reading directly to rail watts. */
+    double wattsFromCounts(double counts) const;
+
+    /** Goodness of the calibration fit. */
+    double r2() const { return countsToAmps.r2; }
+
+    const LinearFit &fit() const { return countsToAmps; }
+
+    static constexpr int calibrationPoints = 28;
+    static constexpr int readingsPerPoint = 64;
+    static constexpr double r2Gate = 0.999;
+
+  private:
+    explicit Calibration(LinearFit fit) : countsToAmps(fit) {}
+
+    LinearFit countsToAmps;
+};
+
+} // namespace lhr
+
+#endif // LHR_SENSOR_CALIBRATION_HH

@@ -1,0 +1,85 @@
+#include "sensor/trace_log.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/summary.hh"
+#include "util/csv.hh"
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+PowerTraceLogger::PowerTraceLogger(const PowerChannel &channel,
+                                   const Calibration &calibration)
+    : sensorChannel(channel), calib(calibration)
+{
+}
+
+void
+PowerTraceLogger::sample(double time_sec, double true_watts, Rng &rng)
+{
+    const int counts = sensorChannel.sampleCounts(true_watts, rng);
+    log.push_back({time_sec, counts, calib.wattsFromCounts(counts)});
+}
+
+double
+PowerTraceLogger::meanW() const
+{
+    if (log.empty())
+        panic("PowerTraceLogger: empty trace");
+    double sum = 0.0;
+    for (const auto &sample : log)
+        sum += sample.watts;
+    return sum / log.size();
+}
+
+double
+PowerTraceLogger::minW() const
+{
+    if (log.empty())
+        panic("PowerTraceLogger: empty trace");
+    double lo = log.front().watts;
+    for (const auto &sample : log)
+        lo = std::min(lo, sample.watts);
+    return lo;
+}
+
+double
+PowerTraceLogger::maxW() const
+{
+    if (log.empty())
+        panic("PowerTraceLogger: empty trace");
+    double hi = log.front().watts;
+    for (const auto &sample : log)
+        hi = std::max(hi, sample.watts);
+    return hi;
+}
+
+double
+PowerTraceLogger::percentileW(double pct) const
+{
+    if (log.empty())
+        panic("PowerTraceLogger: empty trace");
+    if (pct < 0.0 || pct > 100.0)
+        panic("PowerTraceLogger: percentile out of range");
+    std::vector<double> watts;
+    watts.reserve(log.size());
+    for (const auto &sample : log)
+        watts.push_back(sample.watts);
+    return percentileOf(std::move(watts), pct);
+}
+
+void
+PowerTraceLogger::writeCsv(std::ostream &os) const
+{
+    CsvWriter csv(os, {"time_s", "counts", "watts"});
+    for (const auto &sample : log) {
+        csv.beginRow();
+        csv.field(sample.timeSec, 3);
+        csv.field(static_cast<long>(sample.counts));
+        csv.field(sample.watts, 3);
+    }
+}
+
+} // namespace lhr

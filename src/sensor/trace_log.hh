@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Power trace logging.
+ *
+ * The paper's rig logs every 50Hz sensor sample to a host over USB
+ * and computes average power offline (§2.5). PowerTraceLogger is
+ * that logger: it records the timestamped raw ADC counts and decoded
+ * watts of a sampling session and computes the summary statistics a
+ * phase analysis needs (mean, extremes, percentiles).
+ */
+
+#ifndef LHR_SENSOR_TRACE_LOG_HH
+#define LHR_SENSOR_TRACE_LOG_HH
+
+#include <ostream>
+#include <vector>
+
+#include "sensor/calibration.hh"
+#include "sensor/channel.hh"
+
+namespace lhr
+{
+
+/** One logged sensor sample. */
+struct TraceSample
+{
+    double timeSec;  ///< time since logging started
+    int counts;      ///< raw ADC reading
+    double watts;    ///< decoded through the calibration
+};
+
+/** Records and summarizes a power sampling session. */
+class PowerTraceLogger
+{
+  public:
+    /** Bind to a channel and its calibration. */
+    PowerTraceLogger(const PowerChannel &channel,
+                     const Calibration &calibration);
+
+    /**
+     * Sample a true power value at a timestamp (the harness calls
+     * this at the 50Hz grid).
+     */
+    void sample(double time_sec, double true_watts, Rng &rng);
+
+    /** All samples in arrival order. */
+    const std::vector<TraceSample> &samples() const { return log; }
+
+    size_t count() const { return log.size(); }
+
+    /** Mean decoded power; panic()s when empty. */
+    double meanW() const;
+
+    /** Extremes of the decoded trace. */
+    double minW() const;
+    double maxW() const;
+
+    /**
+     * Percentile of decoded power in [0, 100]; linear interpolation
+     * between order statistics.
+     */
+    double percentileW(double pct) const;
+
+    /** Emit the trace as CSV (time_s, counts, watts). */
+    void writeCsv(std::ostream &os) const;
+
+    /** Drop all samples. */
+    void clear() { log.clear(); }
+
+  private:
+    const PowerChannel &sensorChannel;
+    const Calibration &calib;
+    std::vector<TraceSample> log;
+};
+
+} // namespace lhr
+
+#endif // LHR_SENSOR_TRACE_LOG_HH

@@ -1,0 +1,49 @@
+#include "stats/bootstrap.hh"
+
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+double
+BootstrapCi::halfWidthRelative() const
+{
+    if (mean == 0.0)
+        return 0.0;
+    return (hi - lo) / 2.0 / std::fabs(mean);
+}
+
+BootstrapCi
+bootstrapCi95(const std::vector<double> &samples, Rng &rng,
+              int resamples)
+{
+    if (samples.size() < 2)
+        panic("bootstrapCi95: need at least two samples");
+    if (resamples < 100)
+        panic("bootstrapCi95: too few resamples");
+
+    double sum = 0.0;
+    for (double x : samples)
+        sum += x;
+
+    std::vector<double> means;
+    means.reserve(resamples);
+    for (int r = 0; r < resamples; ++r) {
+        double resum = 0.0;
+        for (size_t i = 0; i < samples.size(); ++i)
+            resum += samples[rng.below(samples.size())];
+        means.push_back(resum / samples.size());
+    }
+    BootstrapCi ci;
+    ci.mean = sum / samples.size();
+    ci.lo = percentileOf(means, 2.5);
+    ci.hi = percentileOf(std::move(means), 97.5);
+    return ci;
+}
+
+} // namespace lhr

@@ -1,0 +1,55 @@
+#include "stats/linfit.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+LinearFit
+fitLinear(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size())
+        panic("fitLinear: mismatched vector sizes");
+    const size_t n = xs.size();
+    if (n < 2)
+        panic("fitLinear: need at least two points");
+
+    double sx = 0.0, sy = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        sx += xs[i];
+        sy += ys[i];
+    }
+    const double mx = sx / n;
+    const double my = sy / n;
+
+    double sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0)
+        panic("fitLinear: all x values identical");
+
+    LinearFit fit;
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+
+    if (syy == 0.0) {
+        fit.r2 = 1.0; // constant y perfectly explained
+    } else {
+        double ssRes = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            const double e = ys[i] - fit.at(xs[i]);
+            ssRes += e * e;
+        }
+        fit.r2 = 1.0 - ssRes / syy;
+    }
+    return fit;
+}
+
+} // namespace lhr

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Ordinary least-squares linear fit with R².
+ *
+ * The paper calibrates each Hall-effect sensor against 28 reference
+ * currents and reports linear fits with R² of 0.999 or better
+ * (section 2.5). LinearFit is used by sensor::Calibration to
+ * reproduce that procedure.
+ */
+
+#ifndef LHR_STATS_LINFIT_HH
+#define LHR_STATS_LINFIT_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace lhr
+{
+
+/** Result of an ordinary least-squares fit y = slope * x + intercept. */
+struct LinearFit
+{
+    double slope;
+    double intercept;
+    double r2;          ///< coefficient of determination
+
+    /** Evaluate the fitted line at x. */
+    double at(double x) const { return slope * x + intercept; }
+};
+
+/**
+ * Fit y = a*x + b by least squares. Requires at least two points with
+ * distinct x values; panic()s otherwise.
+ */
+LinearFit fitLinear(const std::vector<double> &xs,
+                    const std::vector<double> &ys);
+
+} // namespace lhr
+
+#endif // LHR_STATS_LINFIT_HH

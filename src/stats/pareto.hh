@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Pareto frontier extraction for the energy/performance tradeoff
+ * analysis (paper section 4.2, Table 5, Figure 12).
+ *
+ * A point is a (performance, energy) pair with an opaque label (the
+ * processor configuration). Higher performance is better; lower
+ * energy is better. A point is Pareto-efficient iff no other point
+ * both performs at least as well and consumes at most as much energy
+ * (with at least one strict).
+ */
+
+#ifndef LHR_STATS_PARETO_HH
+#define LHR_STATS_PARETO_HH
+
+#include <string>
+#include <vector>
+
+namespace lhr
+{
+
+/** One candidate design point in the energy/performance space. */
+struct ParetoPoint
+{
+    std::string label;   ///< identifies the configuration
+    double performance;  ///< larger is better
+    double energy;       ///< smaller is better
+};
+
+/**
+ * Return the Pareto-efficient subset, sorted by ascending
+ * performance. Duplicate-coordinate points are all retained (they
+ * dominate each other weakly, not strictly).
+ */
+std::vector<ParetoPoint>
+paretoFrontier(const std::vector<ParetoPoint> &points);
+
+/** True iff a dominates b (a is no worse in both and better in one). */
+bool dominates(const ParetoPoint &a, const ParetoPoint &b);
+
+} // namespace lhr
+
+#endif // LHR_STATS_PARETO_HH

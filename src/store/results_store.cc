@@ -1,0 +1,194 @@
+#include "store/results_store.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/csv.hh"
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+const char *const storeHeader =
+    "config,benchmark,time_s,time_ci95,power_w,power_ci95";
+
+/**
+ * Split one CSV line into fields, honouring double-quote quoting as
+ * produced by CsvWriter.
+ */
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string field;
+    bool quoted = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+        const char ch = line[i];
+        if (quoted) {
+            if (ch == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    field += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                field += ch;
+            }
+        } else if (ch == '"' && field.empty()) {
+            quoted = true;
+        } else if (ch == ',') {
+            fields.push_back(field);
+            field.clear();
+        } else {
+            field += ch;
+        }
+    }
+    fields.push_back(field);
+    return fields;
+}
+
+double
+parseDouble(const std::string &text, const std::string &context)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        fatal("ResultStore: bad number '" + text + "' in " + context);
+    return value;
+}
+
+} // namespace
+
+std::string
+ResultStore::key(const std::string &config_label,
+                 const std::string &benchmark)
+{
+    return config_label + "\x1f" + benchmark;
+}
+
+void
+ResultStore::put(const StoredResult &row)
+{
+    rows[key(row.configLabel, row.benchmark)] = row;
+}
+
+void
+ResultStore::put(const MachineConfig &cfg, const Benchmark &bench,
+                 const Measurement &m)
+{
+    put({cfg.label(), bench.name, m.timeSec, m.timeCi95Rel, m.powerW,
+         m.powerCi95Rel});
+}
+
+const StoredResult *
+ResultStore::find(const std::string &config_label,
+                  const std::string &benchmark) const
+{
+    const auto it = rows.find(key(config_label, benchmark));
+    return it == rows.end() ? nullptr : &it->second;
+}
+
+std::vector<const StoredResult *>
+ResultStore::all() const
+{
+    std::vector<const StoredResult *> out;
+    out.reserve(rows.size());
+    for (const auto &[k, row] : rows)
+        out.push_back(&row);
+    return out;
+}
+
+void
+ResultStore::save(std::ostream &os) const
+{
+    CsvWriter csv(os, {"config", "benchmark", "time_s", "time_ci95",
+                       "power_w", "power_ci95"});
+    for (const auto &[k, row] : rows) {
+        csv.beginRow();
+        csv.field(row.configLabel);
+        csv.field(row.benchmark);
+        csv.field(row.timeSec, 6);
+        csv.field(row.timeCi95Rel, 6);
+        csv.field(row.powerW, 6);
+        csv.field(row.powerCi95Rel, 6);
+    }
+}
+
+ResultStore
+ResultStore::load(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line) || line != storeHeader)
+        fatal("ResultStore: missing or unexpected CSV header");
+
+    ResultStore store;
+    size_t lineNo = 1;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        const auto fields = splitCsvLine(line);
+        if (fields.size() != 6) {
+            fatal(msgOf("ResultStore: line ", lineNo, " has ",
+                        fields.size(), " fields, expected 6"));
+        }
+        const std::string context = msgOf("line ", lineNo);
+        store.put({fields[0], fields[1],
+                   parseDouble(fields[2], context),
+                   parseDouble(fields[3], context),
+                   parseDouble(fields[4], context),
+                   parseDouble(fields[5], context)});
+    }
+    return store;
+}
+
+ResultStore
+ResultStore::snapshot(ExperimentRunner &runner,
+                      const std::vector<MachineConfig> &configs)
+{
+    ResultStore store;
+    for (const auto &cfg : configs)
+        for (const auto &bench : allBenchmarks())
+            store.put(cfg, bench, runner.measure(cfg, bench));
+    return store;
+}
+
+StoreComparison
+compareStores(const ResultStore &before, const ResultStore &after,
+              double tolerance)
+{
+    if (tolerance < 0.0)
+        panic("compareStores: negative tolerance");
+
+    StoreComparison cmp;
+    for (const auto *row : before.all()) {
+        const StoredResult *other =
+            after.find(row->configLabel, row->benchmark);
+        if (!other) {
+            cmp.onlyInBefore.push_back(row->configLabel + " / " +
+                                       row->benchmark);
+            continue;
+        }
+        ++cmp.compared;
+        const double timeRatio = other->timeSec / row->timeSec;
+        const double powerRatio = other->powerW / row->powerW;
+        if (std::fabs(timeRatio - 1.0) > tolerance ||
+            std::fabs(powerRatio - 1.0) > tolerance) {
+            cmp.regressions.push_back(
+                {row->configLabel, row->benchmark, timeRatio,
+                 powerRatio, other->energyJ() / row->energyJ()});
+        }
+    }
+    for (const auto *row : after.all()) {
+        if (!before.find(row->configLabel, row->benchmark))
+            cmp.onlyInAfter.push_back(row->configLabel + " / " +
+                                      row->benchmark);
+    }
+    return cmp;
+}
+
+} // namespace lhr

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Measurement persistence and run-to-run comparison.
+ *
+ * The paper published its complete measurement data as csv companion
+ * files so others could re-analyze it. ResultStore is that facility
+ * for this laboratory: snapshot a set of measurements to CSV, load
+ * them back, and diff two snapshots — the workflow a lab needs when
+ * a model change (or, with real hardware, a firmware/kernel change)
+ * might silently shift results.
+ */
+
+#ifndef LHR_STORE_RESULTS_STORE_HH
+#define LHR_STORE_RESULTS_STORE_HH
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace lhr
+{
+
+/** One stored measurement row. */
+struct StoredResult
+{
+    std::string configLabel;
+    std::string benchmark;
+    double timeSec;
+    double timeCi95Rel;
+    double powerW;
+    double powerCi95Rel;
+
+    double energyJ() const { return timeSec * powerW; }
+};
+
+/** A keyed collection of measurements with CSV persistence. */
+class ResultStore
+{
+  public:
+    /** Insert or overwrite a row. */
+    void put(const StoredResult &row);
+
+    /** Convenience: store a Measurement under its experiment key. */
+    void put(const MachineConfig &cfg, const Benchmark &bench,
+             const Measurement &m);
+
+    /** Find a row; nullptr when absent. */
+    const StoredResult *find(const std::string &config_label,
+                             const std::string &benchmark) const;
+
+    size_t size() const { return rows.size(); }
+
+    /** Rows in key order. */
+    std::vector<const StoredResult *> all() const;
+
+    /** Serialize as CSV (stable row order). */
+    void save(std::ostream &os) const;
+
+    /**
+     * Parse a store from CSV as written by save(). fatal()s on a
+     * malformed header or row (a user-supplied file is user input).
+     */
+    static ResultStore load(std::istream &is);
+
+    /**
+     * Snapshot a configuration set: measures every benchmark on
+     * every configuration through the runner.
+     */
+    static ResultStore snapshot(
+        ExperimentRunner &runner,
+        const std::vector<MachineConfig> &configs);
+
+  private:
+    static std::string key(const std::string &config_label,
+                           const std::string &benchmark);
+
+    std::map<std::string, StoredResult> rows;
+};
+
+/** One row of a store comparison. */
+struct ResultDelta
+{
+    std::string configLabel;
+    std::string benchmark;
+    double timeRatio;   ///< after / before
+    double powerRatio;
+    double energyRatio;
+};
+
+/** Outcome of comparing two stores. */
+struct StoreComparison
+{
+    std::vector<ResultDelta> regressions; ///< beyond tolerance
+    std::vector<std::string> onlyInBefore;
+    std::vector<std::string> onlyInAfter;
+    size_t compared = 0;
+
+    bool clean() const
+    {
+        return regressions.empty() && onlyInBefore.empty() &&
+            onlyInAfter.empty();
+    }
+};
+
+/**
+ * Compare two stores: rows whose time or power moved by more than
+ * `tolerance` (fractional) are reported as regressions.
+ */
+StoreComparison compareStores(const ResultStore &before,
+                              const ResultStore &after,
+                              double tolerance);
+
+} // namespace lhr
+
+#endif // LHR_STORE_RESULTS_STORE_HH

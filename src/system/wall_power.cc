@@ -1,0 +1,85 @@
+#include "system/wall_power.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+PlatformConfig
+PlatformConfig::desktop2009()
+{
+    PlatformConfig platform;
+    platform.boardIdleW = 28.0;
+    platform.dramPerGbW = 2.5;
+    platform.dramGb = 4.0;
+    platform.diskIdleW = 6.0;
+    platform.diskActiveW = 5.0;
+    platform.psuNameplateW = 450.0;
+    platform.psuEff20 = 0.80;
+    platform.psuEff50 = 0.84;
+    platform.psuEff100 = 0.80;
+    return platform;
+}
+
+WallPowerModel::WallPowerModel(const ProcessorSpec &spec,
+                               const PlatformConfig &platform)
+    : processor(spec), config(platform)
+{
+    if (config.psuNameplateW <= 0.0)
+        panic("WallPowerModel: invalid PSU rating");
+}
+
+double
+WallPowerModel::psuEfficiency(double dc_load_w) const
+{
+    if (dc_load_w < 0.0)
+        panic("WallPowerModel: negative load");
+    const double load = dc_load_w / config.psuNameplateW;
+    // Piecewise linear through the 20/50/100% efficiency points,
+    // degrading sharply below 20% load (real PSUs do).
+    if (load <= 0.20) {
+        const double low = 0.60;
+        return low + (config.psuEff20 - low) * (load / 0.20);
+    }
+    if (load <= 0.50) {
+        return config.psuEff20 +
+            (config.psuEff50 - config.psuEff20) *
+            ((load - 0.20) / 0.30);
+    }
+    const double capped = std::min(load, 1.0);
+    return config.psuEff50 +
+        (config.psuEff100 - config.psuEff50) *
+        ((capped - 0.50) / 0.50);
+}
+
+WallPower
+WallPowerModel::at(double chip_w, double dram_gbs) const
+{
+    if (chip_w < 0.0 || dram_gbs < 0.0)
+        panic("WallPowerModel::at: negative inputs");
+
+    WallPower wall;
+    wall.chipW = chip_w;
+    // DRAM power rises with traffic (activate/precharge energy).
+    const double dramW = config.dramPerGbW * config.dramGb *
+        (0.5 + 0.5 * std::min(1.0, dram_gbs / 10.0));
+    wall.platformW = config.boardIdleW + dramW + config.diskIdleW;
+
+    const double dcW = wall.chipW + wall.platformW;
+    const double efficiency = psuEfficiency(dcW);
+    wall.wallW = dcW / efficiency;
+    wall.psuLossW = wall.wallW - dcW;
+    return wall;
+}
+
+double
+WallPowerModel::nameplateW() const
+{
+    // What the sticker arithmetic suggests: the PSU rating is the
+    // provisioning number datacenters used before Fan et al.
+    return config.psuNameplateW;
+}
+
+} // namespace lhr

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Whole-system (wall) power model.
+ *
+ * The paper deliberately measures *chip* power at the isolated 12V
+ * rail, in contrast to the whole-system studies it cites (Isci &
+ * Martonosi's clamp-ammeter work, Fan et al.'s datacenter
+ * provisioning, Le Sueur & Heiser's RAM-disk setup, §5). This module
+ * builds the wall-side view those studies measure: platform
+ * components (motherboard, DRAM, disk, fans, GPU slot) behind a PSU
+ * with a realistic load-dependent efficiency curve — so the two
+ * measurement scopes can be compared, and Fan et al.'s observation
+ * ("even the most power-consuming workloads draw less than 60% of
+ * nameplate") can be checked against our machines.
+ */
+
+#ifndef LHR_SYSTEM_WALL_POWER_HH
+#define LHR_SYSTEM_WALL_POWER_HH
+
+#include "harness/runner.hh"
+
+namespace lhr
+{
+
+/** Platform components around the processor. */
+struct PlatformConfig
+{
+    double boardIdleW;      ///< chipset, VRM losses, fans, IO
+    double dramPerGbW;      ///< DRAM power per GB at typical load
+    double dramGb;          ///< installed memory
+    double diskIdleW;       ///< disk spindle (the paper's rigs
+                            ///< keep disks; Le Sueur used a RAM disk)
+    double diskActiveW;     ///< additional when IO-active
+    double psuNameplateW;   ///< rated PSU output
+    /** PSU efficiency at 20/50/100% load (80-Plus-era curve). */
+    double psuEff20, psuEff50, psuEff100;
+
+    /** A desktop platform of the study's era. */
+    static PlatformConfig desktop2009();
+};
+
+/** Decomposed wall power. */
+struct WallPower
+{
+    double chipW;       ///< the 12V-rail measurement (paper scope)
+    double platformW;   ///< board + DRAM + disk (DC side)
+    double psuLossW;    ///< conversion loss
+    double wallW;       ///< what a clamp ammeter reads (AC side)
+
+    /** Chip share of wall power. */
+    double chipShare() const { return chipW / wallW; }
+};
+
+/** The wall-power model around one processor. */
+class WallPowerModel
+{
+  public:
+    WallPowerModel(const ProcessorSpec &spec,
+                   const PlatformConfig &platform);
+
+    /**
+     * Wall power when the chip draws `chip_w` and memory traffic is
+     * `dram_gbs` (drives DRAM activity); disk assumed idle as in the
+     * paper's compute-bound workloads.
+     */
+    WallPower at(double chip_w, double dram_gbs) const;
+
+    /** PSU efficiency at a DC load (piecewise-linear on the curve). */
+    double psuEfficiency(double dc_load_w) const;
+
+    /**
+     * "Nameplate" power of the machine: PSU rating plus nominal
+     * everything — the number Fan et al. showed real machines never
+     * approach.
+     */
+    double nameplateW() const;
+
+  private:
+    const ProcessorSpec &processor;
+    PlatformConfig config;
+};
+
+} // namespace lhr
+
+#endif // LHR_SYSTEM_WALL_POWER_HH

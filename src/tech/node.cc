@@ -1,0 +1,52 @@
+#include "tech/node.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+const TechNode nodes[] = {
+    // node        nm   name     capScale leakScale vNom  vMin
+    {Node::Nm130, 130, "130nm",  1.000,   1.00,     1.50, 1.10},
+    {Node::Nm65,   65, "65nm",   0.490,   2.20,     1.30, 0.85},
+    {Node::Nm45,   45, "45nm",   0.343,   1.60,     1.20, 0.80},
+    {Node::Nm32,   32, "32nm",   0.245,   1.50,     1.10, 0.65},
+};
+
+} // namespace
+
+const TechNode &
+techNode(Node node)
+{
+    for (const auto &tn : nodes)
+        if (tn.node == node)
+            return tn;
+    panic("techNode: unknown node");
+}
+
+const TechNode &
+techNodeByNm(int nm)
+{
+    for (const auto &tn : nodes)
+        if (tn.featureNm == nm)
+            return tn;
+    panic(msgOf("techNodeByNm: no model for ", nm, "nm"));
+}
+
+double
+leakageVoltageFactor(const TechNode &tech, double v)
+{
+    if (v <= 0.0)
+        panic("leakageVoltageFactor: non-positive voltage");
+    // Subthreshold + gate leakage grow roughly with V^2 around the
+    // nominal operating point.
+    const double ratio = v / tech.vNominal;
+    return ratio * ratio;
+}
+
+} // namespace lhr

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Process technology node models.
+ *
+ * The paper spans five technology generations, 130nm (2003) to 32nm
+ * (2010), over which Dennard scaling slowed: capacitance per
+ * transistor kept falling with feature size, but supply voltage
+ * stopped falling proportionally and leakage grew until high-k metal
+ * gates (45nm) partially recovered it. TechNode captures the scaling
+ * factors the power model needs; the die-shrink analyses (paper
+ * Findings 4 and 5) exercise these directly.
+ */
+
+#ifndef LHR_TECH_NODE_HH
+#define LHR_TECH_NODE_HH
+
+#include <string>
+
+namespace lhr
+{
+
+/** Feature sizes used in the study. */
+enum class Node
+{
+    Nm130,
+    Nm65,
+    Nm45,
+    Nm32
+};
+
+/** Scaling parameters of one process technology generation. */
+struct TechNode
+{
+    Node node;
+    int featureNm;        ///< drawn feature size in nanometres
+    std::string name;     ///< e.g. "130nm"
+
+    /**
+     * Effective switched capacitance per transistor relative to
+     * 130nm. Each full node step shrinks linear dimensions by ~0.7,
+     * so per-transistor capacitance falls roughly with feature size.
+     */
+    double capScale;
+
+    /**
+     * Leakage power per transistor at nominal voltage relative to
+     * 130nm. Rises towards 65nm, partially recovered at 45nm by
+     * high-k metal gate, roughly flat at 32nm.
+     */
+    double leakScale;
+
+    double vNominal;      ///< nominal core supply voltage (V)
+    double vMin;          ///< practical DVFS floor voltage (V)
+};
+
+/** Look up the model for a node. */
+const TechNode &techNode(Node node);
+
+/** Look up by feature size in nanometres; panic()s on unknown size. */
+const TechNode &techNodeByNm(int nm);
+
+/**
+ * Leakage dependence on voltage: subthreshold leakage scales
+ * super-linearly with V. Returns the multiplier relative to
+ * operation at vNominal.
+ */
+double leakageVoltageFactor(const TechNode &tech, double v);
+
+} // namespace lhr
+
+#endif // LHR_TECH_NODE_HH

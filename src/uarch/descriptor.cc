@@ -1,0 +1,88 @@
+#include "uarch/descriptor.hh"
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+std::string
+familyName(Family family)
+{
+    switch (family) {
+      case Family::NetBurst: return "NetBurst";
+      case Family::Core:     return "Core";
+      case Family::Bonnell:  return "Bonnell";
+      case Family::Nehalem:  return "Nehalem";
+    }
+    panic("familyName: unknown family");
+}
+
+namespace
+{
+
+// Pipeline parameters follow the published microarchitecture
+// descriptions; capacitance and idle fractions are calibrated so
+// that each part's measured-power targets (paper Table 4) emerge.
+const MicroArch uarchs[] = {
+    {
+        Family::NetBurst, "NetBurst",
+        /* issueWidth */ 3, /* pipelineDepth */ 20, /* outOfOrder */ true,
+        /* issueEfficiency */ 0.44,
+        /* ilpExtraction */ 0.85,
+        /* stallExposure */ 0.70,
+        /* smtQuality */ 0.22, /* smtCachePressure */ 0.65,
+        /* branchPenalty */ 20.0,
+        /* coreCapNf130 */ 15.5, /* llcCapNfPerMb130 */ 2.0,
+        /* idleCoreFraction */ 0.75,
+        /* coreTransistorsM */ 25.0,
+    },
+    {
+        Family::Core, "Core",
+        /* issueWidth */ 4, /* pipelineDepth */ 14, /* outOfOrder */ true,
+        /* issueEfficiency */ 0.70,
+        /* ilpExtraction */ 1.00,
+        /* stallExposure */ 0.50,
+        /* smtQuality */ 0.0, /* smtCachePressure */ 0.50,
+        /* branchPenalty */ 14.0,
+        /* coreCapNf130 */ 9.0, /* llcCapNfPerMb130 */ 1.2,
+        /* idleCoreFraction */ 0.75,
+        /* coreTransistorsM */ 55.0,
+    },
+    {
+        Family::Bonnell, "Bonnell",
+        /* issueWidth */ 2, /* pipelineDepth */ 16, /* outOfOrder */ false,
+        /* issueEfficiency */ 0.50,
+        /* ilpExtraction */ 0.60,
+        /* stallExposure */ 1.45,
+        /* smtQuality */ 0.70, /* smtCachePressure */ 0.45,
+        /* branchPenalty */ 13.0,
+        /* coreCapNf130 */ 2.3, /* llcCapNfPerMb130 */ 1.2,
+        /* idleCoreFraction */ 0.55,
+        /* coreTransistorsM */ 14.0,
+    },
+    {
+        Family::Nehalem, "Nehalem",
+        /* issueWidth */ 4, /* pipelineDepth */ 14, /* outOfOrder */ true,
+        /* issueEfficiency */ 0.76,
+        /* ilpExtraction */ 1.28,
+        /* stallExposure */ 0.33,
+        /* smtQuality */ 0.42, /* smtCachePressure */ 0.40,
+        /* branchPenalty */ 14.0,
+        /* coreCapNf130 */ 16.5, /* llcCapNfPerMb130 */ 1.2,
+        /* idleCoreFraction */ 0.20,
+        /* coreTransistorsM */ 90.0,
+    },
+};
+
+} // namespace
+
+const MicroArch &
+microArch(Family family)
+{
+    for (const auto &ua : uarchs)
+        if (ua.family == family)
+            return ua;
+    panic("microArch: unknown family");
+}
+
+} // namespace lhr

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Microarchitecture descriptors.
+ *
+ * The study covers four Intel microarchitectures: NetBurst
+ * (Pentium 4), Core (Conroe/Kentsfield/Wolfdale), Bonnell (Atom) and
+ * Nehalem (Bloomfield/Clarkdale). MicroArch captures the pipeline
+ * parameters the performance model consumes and the architectural
+ * capacitance terms the power model consumes.
+ */
+
+#ifndef LHR_UARCH_DESCRIPTOR_HH
+#define LHR_UARCH_DESCRIPTOR_HH
+
+#include <string>
+
+namespace lhr
+{
+
+/** The four microarchitecture families in the study. */
+enum class Family
+{
+    NetBurst,
+    Core,
+    Bonnell,
+    Nehalem
+};
+
+/** Printable family name. */
+std::string familyName(Family family);
+
+/** Pipeline and energy parameters of one microarchitecture. */
+struct MicroArch
+{
+    Family family;
+    std::string name;
+
+    int issueWidth;          ///< sustained issue slots per cycle
+    int pipelineDepth;       ///< stages, sets branch penalty
+    bool outOfOrder;         ///< false for Bonnell (in-order)
+
+    /**
+     * Pipeline efficiency: fraction of nominal issue slots usable on
+     * typical integer code, before branch and memory stalls. NetBurst
+     * is notoriously low (trace cache misses, replay); Core/Nehalem
+     * are high.
+     */
+    double issueEfficiency;
+
+    /**
+     * ILP extraction factor: how much of a benchmark's inherent
+     * instruction-level parallelism the machine exposes. Large
+     * out-of-order windows (Nehalem) extract more than the window
+     * of Core; in-order Bonnell far less.
+     */
+    double ilpExtraction;
+
+    /**
+     * Exposed-latency multiplier for in-order pipelines: an in-order
+     * core cannot hide L1/L2 latency under independent work, so
+     * memory stall cycles are multiplied by this factor (1.0 for
+     * out-of-order cores that can overlap a large share).
+     */
+    double stallExposure;
+
+    /**
+     * SMT implementation quality in [0,1]: fraction of idle issue
+     * slots a second hardware thread can fill. NetBurst's first
+     * implementation is poor; Nehalem's is good; Bonnell relies on
+     * it heavily.
+     */
+    double smtQuality;
+
+    /**
+     * Fraction of per-thread effective cache capacity lost when two
+     * SMT threads share a core's caches.
+     */
+    double smtCachePressure;
+
+    /** Branch misprediction penalty in cycles. */
+    double branchPenalty;
+
+    /**
+     * Effective switched core capacitance at the 130nm reference
+     * node, in nF (P_dyn = act * cap * V^2 * f[GHz] yields watts).
+     * Scaled by TechNode::capScale at the part's node.
+     */
+    double coreCapNf130;
+
+    /** Same reference capacitance for the LLC, per MB. */
+    double llcCapNfPerMb130;
+
+    /**
+     * Fraction of an active core's power an idle (architecturally
+     * enabled but unused) core still draws: clock gating quality.
+     * NetBurst-era gating is coarse; Nehalem power gates cores.
+     */
+    double idleCoreFraction;
+
+    /** Millions of transistors per core (logic + private caches). */
+    double coreTransistorsM;
+};
+
+/** Look up the descriptor for a family. */
+const MicroArch &microArch(Family family);
+
+} // namespace lhr
+
+#endif // LHR_UARCH_DESCRIPTOR_HH

@@ -1,0 +1,92 @@
+#include "util/csv.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+std::string
+quoteIfNeeded(const std::string &text)
+{
+    if (text.find_first_of(",\"\n") == std::string::npos)
+        return text;
+    std::string out = "\"";
+    for (char ch : text) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+CsvWriter::CsvWriter(std::ostream &os, const std::vector<std::string> &header)
+    : out(os), columnCount(header.size()), rowOpen(false)
+{
+    if (header.empty())
+        panic("CsvWriter: empty header");
+    for (size_t i = 0; i < header.size(); ++i)
+        out << (i ? "," : "") << quoteIfNeeded(header[i]);
+    out << '\n';
+}
+
+void
+CsvWriter::beginRow()
+{
+    if (rowOpen)
+        flushRow();
+    pending.clear();
+    rowOpen = true;
+}
+
+void
+CsvWriter::field(const std::string &text)
+{
+    if (!rowOpen)
+        panic("CsvWriter: field before beginRow");
+    if (pending.size() >= columnCount)
+        panic("CsvWriter: too many fields in row");
+    pending.push_back(quoteIfNeeded(text));
+}
+
+void
+CsvWriter::field(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    field(std::string(buf));
+}
+
+void
+CsvWriter::field(long value)
+{
+    field(std::to_string(value));
+}
+
+void
+CsvWriter::flushRow()
+{
+    if (pending.size() != columnCount) {
+        panic(msgOf("CsvWriter: row has ", pending.size(),
+                    " fields, expected ", columnCount));
+    }
+    for (size_t i = 0; i < pending.size(); ++i)
+        out << (i ? "," : "") << pending[i];
+    out << '\n';
+    rowOpen = false;
+}
+
+CsvWriter::~CsvWriter()
+{
+    if (rowOpen)
+        flushRow();
+}
+
+} // namespace lhr

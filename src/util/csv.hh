@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal CSV emission, mirroring the paper's companion csv data sets.
+ */
+
+#ifndef LHR_UTIL_CSV_HH
+#define LHR_UTIL_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lhr
+{
+
+/**
+ * Writes rows of comma-separated values with proper quoting. The
+ * header row is emitted on construction.
+ */
+class CsvWriter
+{
+  public:
+    /** Bind to a stream and write the header row. */
+    CsvWriter(std::ostream &os, const std::vector<std::string> &header);
+
+    /** Begin a new row (flushes the previous one). */
+    void beginRow();
+
+    /** Append a text field (quoted if it contains , " or newline). */
+    void field(const std::string &text);
+
+    /** Append a numeric field with fixed decimals. */
+    void field(double value, int decimals = 6);
+
+    /** Append an integer field. */
+    void field(long value);
+
+    /** Flush any pending row. */
+    ~CsvWriter();
+
+  private:
+    void flushRow();
+
+    std::ostream &out;
+    size_t columnCount;
+    std::vector<std::string> pending;
+    bool rowOpen;
+};
+
+} // namespace lhr
+
+#endif // LHR_UTIL_CSV_HH

@@ -1,0 +1,17 @@
+#include "util/hash.hh"
+
+namespace lhr
+{
+
+uint64_t
+fnv1a(const std::string &text)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (char ch : text) {
+        h ^= static_cast<unsigned char>(ch);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace lhr

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * String hashing for deriving deterministic random streams from
+ * names (experiment keys, vendor/benchmark pairs).
+ */
+
+#ifndef LHR_UTIL_HASH_HH
+#define LHR_UTIL_HASH_HH
+
+#include <cstdint>
+#include <string>
+
+namespace lhr
+{
+
+/** FNV-1a over the bytes of a string. */
+uint64_t fnv1a(const std::string &text);
+
+} // namespace lhr
+
+#endif // LHR_UTIL_HASH_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers in the gem5 spirit.
+ *
+ * panic()  — an internal invariant was violated: a bug in lhrlab itself.
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments).
+ * warn()   — something is approximated or suspicious but survivable.
+ * inform() — normal operating status for the user.
+ */
+
+#ifndef LHR_UTIL_LOGGING_HH
+#define LHR_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace lhr
+{
+
+/** Verbosity levels understood by setLogLevel(). */
+enum class LogLevel
+{
+    Silent,  ///< suppress warn() and inform()
+    Warn,    ///< show warn() only
+    Info     ///< show warn() and inform()
+};
+
+/** Set the global log verbosity. Default is LogLevel::Warn. */
+void setLogLevel(LogLevel level);
+
+/** Current global log verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an internal invariant violation and abort().
+ * Use only for conditions that indicate a bug in lhrlab.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Report an unrecoverable user error and exit(1).
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report a survivable anomaly (shown at LogLevel::Warn and above). */
+void warn(const std::string &msg);
+
+/** Report normal status (shown at LogLevel::Info). */
+void inform(const std::string &msg);
+
+/**
+ * Build a message from stream-formattable pieces.
+ * Example: panic(msgOf("bad index ", i, " of ", n));
+ */
+template <typename... Args>
+std::string
+msgOf(Args &&...args)
+{
+    std::ostringstream os;
+    if constexpr (sizeof...(Args) > 0)
+        (os << ... << args);
+    return os.str();
+}
+
+} // namespace lhr
+
+#endif // LHR_UTIL_LOGGING_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in lhrlab (sensor noise, JIT/GC
+ * nondeterminism, phase jitter) flows through Rng so that every
+ * experiment is exactly reproducible from its seed. The generator is
+ * xoshiro256**, seeded via SplitMix64 so that nearby seeds yield
+ * uncorrelated streams.
+ */
+
+#ifndef LHR_UTIL_RNG_HH
+#define LHR_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace lhr
+{
+
+/**
+ * A small, fast, deterministic random number generator
+ * (xoshiro256** with SplitMix64 seeding).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed. Equal seeds yield equal streams. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Standard normal deviate (Box-Muller, cached pair). */
+    double gaussian();
+
+    /** Normal deviate with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** Uniform integer in [0, n). n must be > 0. */
+    uint64_t below(uint64_t n);
+
+    /**
+     * Derive an independent child generator. Streams of a parent and
+     * its children do not overlap in practice; used to give every
+     * (benchmark, invocation) pair its own stream.
+     */
+    Rng fork();
+
+  private:
+    uint64_t s[4];
+    double cachedGaussian;
+    bool hasCachedGaussian;
+};
+
+} // namespace lhr
+
+#endif // LHR_UTIL_RNG_HH

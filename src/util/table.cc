@@ -1,0 +1,103 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+std::string
+formatFixed(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+void
+TableWriter::addColumn(const std::string &header, Align align)
+{
+    if (!rows.empty())
+        panic("TableWriter: cannot add columns after rows");
+    columns.push_back({header, align});
+}
+
+void
+TableWriter::beginRow()
+{
+    if (!rows.empty() && rows.back().size() != columns.size()) {
+        panic(msgOf("TableWriter: previous row has ", rows.back().size(),
+                    " cells, expected ", columns.size()));
+    }
+    rows.emplace_back();
+}
+
+void
+TableWriter::cell(const std::string &text)
+{
+    if (rows.empty())
+        panic("TableWriter: cell before beginRow");
+    if (rows.back().size() >= columns.size())
+        panic("TableWriter: too many cells in row");
+    rows.back().push_back(text);
+}
+
+void
+TableWriter::cell(double value, int decimals)
+{
+    cell(formatFixed(value, decimals));
+}
+
+void
+TableWriter::cell(long value)
+{
+    cell(std::to_string(value));
+}
+
+void
+TableWriter::emptyCell()
+{
+    cell(std::string());
+}
+
+void
+TableWriter::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(columns.size());
+    for (size_t c = 0; c < columns.size(); ++c)
+        widths[c] = columns[c].header.size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto pad = [&](const std::string &text, size_t c) {
+        std::string out;
+        const size_t fill = widths[c] - text.size();
+        if (columns[c].align == Align::Right)
+            out = std::string(fill, ' ') + text;
+        else
+            out = text + std::string(fill, ' ');
+        return out;
+    };
+
+    for (size_t c = 0; c < columns.size(); ++c) {
+        os << pad(columns[c].header, c)
+           << (c + 1 < columns.size() ? "  " : "");
+    }
+    os << '\n';
+    size_t total = 0;
+    for (size_t c = 0; c < columns.size(); ++c)
+        total += widths[c] + (c + 1 < columns.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+
+    for (const auto &row : rows) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << pad(row[c], c) << (c + 1 < columns.size() ? "  " : "");
+        }
+        os << '\n';
+    }
+}
+
+} // namespace lhr

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Console table formatting for experiment output.
+ *
+ * Every bench binary prints its table/figure data both as an aligned
+ * console table (human inspection) and, optionally, as CSV
+ * (machine consumption). TableWriter handles the former.
+ */
+
+#ifndef LHR_UTIL_TABLE_HH
+#define LHR_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lhr
+{
+
+/**
+ * An aligned console table. Columns are declared up front; rows are
+ * appended cell by cell. Numeric cells are right-aligned, text cells
+ * left-aligned.
+ */
+class TableWriter
+{
+  public:
+    /** Column alignment. */
+    enum class Align { Left, Right };
+
+    /** Declare a column with a header and alignment. */
+    void addColumn(const std::string &header, Align align = Align::Right);
+
+    /** Begin a new row. */
+    void beginRow();
+
+    /** Append a text cell to the current row. */
+    void cell(const std::string &text);
+
+    /** Append a numeric cell with fixed decimal places. */
+    void cell(double value, int decimals = 2);
+
+    /** Append an integer cell. */
+    void cell(long value);
+
+    /** Append an empty cell. */
+    void emptyCell();
+
+    /** Number of data rows appended so far. */
+    size_t rowCount() const { return rows.size(); }
+
+    /** Render the table (header, separator, rows) to a stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    struct Column
+    {
+        std::string header;
+        Align align;
+    };
+
+    std::vector<Column> columns;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/**
+ * Format a double with fixed decimal places (convenience for ad-hoc
+ * output around TableWriter).
+ */
+std::string formatFixed(double value, int decimals);
+
+} // namespace lhr
+
+#endif // LHR_UTIL_TABLE_HH

@@ -1,0 +1,389 @@
+#include "workload/benchmark.hh"
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+const std::vector<Group> &
+allGroups()
+{
+    static const std::vector<Group> groups = {
+        Group::NativeNonScalable,
+        Group::NativeScalable,
+        Group::JavaNonScalable,
+        Group::JavaScalable,
+    };
+    return groups;
+}
+
+std::string
+groupName(Group group)
+{
+    switch (group) {
+      case Group::NativeNonScalable: return "Native Non-scalable";
+      case Group::NativeScalable:    return "Native Scalable";
+      case Group::JavaNonScalable:   return "Java Non-scalable";
+      case Group::JavaScalable:      return "Java Scalable";
+    }
+    panic("groupName: unknown group");
+}
+
+std::string
+suiteName(Suite suite)
+{
+    switch (suite) {
+      case Suite::SpecInt2006: return "SPEC CINT2006";
+      case Suite::SpecFp2006:  return "SPEC CFP2006";
+      case Suite::Parsec:      return "PARSEC";
+      case Suite::SpecJvm98:   return "SPECjvm";
+      case Suite::DaCapo06:    return "DaCapo 06-10-MR2";
+      case Suite::DaCapo09:    return "DaCapo 9.12";
+      case Suite::Pjbb2005:    return "pjbb2005";
+    }
+    panic("suiteName: unknown suite");
+}
+
+Language
+Benchmark::language() const
+{
+    return (group == Group::JavaNonScalable ||
+            group == Group::JavaScalable)
+        ? Language::Java : Language::Native;
+}
+
+bool
+Benchmark::scalable() const
+{
+    return group == Group::NativeScalable || group == Group::JavaScalable;
+}
+
+double
+Benchmark::instructionsB() const
+{
+    return refTimeSec * 2.0;
+}
+
+int
+Benchmark::prescribedInvocations() const
+{
+    if (language() == Language::Java)
+        return 20;
+    return suite == Suite::Parsec ? 5 : 3;
+}
+
+namespace
+{
+
+constexpr Group NN = Group::NativeNonScalable;
+constexpr Group NS = Group::NativeScalable;
+constexpr Group JN = Group::JavaNonScalable;
+constexpr Group JS = Group::JavaScalable;
+
+// Characteristics are seeded from the paper's Table 1 (reference
+// times, descriptions, groups) and from published characterizations
+// of the suites: SPEC CPU2006 miss rates and footprints, PARSEC
+// working sets and scalability (Bienia et al.), SPECjvm98's small
+// footprints and DaCapo's rich heap behaviour (Blackburn et al.).
+//
+// Column legend, in struct order:
+//   ilp  mapi  {mpki32, beta, wsKb, coldMpki}  misp/Ki  fp
+//   thr  pfrac  jvmSvc  gcRel  phase
+const std::vector<Benchmark> database = {
+    // ---- Native Non-scalable: SPEC CINT2006 -------------------------
+    {"perlbench", Suite::SpecInt2006, NN, 1037,
+     "Perl programming language",
+     2.2, 0.35, {22, 0.55, 8000, 0.3}, 6.0, 0.00,
+     1, 0.0, 0.0, 0.0, 0.08},
+    {"bzip2", Suite::SpecInt2006, NN, 1563,
+     "bzip2 compression",
+     1.8, 0.32, {25, 0.50, 16000, 1.0}, 7.0, 0.00,
+     1, 0.0, 0.0, 0.0, 0.06},
+    {"gcc", Suite::SpecInt2006, NN, 851,
+     "C optimizing compiler",
+     1.9, 0.35, {28, 0.50, 32000, 1.5}, 7.0, 0.00,
+     1, 0.0, 0.0, 0.0, 0.15},
+    {"mcf", Suite::SpecInt2006, NN, 894,
+     "Combinatorial opt / vehicle scheduling",
+     1.3, 0.40, {65, 0.25, 1e6, 3.0}, 9.0, 0.00,
+     1, 0.0, 0.0, 0.0, 0.05},
+    {"gobmk", Suite::SpecInt2006, NN, 1113,
+     "AI: Go game",
+     1.7, 0.30, {12, 0.50, 4000, 0.5}, 11.0, 0.00,
+     1, 0.0, 0.0, 0.0, 0.05},
+    {"hmmer", Suite::SpecInt2006, NN, 1024,
+     "Search a gene sequence database",
+     2.8, 0.35, {4, 0.60, 512, 0.1}, 2.0, 0.00,
+     1, 0.0, 0.0, 0.0, 0.03},
+    {"sjeng", Suite::SpecInt2006, NN, 1315,
+     "AI: tree search & pattern recognition",
+     1.9, 0.30, {8, 0.50, 4000, 0.3}, 10.0, 0.00,
+     1, 0.0, 0.0, 0.0, 0.04},
+    {"libquantum", Suite::SpecInt2006, NN, 629,
+     "Physics / quantum computing",
+     2.4, 0.33, {30, 0.15, 1e6, 20.0}, 1.5, 0.00,
+     1, 0.0, 0.0, 0.0, 0.03},
+    {"h264ref", Suite::SpecInt2006, NN, 1533,
+     "H.264/AVC video compression",
+     2.6, 0.38, {12, 0.55, 4000, 0.5}, 4.0, 0.10,
+     1, 0.0, 0.0, 0.0, 0.10},
+    {"omnetpp", Suite::SpecInt2006, NN, 905,
+     "Ethernet network simulation (OMNeT++)",
+     1.4, 0.40, {35, 0.30, 1e6, 2.0}, 6.0, 0.00,
+     1, 0.0, 0.0, 0.0, 0.04},
+    {"astar", Suite::SpecInt2006, NN, 1154,
+     "Portable 2D path-finding library",
+     1.5, 0.38, {30, 0.35, 500000, 1.0}, 8.0, 0.00,
+     1, 0.0, 0.0, 0.0, 0.05},
+    {"xalancbmk", Suite::SpecInt2006, NN, 787,
+     "XSLT processor for transforming XML",
+     1.6, 0.40, {30, 0.40, 100000, 1.0}, 5.0, 0.00,
+     1, 0.0, 0.0, 0.0, 0.06},
+
+    // ---- Native Non-scalable: SPEC CFP2006 --------------------------
+    {"gamess", Suite::SpecFp2006, NN, 3505,
+     "Quantum chemical computations",
+     3.0, 0.35, {6, 0.60, 2000, 0.2}, 1.5, 0.60,
+     1, 0.0, 0.0, 0.0, 0.05},
+    {"milc", Suite::SpecFp2006, NN, 640,
+     "Physics / quantum chromodynamics (QCD)",
+     2.0, 0.40, {35, 0.20, 1e6, 15.0}, 1.0, 0.60,
+     1, 0.0, 0.0, 0.0, 0.04},
+    {"zeusmp", Suite::SpecFp2006, NN, 1541,
+     "Physics / magnetohydrodynamics (ZEUS-MP)",
+     2.4, 0.36, {25, 0.35, 100000, 5.0}, 1.5, 0.60,
+     1, 0.0, 0.0, 0.0, 0.04},
+    {"gromacs", Suite::SpecFp2006, NN, 983,
+     "Molecular dynamics simulation",
+     2.8, 0.30, {7, 0.60, 1500, 0.3}, 2.0, 0.70,
+     1, 0.0, 0.0, 0.0, 0.03},
+    {"cactusADM", Suite::SpecFp2006, NN, 1994,
+     "Cactus / BenchADM relativity kernels",
+     2.2, 0.42, {25, 0.30, 1e6, 8.0}, 1.0, 0.70,
+     1, 0.0, 0.0, 0.0, 0.03},
+    {"leslie3d", Suite::SpecFp2006, NN, 1512,
+     "Linear-eddy model 3D fluid dynamics",
+     2.2, 0.40, {28, 0.30, 1e6, 10.0}, 1.0, 0.60,
+     1, 0.0, 0.0, 0.0, 0.03},
+    {"namd", Suite::SpecFp2006, NN, 1225,
+     "Parallel simulation of biomolecular systems",
+     3.0, 0.32, {5, 0.60, 1000, 0.2}, 2.0, 0.70,
+     1, 0.0, 0.0, 0.0, 0.03},
+    {"dealII", Suite::SpecFp2006, NN, 832,
+     "PDEs with adaptive finite elements",
+     2.4, 0.38, {15, 0.50, 16000, 0.5}, 3.0, 0.50,
+     1, 0.0, 0.0, 0.0, 0.05},
+    {"soplex", Suite::SpecFp2006, NN, 1024,
+     "Simplex linear program solver",
+     1.8, 0.40, {30, 0.35, 200000, 3.0}, 4.0, 0.40,
+     1, 0.0, 0.0, 0.0, 0.05},
+    {"povray", Suite::SpecFp2006, NN, 636,
+     "Ray-tracer",
+     2.4, 0.33, {5, 0.60, 800, 0.2}, 6.0, 0.50,
+     1, 0.0, 0.0, 0.0, 0.04},
+    {"calculix", Suite::SpecFp2006, NN, 1130,
+     "Finite elements for 3D structures",
+     2.6, 0.35, {10, 0.55, 6000, 0.4}, 3.0, 0.60,
+     1, 0.0, 0.0, 0.0, 0.04},
+    {"GemsFDTD", Suite::SpecFp2006, NN, 1648,
+     "Maxwell equations in 3D, time domain",
+     2.0, 0.42, {30, 0.25, 1e6, 12.0}, 1.0, 0.60,
+     1, 0.0, 0.0, 0.0, 0.03},
+    {"tonto", Suite::SpecFp2006, NN, 1439,
+     "Quantum crystallography",
+     2.5, 0.35, {10, 0.55, 4000, 0.4}, 3.0, 0.60,
+     1, 0.0, 0.0, 0.0, 0.04},
+    {"lbm", Suite::SpecFp2006, NN, 1298,
+     "Lattice Boltzmann incompressible fluids",
+     2.2, 0.38, {35, 0.15, 1e6, 22.0}, 0.5, 0.60,
+     1, 0.0, 0.0, 0.0, 0.02},
+    {"sphinx3", Suite::SpecFp2006, NN, 2007,
+     "Speech recognition",
+     2.2, 0.40, {25, 0.40, 50000, 2.0}, 3.0, 0.50,
+     1, 0.0, 0.0, 0.0, 0.05},
+
+    // ---- Native Scalable: PARSEC -------------------------------------
+    {"blackscholes", Suite::Parsec, NS, 482,
+     "Prices options with Black-Scholes PDE",
+     2.8, 0.30, {3, 0.60, 512, 0.1}, 1.0, 0.70,
+     0, 0.99, 0.0, 0.0, 0.03},
+    {"bodytrack", Suite::Parsec, NS, 471,
+     "Tracks a markerless human body",
+     2.4, 0.34, {8, 0.50, 8000, 0.5}, 3.0, 0.50,
+     0, 0.97, 0.0, 0.0, 0.08},
+    {"canneal", Suite::Parsec, NS, 301,
+     "Cache-aware simulated annealing of chip design",
+     1.4, 0.42, {40, 0.25, 1e6, 6.0}, 5.0, 0.10,
+     0, 0.90, 0.0, 0.0, 0.05},
+    {"facesim", Suite::Parsec, NS, 1230,
+     "Simulates human face motions",
+     2.4, 0.38, {20, 0.35, 200000, 4.0}, 2.0, 0.60,
+     0, 0.95, 0.0, 0.0, 0.05},
+    {"ferret", Suite::Parsec, NS, 738,
+     "Image search",
+     2.2, 0.36, {15, 0.45, 30000, 1.5}, 4.0, 0.40,
+     0, 0.96, 0.0, 0.0, 0.06},
+    {"fluidanimate", Suite::Parsec, NS, 812,
+     "SPH fluid dynamics for animation",
+     2.8, 0.36, {12, 0.40, 100000, 3.0}, 1.5, 0.70,
+     0, 0.97, 0.0, 0.0, 0.04},
+    {"raytrace", Suite::Parsec, NS, 1970,
+     "Physical simulation for visualization",
+     2.4, 0.34, {12, 0.50, 30000, 1.0}, 4.0, 0.50,
+     0, 0.95, 0.0, 0.0, 0.04},
+    {"streamcluster", Suite::Parsec, NS, 629,
+     "Online clustering of a data stream",
+     2.0, 0.40, {30, 0.20, 1e6, 16.0}, 1.0, 0.40,
+     0, 0.93, 0.0, 0.0, 0.03},
+    {"swaptions", Suite::Parsec, NS, 612,
+     "Prices swaptions, Heath-Jarrow-Morton",
+     2.8, 0.30, {4, 0.60, 512, 0.1}, 2.0, 0.70,
+     0, 0.99, 0.0, 0.0, 0.03},
+    {"vips", Suite::Parsec, NS, 297,
+     "Applies transformations to an image",
+     2.4, 0.36, {10, 0.50, 16000, 1.0}, 3.0, 0.50,
+     0, 0.96, 0.0, 0.0, 0.05},
+    {"x264", Suite::Parsec, NS, 265,
+     "MPEG-4 AVC / H.264 video encoder",
+     2.6, 0.38, {10, 0.50, 16000, 1.5}, 4.0, 0.30,
+     0, 0.94, 0.0, 0.0, 0.09},
+
+    // ---- Java Non-scalable: SPECjvm --------------------------------
+    {"compress", Suite::SpecJvm98, JN, 5.3,
+     "Lempel-Ziv compression",
+     2.0, 0.34, {15, 0.45, 32000, 2.0}, 4.0, 0.00,
+     1, 0.0, 0.04, 0.02, 0.05},
+    {"jess", Suite::SpecJvm98, JN, 1.4,
+     "Java expert system shell",
+     1.8, 0.36, {10, 0.50, 2000, 0.5}, 6.0, 0.00,
+     1, 0.0, 0.08, 0.05, 0.08},
+    {"db", Suite::SpecJvm98, JN, 6.8,
+     "Small data management program",
+     1.3, 0.42, {45, 0.30, 64000, 2.0}, 5.0, 0.00,
+     1, 0.0, 0.05, 0.22, 0.06},
+    {"javac", Suite::SpecJvm98, JN, 3.0,
+     "The JDK 1.0.2 Java compiler",
+     1.7, 0.38, {18, 0.50, 8000, 1.0}, 7.0, 0.00,
+     1, 0.0, 0.10, 0.06, 0.10},
+    {"mpegaudio", Suite::SpecJvm98, JN, 3.1,
+     "MPEG-3 audio stream decoder",
+     2.6, 0.32, {3, 0.60, 512, 0.1}, 2.0, 0.30,
+     1, 0.0, 0.02, 0.01, 0.03},
+    {"mtrt", Suite::SpecJvm98, JN, 0.8,
+     "Dual-threaded raytracer",
+     2.2, 0.34, {12, 0.50, 8000, 1.0}, 4.0, 0.30,
+     2, 0.75, 0.10, 0.05, 0.08},
+    {"jack", Suite::SpecJvm98, JN, 2.4,
+     "Parser generator with lexical analysis",
+     1.8, 0.36, {12, 0.50, 3000, 0.5}, 6.0, 0.00,
+     1, 0.0, 0.14, 0.06, 0.08},
+
+    // ---- Java Non-scalable: DaCapo 06-10-MR2 ------------------------
+    {"antlr", Suite::DaCapo06, JN, 2.9,
+     "Parser and translator generator",
+     1.8, 0.36, {14, 0.50, 4000, 0.8}, 6.0, 0.00,
+     1, 0.0, 0.42, 0.08, 0.12},
+    {"bloat", Suite::DaCapo06, JN, 7.6,
+     "Java bytecode optimization and analysis",
+     1.6, 0.38, {16, 0.50, 16000, 1.0}, 6.0, 0.00,
+     1, 0.0, 0.12, 0.07, 0.10},
+
+    // ---- Java Non-scalable: DaCapo 9.12 ------------------------------
+    {"avrora", Suite::DaCapo09, JN, 11.3,
+     "Simulates the AVR microcontroller",
+     1.6, 0.34, {8, 0.50, 4000, 0.5}, 7.0, 0.00,
+     0, 0.30, 0.06, 0.04, 0.06},
+    {"batik", Suite::DaCapo09, JN, 4.0,
+     "Scalable Vector Graphics (SVG) toolkit",
+     2.0, 0.36, {14, 0.50, 16000, 1.0}, 4.0, 0.20,
+     0, 0.15, 0.10, 0.05, 0.08},
+    {"fop", Suite::DaCapo09, JN, 1.8,
+     "Output-independent print formatter",
+     1.7, 0.38, {16, 0.50, 12000, 1.0}, 5.0, 0.00,
+     1, 0.0, 0.17, 0.06, 0.10},
+    {"h2", Suite::DaCapo09, JN, 14.4,
+     "An SQL relational database engine in Java",
+     1.4, 0.42, {35, 0.30, 200000, 2.0}, 5.0, 0.00,
+     0, 0.05, 0.08, 0.08, 0.07},
+    {"jython", Suite::DaCapo09, JN, 8.5,
+     "Python interpreter in Java",
+     1.6, 0.38, {16, 0.50, 10000, 1.0}, 7.0, 0.00,
+     0, 0.35, 0.12, 0.06, 0.09},
+    {"pmd", Suite::DaCapo09, JN, 6.9,
+     "Source code analyzer for Java",
+     1.6, 0.38, {18, 0.45, 24000, 1.5}, 6.0, 0.00,
+     0, 0.12, 0.10, 0.07, 0.08},
+    {"tradebeans", Suite::DaCapo09, JN, 18.4,
+     "Tradebeans Daytrader benchmark",
+     1.5, 0.40, {25, 0.35, 150000, 2.0}, 5.0, 0.00,
+     0, 0.55, 0.09, 0.08, 0.08},
+    {"luindex", Suite::DaCapo09, JN, 2.4,
+     "A text indexing tool",
+     1.8, 0.36, {12, 0.50, 6000, 0.8}, 5.0, 0.00,
+     1, 0.0, 0.26, 0.07, 0.09},
+
+    // ---- Java Non-scalable: pjbb2005 ---------------------------------
+    {"pjbb2005", Suite::Pjbb2005, JN, 10.6,
+     "Transaction processing (SPECjbb2005 variant)",
+     1.6, 0.40, {25, 0.35, 200000, 2.0}, 5.0, 0.00,
+     0, 0.65, 0.10, 0.08, 0.08},
+
+    // ---- Java Scalable: DaCapo 9.12 -----------------------------------
+    {"eclipse", Suite::DaCapo09, JS, 50.5,
+     "Integrated development environment",
+     1.6, 0.38, {20, 0.40, 150000, 1.5}, 6.0, 0.00,
+     0, 0.75, 0.12, 0.07, 0.10},
+    {"lusearch", Suite::DaCapo09, JS, 7.9,
+     "Text search tool",
+     1.8, 0.38, {18, 0.45, 32000, 2.0}, 4.0, 0.00,
+     0, 0.85, 0.11, 0.06, 0.08},
+    {"sunflow", Suite::DaCapo09, JS, 19.4,
+     "Photo-realistic rendering system",
+     2.0, 0.34, {8, 0.50, 8000, 0.8}, 3.0, 0.40,
+     0, 0.99, 0.06, 0.04, 0.06},
+    {"tomcat", Suite::DaCapo09, JS, 8.6,
+     "Tomcat servlet container",
+     1.7, 0.38, {18, 0.45, 50000, 1.5}, 5.0, 0.00,
+     0, 0.92, 0.10, 0.06, 0.08},
+    {"xalan", Suite::DaCapo09, JS, 6.9,
+     "XSLT processor for XML documents",
+     1.8, 0.40, {20, 0.45, 32000, 2.0}, 4.0, 0.00,
+     0, 0.95, 0.10, 0.06, 0.08},
+};
+
+} // namespace
+
+const std::vector<Benchmark> &
+allBenchmarks()
+{
+    return database;
+}
+
+std::vector<const Benchmark *>
+benchmarksInGroup(Group group)
+{
+    std::vector<const Benchmark *> result;
+    for (const auto &bench : database)
+        if (bench.group == group)
+            result.push_back(&bench);
+    return result;
+}
+
+const Benchmark *
+findBenchmark(const std::string &name)
+{
+    for (const auto &bench : database)
+        if (bench.name == name)
+            return &bench;
+    return nullptr;
+}
+
+const Benchmark &
+benchmarkByName(const std::string &name)
+{
+    if (const Benchmark *bench = findBenchmark(name))
+        return *bench;
+    panic(msgOf("benchmarkByName: unknown benchmark '", name, "'"));
+}
+
+} // namespace lhr

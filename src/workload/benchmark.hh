@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Benchmark descriptors: the 61 workloads of the study.
+ *
+ * The paper draws its workloads from SPEC CINT2006, SPEC CFP2006,
+ * PARSEC, SPECjvm98, DaCapo 06-10-MR2, DaCapo 9.12 and pjbb2005, and
+ * partitions them into four equally-weighted groups (paper Table 1).
+ * We cannot run the real binaries, so each benchmark is described by
+ * the execution characteristics the interval performance model
+ * consumes: exploitable ILP, memory access rate and reuse curve,
+ * branch behaviour, floating-point share, threading and scaling
+ * behaviour, and — for Java — how much work the managed runtime
+ * itself contributes. Reference times come from Table 1 verbatim.
+ */
+
+#ifndef LHR_WORKLOAD_BENCHMARK_HH
+#define LHR_WORKLOAD_BENCHMARK_HH
+
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+
+namespace lhr
+{
+
+/** The four equally-weighted workload groups. */
+enum class Group
+{
+    NativeNonScalable,
+    NativeScalable,
+    JavaNonScalable,
+    JavaScalable
+};
+
+/** All groups, in the paper's order. */
+const std::vector<Group> &allGroups();
+
+/** Printable group name as used in the paper's figures. */
+std::string groupName(Group group);
+
+/** Benchmark suite of origin (paper Table 1 "Src" column). */
+enum class Suite
+{
+    SpecInt2006,  // SI
+    SpecFp2006,   // SF
+    Parsec,       // PA
+    SpecJvm98,    // SJ
+    DaCapo06,     // D6
+    DaCapo09,     // D9
+    Pjbb2005      // JB
+};
+
+/** Printable suite name. */
+std::string suiteName(Suite suite);
+
+/** Implementation language class. */
+enum class Language
+{
+    Native,
+    Java
+};
+
+/** One workload and everything the models need to know about it. */
+struct Benchmark
+{
+    std::string name;
+    Suite suite;
+    Group group;
+    double refTimeSec;        ///< paper Table 1 reference running time
+    std::string description;  ///< paper Table 1 description
+
+    // -- Computation characteristics ---------------------------------
+    double ilp;               ///< exploitable instruction parallelism
+    double memAccessPerInstr; ///< L1D accesses per instruction
+    MissCurve miss;           ///< capacity miss curve
+    double branchMispKi;      ///< mispredictions per kilo-instruction
+    double fpShare;           ///< fraction of FP operations
+
+    // -- Threading and scaling ---------------------------------------
+    /**
+     * Number of application threads; 0 means the benchmark spawns
+     * one thread per available hardware context (PARSEC and the
+     * scalable DaCapo benchmarks do this).
+     */
+    int appThreads;
+    double parallelFraction;  ///< Amdahl parallel fraction
+
+    // -- Managed-runtime characteristics (0 for native codes) --------
+    /**
+     * Fraction of total machine work executed by JVM service threads
+     * (JIT compilation, GC, profiling). This work runs concurrently
+     * with the application when spare hardware contexts exist.
+     */
+    double jvmServiceFraction;
+    /**
+     * Speedup available from moving GC/JIT activity off the
+     * application's core: reduced cache and DTLB displacement
+     * (the paper's db/DTLB observation, Finding W1).
+     */
+    double gcInterferenceRelief;
+
+    /** Amplitude of power phase behaviour (0 = flat, 0.3 = spiky). */
+    double phaseVariability;
+
+    /** Language class implied by the group. */
+    Language language() const;
+
+    /** True for the two scalable groups. */
+    bool scalable() const;
+
+    /**
+     * Total work in abstract instructions (billions), derived from
+     * the reference time at a nominal 2 GIPS reference rate.
+     */
+    double instructionsB() const;
+
+    /**
+     * Per-suite prescription for repetitions: SPEC CPU prescribes 3,
+     * PARSEC uses 5, Java uses 20 invocations (paper section 2).
+     */
+    int prescribedInvocations() const;
+};
+
+/** The full 61-benchmark database in Table 1 order. */
+const std::vector<Benchmark> &allBenchmarks();
+
+/** All benchmarks of one group, in Table 1 order. */
+std::vector<const Benchmark *> benchmarksInGroup(Group group);
+
+/** Look up one benchmark by name; panic()s when unknown. */
+const Benchmark &benchmarkByName(const std::string &name);
+
+/** Look up one benchmark by name; nullptr when unknown. */
+const Benchmark *findBenchmark(const std::string &name);
+
+} // namespace lhr
+
+#endif // LHR_WORKLOAD_BENCHMARK_HH

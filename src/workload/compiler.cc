@@ -1,0 +1,77 @@
+#include "workload/compiler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace lhr
+{
+
+const std::vector<NativeCompiler> &
+allCompilers()
+{
+    static const std::vector<NativeCompiler> compilers = {
+        NativeCompiler::Icc11, NativeCompiler::Gcc441,
+    };
+    return compilers;
+}
+
+namespace
+{
+
+const CompilerProfile profiles[] = {
+    // icc: stronger scalar optimization and vectorization,
+    // especially on FP codes — but unreliable on PARSEC's pthreads
+    // codes (the paper could not use it there).
+    {NativeCompiler::Icc11, "icc 11.1", "-o3",
+     1.05, 1.12, 0.95, 0.04, 0.6},
+    // gcc 4.4.1 -O3 is the baseline code quality.
+    {NativeCompiler::Gcc441, "gcc 4.4.1", "-O3",
+     1.00, 1.00, 1.00, 0.03, 0.0},
+};
+
+} // namespace
+
+const CompilerProfile &
+compilerProfile(NativeCompiler compiler)
+{
+    for (const auto &profile : profiles)
+        if (profile.compiler == compiler)
+            return profile;
+    panic("compilerProfile: unknown compiler");
+}
+
+std::optional<Benchmark>
+compileBenchmark(const Benchmark &bench, NativeCompiler compiler)
+{
+    if (bench.language() == Language::Java) {
+        panic(msgOf("compileBenchmark: ", bench.name,
+                    " is a Java benchmark"));
+    }
+
+    const CompilerProfile &profile = compilerProfile(compiler);
+    Rng rng(fnv1a(profile.name + "/" + bench.name));
+
+    // Miscompilation of pthreads-heavy codes (deterministic per
+    // benchmark): the paper hit this with icc on PARSEC.
+    if (bench.suite == Suite::Parsec &&
+        rng.uniform() < profile.parsecMiscompileRate) {
+        return std::nullopt;
+    }
+
+    const double quality = bench.fpShare * profile.fpCodeQuality +
+        (1.0 - bench.fpShare) * profile.intCodeQuality;
+    const double spread = 1.0 +
+        profile.perBenchSpread * std::clamp(rng.gaussian(), -2.0, 2.0);
+
+    Benchmark built = bench;
+    built.name = bench.name + " [" + profile.name + "]";
+    built.ilp = std::clamp(bench.ilp * quality * spread, 0.5, 4.0);
+    built.branchMispKi = bench.branchMispKi * profile.branchQuality;
+    return built;
+}
+
+} // namespace lhr

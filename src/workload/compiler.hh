@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Native compiler models (paper section 2.1).
+ *
+ * The paper compiled SPEC CPU2006 with Intel icc 11.1 -o3 "because
+ * we found that it consistently generated better performing code
+ * than gcc", and PARSEC with gcc 4.4.1 -O3 because "the icc compiler
+ * failed to produce correct code for many of the PARSEC benchmarks".
+ * It leaves "systematic comparisons using both icc and gcc to future
+ * work" — which this module enables: per-compiler code-quality
+ * profiles and the miscompilation behaviour, applied to benchmark
+ * descriptors.
+ */
+
+#ifndef LHR_WORKLOAD_COMPILER_HH
+#define LHR_WORKLOAD_COMPILER_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/benchmark.hh"
+
+namespace lhr
+{
+
+/** The two compilers of the study. */
+enum class NativeCompiler
+{
+    Icc11,   ///< Intel icc 11.1, 32-bit, -o3
+    Gcc441   ///< gcc 4.4.1, -O3 (the PARSEC default scripts)
+};
+
+/** All compilers. */
+const std::vector<NativeCompiler> &allCompilers();
+
+/** Code-generation characteristics of one compiler. */
+struct CompilerProfile
+{
+    NativeCompiler compiler;
+    std::string name;       ///< "icc 11.1"
+    std::string flags;      ///< "-o3"
+
+    double intCodeQuality;  ///< ILP factor on integer code (gcc = 1)
+    double fpCodeQuality;   ///< ILP factor on FP code
+    double branchQuality;   ///< misprediction factor (<1 is better)
+    double perBenchSpread;  ///< per-benchmark variation
+
+    /** Fraction of PARSEC-style pthreads codes it miscompiles. */
+    double parsecMiscompileRate;
+};
+
+/** Look up a compiler's profile. */
+const CompilerProfile &compilerProfile(NativeCompiler compiler);
+
+/**
+ * Compile a native benchmark: returns the benchmark as built by this
+ * compiler, or nullopt when the compiler miscompiles it (icc on many
+ * PARSEC codes). Deterministic per (compiler, benchmark).
+ * panic()s for Java benchmarks, which are not compiled ahead of
+ * time.
+ */
+std::optional<Benchmark> compileBenchmark(const Benchmark &bench,
+                                          NativeCompiler compiler);
+
+} // namespace lhr
+
+#endif // LHR_WORKLOAD_COMPILER_HH

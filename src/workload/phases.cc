@@ -1,0 +1,74 @@
+#include "workload/phases.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+PhaseModel::PhaseModel(const Benchmark &bench, uint64_t seed)
+    : benchmark(bench), rng(seed)
+{
+}
+
+std::vector<PhasePoint>
+PhaseModel::generate(int count)
+{
+    if (count < 1)
+        panic("PhaseModel::generate: need at least one phase");
+
+    const double amplitude = benchmark.phaseVariability;
+    const bool java = benchmark.language() == Language::Java;
+
+    // Two-state Markov walk: compute-leaning phases run hotter and
+    // touch memory less; memory-leaning phases are the reverse.
+    // Expected dwell time in each state is a few phases.
+    bool memoryLeaning = rng.uniform() < 0.5;
+    const double switchProb = 0.25;
+
+    std::vector<PhasePoint> phases;
+    phases.reserve(count);
+    const int gcOffset =
+        java ? static_cast<int>(rng.below(gcPeriodPhases)) : 0;
+
+    for (int k = 0; k < count; ++k) {
+        if (rng.uniform() < switchProb)
+            memoryLeaning = !memoryLeaning;
+
+        const double lean = memoryLeaning ? -1.0 : 1.0;
+        const double jitter = 0.3 * rng.gaussian();
+        PhasePoint pt;
+        pt.activityMult = 1.0 + amplitude * (lean + jitter);
+        pt.memoryMult = 1.0 - amplitude * (lean - jitter);
+        pt.gcBurst = false;
+
+        if (java && (k + gcOffset) % gcPeriodPhases == 0) {
+            // Collector burst: busy datapath, heavy memory streaming.
+            pt.activityMult *= gcActivityKick;
+            pt.memoryMult *= gcMemoryKick;
+            pt.gcBurst = true;
+        }
+
+        pt.activityMult = std::clamp(pt.activityMult, 0.3, 2.0);
+        pt.memoryMult = std::clamp(pt.memoryMult, 0.1, 2.5);
+        phases.push_back(pt);
+    }
+
+    // Re-centre so phase behaviour cannot bias averages.
+    double actSum = 0.0, memSum = 0.0;
+    for (const auto &pt : phases) {
+        actSum += pt.activityMult;
+        memSum += pt.memoryMult;
+    }
+    const double actScale = count / actSum;
+    const double memScale = count / memSum;
+    for (auto &pt : phases) {
+        pt.activityMult *= actScale;
+        pt.memoryMult *= memScale;
+    }
+    return phases;
+}
+
+} // namespace lhr

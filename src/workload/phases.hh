@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Program phase behaviour.
+ *
+ * Real executions are not flat: compilers alternate parse/optimize
+ * phases, video codecs alternate frame types, and managed runtimes
+ * interleave collector bursts — which is why the paper logs a 50Hz
+ * power *trace* rather than a single reading. PhaseModel generates a
+ * benchmark's activity waveform: a two-state Markov walk between
+ * compute-leaning and memory-leaning phases whose amplitude is the
+ * benchmark's phase variability, plus periodic garbage-collection
+ * bursts for Java workloads.
+ */
+
+#ifndef LHR_WORKLOAD_PHASES_HH
+#define LHR_WORKLOAD_PHASES_HH
+
+#include <vector>
+
+#include "util/rng.hh"
+#include "workload/benchmark.hh"
+
+namespace lhr
+{
+
+/** One phase's modulation of the execution's averages. */
+struct PhasePoint
+{
+    /** Multiplier on core switching activity (centred on 1). */
+    double activityMult;
+    /** Multiplier on LLC/memory activity (centred on 1). */
+    double memoryMult;
+    /** True during a collector burst (Java only). */
+    bool gcBurst;
+};
+
+/** Generates a benchmark's phase waveform. */
+class PhaseModel
+{
+  public:
+    /**
+     * @param bench the workload (phase variability, language)
+     * @param seed deterministic waveform seed
+     */
+    PhaseModel(const Benchmark &bench, uint64_t seed);
+
+    /**
+     * Generate `count` phase points covering the execution. The
+     * sequence mean is ~1 in both multipliers, so phase behaviour
+     * never biases average power — it only shapes the trace.
+     */
+    std::vector<PhasePoint> generate(int count);
+
+    /** Phases between GC bursts for Java workloads. */
+    static constexpr int gcPeriodPhases = 11;
+
+    /** Activity kick of a collector burst (copying is busy work). */
+    static constexpr double gcActivityKick = 1.25;
+
+    /** Memory kick of a collector burst (it streams the heap). */
+    static constexpr double gcMemoryKick = 1.6;
+
+  private:
+    const Benchmark &benchmark;
+    Rng rng;
+};
+
+} // namespace lhr
+
+#endif // LHR_WORKLOAD_PHASES_HH

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the miss-curve and cache-hierarchy models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "cache/hierarchy.hh"
+#include "workload/benchmark.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+MissCurve
+typicalCurve()
+{
+    return {20.0, 0.5, 32768.0, 1.0};
+}
+
+CacheHierarchy
+twoLevel()
+{
+    return CacheHierarchy(
+        {{"L1", 32, 0.0, CacheScope::PerCore, 1},
+         {"L2", 4096, 5.0, CacheScope::Shared, 2}},
+        70.0);
+}
+
+} // namespace
+
+TEST(MissCurve, ReferenceCapacityReturnsMpki32)
+{
+    const MissCurve curve = typicalCurve();
+    EXPECT_NEAR(curve.missPerKi(32.0), 20.0, 1e-9);
+}
+
+TEST(MissCurve, MonotonicallyNonIncreasingInCapacity)
+{
+    const MissCurve curve = typicalCurve();
+    double prev = curve.missPerKi(1.0);
+    for (double c = 2.0; c < 1e6; c *= 2.0) {
+        const double m = curve.missPerKi(c);
+        ASSERT_LE(m, prev + 1e-12) << "capacity " << c;
+        prev = m;
+    }
+}
+
+TEST(MissCurve, ColdFloorBeyondWorkingSet)
+{
+    const MissCurve curve = typicalCurve();
+    EXPECT_DOUBLE_EQ(curve.missPerKi(32768.0), 1.0);
+    EXPECT_DOUBLE_EQ(curve.missPerKi(1e9), 1.0);
+}
+
+TEST(MissCurve, TinyCapacityCappedAtThreeTimesReference)
+{
+    const MissCurve curve = typicalCurve();
+    EXPECT_LE(curve.missPerKi(0.5), 3.0 * 20.0 + 1e-9);
+    EXPECT_LE(curve.missPerKi(0.0), 3.0 * 20.0 + 1e-9);
+}
+
+TEST(MissCurve, StreamingCurveStaysNearFloor)
+{
+    // libquantum-like: low beta, high floor.
+    const MissCurve streaming{30.0, 0.15, 1e6, 20.0};
+    EXPECT_GE(streaming.missPerKi(8192.0), 20.0);
+}
+
+TEST(MissCurve, InvalidParametersPanic)
+{
+    const MissCurve bad{0.0, 0.5, 100.0, 0.0};
+    EXPECT_DEATH(bad.missPerKi(32.0), "invalid");
+}
+
+TEST(Hierarchy, RequiresLevels)
+{
+    EXPECT_DEATH(CacheHierarchy({}, 70.0), "at least one");
+}
+
+TEST(Hierarchy, RejectsBadParameters)
+{
+    EXPECT_DEATH(CacheHierarchy(
+                     {{"L1", -1.0, 0.0, CacheScope::PerCore, 1}}, 70.0),
+                 "invalid");
+    EXPECT_DEATH(CacheHierarchy(
+                     {{"L1", 32.0, 0.0, CacheScope::PerCore, 1}}, 0.0),
+                 "DRAM");
+}
+
+TEST(Hierarchy, StallGrowsWithSharing)
+{
+    const CacheHierarchy h = twoLevel();
+    const MissCurve curve = typicalCurve();
+    const auto alone = h.evaluate(curve, 1.0, 1.0);
+    const auto smtShared = h.evaluate(curve, 1.8, 1.8);
+    const auto fullShared = h.evaluate(curve, 1.8, 3.6);
+    EXPECT_LT(alone.stallNsPerInstr, smtShared.stallNsPerInstr);
+    EXPECT_LE(smtShared.stallNsPerInstr, fullShared.stallNsPerInstr);
+}
+
+TEST(Hierarchy, DramTrafficBoundedByL1Misses)
+{
+    const CacheHierarchy h = twoLevel();
+    const auto t = h.evaluate(typicalCurve(), 1.0, 1.0);
+    EXPECT_GT(t.l1Mpki, 0.0);
+    EXPECT_GE(t.l1Mpki, t.dramMpki);
+}
+
+TEST(Hierarchy, BigEnoughCacheLeavesOnlyColdMisses)
+{
+    const CacheHierarchy big(
+        {{"L1", 32, 0.0, CacheScope::PerCore, 1},
+         {"L2", 65536, 5.0, CacheScope::PerCore, 1}},
+        70.0);
+    const auto t = big.evaluate(typicalCurve(), 1.0, 1.0);
+    EXPECT_NEAR(t.dramMpki, 1.0, 1e-9);
+}
+
+TEST(Hierarchy, InvalidDivisorsPanic)
+{
+    const CacheHierarchy h = twoLevel();
+    EXPECT_DEATH(h.evaluate(typicalCurve(), 0.5, 1.0), "divisors");
+}
+
+TEST(Hierarchy, SharedScopeCapsAtPhysicalSharers)
+{
+    // Asking for more sharers than physically share an instance must
+    // not shrink capacity further than the physical sharing.
+    const CacheHierarchy h = twoLevel(); // L2 shared by 2
+    const auto two = h.evaluate(typicalCurve(), 1.0, 2.0);
+    const auto eight = h.evaluate(typicalCurve(), 1.0, 8.0);
+    EXPECT_NEAR(two.stallNsPerInstr, eight.stallNsPerInstr, 1e-12);
+}
+
+/** Property sweep: hierarchy invariants hold for every benchmark. */
+class HierarchyBenchmarkSweep
+    : public ::testing::TestWithParam<const Benchmark *>
+{
+};
+
+TEST_P(HierarchyBenchmarkSweep, TrafficIsSane)
+{
+    const Benchmark &bench = *GetParam();
+    const CacheHierarchy h = twoLevel();
+    const auto t = h.evaluate(bench.miss, 1.0, 1.0);
+    EXPECT_GE(t.stallNsPerInstr, 0.0);
+    EXPECT_GE(t.l1Mpki, t.dramMpki);
+    EXPECT_GE(t.dramMpki, 0.0);
+    // Stall time is at least the DRAM component and at most the
+    // every-miss-goes-to-DRAM bound.
+    EXPECT_GE(t.stallNsPerInstr, t.dramMpki / 1000.0 * 70.0 - 1e-12);
+    EXPECT_LE(t.stallNsPerInstr,
+              t.l1Mpki / 1000.0 * (5.0 + 70.0) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, HierarchyBenchmarkSweep,
+    ::testing::ValuesIn([] {
+        std::vector<const Benchmark *> all;
+        for (const auto &bench : allBenchmarks())
+            all.push_back(&bench);
+        return all;
+    }()),
+    [](const ::testing::TestParamInfo<const Benchmark *> &info) {
+        std::string name = info.param->name;
+        for (char &ch : name)
+            if (!isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return name;
+    });
+
+} // namespace lhr

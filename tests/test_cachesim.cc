@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the structural cache/TLB simulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cachesim/cache_sim.hh"
+#include "util/rng.hh"
+
+namespace lhr
+{
+
+TEST(CacheArray, GeometryValidation)
+{
+    EXPECT_DEATH(CacheArray(0.0, 8), "geometry");
+    EXPECT_DEATH(CacheArray(32.0, 0), "geometry");
+    EXPECT_DEATH(CacheArray(32.0, 8, 63), "geometry");
+    const CacheArray cache(32.0, 8);
+    EXPECT_EQ(cache.associativity(), 8);
+    EXPECT_EQ(cache.sets(), 64);
+}
+
+TEST(CacheArray, ColdMissThenHit)
+{
+    CacheArray cache(32.0, 8);
+    EXPECT_FALSE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1004)); // same line
+    EXPECT_FALSE(cache.access(0x2000));
+    EXPECT_EQ(cache.accesses(), 4u);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_DOUBLE_EQ(cache.missRatio(), 0.5);
+}
+
+TEST(CacheArray, LruEvictsOldest)
+{
+    // Direct-ish: 2-way, lines mapping to the same set.
+    CacheArray cache(1.0, 2, 64); // 1KB, 2-way: 8 sets
+    const uint64_t setStride = 8 * 64; // same set every 512B
+    cache.access(0 * setStride);
+    cache.access(1 * setStride);
+    cache.access(2 * setStride);     // evicts line 0
+    EXPECT_FALSE(cache.access(0 * setStride)); // miss: was evicted
+    EXPECT_TRUE(cache.access(2 * setStride));  // still resident
+}
+
+TEST(CacheArray, LruPromotionOnHit)
+{
+    CacheArray cache(1.0, 2, 64);
+    const uint64_t s = 8 * 64;
+    cache.access(0 * s);
+    cache.access(1 * s);
+    cache.access(0 * s); // promote 0 to MRU
+    cache.access(2 * s); // must evict 1, not 0
+    EXPECT_TRUE(cache.access(0 * s));
+    EXPECT_FALSE(cache.access(1 * s));
+}
+
+TEST(CacheArray, FitsWorkingSetPerfectly)
+{
+    CacheArray cache(32.0, 8);
+    // 256 lines = 16KB, fits in 32KB: after one pass, all hits.
+    for (int round = 0; round < 3; ++round)
+        for (uint64_t line = 0; line < 256; ++line)
+            cache.access(line * 64);
+    EXPECT_EQ(cache.misses(), 256u);
+}
+
+TEST(CacheArray, ThrashesWhenOversubscribed)
+{
+    CacheArray cache(32.0, 8);
+    // Sequential sweep over 4x the capacity: pure LRU thrashing,
+    // every access misses.
+    for (int round = 0; round < 3; ++round)
+        for (uint64_t line = 0; line < 4 * 512; ++line)
+            cache.access(line * 64);
+    EXPECT_DOUBLE_EQ(cache.missRatio(), 1.0);
+}
+
+TEST(CacheArray, ResetClearsEverything)
+{
+    CacheArray cache(32.0, 8);
+    cache.access(0x1000);
+    cache.reset();
+    EXPECT_EQ(cache.accesses(), 0u);
+    EXPECT_FALSE(cache.access(0x1000)); // cold again
+}
+
+TEST(Tlb, HitAndMissAccounting)
+{
+    TlbArray tlb(4);
+    EXPECT_FALSE(tlb.access(0x0000));
+    EXPECT_TRUE(tlb.access(0x0FFF));  // same 4KB page
+    EXPECT_FALSE(tlb.access(0x1000)); // next page
+    EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(Tlb, LruCapacity)
+{
+    TlbArray tlb(2);
+    tlb.access(0x0000);
+    tlb.access(0x1000);
+    tlb.access(0x2000); // evicts page 0
+    EXPECT_FALSE(tlb.access(0x0000));
+    EXPECT_TRUE(tlb.access(0x2000));
+}
+
+TEST(Tlb, DisplacementEvicts)
+{
+    TlbArray tlb(8);
+    for (uint64_t page = 0; page < 8; ++page)
+        tlb.access(page * 4096);
+    tlb.displace(1.0);
+    // Everything gone.
+    EXPECT_FALSE(tlb.access(0x0000));
+    EXPECT_DEATH(tlb.displace(1.5), "fraction");
+}
+
+TEST(Tlb, PartialDisplacementKeepsMru)
+{
+    TlbArray tlb(8);
+    for (uint64_t page = 0; page < 8; ++page)
+        tlb.access(page * 4096);
+    tlb.displace(0.5); // keeps the 4 most recent pages
+    EXPECT_TRUE(tlb.access(7 * 4096));
+    EXPECT_FALSE(tlb.access(0 * 4096));
+}
+
+TEST(HierarchySim, InclusiveFiltering)
+{
+    HierarchySim sim({{1.0, 2}, {64.0, 8}});
+    // Sweep 2KB (32 lines): thrashes 1KB L1, fits in L2.
+    for (int round = 0; round < 4; ++round)
+        for (uint64_t line = 0; line < 32; ++line)
+            sim.access(line * 64);
+    EXPECT_GT(sim.level(0).misses(), sim.level(1).misses());
+    EXPECT_EQ(sim.level(1).misses(), 32u); // only compulsory
+    EXPECT_GT(sim.mpki(0, 128), sim.mpki(1, 128));
+    EXPECT_DEATH(sim.mpki(0, 0), "zero");
+    EXPECT_DEATH(HierarchySim({}), "at least one");
+}
+
+TEST(HierarchySim, L2OnlySeesL1Misses)
+{
+    HierarchySim sim({{32.0, 8}, {256.0, 8}});
+    Rng rng(3);
+    for (int i = 0; i < 20000; ++i)
+        sim.access(rng.below(1u << 20));
+    EXPECT_LE(sim.level(1).accesses(), sim.level(0).misses());
+}
+
+} // namespace lhr

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Whole-laboratory property sweep: physical and methodological
+ * invariants checked on every one of the 45 experimental
+ * configurations. These are the guarantees the analyses in
+ * section 3 and 4 rest on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "core/lab.hh"
+#include "power/meters.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+Lab &
+lab()
+{
+    static Lab instance(0xCAFE);
+    return instance;
+}
+
+/** Representative benchmarks spanning the four groups. */
+const std::vector<const char *> probes = {
+    "mcf", "hmmer", "fluidanimate", "streamcluster", "db", "antlr",
+    "xalan", "sunflow",
+};
+
+} // namespace
+
+class ConfigSweep : public ::testing::TestWithParam<MachineConfig>
+{
+};
+
+TEST_P(ConfigSweep, MeasurementsArePhysical)
+{
+    const MachineConfig &cfg = GetParam();
+    for (const char *name : probes) {
+        const auto &m = lab().measure(cfg, benchmarkByName(name));
+        ASSERT_GT(m.timeSec, 0.0) << name;
+        ASSERT_GT(m.powerW, 0.3) << name;
+        ASSERT_LT(m.powerW, cfg.spec->tdpW) << name;
+        ASSERT_GE(m.timeCi95Rel, 0.0) << name;
+        ASSERT_LT(m.timeCi95Rel, 0.10) << name;
+        ASSERT_LT(m.powerCi95Rel, 0.20) << name;
+        ASSERT_NEAR(m.energyJ(), m.timeSec * m.powerW, 1e-9) << name;
+    }
+}
+
+TEST_P(ConfigSweep, ProfileAndMeasurementAgree)
+{
+    const MachineConfig &cfg = GetParam();
+    for (const char *name : {"mcf", "xalan"}) {
+        const auto &bench = benchmarkByName(name);
+        const auto profile = lab().runner().profile(cfg, bench);
+        const auto &m = lab().measure(cfg, bench);
+        // Sensor + invocation noise stays within ~8%.
+        ASSERT_NEAR(m.powerW, profile.power.total(),
+                    0.08 * profile.power.total()) << name;
+        // Java measurement includes warmup-iteration residue.
+        const double slack =
+            bench.language() == Language::Java ? 0.08 : 0.05;
+        ASSERT_NEAR(m.timeSec, profile.timeSec,
+                    slack * profile.timeSec) << name;
+    }
+}
+
+TEST_P(ConfigSweep, PowerBreakdownIsConsistent)
+{
+    const MachineConfig &cfg = GetParam();
+    const auto profile =
+        lab().runner().profile(cfg, benchmarkByName("fluidanimate"));
+    const auto &pb = profile.power;
+    ASSERT_GT(pb.coreDynW, 0.0);
+    ASSERT_GT(pb.leakW, 0.0);
+    ASSERT_GE(pb.llcW, 0.0);
+    ASSERT_GT(pb.uncoreW, 0.0);
+    ASSERT_NEAR(pb.total(),
+                pb.coreDynW + pb.leakW + pb.llcW + pb.uncoreW, 1e-9);
+    ASSERT_GT(pb.junctionC, 40.0);
+    ASSERT_LT(pb.junctionC, 100.0);
+}
+
+TEST_P(ConfigSweep, MetersMatchHallSensor)
+{
+    const MachineConfig &cfg = GetParam();
+    const auto &bench = benchmarkByName("xalan");
+    double duration = 0.0;
+    const auto meters = lab().runner().meterRun(cfg, bench, &duration);
+    const double meterW =
+        meters.energyJ(MeterDomain::Package) / duration;
+    const double hallW = lab().measure(cfg, bench).powerW;
+    ASSERT_NEAR(hallW, meterW, 0.08 * meterW);
+    // Domain conservation holds everywhere.
+    const double parts = meters.energyJ(MeterDomain::Cores) +
+        meters.energyJ(MeterDomain::Llc) +
+        meters.energyJ(MeterDomain::Uncore);
+    ASSERT_NEAR(meters.energyJ(MeterDomain::Package), parts,
+                0.001 * parts + 1e-3);
+}
+
+TEST_P(ConfigSweep, GrantedClockIsLegal)
+{
+    const MachineConfig &cfg = GetParam();
+    for (const char *name : {"hmmer", "fluidanimate"}) {
+        const auto profile =
+            lab().runner().profile(cfg, benchmarkByName(name));
+        ASSERT_GE(profile.grantedClockGhz, cfg.clockGhz - 1e-9);
+        const double maxBoost = cfg.spec->hasTurbo && cfg.turboEnabled
+            ? 2.0 * ProcessorSpec::turboStepGhz : 0.0;
+        ASSERT_LE(profile.grantedClockGhz,
+                  cfg.clockGhz + maxBoost + 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All45, ConfigSweep, ::testing::ValuesIn(standardConfigurations()),
+    [](const ::testing::TestParamInfo<MachineConfig> &info) {
+        std::string name = info.param.label();
+        for (char &ch : name)
+            if (!isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return name + "_" + std::to_string(info.index);
+    });
+
+} // namespace lhr

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the EDP/ED^2P efficiency metric extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/energy_metrics.hh"
+#include "core/lab.hh"
+
+namespace lhr
+{
+
+TEST(EnergyMetrics, Names)
+{
+    EXPECT_EQ(efficiencyMetricName(EfficiencyMetric::Energy),
+              "energy");
+    EXPECT_EQ(efficiencyMetricName(EfficiencyMetric::Edp), "EDP");
+    EXPECT_EQ(efficiencyMetricName(EfficiencyMetric::Ed2p), "ED^2P");
+}
+
+TEST(EnergyMetrics, Values)
+{
+    EXPECT_DOUBLE_EQ(
+        efficiencyValue(EfficiencyMetric::Energy, 2.0, 0.5), 0.5);
+    EXPECT_DOUBLE_EQ(
+        efficiencyValue(EfficiencyMetric::Edp, 2.0, 0.5), 0.25);
+    EXPECT_DOUBLE_EQ(
+        efficiencyValue(EfficiencyMetric::Ed2p, 2.0, 0.5), 0.125);
+    EXPECT_DEATH(efficiencyValue(EfficiencyMetric::Edp, 0.0, 0.5),
+                 "non-positive");
+}
+
+TEST(EnergyMetrics, MetricsWeighPerformanceProgressively)
+{
+    // A fast, hungry point and a slow, frugal point: energy prefers
+    // the frugal one, ED^2P the fast one.
+    const double fastV =
+        efficiencyValue(EfficiencyMetric::Energy, 4.0, 0.5);
+    const double slowV =
+        efficiencyValue(EfficiencyMetric::Energy, 0.5, 0.2);
+    EXPECT_GT(fastV, slowV); // frugal wins on energy
+
+    const double fastV2 =
+        efficiencyValue(EfficiencyMetric::Ed2p, 4.0, 0.5);
+    const double slowV2 =
+        efficiencyValue(EfficiencyMetric::Ed2p, 0.5, 0.2);
+    EXPECT_LT(fastV2, slowV2); // fast wins on ED^2P
+}
+
+TEST(EnergyMetrics, RankingIsSortedAndComplete)
+{
+    Lab lab(0x1234);
+    const auto ranked = rankConfigurations45nm(
+        lab.runner(), lab.reference(), EfficiencyMetric::Edp,
+        std::nullopt);
+    EXPECT_EQ(ranked.size(), 29u);
+    for (size_t i = 1; i < ranked.size(); ++i)
+        EXPECT_LE(ranked[i - 1].value, ranked[i].value);
+}
+
+TEST(EnergyMetrics, MetricChoiceChangesTheWinner)
+{
+    Lab lab(0x1234);
+    const auto byEnergy = rankConfigurations45nm(
+        lab.runner(), lab.reference(), EfficiencyMetric::Energy,
+        std::nullopt);
+    const auto byEd2p = rankConfigurations45nm(
+        lab.runner(), lab.reference(), EfficiencyMetric::Ed2p,
+        std::nullopt);
+    EXPECT_NE(byEnergy.front().label, byEd2p.front().label);
+    // ED^2P's winner is faster than energy's winner.
+    EXPECT_GT(byEd2p.front().perf, byEnergy.front().perf);
+}
+
+} // namespace lhr

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Integration tests that encode the paper's numbered findings as
+ * regression checks on the full pipeline. Each test states the
+ * finding it guards.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/lab.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+/** One shared lab for the whole suite (results are cached). */
+Lab &
+lab()
+{
+    static Lab instance(0xC0FFEEull);
+    return instance;
+}
+
+GroupedEffect
+effectFor(const std::vector<GroupedEffect> &effects,
+          const std::string &label)
+{
+    for (const auto &e : effects)
+        if (e.label == label)
+            return e;
+    ADD_FAILURE() << "no effect labeled " << label;
+    return {};
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Architecture Finding 1: enabling a second core is not
+// consistently energy efficient — the i7 pays more power for the
+// same performance gain than the i5.
+TEST(Findings, A1_CmpNotConsistentlyEfficient)
+{
+    const auto effects = cmpStudy(lab().runner(), lab().reference());
+    const auto i7 = effectFor(effects, "i7 (45)");
+    const auto i5 = effectFor(effects, "i5 (32)");
+    EXPECT_GT(i7.average.perf, 1.2);
+    EXPECT_GT(i5.average.perf, 1.2);
+    // Native Non-scalable pays power for no performance on both.
+    EXPECT_GT(i7.byGroup[0].energy, 1.0);
+    EXPECT_GT(i5.byGroup[0].energy, 1.0);
+}
+
+// Workload Finding 1: the JVM induces parallelism into
+// single-threaded Java benchmarks.
+TEST(Findings, W1_JvmInducedParallelism)
+{
+    const auto scaling = javaSingleThreadedCmp(lab().runner());
+    ASSERT_FALSE(scaling.empty());
+    double sum = 0.0;
+    for (const auto &[name, speedup] : scaling) {
+        EXPECT_GE(speedup, 0.98) << name;
+        sum += speedup;
+    }
+    const double avg = sum / scaling.size();
+    EXPECT_GT(avg, 1.05);   // "about 10% faster on average"
+    EXPECT_LT(avg, 1.35);
+    EXPECT_GT(scaling.front().second, 1.4); // "up to 60% faster"
+    EXPECT_LT(scaling.front().second, 1.75);
+    EXPECT_EQ(scaling.front().first, "antlr");
+}
+
+// Architecture Finding 2: SMT delivers substantial energy savings
+// on the i5 and Atom.
+TEST(Findings, A2_SmtEnergySavings)
+{
+    const auto effects = smtStudy(lab().runner(), lab().reference());
+    EXPECT_LT(effectFor(effects, "i5 (32)").average.energy, 0.95);
+    EXPECT_LT(effectFor(effects, "Atom (45)").average.energy, 0.95);
+    // The in-order Atom benefits most in performance.
+    const double atomPerf =
+        effectFor(effects, "Atom (45)").average.perf;
+    EXPECT_GT(atomPerf,
+              effectFor(effects, "Pentium4 (130)").average.perf);
+}
+
+// Workload Finding 2: on the Pentium 4, SMT degrades Java
+// Non-scalable, giving an energy overhead.
+TEST(Findings, W2_SmtHurtsJavaOnPentium4)
+{
+    const auto effects = smtStudy(lab().runner(), lab().reference());
+    const auto p4 = effectFor(effects, "Pentium4 (130)");
+    const size_t jn = static_cast<size_t>(Group::JavaNonScalable);
+    EXPECT_GT(p4.byGroup[jn].energy, 1.0);
+    // On the Pentium 4 there is no net energy advantage overall.
+    EXPECT_GT(p4.average.energy, 0.95);
+}
+
+// Architecture Finding 3: the i5 does not increase energy as the
+// clock increases, unlike the i7 and Core 2D.
+TEST(Findings, A3_ClockScalingEnergy)
+{
+    const auto effects = clockStudy(lab().runner(), lab().reference());
+    EXPECT_GT(effectFor(effects, "i7 (45)").average.energy, 1.3);
+    EXPECT_GT(effectFor(effects, "C2D (45)").average.energy, 1.3);
+    const double i5Energy =
+        effectFor(effects, "i5 (32)").average.energy;
+    EXPECT_GT(i5Energy, 0.85);
+    EXPECT_LT(i5Energy, 1.1);
+}
+
+// Workload Finding 3: Native Non-scalable draws less power and its
+// power rises less steeply with performance than other groups.
+TEST(Findings, W3_NativeNonScalableIsThePowerOutlier)
+{
+    const auto agg = lab().aggregate(
+        stockConfig(processorById("i7 (45)")));
+    const auto &nn = agg.group(Group::NativeNonScalable);
+    EXPECT_LT(nn.powerW, agg.group(Group::NativeScalable).powerW);
+    EXPECT_LT(nn.powerW, agg.group(Group::JavaNonScalable).powerW);
+    EXPECT_LT(nn.powerW, agg.group(Group::JavaScalable).powerW);
+}
+
+// Architecture Findings 4 and 5: die shrinks cut energy sharply at
+// matched clocks, and 45nm->32nm repeated the 65nm->45nm gains.
+TEST(Findings, A4_A5_DieShrinkEnergy)
+{
+    const auto matched =
+        dieShrinkStudy(lab().runner(), lab().reference(), true);
+    ASSERT_EQ(matched.size(), 2u);
+    for (const auto &e : matched) {
+        EXPECT_LT(e.average.power, 0.75) << e.label;
+        EXPECT_LT(e.average.energy, 0.75) << e.label;
+        // Matched clocks: no performance advantage (paper: 1.01 and
+        // 0.90).
+        EXPECT_NEAR(e.average.perf, 1.0, 0.12) << e.label;
+    }
+    // The two generations' energy gains are similar in magnitude.
+    EXPECT_NEAR(matched[0].average.energy, matched[1].average.energy,
+                0.2);
+}
+
+// Architecture Finding 6: Nehalem performs moderately better than
+// Core controlling for parallelism and clock.
+TEST(Findings, A6_NehalemOverCore)
+{
+    const auto effects = uarchStudy(lab().runner(), lab().reference());
+    const auto i7c2d = effectFor(effects, "Core: i7 (45) / C2D (45)");
+    EXPECT_GT(i7c2d.average.perf, 1.05);
+    EXPECT_LT(i7c2d.average.perf, 1.45);
+}
+
+// Architecture Finding 7: controlling for technology, parallelism
+// and clock, Nehalem's energy efficiency is similar to Core and
+// Bonnell (no free lunch from microarchitecture alone).
+TEST(Findings, A7_EnergyEfficiencyParityAt45nm)
+{
+    const auto effects = uarchStudy(lab().runner(), lab().reference());
+    const double vsBonnell =
+        effectFor(effects, "Bonnell: i7 (45) / AtomD (45)")
+            .average.energy;
+    const double vsCore =
+        effectFor(effects, "Core: i7 (45) / C2D (45)").average.energy;
+    EXPECT_NEAR(vsBonnell, 1.0, 0.25);
+    EXPECT_NEAR(vsCore, 1.0, 0.25);
+    // ...whereas three technology generations plus microarchitecture
+    // yield an order of magnitude (i7 vs Pentium 4, paper: 0.13).
+    const double vsNetburst =
+        effectFor(effects, "NetBurst: i7 (45) / Pentium4 (130)")
+            .average.energy;
+    EXPECT_LT(vsNetburst, 0.25);
+}
+
+// Architecture Finding 8: Turbo Boost is not energy efficient on
+// the i7; roughly energy-neutral on the i5.
+TEST(Findings, A8_TurboBoostEnergy)
+{
+    const auto effects = turboStudy(lab().runner(), lab().reference());
+    EXPECT_GT(effectFor(effects, "i7 (45) 4C2T").average.energy, 1.05);
+    EXPECT_GT(effectFor(effects, "i7 (45) 1C1T").average.energy, 1.05);
+    EXPECT_NEAR(effectFor(effects, "i5 (32) 2C2T").average.energy,
+                1.0, 0.06);
+    EXPECT_NEAR(effectFor(effects, "i5 (32) 1C1T").average.energy,
+                1.0, 0.06);
+}
+
+// Architecture Finding 9: power per transistor is consistent within
+// a microarchitecture family; the Pentium 4 is the outlier with the
+// most power and performance per transistor.
+TEST(Findings, A9_PowerPerTransistor)
+{
+    const auto points =
+        historicalOverview(lab().runner(), lab().reference());
+    double p4Power = 0.0, p4Perf = 0.0;
+    double maxOtherPower = 0.0, maxOtherPerf = 0.0;
+    for (const auto &pt : points) {
+        if (pt.spec->family == Family::NetBurst) {
+            p4Power = pt.powerPerMtran();
+            p4Perf = pt.perfPerMtran();
+        } else {
+            maxOtherPower = std::max(maxOtherPower, pt.powerPerMtran());
+            maxOtherPerf = std::max(maxOtherPerf, pt.perfPerMtran());
+        }
+    }
+    EXPECT_GT(p4Power, 2.0 * maxOtherPower);
+    EXPECT_GT(p4Perf, maxOtherPerf);
+}
+
+// Workload Finding 4: Pareto-efficient design is sensitive to
+// workload — the per-group frontiers differ from each other.
+TEST(Findings, W4_ParetoSensitiveToWorkload)
+{
+    auto &runner = lab().runner();
+    const auto &ref = lab().reference();
+    auto labelsOf = [&](std::optional<Group> group) {
+        std::set<std::string> labels;
+        for (const auto &pt : paretoFrontier45nm(runner, ref, group))
+            labels.insert(pt.label);
+        return labels;
+    };
+    const auto nn = labelsOf(Group::NativeNonScalable);
+    const auto ns = labelsOf(Group::NativeScalable);
+    const auto jn = labelsOf(Group::JavaNonScalable);
+    EXPECT_NE(nn, ns);
+    EXPECT_NE(nn, jn);
+    EXPECT_NE(ns, jn);
+
+    // All Native Non-scalable frontier picks at useful performance
+    // are i7 configurations (contradicting the in-order prediction,
+    // paper section 4.2).
+    for (const auto &label : nn) {
+        if (label.find("Atom") == std::string::npos) {
+            EXPECT_NE(label.find("i7"), std::string::npos) << label;
+        }
+    }
+}
+
+// Figure 2 / TDP discussion: TDP is strictly above measured power
+// and a poor predictor of it.
+TEST(Findings, TdpOverstatesMeasuredPower)
+{
+    for (const auto &spec : allProcessors()) {
+        const auto cfg = stockConfig(spec);
+        double maxW = 0.0;
+        for (const auto &bench : allBenchmarks())
+            maxW = std::max(maxW,
+                            lab().measure(cfg, bench).powerW);
+        EXPECT_LT(maxW, spec.tdpW) << spec.id;
+    }
+}
+
+// Figure 3: benchmark diversity on the i7 — at least 2.5x spread
+// between the hungriest and the leanest benchmark.
+TEST(Findings, BenchmarkPowerDiversityOnI7)
+{
+    const auto cfg = stockConfig(processorById("i7 (45)"));
+    double minW = 1e9, maxW = 0.0;
+    for (const auto &bench : allBenchmarks()) {
+        const double w = lab().measure(cfg, bench).powerW;
+        minW = std::min(minW, w);
+        maxW = std::max(maxW, w);
+    }
+    EXPECT_GT(maxW / minW, 2.0);
+}
+
+} // namespace lhr

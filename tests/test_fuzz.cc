@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Randomized robustness sweep: the laboratory must stay physical for
+ * arbitrary legal configurations and benchmarks, not just the 45
+ * curated ones. Configurations are drawn uniformly from each
+ * processor's legal knob space.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/lab.hh"
+#include "util/rng.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+MachineConfig
+randomConfig(Rng &rng)
+{
+    const auto &specs = allProcessors();
+    const ProcessorSpec &spec = specs[rng.below(specs.size())];
+    MachineConfig cfg = stockConfig(spec);
+    cfg.enabledCores = 1 + static_cast<int>(rng.below(spec.cores));
+    cfg.smtPerCore =
+        spec.smtWays > 1 && rng.uniform() < 0.5 ? 2 : 1;
+    cfg.clockGhz = spec.fMinGhz +
+        rng.uniform() * (spec.stockClockGhz - spec.fMinGhz);
+    cfg.turboEnabled = spec.hasTurbo && rng.uniform() < 0.5;
+    return cfg;
+}
+
+const Benchmark &
+randomBenchmark(Rng &rng)
+{
+    const auto &all = allBenchmarks();
+    return all[rng.below(all.size())];
+}
+
+} // namespace
+
+class FuzzSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FuzzSweep, RandomExperimentsStayPhysical)
+{
+    Rng rng(GetParam());
+    ExperimentRunner runner(GetParam() ^ 0xF022);
+    for (int trial = 0; trial < 12; ++trial) {
+        const MachineConfig cfg = randomConfig(rng);
+        const Benchmark &bench = randomBenchmark(rng);
+
+        const auto profile = runner.profile(cfg, bench);
+        ASSERT_GT(profile.timeSec, 0.0) << cfg.label() << " "
+                                        << bench.name;
+        ASSERT_GT(profile.power.total(), 0.3) << cfg.label();
+        ASSERT_LT(profile.power.total(), cfg.spec->tdpW)
+            << cfg.label() << " " << bench.name;
+        ASSERT_GE(profile.grantedClockGhz, cfg.clockGhz - 1e-9);
+        for (double act : profile.coreActivity) {
+            ASSERT_GE(act, 0.0);
+            ASSERT_LE(act, 1.0);
+        }
+
+        const auto &m = runner.measure(cfg, bench);
+        ASSERT_NEAR(m.powerW, profile.power.total(),
+                    0.10 * profile.power.total())
+            << cfg.label() << " " << bench.name;
+        ASSERT_LT(m.timeCi95Rel, 0.12);
+        ASSERT_LT(m.powerCi95Rel, 0.25);
+    }
+}
+
+TEST_P(FuzzSweep, FewerCoresOrClockNeverFaster)
+{
+    // Monotonicity: removing cores or clock can never speed a
+    // benchmark up. (SMT is deliberately excluded: disabling it CAN
+    // help — the paper's own Finding W2, Java on the Pentium 4.)
+    Rng rng(GetParam() ^ 0x5EED);
+    ExperimentRunner runner(GetParam() ^ 0x5EED);
+    for (int trial = 0; trial < 6; ++trial) {
+        const auto &specs = allProcessors();
+        const ProcessorSpec &spec = specs[rng.below(specs.size())];
+        const Benchmark &bench = randomBenchmark(rng);
+
+        auto full = stockConfig(spec);
+        if (spec.hasTurbo)
+            full = withTurbo(full, false);
+        const double tFull = runner.profile(full, bench).timeSec;
+
+        auto reduced = full;
+        reduced.enabledCores =
+            1 + static_cast<int>(rng.below(spec.cores));
+        reduced.clockGhz = spec.fMinGhz +
+            0.5 * rng.uniform() * (spec.stockClockGhz - spec.fMinGhz);
+        const double tReduced = runner.profile(reduced, bench).timeSec;
+
+        ASSERT_GE(tReduced, tFull * (1.0 - 1e-9))
+            << spec.id << " " << bench.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Values(101ull, 202ull, 303ull,
+                                           404ull, 505ull, 606ull,
+                                           707ull, 808ull));
+
+} // namespace lhr

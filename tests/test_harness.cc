@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the measurement harness: determinism, methodology,
+ * reference normalization, and aggregation (paper sections 2.5-2.6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/aggregate.hh"
+#include "harness/reference.hh"
+#include "harness/runner.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+const ProcessorSpec &i7() { return processorById("i7 (45)"); }
+
+} // namespace
+
+TEST(Runner, DeterministicForEqualSeeds)
+{
+    ExperimentRunner a(99), b(99);
+    const auto cfg = stockConfig(i7());
+    const auto &bench = benchmarkByName("xalan");
+    const Measurement &ma = a.measure(cfg, bench);
+    const Measurement &mb = b.measure(cfg, bench);
+    EXPECT_DOUBLE_EQ(ma.timeSec, mb.timeSec);
+    EXPECT_DOUBLE_EQ(ma.powerW, mb.powerW);
+    EXPECT_DOUBLE_EQ(ma.timeCi95Rel, mb.timeCi95Rel);
+}
+
+TEST(Runner, DifferentSeedsPerturbMeasurements)
+{
+    ExperimentRunner a(1), b(2);
+    const auto cfg = stockConfig(i7());
+    const auto &bench = benchmarkByName("xalan");
+    EXPECT_NE(a.measure(cfg, bench).timeSec,
+              b.measure(cfg, bench).timeSec);
+}
+
+TEST(Runner, OrderIndependentMeasurements)
+{
+    // Each (config, benchmark) pair derives its own stream, so
+    // measuring in a different order gives identical results.
+    const auto cfg = stockConfig(i7());
+    const auto &first = benchmarkByName("mcf");
+    const auto &second = benchmarkByName("xalan");
+
+    ExperimentRunner fwd(7);
+    const double t1 = fwd.measure(cfg, first).timeSec;
+    const double t2 = fwd.measure(cfg, second).timeSec;
+
+    ExperimentRunner rev(7);
+    const double r2 = rev.measure(cfg, second).timeSec;
+    const double r1 = rev.measure(cfg, first).timeSec;
+
+    EXPECT_DOUBLE_EQ(t1, r1);
+    EXPECT_DOUBLE_EQ(t2, r2);
+}
+
+TEST(Runner, NearbyClocksDoNotShareCache)
+{
+    // The display label rounds the clock to one decimal; the cache
+    // must not (regression test for a label-keyed cache collision).
+    ExperimentRunner runner(77);
+    auto base = withTurbo(stockConfig(processorById("i5 (32)")), false);
+    const auto a = withClock(base, 2.60);
+    const auto b = withClock(base, 2.64);
+    ASSERT_EQ(a.label(), b.label()); // same display label...
+    EXPECT_NE(runner.measure(a, benchmarkByName("mcf")).timeSec,
+              runner.measure(b, benchmarkByName("mcf")).timeSec);
+}
+
+TEST(Runner, CachingReturnsSameObject)
+{
+    ExperimentRunner runner(3);
+    const auto cfg = stockConfig(i7());
+    const auto &bench = benchmarkByName("db");
+    const Measurement &a = runner.measure(cfg, bench);
+    const Measurement &b = runner.measure(cfg, bench);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Runner, InvocationCountsFollowMethodology)
+{
+    ExperimentRunner runner(4);
+    const auto cfg = stockConfig(i7());
+    EXPECT_EQ(runner.measure(cfg, benchmarkByName("mcf")).invocations,
+              3);
+    EXPECT_EQ(
+        runner.measure(cfg, benchmarkByName("ferret")).invocations, 5);
+    EXPECT_EQ(
+        runner.measure(cfg, benchmarkByName("xalan")).invocations, 20);
+}
+
+TEST(Runner, MeasuredPowerTracksTruePower)
+{
+    ExperimentRunner runner(5);
+    const auto cfg = stockConfig(i7());
+    const auto &bench = benchmarkByName("fluidanimate");
+    const auto profile = runner.profile(cfg, bench);
+    const auto &m = runner.measure(cfg, bench);
+    EXPECT_NEAR(m.powerW, profile.power.total(),
+                0.06 * profile.power.total());
+}
+
+TEST(Runner, MeasuredTimeTracksTrueTime)
+{
+    ExperimentRunner runner(6);
+    const auto cfg = stockConfig(i7());
+    const auto &bench = benchmarkByName("mcf");
+    const auto profile = runner.profile(cfg, bench);
+    const auto &m = runner.measure(cfg, bench);
+    EXPECT_NEAR(m.timeSec, profile.timeSec, 0.05 * profile.timeSec);
+}
+
+TEST(Runner, TurboGrantsOnStockI7)
+{
+    ExperimentRunner runner(8);
+    const auto &bench = benchmarkByName("mcf"); // single-threaded
+    const auto tb = runner.profile(stockConfig(i7()), bench);
+    // One active core: two turbo steps.
+    EXPECT_NEAR(tb.grantedClockGhz,
+                i7().stockClockGhz + 2.0 * ProcessorSpec::turboStepGhz,
+                1e-9);
+    const auto noTb =
+        runner.profile(withTurbo(stockConfig(i7()), false), bench);
+    EXPECT_NEAR(noTb.grantedClockGhz, i7().stockClockGhz, 1e-12);
+    EXPECT_LT(tb.timeSec, noTb.timeSec);
+}
+
+TEST(Runner, CalibrationRigsMeetQualityGate)
+{
+    ExperimentRunner runner(9);
+    for (const auto &spec : allProcessors())
+        EXPECT_GE(runner.calibration(spec).r2(), 0.999) << spec.id;
+}
+
+TEST(Reference, CoversAllBenchmarks)
+{
+    ExperimentRunner runner(10);
+    const ReferenceSet ref(runner);
+    for (const auto &bench : allBenchmarks()) {
+        EXPECT_GT(ref.refTimeSec(bench), 0.0) << bench.name;
+        EXPECT_GT(ref.refPowerW(bench), 0.0) << bench.name;
+        EXPECT_NEAR(ref.refEnergyJ(bench),
+                    ref.refTimeSec(bench) * ref.refPowerW(bench),
+                    1e-9) << bench.name;
+    }
+}
+
+TEST(Reference, IsMeanOfFourMachines)
+{
+    ExperimentRunner runner(11);
+    const ReferenceSet ref(runner);
+    const auto &bench = benchmarkByName("gcc");
+    double sum = 0.0;
+    for (const auto &id : ReferenceSet::referenceProcessorIds()) {
+        sum += runner.measure(stockConfig(processorById(id)), bench)
+                   .timeSec;
+    }
+    EXPECT_NEAR(ref.refTimeSec(bench), sum / 4.0, 1e-9);
+}
+
+TEST(Reference, HarmonicMeanOfReferencePerfIsOne)
+{
+    // By construction (paper section 2.6): the mean of the four
+    // reference times is the reference, so the harmonic mean of the
+    // four speedups is exactly 1 per benchmark.
+    ExperimentRunner runner(12);
+    const ReferenceSet ref(runner);
+    const auto &bench = benchmarkByName("astar");
+    double invSum = 0.0;
+    for (const auto &id : ReferenceSet::referenceProcessorIds()) {
+        const auto cfg = stockConfig(processorById(id));
+        const double perf =
+            ref.refTimeSec(bench) / runner.measure(cfg, bench).timeSec;
+        invSum += 1.0 / perf;
+    }
+    EXPECT_NEAR(4.0 / invSum, 1.0, 1e-9);
+}
+
+TEST(Aggregate, EqualGroupWeighting)
+{
+    ExperimentRunner runner(13);
+    const ReferenceSet ref(runner);
+    const auto agg =
+        aggregateConfig(runner, ref, stockConfig(i7()));
+    double groupMeanOfPerf = 0.0;
+    for (const auto &g : agg.byGroup)
+        groupMeanOfPerf += g.perf;
+    EXPECT_NEAR(agg.weighted.perf, groupMeanOfPerf / 4.0, 1e-12);
+}
+
+TEST(Aggregate, MinMaxBracketGroups)
+{
+    ExperimentRunner runner(14);
+    const ReferenceSet ref(runner);
+    const auto agg =
+        aggregateConfig(runner, ref, stockConfig(i7()));
+    for (const auto &g : agg.byGroup) {
+        EXPECT_GE(g.perf, agg.minPerf);
+        EXPECT_LE(g.perf, agg.maxPerf);
+        EXPECT_GE(g.powerW, agg.minPowerW);
+        EXPECT_LE(g.powerW, agg.maxPowerW);
+    }
+}
+
+TEST(Aggregate, EnergyIsPowerTimesTimeNormalized)
+{
+    ExperimentRunner runner(15);
+    const ReferenceSet ref(runner);
+    const auto cfg = stockConfig(i7());
+    const auto &bench = benchmarkByName("lusearch");
+    const auto r = benchResult(runner, ref, cfg, bench);
+    const auto &m = runner.measure(cfg, bench);
+    EXPECT_NEAR(r.energy, m.energyJ() / ref.refEnergyJ(bench), 1e-12);
+    EXPECT_NEAR(r.perf, ref.refTimeSec(bench) / m.timeSec, 1e-12);
+}
+
+TEST(Aggregate, ScalablesOutperformOnManyContexts)
+{
+    ExperimentRunner runner(16);
+    const ReferenceSet ref(runner);
+    const auto agg =
+        aggregateConfig(runner, ref, stockConfig(i7()));
+    EXPECT_GT(agg.group(Group::NativeScalable).perf,
+              agg.group(Group::NativeNonScalable).perf);
+    EXPECT_GT(agg.group(Group::JavaScalable).perf,
+              agg.group(Group::JavaNonScalable).perf);
+}
+
+} // namespace lhr

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the managed-runtime model (paper section 2.2 and
+ * Workload Findings 1-2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "jvm/jvm_model.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+const ProcessorSpec &i7() { return processorById("i7 (45)"); }
+
+double
+jvmTime(const ProcessorSpec &spec, const Benchmark &bench,
+        const MachineConfig &cfg)
+{
+    const PerfModel model(spec);
+    return JvmModel::run(model, bench, cfg, cfg.clockGhz).timeSec;
+}
+
+} // namespace
+
+TEST(Jvm, WarmupFactorsDecreaseToSteadyState)
+{
+    double prev = 1e9;
+    for (int iter = 1; iter <= 6; ++iter) {
+        const double factor = JvmModel::warmupFactor(iter);
+        EXPECT_LE(factor, prev);
+        EXPECT_GE(factor, 1.0);
+        prev = factor;
+    }
+    EXPECT_DOUBLE_EQ(
+        JvmModel::warmupFactor(JvmMethodology::measuredIteration), 1.0);
+    EXPECT_GT(JvmModel::warmupFactor(1), 1.5);
+    EXPECT_DEATH(JvmModel::warmupFactor(0), "1-based");
+}
+
+TEST(Jvm, MethodologyConstantsMatchPaper)
+{
+    EXPECT_EQ(JvmMethodology::measuredIteration, 5);
+    EXPECT_EQ(JvmMethodology::invocations, 20);
+    EXPECT_DOUBLE_EQ(JvmMethodology::heapFactor, 3.0);
+}
+
+TEST(Jvm, ServiceScalesWithHeap)
+{
+    // 3x heap is the reference; tighter heaps collect more, larger
+    // heaps less, and only the GC share moves.
+    const double base = 0.10;
+    EXPECT_NEAR(JvmModel::serviceAtHeap(base, 3.0), base, 1e-12);
+    EXPECT_GT(JvmModel::serviceAtHeap(base, 1.5), base);
+    EXPECT_LT(JvmModel::serviceAtHeap(base, 6.0), base);
+    // The JIT share (40%) never goes away.
+    EXPECT_GT(JvmModel::serviceAtHeap(base, 100.0),
+              base * (1.0 - JvmModel::gcShareOfService) - 1e-12);
+    EXPECT_DEATH(JvmModel::serviceAtHeap(base, 1.0), "heap");
+}
+
+TEST(Jvm, TighterHeapRunsSlower)
+{
+    const PerfModel model(processorById("i7 (45)"));
+    const auto cfg = withTurbo(
+        stockConfig(processorById("i7 (45)")), false);
+    const auto &bench = benchmarkByName("pjbb2005");
+    const double tTight =
+        JvmModel::run(model, bench, cfg, cfg.clockGhz, 1.5).timeSec;
+    const double tRef =
+        JvmModel::run(model, bench, cfg, cfg.clockGhz).timeSec;
+    const double tBig =
+        JvmModel::run(model, bench, cfg, cfg.clockGhz, 6.0).timeSec;
+    EXPECT_GT(tTight, tRef);
+    EXPECT_LT(tBig, tRef);
+}
+
+TEST(Jvm, NativeBenchmarkPanics)
+{
+    const PerfModel model(i7());
+    const auto cfg = stockConfig(i7());
+    EXPECT_DEATH(
+        JvmModel::run(model, benchmarkByName("mcf"), cfg, 2.667),
+        "native benchmark");
+}
+
+TEST(Jvm, SingleThreadedJavaGainsFromSecondCore)
+{
+    // Workload Finding 1: the JVM's services parallelize ostensibly
+    // sequential Java code.
+    auto base = withSmt(withTurbo(stockConfig(i7()), false), false);
+    const auto one = withCores(base, 1);
+    const auto two = withCores(base, 2);
+    for (const char *name : {"antlr", "luindex", "db", "javac"}) {
+        const auto &bench = benchmarkByName(name);
+        const double t1 = jvmTime(i7(), bench, one);
+        const double t2 = jvmTime(i7(), bench, two);
+        EXPECT_GT(t1 / t2, 1.05) << name;
+        EXPECT_LT(t1 / t2, 1.7) << name;
+    }
+}
+
+TEST(Jvm, AntlrGainsMostFromOffloading)
+{
+    // antlr spends ~half its time in the JVM (paper section 3.1).
+    auto base = withSmt(withTurbo(stockConfig(i7()), false), false);
+    const auto one = withCores(base, 1);
+    const auto two = withCores(base, 2);
+    const double antlrGain =
+        jvmTime(i7(), benchmarkByName("antlr"), one) /
+        jvmTime(i7(), benchmarkByName("antlr"), two);
+    for (const char *name : {"compress", "jess", "javac", "jack"}) {
+        const auto &bench = benchmarkByName(name);
+        const double gain = jvmTime(i7(), bench, one) /
+            jvmTime(i7(), bench, two);
+        EXPECT_GT(antlrGain, gain) << name;
+    }
+}
+
+TEST(Jvm, NativeCodeSeesNoSuchGain)
+{
+    // Native single-threaded codes never gain from CMP (paper
+    // section 1).
+    const PerfModel model(i7());
+    auto base = withSmt(withTurbo(stockConfig(i7()), false), false);
+    const auto &bench = benchmarkByName("mcf");
+    const double t1 = model.evaluate(
+        bench, withCores(base, 1), 2.667,
+        bench.instructionsB() * 1e9, 1).timeSec;
+    const double t2 = model.evaluate(
+        bench, withCores(base, 2), 2.667,
+        bench.instructionsB() * 1e9, 1).timeSec;
+    EXPECT_NEAR(t1, t2, t1 * 1e-9);
+}
+
+TEST(Jvm, SmtSiblingHurtsJavaOnPentium4)
+{
+    // Workload Finding 2: on the 512KB NetBurst part, JVM service
+    // threads on the SMT sibling squeeze the cache and slow
+    // single-threaded Java down.
+    const ProcessorSpec &p4 = processorById("Pentium4 (130)");
+    const auto smtOff = withSmt(stockConfig(p4), false);
+    const auto smtOn = withSmt(stockConfig(p4), true);
+    double slowdownSum = 0.0;
+    int n = 0;
+    for (const char *name : {"db", "javac", "bloat", "compress"}) {
+        const auto &bench = benchmarkByName(name);
+        const double tOff = jvmTime(p4, bench, smtOff);
+        const double tOn = jvmTime(p4, bench, smtOn);
+        slowdownSum += tOn / tOff;
+        ++n;
+    }
+    EXPECT_GT(slowdownSum / n, 1.0);
+}
+
+TEST(Jvm, SmtSiblingHelpsJavaOnNehalem)
+{
+    // The same mechanism helps on the i7's 8MB cache.
+    auto base = withCores(withTurbo(stockConfig(i7()), false), 1);
+    const auto smtOff = withSmt(base, false);
+    const auto smtOn = withSmt(base, true);
+    double ratioSum = 0.0;
+    int n = 0;
+    for (const char *name : {"antlr", "luindex", "jack", "fop"}) {
+        const auto &bench = benchmarkByName(name);
+        ratioSum += jvmTime(i7(), bench, smtOn) /
+            jvmTime(i7(), bench, smtOff);
+        ++n;
+    }
+    EXPECT_LT(ratioSum / n, 1.0);
+}
+
+TEST(Jvm, GcRaisesMemoryTraffic)
+{
+    const PerfModel model(i7());
+    const auto cfg = withTurbo(stockConfig(i7()), false);
+    const auto &bench = benchmarkByName("xalan");
+    const auto jvm = JvmModel::run(model, bench, cfg, 2.667);
+    const auto raw = model.evaluate(
+        bench, cfg, 2.667, bench.instructionsB() * 1e9,
+        bench.appThreads);
+    EXPECT_GT(jvm.dramGBs, raw.dramGBs);
+}
+
+TEST(Jvm, ServiceCoreShowsUpInUtilization)
+{
+    // With spare cores, one previously idle core carries the JVM's
+    // service activity.
+    const PerfModel model(i7());
+    auto cfg = withSmt(withTurbo(stockConfig(i7()), false), false);
+    const auto &bench = benchmarkByName("antlr"); // single-threaded
+    const auto run = JvmModel::run(model, bench, cfg, 2.667);
+    ASSERT_EQ(run.coreUtilization.size(), 4u);
+    EXPECT_GT(run.coreUtilization[0], 0.0);
+    EXPECT_GT(run.coreUtilization[1], 0.0); // service core
+    EXPECT_DOUBLE_EQ(run.coreUtilization[2], 0.0);
+}
+
+TEST(Jvm, ScalableJavaStillScales)
+{
+    auto base = withTurbo(stockConfig(i7()), false);
+    const auto full = base;
+    const auto single = withSmt(withCores(base, 1), false);
+    const auto &bench = benchmarkByName("sunflow");
+    const double ratio = jvmTime(i7(), bench, single) /
+        jvmTime(i7(), bench, full);
+    EXPECT_GT(ratio, 3.0);
+    EXPECT_LT(ratio, 5.0);
+}
+
+} // namespace lhr

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the on-chip structure power meters (the paper's
+ * recommended instrumentation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "power/meters.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+PowerBreakdown
+breakdown(double cores, double llc, double uncore)
+{
+    PowerBreakdown pb{};
+    pb.coreDynW = cores * 0.8;
+    pb.leakW = cores * 0.2;
+    pb.llcW = llc;
+    pb.uncoreW = uncore;
+    pb.junctionC = 60.0;
+    return pb;
+}
+
+} // namespace
+
+TEST(Meters, DomainNames)
+{
+    EXPECT_STREQ(meterDomainName(MeterDomain::Package), "package");
+    EXPECT_STREQ(meterDomainName(MeterDomain::Cores), "cores");
+    EXPECT_STREQ(meterDomainName(MeterDomain::Llc), "llc");
+    EXPECT_STREQ(meterDomainName(MeterDomain::Uncore), "uncore");
+}
+
+TEST(Meters, StartAtZero)
+{
+    const StructureMeters meters;
+    for (auto domain : {MeterDomain::Package, MeterDomain::Cores,
+                        MeterDomain::Llc, MeterDomain::Uncore}) {
+        EXPECT_EQ(meters.raw(domain), 0u);
+        EXPECT_DOUBLE_EQ(meters.energyJ(domain), 0.0);
+    }
+}
+
+TEST(Meters, AccumulateEnergy)
+{
+    StructureMeters meters;
+    meters.deposit(breakdown(20.0, 3.0, 7.0), 2.0);
+    EXPECT_NEAR(meters.energyJ(MeterDomain::Package), 60.0, 0.001);
+    EXPECT_NEAR(meters.energyJ(MeterDomain::Cores), 40.0, 0.001);
+    EXPECT_NEAR(meters.energyJ(MeterDomain::Llc), 6.0, 0.001);
+    EXPECT_NEAR(meters.energyJ(MeterDomain::Uncore), 14.0, 0.001);
+}
+
+TEST(Meters, DomainsSumToPackage)
+{
+    StructureMeters meters;
+    for (int i = 0; i < 100; ++i)
+        meters.deposit(breakdown(15.0 + i * 0.1, 2.0, 5.0), 0.05);
+    const double parts = meters.energyJ(MeterDomain::Cores) +
+        meters.energyJ(MeterDomain::Llc) +
+        meters.energyJ(MeterDomain::Uncore);
+    EXPECT_NEAR(meters.energyJ(MeterDomain::Package), parts, 0.01);
+}
+
+TEST(Meters, FractionalUnitsCarryOver)
+{
+    // Depositing tiny energies must not lose counts to truncation.
+    StructureMeters meters(1.0); // 1 J per count
+    for (int i = 0; i < 1000; ++i)
+        meters.deposit(breakdown(0.1, 0.0, 0.0), 1.0);
+    // 0.1 W cores * 1000 s = 100 J, despite each deposit being
+    // a fraction of one count.
+    EXPECT_NEAR(meters.energyJ(MeterDomain::Cores), 100.0, 1.0);
+}
+
+TEST(Meters, WrapAwareDifferencing)
+{
+    const StructureMeters meters(0.5);
+    // A reading that wrapped: before near the top, after past zero.
+    const uint32_t before = 0xFFFFFFF0u;
+    const uint32_t after = 0x00000010u;
+    EXPECT_NEAR(meters.energyBetween(before, after), 0x20 * 0.5,
+                1e-9);
+    EXPECT_NEAR(meters.averagePowerW(before, after, 2.0),
+                0x20 * 0.5 / 2.0, 1e-9);
+}
+
+TEST(Meters, InvalidInputsPanic)
+{
+    EXPECT_DEATH(StructureMeters(0.0), "energy unit");
+    StructureMeters meters;
+    EXPECT_DEATH(meters.deposit(breakdown(1, 1, 1), -1.0), "negative");
+    EXPECT_DEATH(meters.averagePowerW(0, 10, 0.0), "interval");
+}
+
+TEST(Meters, MeterRunMatchesHallSensor)
+{
+    // The package meter and the external sensor must agree on every
+    // benchmark (within sensor error) — the meters are the better
+    // version of the same measurement.
+    ExperimentRunner runner(2025);
+    const auto cfg = stockConfig(processorById("i5 (32)"));
+    for (const char *name : {"mcf", "fluidanimate", "xalan", "db"}) {
+        const auto &bench = benchmarkByName(name);
+        double duration = 0.0;
+        const auto meters = runner.meterRun(cfg, bench, &duration);
+        ASSERT_GT(duration, 0.0);
+        const double meterW =
+            meters.energyJ(MeterDomain::Package) / duration;
+        const double hallW = runner.measure(cfg, bench).powerW;
+        EXPECT_NEAR(hallW, meterW, 0.08 * meterW) << name;
+    }
+}
+
+TEST(Meters, AttributionFollowsWorkload)
+{
+    // A cores-heavy FP kernel attributes more to the cores domain
+    // than a memory-bound pointer chaser.
+    ExperimentRunner runner(2026);
+    const auto cfg = stockConfig(processorById("i7 (45)"));
+    auto coresShare = [&](const char *name) {
+        const auto meters =
+            runner.meterRun(cfg, benchmarkByName(name));
+        return meters.energyJ(MeterDomain::Cores) /
+            meters.energyJ(MeterDomain::Package);
+    };
+    EXPECT_GT(coresShare("fluidanimate"), coresShare("omnetpp"));
+}
+
+} // namespace lhr

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the OS governor and hot-unplug models (paper
+ * section 2.8).
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/governor.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+const ProcessorSpec &i7() { return processorById("i7 (45)"); }
+
+} // namespace
+
+TEST(Governor, PolicyNames)
+{
+    EXPECT_EQ(governorPolicyName(GovernorPolicy::Performance),
+              "performance");
+    EXPECT_EQ(governorPolicyName(GovernorPolicy::Ondemand),
+              "ondemand");
+}
+
+TEST(Governor, LadderSpansTheClockRange)
+{
+    const CpuFreqGovernor governor(i7(), GovernorPolicy::Ondemand, 6);
+    const auto &ladder = governor.ladder();
+    ASSERT_EQ(ladder.size(), 6u);
+    EXPECT_NEAR(ladder.front(), i7().fMinGhz, 1e-12);
+    EXPECT_NEAR(ladder.back(), i7().stockClockGhz, 1e-12);
+    for (size_t i = 1; i < ladder.size(); ++i)
+        EXPECT_GT(ladder[i], ladder[i - 1]);
+    EXPECT_DEATH(CpuFreqGovernor(i7(), GovernorPolicy::Ondemand, 1),
+                 "P-states");
+}
+
+TEST(Governor, PerformancePinsMax)
+{
+    CpuFreqGovernor governor(i7(), GovernorPolicy::Performance);
+    for (double util : {0.0, 0.5, 1.0})
+        EXPECT_NEAR(governor.step(util), i7().stockClockGhz, 1e-12);
+}
+
+TEST(Governor, PowersavePinsMin)
+{
+    CpuFreqGovernor governor(i7(), GovernorPolicy::Powersave);
+    for (double util : {0.0, 0.5, 1.0})
+        EXPECT_NEAR(governor.step(util), i7().fMinGhz, 1e-12);
+}
+
+TEST(Governor, OndemandJumpsToMaxOnLoad)
+{
+    CpuFreqGovernor governor(i7(), GovernorPolicy::Ondemand);
+    EXPECT_NEAR(governor.step(0.95), i7().stockClockGhz, 1e-12);
+}
+
+TEST(Governor, OndemandDecaysWhenIdle)
+{
+    CpuFreqGovernor governor(i7(), GovernorPolicy::Ondemand);
+    governor.step(0.95); // to max
+    double prev = governor.clockGhz();
+    for (int i = 0; i < 20; ++i) {
+        const double f = governor.step(0.05);
+        EXPECT_LE(f, prev + 1e-12);
+        prev = f;
+    }
+    EXPECT_NEAR(prev, i7().fMinGhz, 1e-12);
+}
+
+TEST(Governor, OndemandHoldsUnderModerateLoad)
+{
+    // A load that would exceed the threshold at the next lower
+    // state keeps the current state.
+    CpuFreqGovernor governor(i7(), GovernorPolicy::Ondemand);
+    governor.step(0.95);
+    const double before = governor.clockGhz();
+    governor.step(0.70); // at max; would be ~0.78 one step down
+    EXPECT_NEAR(governor.clockGhz(), before, 1e-12);
+}
+
+TEST(Governor, UserspaceObeysAndClamps)
+{
+    CpuFreqGovernor governor(i7(), GovernorPolicy::Userspace);
+    governor.setUserspaceGhz(2.0);
+    EXPECT_NEAR(governor.step(0.9), 2.0, 1e-12);
+    governor.setUserspaceGhz(99.0);
+    EXPECT_NEAR(governor.clockGhz(), i7().stockClockGhz, 1e-12);
+    CpuFreqGovernor ondemand(i7(), GovernorPolicy::Ondemand);
+    EXPECT_DEATH(ondemand.setUserspaceGhz(2.0), "userspace");
+}
+
+TEST(Governor, UtilizationValidated)
+{
+    CpuFreqGovernor governor(i7(), GovernorPolicy::Ondemand);
+    EXPECT_DEATH(governor.step(-0.1), "utilization");
+    EXPECT_DEATH(governor.step(1.1), "utilization");
+}
+
+TEST(HotUnplug, BuggyKernelSpinsHotter)
+{
+    const MicroArch &ua = i7().uarch();
+    EXPECT_GT(OsContextScaling::offlinedCoreActivity(ua, true),
+              OsContextScaling::offlinedCoreActivity(ua, false));
+}
+
+TEST(HotUnplug, Bug5471IncreasesPower)
+{
+    // The paper's observation: with the buggy kernel, taking cores
+    // away through the OS costs MORE power than the BIOS baseline.
+    for (const char *id : {"i7 (45)", "C2Q (65)"}) {
+        const auto &spec = processorById(id);
+        const double buggy = OsContextScaling::osVsBiosPowerRatio(
+            spec, spec.cores - 1, true);
+        EXPECT_GT(buggy, 1.05) << id;
+    }
+}
+
+TEST(HotUnplug, FixedKernelIsNearBios)
+{
+    const double fixedRatio =
+        OsContextScaling::osVsBiosPowerRatio(i7(), 3, false);
+    const double buggyRatio =
+        OsContextScaling::osVsBiosPowerRatio(i7(), 3, true);
+    EXPECT_LT(fixedRatio, buggyRatio);
+    // Even a healthy kernel cannot match BIOS gating exactly: the
+    // parked cores keep their caches coherent and leak.
+    EXPECT_LT(fixedRatio, 1.40);
+}
+
+TEST(HotUnplug, Validation)
+{
+    EXPECT_DEATH(OsContextScaling::osVsBiosPowerRatio(i7(), 4, true),
+                 "offline");
+    EXPECT_DEATH(OsContextScaling::osVsBiosPowerRatio(i7(), -1, true),
+                 "offline");
+}
+
+} // namespace lhr

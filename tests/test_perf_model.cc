@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Tests for the interval performance model: CPI stacks, SMT
+ * composition, multicore scaling, and bandwidth ceilings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "cpu/perf_model.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+const ProcessorSpec &i7() { return processorById("i7 (45)"); }
+const ProcessorSpec &atom() { return processorById("Atom (45)"); }
+const ProcessorSpec &p4() { return processorById("Pentium4 (130)"); }
+
+double
+timeOf(const PerfModel &model, const Benchmark &bench,
+       const MachineConfig &cfg, double clock)
+{
+    return model
+        .evaluate(bench, cfg, clock, bench.instructionsB() * 1e9,
+                  bench.appThreads)
+        .timeSec;
+}
+
+} // namespace
+
+TEST(PerfModel, CpiStackComponentsPositive)
+{
+    const PerfModel model(i7());
+    const auto stack =
+        model.threadCpi(benchmarkByName("gcc"), 2.667, 1, 1.0);
+    EXPECT_GT(stack.base, 0.0);
+    EXPECT_GT(stack.branch, 0.0);
+    EXPECT_GT(stack.memory, 0.0);
+    EXPECT_NEAR(stack.total(),
+                stack.base + stack.branch + stack.memory, 1e-12);
+    EXPECT_NEAR(stack.ipc(), 1.0 / stack.total(), 1e-12);
+}
+
+TEST(PerfModel, MemoryCpiGrowsWithClock)
+{
+    // Memory latency is fixed in nanoseconds, so cycles grow with
+    // clock — the mechanism behind sub-linear clock scaling.
+    const PerfModel model(i7());
+    const auto &bench = benchmarkByName("mcf");
+    const auto slow = model.threadCpi(bench, 1.6, 1, 1.0);
+    const auto fast = model.threadCpi(bench, 2.667, 1, 1.0);
+    EXPECT_NEAR(fast.memory / slow.memory, 2.667 / 1.6, 1e-9);
+    EXPECT_DOUBLE_EQ(fast.base, slow.base);
+    EXPECT_DOUBLE_EQ(fast.branch, slow.branch);
+}
+
+TEST(PerfModel, MemoryBoundBenchmarkScalesWorseWithClock)
+{
+    const PerfModel model(i7());
+    const auto cfg = withTurbo(stockConfig(i7()), false);
+    const auto &memBound = benchmarkByName("mcf");
+    const auto &computeBound = benchmarkByName("hmmer");
+    const double memGain = timeOf(model, memBound, cfg, 1.6) /
+        timeOf(model, memBound, cfg, 2.667);
+    const double compGain = timeOf(model, computeBound, cfg, 1.6) /
+        timeOf(model, computeBound, cfg, 2.667);
+    EXPECT_LT(memGain, compGain);
+    EXPECT_GT(memGain, 1.0);
+    EXPECT_LT(compGain, 2.667 / 1.6 + 1e-9);
+}
+
+TEST(PerfModel, SmtThroughputBetweenOneAndTwoThreads)
+{
+    const PerfModel model(i7());
+    for (const auto &bench : allBenchmarks()) {
+        const double one = model.coreIpc(bench, 2.667, 1, 1.0);
+        const double two = model.coreIpc(bench, 2.667, 2, 1.0);
+        // Per-core throughput with SMT never exceeds 2x a thread
+        // running with the same cache sharing, and should not be
+        // catastrophically lower than a single thread.
+        EXPECT_GT(two, 0.5 * one) << bench.name;
+        EXPECT_LE(two, 2.0 * one + 1e-9) << bench.name;
+    }
+}
+
+TEST(PerfModel, SmtHelpsLessWhenIssueIsSaturated)
+{
+    const PerfModel model(i7());
+    const auto &wide = benchmarkByName("hmmer");   // high ILP
+    const auto &narrow = benchmarkByName("omnetpp"); // low ILP
+    const double wideGain = model.coreIpc(wide, 2.667, 2, 1.0) /
+        model.coreIpc(wide, 2.667, 1, 1.0);
+    const double narrowGain = model.coreIpc(narrow, 2.667, 2, 1.0) /
+        model.coreIpc(narrow, 2.667, 1, 1.0);
+    EXPECT_GT(narrowGain, wideGain);
+}
+
+TEST(PerfModel, SingleThreadedCodeIgnoresExtraCores)
+{
+    const PerfModel model(i7());
+    const auto base = withTurbo(withSmt(stockConfig(i7()), false),
+                                false);
+    const auto &bench = benchmarkByName("mcf");
+    const double t1 = timeOf(model, bench, withCores(base, 1), 2.667);
+    const double t4 = timeOf(model, bench, withCores(base, 4), 2.667);
+    EXPECT_NEAR(t1, t4, 1e-9);
+}
+
+TEST(PerfModel, ScalableCodeUsesAllCores)
+{
+    const PerfModel model(i7());
+    const auto base = withTurbo(withSmt(stockConfig(i7()), false),
+                                false);
+    const auto &bench = benchmarkByName("blackscholes");
+    const double t1 = timeOf(model, bench, withCores(base, 1), 2.667);
+    const double t4 = timeOf(model, bench, withCores(base, 4), 2.667);
+    EXPECT_GT(t1 / t4, 3.0);
+    EXPECT_LT(t1 / t4, 4.0);
+}
+
+TEST(PerfModel, AmdahlCapsSpeedup)
+{
+    const PerfModel model(i7());
+    const auto base = withTurbo(withSmt(stockConfig(i7()), false),
+                                false);
+    const auto &bench = benchmarkByName("canneal"); // pf = 0.90
+    const double t1 = timeOf(model, bench, withCores(base, 1), 2.667);
+    const double t4 = timeOf(model, bench, withCores(base, 4), 2.667);
+    const double amdahl = 1.0 / (0.10 + 0.90 / 4.0);
+    EXPECT_LT(t1 / t4, amdahl + 1e-9);
+}
+
+TEST(PerfModel, BandwidthThrottleEngagesForStreaming)
+{
+    // A perfectly-streaming parallel kernel (high ILP, heavy cold
+    // misses) must saturate the FSB on a quad-core part and be
+    // throttled to the sustainable bandwidth.
+    Benchmark firehose = benchmarkByName("streamcluster");
+    firehose.ilp = 3.5;
+    firehose.miss = {60.0, 0.1, 1e9, 50.0};
+    firehose.branchMispKi = 0.5;
+    const PerfModel model(processorById("C2Q (65)"));
+    const auto cfg = stockConfig(processorById("C2Q (65)"));
+    const auto result = model.evaluate(
+        firehose, cfg, 2.4, firehose.instructionsB() * 1e9, 0);
+    EXPECT_LT(result.bandwidthThrottle, 1.0);
+    // Delivered traffic stays at or below the DRAM's capability.
+    EXPECT_LE(result.dramGBs,
+              processorById("C2Q (65)").memory().bandwidthGBs + 0.1);
+}
+
+TEST(PerfModel, ComputeBoundNeverThrottles)
+{
+    const PerfModel model(i7());
+    const auto cfg = withTurbo(stockConfig(i7()), false);
+    const auto &bench = benchmarkByName("swaptions");
+    const auto result = model.evaluate(
+        bench, cfg, 2.667, bench.instructionsB() * 1e9, 0);
+    EXPECT_DOUBLE_EQ(result.bandwidthThrottle, 1.0);
+}
+
+TEST(PerfModel, UtilizationsAreFractions)
+{
+    const PerfModel model(i7());
+    const auto cfg = withTurbo(stockConfig(i7()), false);
+    for (const auto &bench : allBenchmarks()) {
+        const auto result = model.evaluate(
+            bench, cfg, 2.667, bench.instructionsB() * 1e9,
+            bench.appThreads);
+        ASSERT_EQ(result.coreUtilization.size(), 4u);
+        for (double util : result.coreUtilization) {
+            ASSERT_GE(util, 0.0) << bench.name;
+            ASSERT_LE(util, 1.0) << bench.name;
+        }
+        ASSERT_GT(result.timeSec, 0.0) << bench.name;
+        ASSERT_GE(result.llcActivity, 0.0);
+        ASSERT_LE(result.llcActivity, 1.0);
+    }
+}
+
+TEST(PerfModel, InOrderAtomSlowerPerClockThanNehalem)
+{
+    const PerfModel nehalem(i7());
+    const PerfModel bonnell(atom());
+    const auto &bench = benchmarkByName("gcc");
+    const double nehalemIpc = nehalem.coreIpc(bench, 1.667, 1, 1.0);
+    const double atomIpc = bonnell.coreIpc(bench, 1.667, 1, 1.0);
+    EXPECT_GT(nehalemIpc, 2.0 * atomIpc);
+}
+
+TEST(PerfModel, NetBurstLagsCorePerClock)
+{
+    const PerfModel netburst(p4());
+    const PerfModel core(processorById("C2D (65)"));
+    const auto &bench = benchmarkByName("perlbench");
+    EXPECT_GT(core.coreIpc(bench, 2.4, 1, 1.0),
+              1.5 * netburst.coreIpc(bench, 2.4, 1, 1.0));
+}
+
+TEST(PerfModel, MismatchedConfigPanics)
+{
+    const PerfModel model(i7());
+    const auto wrongCfg = stockConfig(atom());
+    const auto &bench = benchmarkByName("gcc");
+    EXPECT_DEATH(model.evaluate(bench, wrongCfg, 1.667, 1e9, 1),
+                 "different processor");
+}
+
+TEST(PerfModel, InvalidInputsPanic)
+{
+    const PerfModel model(i7());
+    const auto cfg = stockConfig(i7());
+    const auto &bench = benchmarkByName("gcc");
+    EXPECT_DEATH(model.evaluate(bench, cfg, 2.667, 0.0, 1), "work");
+    EXPECT_DEATH(model.threadCpi(bench, 0.0, 1, 1.0), "clock");
+    EXPECT_DEATH(model.threadCpi(bench, 2.667, 0, 1.0), "sharing");
+}
+
+/** Property sweep: core invariants on every (processor, benchmark). */
+class PerfSweep : public ::testing::TestWithParam<const ProcessorSpec *>
+{
+};
+
+TEST_P(PerfSweep, StockExecutionIsSane)
+{
+    const ProcessorSpec &spec = *GetParam();
+    const PerfModel model(spec);
+    auto cfg = stockConfig(spec);
+    cfg.turboEnabled = false;
+    for (const auto &bench : allBenchmarks()) {
+        const auto result = model.evaluate(
+            bench, cfg, cfg.clockGhz, bench.instructionsB() * 1e9,
+            bench.appThreads);
+        ASSERT_GT(result.timeSec, 0.0) << bench.name;
+        ASSERT_GT(result.aggregateIps, 1e6) << bench.name;
+        ASSERT_LE(result.coresUsed, cfg.enabledCores) << bench.name;
+        ASSERT_GE(result.bandwidthThrottle, 0.05) << bench.name;
+        ASSERT_LE(result.bandwidthThrottle, 1.0) << bench.name;
+    }
+}
+
+TEST_P(PerfSweep, MoreClockNeverHurts)
+{
+    const ProcessorSpec &spec = *GetParam();
+    const PerfModel model(spec);
+    auto cfg = stockConfig(spec);
+    cfg.turboEnabled = false;
+    const auto &bench = benchmarkByName("xalancbmk");
+    double prev = 1e99;
+    for (double f = spec.fMinGhz; f <= spec.stockClockGhz + 1e-9;
+         f += 0.2) {
+        const double t = timeOf(model, bench, cfg, f);
+        ASSERT_LE(t, prev + 1e-9) << spec.id << " @ " << f;
+        prev = t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProcessors, PerfSweep,
+    ::testing::ValuesIn([] {
+        std::vector<const ProcessorSpec *> all;
+        for (const auto &spec : allProcessors())
+            all.push_back(&spec);
+        return all;
+    }()),
+    [](const ::testing::TestParamInfo<const ProcessorSpec *> &info) {
+        std::string name = info.param->id;
+        for (char &ch : name)
+            if (!isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return name;
+    });
+
+} // namespace lhr

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the workload phase model and the phase-power series it
+ * drives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "stats/summary.hh"
+#include "workload/phases.hh"
+
+namespace lhr
+{
+
+TEST(Phases, MeansAreCentredOnOne)
+{
+    for (const char *name : {"gcc", "xalan", "fluidanimate"}) {
+        PhaseModel model(benchmarkByName(name), 5);
+        const auto points = model.generate(256);
+        Summary act, mem;
+        for (const auto &pt : points) {
+            act.add(pt.activityMult);
+            mem.add(pt.memoryMult);
+        }
+        EXPECT_NEAR(act.mean(), 1.0, 1e-9) << name;
+        EXPECT_NEAR(mem.mean(), 1.0, 1e-9) << name;
+    }
+}
+
+TEST(Phases, AmplitudeTracksVariability)
+{
+    // gcc (phase-rich, 0.15) swings more than lbm (flat, 0.02).
+    PhaseModel rich(benchmarkByName("gcc"), 6);
+    PhaseModel flat(benchmarkByName("lbm"), 6);
+    Summary richAct, flatAct;
+    for (const auto &pt : rich.generate(512))
+        richAct.add(pt.activityMult);
+    for (const auto &pt : flat.generate(512))
+        flatAct.add(pt.activityMult);
+    EXPECT_GT(richAct.stddev(), 2.0 * flatAct.stddev());
+}
+
+TEST(Phases, JavaHasGcBursts)
+{
+    PhaseModel java(benchmarkByName("xalan"), 7);
+    const auto points = java.generate(PhaseModel::gcPeriodPhases * 8);
+    int bursts = 0;
+    for (const auto &pt : points)
+        if (pt.gcBurst)
+            ++bursts;
+    EXPECT_NEAR(bursts, 8, 2);
+
+    PhaseModel native(benchmarkByName("gcc"), 7);
+    for (const auto &pt : native.generate(128))
+        EXPECT_FALSE(pt.gcBurst);
+}
+
+TEST(Phases, GcBurstsAreMemoryHeavy)
+{
+    PhaseModel java(benchmarkByName("pjbb2005"), 8);
+    const auto points = java.generate(512);
+    Summary gcMem, appMem;
+    for (const auto &pt : points)
+        (pt.gcBurst ? gcMem : appMem).add(pt.memoryMult);
+    ASSERT_GT(gcMem.count(), 0u);
+    EXPECT_GT(gcMem.mean(), 1.2 * appMem.mean());
+}
+
+TEST(Phases, DeterministicPerSeed)
+{
+    PhaseModel a(benchmarkByName("gcc"), 11);
+    PhaseModel b(benchmarkByName("gcc"), 11);
+    const auto pa = a.generate(64);
+    const auto pb = b.generate(64);
+    for (size_t i = 0; i < pa.size(); ++i)
+        ASSERT_DOUBLE_EQ(pa[i].activityMult, pb[i].activityMult);
+    EXPECT_DEATH(a.generate(0), "at least one");
+}
+
+TEST(Phases, SeriesFeedsThePowerTrace)
+{
+    ExperimentRunner runner(0x9999);
+    const auto cfg = stockConfig(processorById("i7 (45)"));
+    const auto &bench = benchmarkByName("pjbb2005");
+    const auto series = runner.phasePowerSeries(cfg, bench);
+    ASSERT_EQ(series.size(),
+              static_cast<size_t>(ExperimentRunner::powerPhases));
+
+    // The series' average must agree with the profile's nominal
+    // power (phases cannot bias the mean), and Java's GC bursts must
+    // make it visibly non-flat.
+    Summary watts;
+    for (const auto &pb : series)
+        watts.add(pb.total());
+    const auto profile = runner.profile(cfg, bench);
+    EXPECT_NEAR(watts.mean(), profile.power.total(),
+                0.05 * profile.power.total());
+    EXPECT_GT(watts.max() - watts.min(), 1.0);
+}
+
+TEST(Phases, SeriesIsDeterministicAndMatchesMeters)
+{
+    ExperimentRunner runner(0xABAB);
+    const auto cfg = stockConfig(processorById("i5 (32)"));
+    const auto &bench = benchmarkByName("xalan");
+    const auto a = runner.phasePowerSeries(cfg, bench);
+    const auto b = runner.phasePowerSeries(cfg, bench);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        ASSERT_DOUBLE_EQ(a[i].total(), b[i].total());
+
+    // Integrating the series reproduces the meters' package energy.
+    double duration = 0.0;
+    const auto meters = runner.meterRun(cfg, bench, &duration);
+    double joules = 0.0;
+    for (const auto &pb : a)
+        joules += pb.total() * duration / a.size();
+    EXPECT_NEAR(meters.energyJ(MeterDomain::Package), joules,
+                0.01 * joules);
+}
+
+} // namespace lhr

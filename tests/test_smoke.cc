@@ -1,0 +1,34 @@
+/**
+ * @file
+ * End-to-end smoke tests: the lab builds, measures, and aggregates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/lab.hh"
+
+namespace lhr
+{
+
+TEST(Smoke, MeasureOneBenchmark)
+{
+    Lab lab;
+    const auto cfg = stockConfig(processorById("i7 (45)"));
+    const auto &m = lab.measure(cfg, benchmarkByName("mcf"));
+    EXPECT_GT(m.timeSec, 0.0);
+    EXPECT_GT(m.powerW, 1.0);
+    EXPECT_LT(m.powerW, cfg.spec->tdpW);
+}
+
+TEST(Smoke, SixtyOneBenchmarks)
+{
+    EXPECT_EQ(allBenchmarks().size(), 61u);
+}
+
+TEST(Smoke, FortyFiveConfigurations)
+{
+    EXPECT_EQ(standardConfigurations().size(), 45u);
+    EXPECT_EQ(configurations45nm().size(), 29u);
+}
+
+} // namespace lhr

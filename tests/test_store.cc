@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for measurement persistence and run comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "store/results_store.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+StoredResult
+row(const std::string &cfg, const std::string &bench, double t,
+    double w)
+{
+    return {cfg, bench, t, 0.01, w, 0.01};
+}
+
+} // namespace
+
+TEST(Store, PutFindOverwrite)
+{
+    ResultStore store;
+    store.put(row("cfgA", "mcf", 10.0, 40.0));
+    EXPECT_EQ(store.size(), 1u);
+    const StoredResult *found = store.find("cfgA", "mcf");
+    ASSERT_NE(found, nullptr);
+    EXPECT_DOUBLE_EQ(found->timeSec, 10.0);
+    EXPECT_DOUBLE_EQ(found->energyJ(), 400.0);
+
+    store.put(row("cfgA", "mcf", 12.0, 40.0)); // overwrite
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_DOUBLE_EQ(store.find("cfgA", "mcf")->timeSec, 12.0);
+
+    EXPECT_EQ(store.find("cfgA", "gcc"), nullptr);
+    EXPECT_EQ(store.find("cfgB", "mcf"), nullptr);
+}
+
+TEST(Store, SaveLoadRoundTrip)
+{
+    ResultStore store;
+    store.put(row("i7 (45) 4C2T@2.7GHz", "mcf", 1805.25, 48.39));
+    store.put(row("Atom (45) 1C2T@1.7GHz", "xalan", 14.0, 2.5));
+    // A label with a comma exercises quoting.
+    store.put(row("cfg,with,commas", "b\"quoted\"", 1.5, 2.5));
+
+    std::ostringstream os;
+    store.save(os);
+    std::istringstream is(os.str());
+    const ResultStore loaded = ResultStore::load(is);
+
+    EXPECT_EQ(loaded.size(), store.size());
+    for (const auto *original : store.all()) {
+        const StoredResult *copy = loaded.find(
+            original->configLabel, original->benchmark);
+        ASSERT_NE(copy, nullptr) << original->configLabel;
+        EXPECT_NEAR(copy->timeSec, original->timeSec, 1e-5);
+        EXPECT_NEAR(copy->powerW, original->powerW, 1e-5);
+        EXPECT_NEAR(copy->timeCi95Rel, original->timeCi95Rel, 1e-5);
+    }
+}
+
+TEST(Store, LoadRejectsGarbage)
+{
+    {
+        std::istringstream is("not,a,store\n");
+        EXPECT_DEATH(ResultStore::load(is), "header");
+    }
+    {
+        std::istringstream is(
+            "config,benchmark,time_s,time_ci95,power_w,power_ci95\n"
+            "cfg,mcf,1.0,0.01\n");
+        EXPECT_DEATH(ResultStore::load(is), "fields");
+    }
+    {
+        std::istringstream is(
+            "config,benchmark,time_s,time_ci95,power_w,power_ci95\n"
+            "cfg,mcf,banana,0.01,40.0,0.01\n");
+        EXPECT_DEATH(ResultStore::load(is), "bad number");
+    }
+}
+
+TEST(Store, LoadSkipsBlankLines)
+{
+    std::istringstream is(
+        "config,benchmark,time_s,time_ci95,power_w,power_ci95\n"
+        "cfg,mcf,1.000000,0.010000,40.000000,0.010000\n"
+        "\n");
+    const ResultStore loaded = ResultStore::load(is);
+    EXPECT_EQ(loaded.size(), 1u);
+}
+
+TEST(Store, CompareCleanWhenIdentical)
+{
+    ResultStore a;
+    a.put(row("cfg", "mcf", 10.0, 40.0));
+    a.put(row("cfg", "gcc", 5.0, 35.0));
+    const auto cmp = compareStores(a, a, 0.01);
+    EXPECT_TRUE(cmp.clean());
+    EXPECT_EQ(cmp.compared, 2u);
+}
+
+TEST(Store, CompareFlagsTimeRegression)
+{
+    ResultStore before, after;
+    before.put(row("cfg", "mcf", 10.0, 40.0));
+    after.put(row("cfg", "mcf", 11.0, 40.0)); // +10% time
+    const auto cmp = compareStores(before, after, 0.05);
+    ASSERT_EQ(cmp.regressions.size(), 1u);
+    EXPECT_NEAR(cmp.regressions[0].timeRatio, 1.1, 1e-9);
+    EXPECT_NEAR(cmp.regressions[0].powerRatio, 1.0, 1e-9);
+    EXPECT_NEAR(cmp.regressions[0].energyRatio, 1.1, 1e-9);
+    EXPECT_FALSE(cmp.clean());
+}
+
+TEST(Store, CompareWithinToleranceIsClean)
+{
+    ResultStore before, after;
+    before.put(row("cfg", "mcf", 10.0, 40.0));
+    after.put(row("cfg", "mcf", 10.3, 40.8)); // 3% / 2%
+    EXPECT_TRUE(compareStores(before, after, 0.05).clean());
+    EXPECT_FALSE(compareStores(before, after, 0.01).clean());
+    EXPECT_DEATH(compareStores(before, after, -0.1), "tolerance");
+}
+
+TEST(Store, CompareReportsMissingRows)
+{
+    ResultStore before, after;
+    before.put(row("cfg", "mcf", 10.0, 40.0));
+    before.put(row("cfg", "gcc", 5.0, 35.0));
+    after.put(row("cfg", "mcf", 10.0, 40.0));
+    after.put(row("cfg", "xalan", 2.0, 50.0));
+    const auto cmp = compareStores(before, after, 0.05);
+    ASSERT_EQ(cmp.onlyInBefore.size(), 1u);
+    ASSERT_EQ(cmp.onlyInAfter.size(), 1u);
+    EXPECT_NE(cmp.onlyInBefore[0].find("gcc"), std::string::npos);
+    EXPECT_NE(cmp.onlyInAfter[0].find("xalan"), std::string::npos);
+}
+
+TEST(Store, SnapshotMatchesRunner)
+{
+    ExperimentRunner runner(0xFACE);
+    const std::vector<MachineConfig> configs = {
+        stockConfig(processorById("Atom (45)")),
+    };
+    const ResultStore store = ResultStore::snapshot(runner, configs);
+    EXPECT_EQ(store.size(), allBenchmarks().size());
+    const auto &bench = benchmarkByName("jess");
+    const StoredResult *found =
+        store.find(configs[0].label(), bench.name);
+    ASSERT_NE(found, nullptr);
+    EXPECT_DOUBLE_EQ(found->timeSec,
+                     runner.measure(configs[0], bench).timeSec);
+}
+
+TEST(Store, SnapshotsAreReproducible)
+{
+    const std::vector<MachineConfig> configs = {
+        stockConfig(processorById("Atom (45)")),
+    };
+    ExperimentRunner a(0xF00D), b(0xF00D);
+    const auto storeA = ResultStore::snapshot(a, configs);
+    const auto storeB = ResultStore::snapshot(b, configs);
+    EXPECT_TRUE(compareStores(storeA, storeB, 1e-12).clean());
+}
+
+} // namespace lhr

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the technology-node, microarchitecture, and DRAM models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+#include "tech/node.hh"
+#include "uarch/descriptor.hh"
+
+namespace lhr
+{
+
+TEST(TechNode, AllFourNodesResolve)
+{
+    for (auto node : {Node::Nm130, Node::Nm65, Node::Nm45, Node::Nm32}) {
+        const TechNode &tn = techNode(node);
+        EXPECT_EQ(tn.node, node);
+        EXPECT_GT(tn.featureNm, 0);
+    }
+}
+
+TEST(TechNode, LookupByNm)
+{
+    EXPECT_EQ(techNodeByNm(130).name, "130nm");
+    EXPECT_EQ(techNodeByNm(32).name, "32nm");
+    EXPECT_DEATH(techNodeByNm(90), "no model");
+}
+
+TEST(TechNode, CapacitanceShrinksMonotonically)
+{
+    EXPECT_GT(techNode(Node::Nm130).capScale,
+              techNode(Node::Nm65).capScale);
+    EXPECT_GT(techNode(Node::Nm65).capScale,
+              techNode(Node::Nm45).capScale);
+    EXPECT_GT(techNode(Node::Nm45).capScale,
+              techNode(Node::Nm32).capScale);
+    EXPECT_DOUBLE_EQ(techNode(Node::Nm130).capScale, 1.0);
+}
+
+TEST(TechNode, VoltagesShrinkMonotonically)
+{
+    double prev = 1e9;
+    for (auto node : {Node::Nm130, Node::Nm65, Node::Nm45, Node::Nm32}) {
+        const TechNode &tn = techNode(node);
+        EXPECT_LT(tn.vNominal, prev);
+        EXPECT_LT(tn.vMin, tn.vNominal);
+        prev = tn.vNominal;
+    }
+}
+
+TEST(TechNode, LeakageWorstAt65nm)
+{
+    // Leakage per transistor peaked before high-k metal gates.
+    EXPECT_GT(techNode(Node::Nm65).leakScale,
+              techNode(Node::Nm130).leakScale);
+    EXPECT_GT(techNode(Node::Nm65).leakScale,
+              techNode(Node::Nm45).leakScale);
+}
+
+TEST(TechNode, LeakageVoltageFactorIsQuadratic)
+{
+    const TechNode &tn = techNode(Node::Nm45);
+    EXPECT_NEAR(leakageVoltageFactor(tn, tn.vNominal), 1.0, 1e-12);
+    EXPECT_NEAR(leakageVoltageFactor(tn, tn.vNominal / 2.0), 0.25,
+                1e-12);
+    EXPECT_DEATH(leakageVoltageFactor(tn, 0.0), "voltage");
+}
+
+TEST(MicroArch, AllFamiliesResolve)
+{
+    for (auto fam : {Family::NetBurst, Family::Core, Family::Bonnell,
+                     Family::Nehalem}) {
+        const MicroArch &ua = microArch(fam);
+        EXPECT_EQ(ua.family, fam);
+        EXPECT_GT(ua.issueWidth, 0);
+        EXPECT_GT(ua.pipelineDepth, 0);
+        EXPECT_GT(ua.issueEfficiency, 0.0);
+        EXPECT_LE(ua.issueEfficiency, 1.0);
+        EXPECT_GE(ua.smtQuality, 0.0);
+        EXPECT_LE(ua.smtQuality, 1.0);
+        EXPECT_GT(ua.coreCapNf130, 0.0);
+        EXPECT_GT(ua.coreTransistorsM, 0.0);
+    }
+}
+
+TEST(MicroArch, FamilyNames)
+{
+    EXPECT_EQ(familyName(Family::NetBurst), "NetBurst");
+    EXPECT_EQ(familyName(Family::Core), "Core");
+    EXPECT_EQ(familyName(Family::Bonnell), "Bonnell");
+    EXPECT_EQ(familyName(Family::Nehalem), "Nehalem");
+}
+
+TEST(MicroArch, BonnellIsTheOnlyInOrder)
+{
+    EXPECT_FALSE(microArch(Family::Bonnell).outOfOrder);
+    EXPECT_TRUE(microArch(Family::NetBurst).outOfOrder);
+    EXPECT_TRUE(microArch(Family::Core).outOfOrder);
+    EXPECT_TRUE(microArch(Family::Nehalem).outOfOrder);
+}
+
+TEST(MicroArch, CoreHasNoSmt)
+{
+    EXPECT_DOUBLE_EQ(microArch(Family::Core).smtQuality, 0.0);
+}
+
+TEST(MicroArch, NetBurstHasDeepestPipeline)
+{
+    const int netburst = microArch(Family::NetBurst).pipelineDepth;
+    for (auto fam : {Family::Core, Family::Bonnell, Family::Nehalem})
+        EXPECT_GT(netburst, microArch(fam).pipelineDepth);
+}
+
+TEST(MicroArch, NehalemExtractsMostIlp)
+{
+    const double nehalem = microArch(Family::Nehalem).ilpExtraction;
+    for (auto fam : {Family::Core, Family::Bonnell, Family::NetBurst})
+        EXPECT_GT(nehalem, microArch(fam).ilpExtraction);
+}
+
+TEST(Dram, KnownModelsResolve)
+{
+    for (const char *name :
+         {"DDR-400", "DDR2-800", "DDR3-1066", "DDR3-1333"}) {
+        const DramModel &m = dramModel(name);
+        EXPECT_EQ(m.name, name);
+        EXPECT_GT(m.latencyNs, 0.0);
+        EXPECT_GT(m.bandwidthGBs, 0.0);
+    }
+    EXPECT_DEATH(dramModel("DDR5-9999"), "unknown");
+}
+
+TEST(Dram, GenerationsImprove)
+{
+    EXPECT_GT(dramModel("DDR-400").latencyNs,
+              dramModel("DDR2-800").latencyNs);
+    EXPECT_LT(dramModel("DDR-400").bandwidthGBs,
+              dramModel("DDR2-800").bandwidthGBs);
+    EXPECT_LT(dramModel("DDR2-800").bandwidthGBs,
+              dramModel("DDR3-1066").bandwidthGBs);
+}
+
+TEST(Dram, ThrottleSemantics)
+{
+    const DramModel &m = dramModel("DDR2-800");
+    EXPECT_DOUBLE_EQ(m.throttle(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(m.throttle(-1.0), 1.0);
+    EXPECT_DOUBLE_EQ(m.throttle(m.bandwidthGBs), 1.0);
+    EXPECT_NEAR(m.throttle(2.0 * m.bandwidthGBs), 0.5, 1e-12);
+}
+
+} // namespace lhr

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the thermal transient integrator and thermally-driven
+ * Turbo throttling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "power/thermal_transient.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+const ProcessorSpec &i7() { return processorById("i7 (45)"); }
+
+} // namespace
+
+TEST(ThermalTransient, StartsAtAmbient)
+{
+    ThermalTransient thermal(i7());
+    EXPECT_DOUBLE_EQ(thermal.junctionC(), ThermalModel::ambientC);
+}
+
+TEST(ThermalTransient, ApproachesSteadyStateExponentially)
+{
+    ThermalTransient thermal(i7(), 10.0);
+    const ThermalModel steady(i7());
+    const double target = steady.junctionAt(80.0);
+
+    // After one time constant: ~63% of the way.
+    thermal.step(80.0, 10.0);
+    const double expected = ThermalModel::ambientC +
+        (target - ThermalModel::ambientC) * (1.0 - std::exp(-1.0));
+    EXPECT_NEAR(thermal.junctionC(), expected, 0.5);
+
+    // After settle time: within 5%.
+    ThermalTransient fresh(i7(), 10.0);
+    fresh.step(80.0, fresh.settleTimeSec());
+    EXPECT_NEAR(fresh.junctionC(), target,
+                0.05 * (target - ThermalModel::ambientC) + 0.1);
+}
+
+TEST(ThermalTransient, ManySmallStepsMatchOneBigStep)
+{
+    ThermalTransient coarse(i7(), 8.0), fine(i7(), 8.0);
+    coarse.step(60.0, 4.0);
+    for (int i = 0; i < 400; ++i)
+        fine.step(60.0, 0.01);
+    EXPECT_NEAR(coarse.junctionC(), fine.junctionC(), 0.2);
+}
+
+TEST(ThermalTransient, CoolsBackDown)
+{
+    ThermalTransient thermal(i7(), 5.0);
+    thermal.step(100.0, 60.0); // hot
+    const double hot = thermal.junctionC();
+    thermal.step(5.0, 60.0); // near idle
+    EXPECT_LT(thermal.junctionC(), hot);
+    thermal.reset();
+    EXPECT_DOUBLE_EQ(thermal.junctionC(), ThermalModel::ambientC);
+}
+
+TEST(ThermalTransient, Validation)
+{
+    EXPECT_DEATH(ThermalTransient(i7(), 0.0), "time constant");
+    ThermalTransient thermal(i7());
+    EXPECT_DEATH(thermal.step(-1.0, 1.0), "negative");
+    EXPECT_DEATH(thermal.step(1.0, -1.0), "negative");
+}
+
+TEST(ThermalThrottle, StaysBoostedWhenCool)
+{
+    const auto cfg = stockConfig(i7());
+    ThermalThrottle throttle(cfg, 2);
+    // A modest power level never threatens the throttle point.
+    for (int i = 0; i < 100; ++i)
+        throttle.step([](double) { return 40.0; }, 1.0);
+    EXPECT_EQ(throttle.currentSteps(), 2);
+}
+
+TEST(ThermalThrottle, ShedsBoostOnSustainedHeat)
+{
+    const auto cfg = stockConfig(i7());
+    ThermalThrottle throttle(cfg, 2, 5.0);
+    // Power near TDP drives the junction to the throttle point.
+    int minSteps = 2;
+    for (int i = 0; i < 200; ++i) {
+        throttle.step([](double) { return 136.0; }, 1.0);
+        minSteps = std::min(minSteps, throttle.currentSteps());
+    }
+    EXPECT_LT(minSteps, 2);
+}
+
+TEST(ThermalThrottle, RearmsAfterCooling)
+{
+    const auto cfg = stockConfig(i7());
+    ThermalThrottle throttle(cfg, 2, 5.0);
+    for (int i = 0; i < 200; ++i)
+        throttle.step([](double) { return 136.0; }, 1.0); // heat up
+    const int throttled = throttle.currentSteps();
+    for (int i = 0; i < 200; ++i)
+        throttle.step([](double) { return 10.0; }, 1.0); // cool
+    EXPECT_GT(throttle.currentSteps(), throttled);
+    EXPECT_EQ(throttle.currentSteps(), 2);
+}
+
+TEST(ThermalThrottle, BoostedClockIsReported)
+{
+    const auto cfg = stockConfig(i7());
+    ThermalThrottle throttle(cfg, 1);
+    const double clock =
+        throttle.step([](double) { return 40.0; }, 0.1);
+    EXPECT_NEAR(clock, cfg.clockGhz + ProcessorSpec::turboStepGhz,
+                1e-12);
+}
+
+TEST(ThermalThrottle, Validation)
+{
+    const auto c2d = stockConfig(processorById("C2D (65)"));
+    EXPECT_DEATH(ThermalThrottle(c2d, 1), "no Turbo");
+    const auto cfg = stockConfig(i7());
+    EXPECT_DEATH(ThermalThrottle(cfg, -1), "negative");
+}
+
+} // namespace lhr

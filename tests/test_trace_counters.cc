@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the synthetic trace generator and the hardware-counter
+ * characterization pipeline — including the cross-validation of the
+ * structural substrate against the analytic miss curves.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "cachesim/cache_sim.hh"
+#include "counters/hwcounters.hh"
+#include "trace/generator.hh"
+
+namespace lhr
+{
+
+TEST(AddressGenerator, ReproducesMissCurveAt32K)
+{
+    // Run a generated stream through an actual 32KB array: the miss
+    // rate must match the curve's reference point.
+    const MissCurve curve{20.0, 0.5, 1e6, 1.0};
+    const double mapi = 0.35;
+    AddressGenerator gen(curve, mapi, 99);
+    CacheArray l1(32.0, 8);
+    const int accesses = 400000;
+    for (int i = 0; i < accesses; ++i)
+        l1.access(gen.next());
+    // Simulated MPKI at 32KB (converting accesses to instructions).
+    const double mpki = l1.missRatio() * mapi * 1000.0;
+    EXPECT_NEAR(mpki, curve.missPerKi(32.0),
+                0.35 * curve.missPerKi(32.0));
+}
+
+TEST(AddressGenerator, ColdFloorForStreaming)
+{
+    // A streaming curve keeps missing even in a huge cache.
+    const MissCurve streaming{30.0, 0.15, 1e6, 20.0};
+    AddressGenerator gen(streaming, 0.33, 7);
+    CacheArray big(16384.0, 16);
+    for (int i = 0; i < 200000; ++i)
+        big.access(gen.next());
+    const double mpki = big.missRatio() * 0.33 * 1000.0;
+    EXPECT_GT(mpki, 0.5 * streaming.coldMpki);
+}
+
+TEST(AddressGenerator, DeterministicStreams)
+{
+    const MissCurve curve{20.0, 0.5, 1e6, 1.0};
+    AddressGenerator a(curve, 0.35, 5), b(curve, 0.35, 5);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(AddressGenerator, ValidationPanics)
+{
+    const MissCurve curve{20.0, 0.5, 1e6, 1.0};
+    EXPECT_DEATH(AddressGenerator(curve, 0.0, 1), "access rate");
+}
+
+TEST(TraceGenerator, OpMixMatchesDescriptor)
+{
+    const auto &bench = benchmarkByName("gcc");
+    TraceGenerator trace(bench, 11);
+    int mem = 0, branches = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const MicroOp op = trace.next();
+        if (op.kind == MicroOp::Kind::Load ||
+            op.kind == MicroOp::Kind::Store)
+            ++mem;
+        else if (op.kind == MicroOp::Kind::Branch)
+            ++branches;
+    }
+    EXPECT_NEAR(static_cast<double>(mem) / n, bench.memAccessPerInstr,
+                0.01);
+    EXPECT_NEAR(static_cast<double>(branches) / n,
+                TraceGenerator::branchPerInstr, 0.01);
+}
+
+TEST(TraceGenerator, BranchPoolBiasesAreSane)
+{
+    const auto &bench = benchmarkByName("gobmk"); // branchy
+    TraceGenerator trace(bench, 12);
+    EXPECT_EQ(trace.branches().size(),
+              static_cast<size_t>(TraceGenerator::staticBranches));
+    for (const auto &branch : trace.branches()) {
+        EXPECT_GE(branch.takenBias, 0.0);
+        EXPECT_LE(branch.takenBias, 1.0);
+    }
+}
+
+TEST(Counters, BankArithmetic)
+{
+    CounterBank bank;
+    EXPECT_EQ(bank.read(HwEvent::Instructions), 0u);
+    bank.add(HwEvent::Instructions, 1000);
+    bank.add(HwEvent::LlcMisses, 5);
+    EXPECT_DOUBLE_EQ(bank.perKi(HwEvent::LlcMisses), 5.0);
+    bank.reset();
+    EXPECT_EQ(bank.read(HwEvent::LlcMisses), 0u);
+    EXPECT_DEATH(bank.perKi(HwEvent::LlcMisses), "no instructions");
+}
+
+TEST(Counters, EventNames)
+{
+    EXPECT_STREQ(hwEventName(HwEvent::DtlbMisses), "dTLB-misses");
+    EXPECT_STREQ(hwEventName(HwEvent::Instructions), "instructions");
+}
+
+TEST(Characterize, CountsAreInternallyConsistent)
+{
+    const auto &bench = benchmarkByName("xalancbmk");
+    const auto profile = characterizeWorkload(
+        bench, processorById("i7 (45)"), 150000, 21, 0.0, 50000);
+    const auto &c = profile.counters;
+    EXPECT_EQ(c.read(HwEvent::Instructions), 150000u);
+    EXPECT_LE(c.read(HwEvent::L1dMisses),
+              c.read(HwEvent::MemAccesses));
+    EXPECT_LE(c.read(HwEvent::LlcMisses),
+              c.read(HwEvent::L1dMisses));
+    EXPECT_LE(c.read(HwEvent::BranchMispredicts),
+              c.read(HwEvent::BranchInstructions));
+    EXPECT_LE(c.read(HwEvent::DtlbMisses),
+              c.read(HwEvent::DtlbAccesses));
+    EXPECT_DEATH(characterizeWorkload(bench, processorById("i7 (45)"),
+                                      0, 1),
+                 "zero instructions");
+}
+
+TEST(Characterize, GcDisplacementRaisesDtlbMisses)
+{
+    // The db/DTLB mechanism (paper section 3.1): a co-located
+    // collector displaces application TLB state.
+    const auto &db = benchmarkByName("db");
+    const auto same = characterizeWorkload(
+        db, processorById("i7 (45)"), 400000, 7, 0.7);
+    const auto offloaded = characterizeWorkload(
+        db, processorById("i7 (45)"), 400000, 7, 0.0);
+    EXPECT_GT(same.dtlbMpki, 1.3 * offloaded.dtlbMpki);
+}
+
+/** Cross-validation: structural L1 MPKI matches the analytic curve. */
+class CrossValidationSweep
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CrossValidationSweep, L1MpkiMatchesAnalyticCurve)
+{
+    const auto &bench = benchmarkByName(GetParam());
+    const auto &spec = processorById("i7 (45)");
+    const auto profile =
+        characterizeWorkload(bench, spec, 250000, 33, 0.0, 120000);
+    const auto analytic =
+        makeHierarchy(spec).evaluate(bench.miss, 1.0, 1.0);
+    // Within 40% or 2 MPKI, whichever is looser (set conflicts and
+    // finite-trace effects vs the fully-associative analytic form).
+    const double tolerance =
+        std::max(2.0, 0.4 * analytic.l1Mpki);
+    EXPECT_NEAR(profile.l1Mpki, analytic.l1Mpki, tolerance);
+}
+
+TEST_P(CrossValidationSweep, BranchRateTracksDescriptor)
+{
+    const auto &bench = benchmarkByName(GetParam());
+    const auto profile = characterizeWorkload(
+        bench, processorById("i7 (45)"), 250000, 34, 0.0, 50000);
+    const double tolerance =
+        std::max(2.5, 0.5 * bench.branchMispKi);
+    EXPECT_NEAR(profile.branchMispKi, bench.branchMispKi, tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Representative, CrossValidationSweep,
+    ::testing::Values("hmmer", "gcc", "mcf", "libquantum", "povray",
+                      "db", "xalan", "canneal", "fluidanimate"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        return std::string(info.param);
+    });
+
+} // namespace lhr

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the Turbo Boost governor (paper section 3.6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/chip_power.hh"
+#include "power/turbo.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+const ProcessorSpec &i7() { return processorById("i7 (45)"); }
+
+double
+alwaysCool(double)
+{
+    return 50.0;
+}
+
+} // namespace
+
+TEST(Turbo, MaxSteps)
+{
+    EXPECT_EQ(TurboGovernor::maxSteps(1), 2);
+    EXPECT_EQ(TurboGovernor::maxSteps(2), 1);
+    EXPECT_EQ(TurboGovernor::maxSteps(4), 1);
+}
+
+TEST(Turbo, NoBoostWhenDisabled)
+{
+    const auto cfg = withTurbo(stockConfig(i7()), false);
+    const double granted = TurboGovernor::grant(
+        cfg, 1, [](double) { return 10.0; }, alwaysCool);
+    EXPECT_DOUBLE_EQ(granted, cfg.clockGhz);
+}
+
+TEST(Turbo, NoBoostOnNonTurboParts)
+{
+    const auto cfg = stockConfig(processorById("C2D (65)"));
+    const double granted = TurboGovernor::grant(
+        cfg, 1, [](double) { return 10.0; }, alwaysCool);
+    EXPECT_DOUBLE_EQ(granted, cfg.clockGhz);
+}
+
+TEST(Turbo, NoBoostWhenDownClocked)
+{
+    // Turbo only engages at the highest clock setting (section 3.6).
+    const auto cfg = withClock(stockConfig(i7()), 1.6);
+    const double granted = TurboGovernor::grant(
+        cfg, 1, [](double) { return 10.0; }, alwaysCool);
+    EXPECT_DOUBLE_EQ(granted, 1.6);
+}
+
+TEST(Turbo, SingleCoreGetsTwoSteps)
+{
+    const auto cfg = stockConfig(i7());
+    const double granted = TurboGovernor::grant(
+        cfg, 1, [](double) { return 30.0; }, alwaysCool);
+    EXPECT_NEAR(granted,
+                cfg.clockGhz + 2.0 * ProcessorSpec::turboStepGhz,
+                1e-12);
+}
+
+TEST(Turbo, MultiCoreGetsOneStep)
+{
+    const auto cfg = stockConfig(i7());
+    const double granted = TurboGovernor::grant(
+        cfg, 4, [](double) { return 60.0; }, alwaysCool);
+    EXPECT_NEAR(granted, cfg.clockGhz + ProcessorSpec::turboStepGhz,
+                1e-12);
+}
+
+TEST(Turbo, PowerHeadroomDeniesBoost)
+{
+    const auto cfg = stockConfig(i7());
+    // Any boosted clock would exceed the TDP headroom.
+    const double granted = TurboGovernor::grant(
+        cfg, 4,
+        [&](double f) {
+            return f > cfg.clockGhz ? cfg.spec->tdpW : 60.0;
+        },
+        alwaysCool);
+    EXPECT_DOUBLE_EQ(granted, cfg.clockGhz);
+}
+
+TEST(Turbo, FallsBackToFewerSteps)
+{
+    // Two steps exceed the budget but one step fits.
+    const auto cfg = stockConfig(i7());
+    const double oneStep = cfg.clockGhz + ProcessorSpec::turboStepGhz;
+    const double granted = TurboGovernor::grant(
+        cfg, 1,
+        [&](double f) {
+            return f > oneStep + 1e-9 ? cfg.spec->tdpW : 60.0;
+        },
+        alwaysCool);
+    EXPECT_NEAR(granted, oneStep, 1e-12);
+}
+
+TEST(Turbo, ThermalCeilingDeniesBoost)
+{
+    const auto cfg = stockConfig(i7());
+    const double granted = TurboGovernor::grant(
+        cfg, 1, [](double) { return 30.0; },
+        [&](double f) {
+            return f > cfg.clockGhz
+                ? ThermalModel::throttleJunctionC + 5.0 : 60.0;
+        });
+    EXPECT_DOUBLE_EQ(granted, cfg.clockGhz);
+}
+
+TEST(Turbo, NoActiveCoresPanics)
+{
+    const auto cfg = stockConfig(i7());
+    EXPECT_DEATH(TurboGovernor::grant(
+                     cfg, 0, [](double) { return 10.0; }, alwaysCool),
+                 "active");
+}
+
+} // namespace lhr

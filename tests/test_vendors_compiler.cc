@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the JVM vendor and native compiler models (the paper's
+ * future-work studies).
+ */
+
+#include <gtest/gtest.h>
+
+#include "jvm/vendors.hh"
+#include "workload/compiler.hh"
+
+namespace lhr
+{
+
+TEST(JvmVendors, ThreeVendors)
+{
+    EXPECT_EQ(allJvmVendors().size(), 3u);
+    EXPECT_EQ(allJvmVendors().front(), JvmVendor::HotSpot);
+}
+
+TEST(JvmVendors, ProfilesResolve)
+{
+    EXPECT_EQ(jvmVendorProfile(JvmVendor::HotSpot).name, "HotSpot");
+    EXPECT_EQ(jvmVendorProfile(JvmVendor::JRockit).name, "JRockit");
+    EXPECT_EQ(jvmVendorProfile(JvmVendor::J9).name, "J9");
+}
+
+TEST(JvmVendors, HotSpotIsTheIdentity)
+{
+    const auto &profile = jvmVendorProfile(JvmVendor::HotSpot);
+    EXPECT_DOUBLE_EQ(profile.perfBias, 1.0);
+    EXPECT_DOUBLE_EQ(profile.perfSpread, 0.0);
+    const auto &bench = benchmarkByName("xalan");
+    const auto adjusted = applyJvmVendor(bench, JvmVendor::HotSpot);
+    EXPECT_DOUBLE_EQ(adjusted.ilp, bench.ilp);
+    EXPECT_DOUBLE_EQ(adjusted.jvmServiceFraction,
+                     bench.jvmServiceFraction);
+}
+
+TEST(JvmVendors, PerBenchmarkFactorIsDeterministic)
+{
+    const auto &profile = jvmVendorProfile(JvmVendor::JRockit);
+    EXPECT_DOUBLE_EQ(vendorPerfFactor(profile, "db"),
+                     vendorPerfFactor(profile, "db"));
+    // Different benchmarks see different factors ("individual
+    // benchmarks vary substantially").
+    EXPECT_NE(vendorPerfFactor(profile, "db"),
+              vendorPerfFactor(profile, "xalan"));
+}
+
+TEST(JvmVendors, FactorsAverageNearBias)
+{
+    const auto &profile = jvmVendorProfile(JvmVendor::J9);
+    double sum = 0.0;
+    int n = 0;
+    for (const auto &bench : allBenchmarks()) {
+        if (bench.language() != Language::Java)
+            continue;
+        sum += vendorPerfFactor(profile, bench.name);
+        ++n;
+    }
+    EXPECT_NEAR(sum / n, profile.perfBias, 0.08);
+}
+
+TEST(JvmVendors, NativeBenchmarkPanics)
+{
+    EXPECT_DEATH(
+        applyJvmVendor(benchmarkByName("mcf"), JvmVendor::J9),
+        "is native");
+}
+
+TEST(JvmVendors, AdjustedBenchmarkStaysPhysical)
+{
+    for (const auto vendor : allJvmVendors()) {
+        for (const auto &bench : allBenchmarks()) {
+            if (bench.language() != Language::Java)
+                continue;
+            const auto adjusted = applyJvmVendor(bench, vendor);
+            EXPECT_GE(adjusted.ilp, 0.5);
+            EXPECT_LE(adjusted.ilp, 4.0);
+            EXPECT_LT(adjusted.jvmServiceFraction, 0.5);
+            EXPECT_GE(adjusted.fpShare, 0.0);
+            EXPECT_LE(adjusted.fpShare, 1.0);
+        }
+    }
+}
+
+TEST(Compilers, ProfilesResolve)
+{
+    EXPECT_EQ(compilerProfile(NativeCompiler::Icc11).name, "icc 11.1");
+    EXPECT_EQ(compilerProfile(NativeCompiler::Gcc441).name,
+              "gcc 4.4.1");
+    EXPECT_EQ(allCompilers().size(), 2u);
+}
+
+TEST(Compilers, IccBeatsGccOnSpec)
+{
+    // Paper: icc "consistently generated better performing code".
+    for (const char *name : {"hmmer", "gamess", "namd", "perlbench"}) {
+        const auto &bench = benchmarkByName(name);
+        const auto icc =
+            compileBenchmark(bench, NativeCompiler::Icc11);
+        const auto gcc =
+            compileBenchmark(bench, NativeCompiler::Gcc441);
+        ASSERT_TRUE(icc.has_value()) << name;
+        ASSERT_TRUE(gcc.has_value()) << name;
+        EXPECT_GE(icc->ilp, gcc->ilp * 0.98) << name;
+    }
+}
+
+TEST(Compilers, IccGainsMoreOnFpCode)
+{
+    const auto fp = compileBenchmark(benchmarkByName("gamess"),
+                                     NativeCompiler::Icc11);
+    const auto intc = compileBenchmark(benchmarkByName("gobmk"),
+                                       NativeCompiler::Icc11);
+    ASSERT_TRUE(fp && intc);
+    const double fpGain = fp->ilp / benchmarkByName("gamess").ilp;
+    const double intGain = intc->ilp / benchmarkByName("gobmk").ilp;
+    EXPECT_GT(fpGain, intGain);
+}
+
+TEST(Compilers, GccNeverMiscompiles)
+{
+    for (const auto &bench : allBenchmarks()) {
+        if (bench.language() != Language::Native)
+            continue;
+        EXPECT_TRUE(
+            compileBenchmark(bench, NativeCompiler::Gcc441).has_value())
+            << bench.name;
+    }
+}
+
+TEST(Compilers, IccMiscompilesManyParsecCodes)
+{
+    // Paper: "the icc compiler failed to produce correct code for
+    // many of the PARSEC benchmarks."
+    int failed = 0, total = 0;
+    for (const auto *bench : benchmarksInGroup(Group::NativeScalable)) {
+        ++total;
+        if (!compileBenchmark(*bench, NativeCompiler::Icc11))
+            ++failed;
+    }
+    EXPECT_GE(failed, total / 3);
+    EXPECT_LT(failed, total); // but not all
+}
+
+TEST(Compilers, MiscompilationIsDeterministic)
+{
+    for (const auto *bench : benchmarksInGroup(Group::NativeScalable)) {
+        const bool first =
+            compileBenchmark(*bench, NativeCompiler::Icc11).has_value();
+        const bool second =
+            compileBenchmark(*bench, NativeCompiler::Icc11).has_value();
+        EXPECT_EQ(first, second) << bench->name;
+    }
+}
+
+TEST(Compilers, JavaBenchmarkPanics)
+{
+    EXPECT_DEATH(compileBenchmark(benchmarkByName("xalan"),
+                                  NativeCompiler::Gcc441),
+                 "Java benchmark");
+}
+
+} // namespace lhr

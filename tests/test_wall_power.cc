@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the whole-system wall-power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "system/wall_power.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+WallPowerModel
+model()
+{
+    return WallPowerModel(processorById("i7 (45)"),
+                          PlatformConfig::desktop2009());
+}
+
+} // namespace
+
+TEST(WallPower, ComponentsAddUp)
+{
+    const auto wall = model().at(50.0, 5.0);
+    EXPECT_DOUBLE_EQ(wall.chipW, 50.0);
+    EXPECT_GT(wall.platformW, 0.0);
+    EXPECT_GT(wall.psuLossW, 0.0);
+    EXPECT_NEAR(wall.wallW, wall.chipW + wall.platformW + wall.psuLossW,
+                1e-9);
+    EXPECT_GT(wall.chipShare(), 0.2);
+    EXPECT_LT(wall.chipShare(), 0.8);
+}
+
+TEST(WallPower, WallExceedsChip)
+{
+    for (double chip : {2.0, 20.0, 80.0}) {
+        const auto wall = model().at(chip, 1.0);
+        EXPECT_GT(wall.wallW, chip);
+    }
+}
+
+TEST(WallPower, DramTrafficRaisesWallPower)
+{
+    const auto idle = model().at(40.0, 0.0);
+    const auto busy = model().at(40.0, 15.0);
+    EXPECT_GT(busy.wallW, idle.wallW);
+}
+
+TEST(WallPower, PsuEfficiencyCurve)
+{
+    const auto wallModel = model();
+    // The curve peaks near 50% load and collapses at tiny loads.
+    const double at10 = wallModel.psuEfficiency(45.0);
+    const double at50 = wallModel.psuEfficiency(225.0);
+    const double at100 = wallModel.psuEfficiency(450.0);
+    EXPECT_LT(at10, at50);
+    EXPECT_GT(at50, at100);
+    EXPECT_GT(at10, 0.5);
+    EXPECT_LE(at50, 0.9);
+    EXPECT_DEATH(wallModel.psuEfficiency(-1.0), "negative");
+}
+
+TEST(WallPower, AtomSystemIsPlatformDominated)
+{
+    // The 2.4W Atom disappears inside its own platform: the paper's
+    // point that whole-system measurement cannot see chip effects on
+    // low-power parts.
+    const WallPowerModel atomModel(processorById("Atom (45)"),
+                                   PlatformConfig::desktop2009());
+    const auto wall = atomModel.at(2.4, 1.0);
+    EXPECT_LT(wall.chipShare(), 0.10);
+}
+
+TEST(WallPower, NameplateNeverApproached)
+{
+    // Fan et al.: real workloads stay far below nameplate.
+    ExperimentRunner runner(0xFA4);
+    for (const char *id : {"i7 (45)", "C2Q (65)"}) {
+        const auto &spec = processorById(id);
+        const WallPowerModel wallModel(spec,
+                                       PlatformConfig::desktop2009());
+        const auto profile = runner.profile(
+            stockConfig(spec), benchmarkByName("fluidanimate"));
+        const auto wall =
+            wallModel.at(profile.power.total(), profile.dramGBs);
+        EXPECT_LT(wall.wallW, 0.6 * wallModel.nameplateW()) << id;
+    }
+}
+
+TEST(WallPower, Validation)
+{
+    EXPECT_DEATH(model().at(-1.0, 0.0), "negative");
+    PlatformConfig bad = PlatformConfig::desktop2009();
+    bad.psuNameplateW = 0.0;
+    EXPECT_DEATH(WallPowerModel(processorById("i7 (45)"), bad),
+                 "PSU");
+}
+
+} // namespace lhr

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the 61-benchmark database (paper Table 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+
+#include "workload/benchmark.hh"
+
+namespace lhr
+{
+
+TEST(Workload, SixtyOneBenchmarks)
+{
+    EXPECT_EQ(allBenchmarks().size(), 61u);
+}
+
+TEST(Workload, GroupSizesMatchTable1)
+{
+    EXPECT_EQ(benchmarksInGroup(Group::NativeNonScalable).size(), 27u);
+    EXPECT_EQ(benchmarksInGroup(Group::NativeScalable).size(), 11u);
+    EXPECT_EQ(benchmarksInGroup(Group::JavaNonScalable).size(), 18u);
+    EXPECT_EQ(benchmarksInGroup(Group::JavaScalable).size(), 5u);
+}
+
+TEST(Workload, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &bench : allBenchmarks())
+        EXPECT_TRUE(names.insert(bench.name).second) << bench.name;
+}
+
+TEST(Workload, LookupByName)
+{
+    const Benchmark &mcf = benchmarkByName("mcf");
+    EXPECT_EQ(mcf.group, Group::NativeNonScalable);
+    EXPECT_EQ(mcf.suite, Suite::SpecInt2006);
+    EXPECT_DOUBLE_EQ(mcf.refTimeSec, 894.0);
+    EXPECT_DEATH(benchmarkByName("doom3"), "unknown benchmark");
+}
+
+TEST(Workload, Table1ReferenceTimesSpotChecks)
+{
+    EXPECT_DOUBLE_EQ(benchmarkByName("gamess").refTimeSec, 3505.0);
+    EXPECT_DOUBLE_EQ(benchmarkByName("x264").refTimeSec, 265.0);
+    EXPECT_DOUBLE_EQ(benchmarkByName("mtrt").refTimeSec, 0.8);
+    EXPECT_DOUBLE_EQ(benchmarkByName("eclipse").refTimeSec, 50.5);
+    EXPECT_DOUBLE_EQ(benchmarkByName("pjbb2005").refTimeSec, 10.6);
+}
+
+TEST(Workload, LanguageFollowsGroup)
+{
+    for (const auto &bench : allBenchmarks()) {
+        const bool javaGroup = bench.group == Group::JavaNonScalable ||
+            bench.group == Group::JavaScalable;
+        EXPECT_EQ(bench.language() == Language::Java, javaGroup)
+            << bench.name;
+    }
+}
+
+TEST(Workload, ScalableClassification)
+{
+    EXPECT_TRUE(benchmarkByName("fluidanimate").scalable());
+    EXPECT_TRUE(benchmarkByName("xalan").scalable());
+    EXPECT_FALSE(benchmarkByName("mcf").scalable());
+    EXPECT_FALSE(benchmarkByName("db").scalable());
+}
+
+TEST(Workload, NativeBenchmarksHaveNoJvmCharacteristics)
+{
+    for (const auto &bench : allBenchmarks()) {
+        if (bench.language() == Language::Native) {
+            EXPECT_DOUBLE_EQ(bench.jvmServiceFraction, 0.0)
+                << bench.name;
+            EXPECT_DOUBLE_EQ(bench.gcInterferenceRelief, 0.0)
+                << bench.name;
+        }
+    }
+}
+
+TEST(Workload, ScalableBenchmarksSpawnPerContextThreads)
+{
+    for (const auto *bench : benchmarksInGroup(Group::NativeScalable))
+        EXPECT_EQ(bench->appThreads, 0) << bench->name;
+    for (const auto *bench : benchmarksInGroup(Group::JavaScalable))
+        EXPECT_EQ(bench->appThreads, 0) << bench->name;
+}
+
+TEST(Workload, PrescribedInvocationsFollowSuite)
+{
+    EXPECT_EQ(benchmarkByName("mcf").prescribedInvocations(), 3);
+    EXPECT_EQ(benchmarkByName("ferret").prescribedInvocations(), 5);
+    EXPECT_EQ(benchmarkByName("xalan").prescribedInvocations(), 20);
+    EXPECT_EQ(benchmarkByName("compress").prescribedInvocations(), 20);
+}
+
+TEST(Workload, JavaReferenceTimesAreShort)
+{
+    // Table 1: native workloads run for hundreds to thousands of
+    // seconds, Java for seconds (section 2.6 discusses this).
+    for (const auto &bench : allBenchmarks()) {
+        if (bench.language() == Language::Java)
+            EXPECT_LT(bench.refTimeSec, 60.0) << bench.name;
+        else
+            EXPECT_GT(bench.refTimeSec, 200.0) << bench.name;
+    }
+}
+
+TEST(Workload, GroupNamesMatchPaper)
+{
+    EXPECT_EQ(groupName(Group::NativeNonScalable),
+              "Native Non-scalable");
+    EXPECT_EQ(groupName(Group::JavaScalable), "Java Scalable");
+    EXPECT_EQ(allGroups().size(), 4u);
+}
+
+TEST(Workload, SuiteNames)
+{
+    EXPECT_EQ(suiteName(Suite::SpecInt2006), "SPEC CINT2006");
+    EXPECT_EQ(suiteName(Suite::Parsec), "PARSEC");
+    EXPECT_EQ(suiteName(Suite::Pjbb2005), "pjbb2005");
+}
+
+/** Property sweep: every benchmark's parameters are physical. */
+class BenchmarkParamSweep
+    : public ::testing::TestWithParam<const Benchmark *>
+{
+};
+
+TEST_P(BenchmarkParamSweep, ParametersInRange)
+{
+    const Benchmark &b = *GetParam();
+    EXPECT_GT(b.refTimeSec, 0.0);
+    EXPECT_GT(b.ilp, 0.5);
+    EXPECT_LE(b.ilp, 4.0);
+    EXPECT_GT(b.memAccessPerInstr, 0.0);
+    EXPECT_LT(b.memAccessPerInstr, 1.0);
+    EXPECT_GT(b.miss.mpki32, 0.0);
+    EXPECT_GE(b.miss.mpki32, b.miss.coldMpki);
+    EXPECT_GT(b.miss.beta, 0.0);
+    EXPECT_LT(b.miss.beta, 1.0);
+    EXPECT_GT(b.miss.workingSetKb, 32.0);
+    EXPECT_GE(b.branchMispKi, 0.0);
+    EXPECT_LT(b.branchMispKi, 30.0);
+    EXPECT_GE(b.fpShare, 0.0);
+    EXPECT_LE(b.fpShare, 1.0);
+    EXPECT_GE(b.appThreads, 0);
+    EXPECT_GE(b.parallelFraction, 0.0);
+    EXPECT_LT(b.parallelFraction, 1.0);
+    EXPECT_GE(b.jvmServiceFraction, 0.0);
+    EXPECT_LT(b.jvmServiceFraction, 0.5);
+    EXPECT_GE(b.gcInterferenceRelief, 0.0);
+    EXPECT_LT(b.gcInterferenceRelief, 0.3);
+    EXPECT_GE(b.phaseVariability, 0.0);
+    EXPECT_LE(b.phaseVariability, 0.3);
+    EXPECT_GT(b.instructionsB(), 0.0);
+}
+
+TEST_P(BenchmarkParamSweep, ScalableImpliesParallelFraction)
+{
+    const Benchmark &b = *GetParam();
+    if (b.scalable()) {
+        EXPECT_GT(b.parallelFraction, 0.7) << b.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkParamSweep,
+    ::testing::ValuesIn([] {
+        std::vector<const Benchmark *> all;
+        for (const auto &bench : allBenchmarks())
+            all.push_back(&bench);
+        return all;
+    }()),
+    [](const ::testing::TestParamInfo<const Benchmark *> &info) {
+        std::string name = info.param->name;
+        for (char &ch : name)
+            if (!isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return name;
+    });
+
+} // namespace lhr
