@@ -48,6 +48,13 @@ main()
     std::filesystem::create_directories(dir);
 
     lhr::Lab lab;
+    // Warm the stock rows every plot below draws from in parallel.
+    {
+        std::vector<lhr::MachineConfig> stock;
+        for (const auto &spec : lhr::allProcessors())
+            stock.push_back(lhr::stockConfig(spec));
+        lab.prewarm(stock);
+    }
     auto &runner = lab.runner();
     const auto &ref = lab.reference();
 

@@ -17,6 +17,13 @@ main()
 {
     lhr::Lab lab;
 
+    // All eight stock rows measured in parallel before the serial
+    // min/mean/max scan.
+    std::vector<lhr::MachineConfig> stock;
+    for (const auto &spec : lhr::allProcessors())
+        stock.push_back(lhr::stockConfig(spec));
+    lab.prewarm(stock);
+
     std::cout <<
         "Figure 2: Measured benchmark power vs TDP per processor\n"
         "(paper: TDP strictly above measured; widest range on i7/i5)\n\n";

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Perf baseline of the parallel sweep engine: runs the experimental
+ * grid serially (one worker) and in parallel (all workers), verifies
+ * the two produce bit-identical Measurements, and reports wall time,
+ * throughput (experiments/sec), speedup and cache behaviour. Future
+ * PRs compare against these numbers before touching the hot path.
+ *
+ * Usage: sweep_throughput [--threads N] [--grid full|small]
+ *   --threads N   parallel worker count (default: auto)
+ *   --grid small  8 configurations x all benchmarks (quick check)
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+bool
+identical(const lhr::Measurement &a, const lhr::Measurement &b)
+{
+    return a.timeSec == b.timeSec && a.timeCi95Rel == b.timeCi95Rel &&
+        a.powerW == b.powerW && a.powerCi95Rel == b.powerCi95Rel &&
+        a.invocations == b.invocations;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int threads = 0;
+    bool smallGrid = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            threads = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--grid") == 0 && i + 1 < argc) {
+            smallGrid = std::string(argv[++i]) == "small";
+        } else {
+            std::cerr << "usage: sweep_throughput [--threads N] "
+                         "[--grid full|small]\n";
+            return 2;
+        }
+    }
+
+    std::vector<lhr::MachineConfig> configs =
+        lhr::standardConfigurations();
+    if (smallGrid)
+        configs.resize(8);
+    const auto &benchmarks = lhr::allBenchmarks();
+
+    std::cout << "sweep_throughput: " << configs.size()
+              << " configurations x " << benchmarks.size()
+              << " benchmarks = " << configs.size() * benchmarks.size()
+              << " experiments\n\n";
+
+    // Serial baseline: a fresh runner, one worker.
+    lhr::ExperimentRunner serialRunner;
+    lhr::SweepEngine serial(serialRunner, {.threads = 1});
+    const lhr::SweepReport serialReport =
+        serial.run(configs, benchmarks);
+    std::cout << "serial   " << serialReport.summary() << "\n";
+
+    // Parallel run: a fresh runner so nothing is pre-cached.
+    lhr::ExperimentRunner parallelRunner;
+    lhr::SweepEngine parallel(parallelRunner, {.threads = threads});
+    const lhr::SweepReport parallelReport =
+        parallel.run(configs, benchmarks);
+    std::cout << "parallel " << parallelReport.summary() << "\n";
+
+    // Re-sweep on the warm cache: the memoization path.
+    const lhr::SweepReport cachedReport =
+        parallel.run(configs, benchmarks);
+    std::cout << "cached   " << cachedReport.summary() << "\n\n";
+
+    size_t mismatches = 0;
+    for (size_t i = 0; i < serialReport.cells.size(); ++i) {
+        if (!identical(*serialReport.cells[i].measurement,
+                       *parallelReport.cells[i].measurement))
+            ++mismatches;
+    }
+
+    const double speedup = parallelReport.wallSec > 0.0
+        ? serialReport.wallSec / parallelReport.wallSec : 0.0;
+    std::cout << "speedup: " << speedup << "x on "
+              << parallelReport.threads << " threads (host reports "
+              << lhr::ThreadPool::defaultThreadCount()
+              << " available)\n";
+    std::cout << "bit-identical to serial: "
+              << (mismatches == 0 ? "yes" : "NO") << " (" << mismatches
+              << " mismatching cells)\n";
+    std::cout << "slowest experiment: " << serialReport.maxCellSec
+              << "s\n";
+
+    if (mismatches != 0) {
+        std::cerr << "FAIL: parallel sweep diverged from serial\n";
+        return 1;
+    }
+    return 0;
+}

@@ -345,9 +345,14 @@ cmdSnapshot(const std::vector<std::string> &args)
         lhr::fatal("snapshot needs <file.csv>");
     const bool only45 = args.size() > 3 && args[3] == "--45nm";
     lhr::Lab lab;
-    const auto store = lhr::ResultStore::snapshot(
-        lab.runner(), only45 ? lhr::configurations45nm()
-                             : lhr::standardConfigurations());
+    // Snapshot through the parallel sweep engine: bit-identical to
+    // the serial ResultStore::snapshot, but grid cells fan out
+    // across cores (thread count via LHR_THREADS).
+    const auto report =
+        lab.sweep(only45 ? lhr::configurations45nm()
+                         : lhr::standardConfigurations(),
+                  lhr::allBenchmarks(), {.progress = true});
+    const auto store = lhr::toStore(report);
     std::ofstream out(args[2]);
     if (!out)
         lhr::fatal("cannot write " + args[2]);

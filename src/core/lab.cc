@@ -1,5 +1,8 @@
 #include "core/lab.hh"
 
+#include <set>
+#include <utility>
+
 namespace lhr
 {
 
@@ -32,6 +35,41 @@ ConfigAggregate
 Lab::aggregate(const MachineConfig &cfg)
 {
     return aggregateConfig(experimentRunner, reference(), cfg);
+}
+
+SweepReport
+Lab::sweep(std::vector<MachineConfig> configs,
+           std::vector<Benchmark> benchmarks, SweepOptions options)
+{
+    SweepEngine engine(experimentRunner, options);
+    return engine.run(std::move(configs), std::move(benchmarks));
+}
+
+SweepReport
+Lab::sweepFullGrid(SweepOptions options)
+{
+    SweepEngine engine(experimentRunner, options);
+    return engine.runFullGrid();
+}
+
+void
+Lab::prewarm(const std::vector<MachineConfig> &configs,
+             SweepOptions options)
+{
+    // The reference machines back almost every normalized analysis,
+    // so warm them alongside the requested set (deduplicated: the
+    // stock reference configs usually appear in the caller's grid).
+    std::vector<MachineConfig> grid = configs;
+    std::set<std::string> seen;
+    for (const auto &cfg : grid)
+        seen.insert(cfg.label());
+    for (const auto &id : ReferenceSet::referenceProcessorIds()) {
+        MachineConfig cfg = stockConfig(processorById(id));
+        if (seen.insert(cfg.label()).second)
+            grid.push_back(cfg);
+    }
+    SweepEngine engine(experimentRunner, options);
+    engine.run(grid, allBenchmarks());
 }
 
 } // namespace lhr

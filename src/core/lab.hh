@@ -26,6 +26,7 @@
 #include "harness/aggregate.hh"
 #include "harness/reference.hh"
 #include "harness/runner.hh"
+#include "sweep/sweep.hh"
 
 namespace lhr
 {
@@ -54,6 +55,29 @@ class Lab
 
     /** Full Table 4-style aggregation of one configuration. */
     ConfigAggregate aggregate(const MachineConfig &cfg);
+
+    /**
+     * Measure a configuration x benchmark grid on the parallel
+     * sweep engine (see sweep/sweep.hh). Bit-identical to measuring
+     * the same grid serially; results land in the runner's cache,
+     * so every later measure()/aggregate() call on the grid is a
+     * cache hit.
+     */
+    SweepReport sweep(std::vector<MachineConfig> configs,
+                      std::vector<Benchmark> benchmarks,
+                      SweepOptions options = {});
+
+    /** Parallel sweep of the full 45 x 61 experimental grid. */
+    SweepReport sweepFullGrid(SweepOptions options = {});
+
+    /**
+     * Warm the measurement cache for a configuration set across all
+     * benchmarks (plus the four reference machines, which nearly
+     * every analysis normalizes against). Drivers call this once up
+     * front so their serial result loops run entirely from cache.
+     */
+    void prewarm(const std::vector<MachineConfig> &configs,
+                 SweepOptions options = {});
 
   private:
     ExperimentRunner experimentRunner;

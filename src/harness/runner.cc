@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <functional>
+#include <utility>
 
 #include "jvm/jvm_model.hh"
 #include "workload/phases.hh"
@@ -23,15 +24,28 @@ namespace
  * clock to one decimal, so it MUST NOT key caches or random
  * streams: configurations 0.04GHz apart would silently share
  * measurements.
+ *
+ * The numeric mid-section is sized by a first snprintf pass, so the
+ * key can never be silently truncated (truncation would alias cache
+ * keys and RNG streams between distinct configurations).
  */
 std::string
 experimentKey(const MachineConfig &cfg, const Benchmark &bench)
 {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "|%d|%d|%.6f|%d|",
-                  cfg.enabledCores, cfg.smtPerCore, cfg.clockGhz,
-                  cfg.turboEnabled ? 1 : 0);
-    return cfg.spec->id + buf + bench.name;
+    static const char *const fmt = "|%d|%d|%.6f|%d|";
+    const int turbo = cfg.turboEnabled ? 1 : 0;
+    const int len = std::snprintf(nullptr, 0, fmt, cfg.enabledCores,
+                                  cfg.smtPerCore, cfg.clockGhz, turbo);
+    if (len <= 0)
+        panic("experimentKey: cannot format configuration fields");
+    std::string mid(static_cast<size_t>(len), '\0');
+    const int written =
+        std::snprintf(mid.data(), mid.size() + 1, fmt, cfg.enabledCores,
+                      cfg.smtPerCore, cfg.clockGhz, turbo);
+    if (written != len)
+        panic(msgOf("experimentKey: truncated key for '", cfg.spec->id,
+                    "' (needed ", len, ", wrote ", written, ")"));
+    return cfg.spec->id + mid + bench.name;
 }
 
 /** Switching-activity vector from a PerfResult's utilizations. */
@@ -69,41 +83,62 @@ ExperimentRunner::ExperimentRunner(uint64_t seed)
 {
 }
 
+/**
+ * Find-or-create the spec's slot under specMutex, then build its
+ * value exactly once outside that lock. Concurrent callers for the
+ * same spec block on the slot's once_flag, not on each other's
+ * builds for different specs.
+ */
+template <typename T, typename Build>
+const T &
+ExperimentRunner::specOnce(SpecSlotMap<T> &map,
+                           const ProcessorSpec &spec, Build &&build)
+{
+    OnceSlot<T> *slot;
+    {
+        std::lock_guard<std::mutex> lock(specMutex);
+        auto &owned = map[&spec];
+        if (!owned)
+            owned = std::make_unique<OnceSlot<T>>();
+        slot = owned.get();
+    }
+    std::call_once(slot->once, [&] { build(slot->value); });
+    return slot->value;
+}
+
 const PerfModel &
 ExperimentRunner::perfModel(const ProcessorSpec &spec)
 {
-    auto &slot = perfModels[&spec];
-    if (!slot)
-        slot = std::make_unique<PerfModel>(spec);
-    return *slot;
+    return *specOnce(perfModels, spec,
+                     [&](std::unique_ptr<PerfModel> &value) {
+                         value = std::make_unique<PerfModel>(spec);
+                     });
 }
 
 const ChipPowerModel &
 ExperimentRunner::powerModel(const ProcessorSpec &spec)
 {
-    auto &slot = powerModels[&spec];
-    if (!slot)
-        slot = std::make_unique<ChipPowerModel>(spec);
-    return *slot;
+    return *specOnce(powerModels, spec,
+                     [&](std::unique_ptr<ChipPowerModel> &value) {
+                         value = std::make_unique<ChipPowerModel>(spec);
+                     });
 }
 
 const ExperimentRunner::Rig &
 ExperimentRunner::rig(const ProcessorSpec &spec)
 {
-    auto &slot = rigs[&spec];
-    if (!slot.channel) {
+    return specOnce(rigs, spec, [&](Rig &value) {
         // Parts whose peak rail current exceeds 5A carry the 30A
         // sensor (the paper names the i7 explicitly).
         const bool big = spec.tdpW > 70.0;
         const auto variant =
             big ? SensorVariant::A30 : SensorVariant::A5;
-        slot.channel = std::make_unique<PowerChannel>(
+        value.channel = std::make_unique<PowerChannel>(
             variant, baseSeed ^ fnv1a(spec.id));
         Rng calRng(baseSeed ^ fnv1a(spec.id + "/cal"));
-        slot.calib = std::make_unique<Calibration>(
-            Calibration::calibrate(*slot.channel, calRng));
-    }
-    return slot;
+        value.calib = std::make_unique<Calibration>(
+            Calibration::calibrate(*value.channel, calRng));
+    });
 }
 
 const Calibration &
@@ -144,7 +179,11 @@ ExperimentRunner::profile(const MachineConfig &cfg, const Benchmark &bench)
         };
         clock = TurboGovernor::grant(cfg, activeCores, powerAt,
                                      junctionAt);
-        if (clock != cfg.clockGhz) {
+        // A same-clock grant (no boost headroom) must not trigger a
+        // spurious re-execution: compare with the governor's own
+        // clock tolerance, not exact float equality.
+        if (std::fabs(clock - cfg.clockGhz) >
+            TurboGovernor::clockToleranceGhz) {
             run = execute(clock);
             activity = activityOf(run, bench);
             activeCores = countActive(activity);
@@ -167,10 +206,56 @@ const Measurement &
 ExperimentRunner::measure(const MachineConfig &cfg, const Benchmark &bench)
 {
     const std::string key = experimentKey(cfg, bench);
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
-    return cache.emplace(key, runMeasurement(cfg, bench)).first->second;
+    MemoShard &shard = memoShards[fnv1a(key) % memoShardCount];
+
+    OnceSlot<Measurement> *entry;
+    bool inserted;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto [it, fresh] = shard.entries.try_emplace(key);
+        if (fresh)
+            it->second = std::make_unique<OnceSlot<Measurement>>();
+        entry = it->second.get();
+        inserted = fresh;
+    }
+    if (inserted)
+        memoMisses.fetch_add(1, std::memory_order_relaxed);
+    else
+        memoHits.fetch_add(1, std::memory_order_relaxed);
+
+    // The inserting thread measures; concurrent readers of the same
+    // key block here until the measurement is published.
+    std::call_once(entry->once, [&] {
+        entry->value = runMeasurement(cfg, bench);
+    });
+    return entry->value;
+}
+
+CacheStats
+ExperimentRunner::cacheStats() const
+{
+    CacheStats stats;
+    stats.hits = memoHits.load(std::memory_order_relaxed);
+    stats.misses = memoMisses.load(std::memory_order_relaxed);
+    return stats;
+}
+
+void
+ExperimentRunner::resetCacheStats()
+{
+    memoHits.store(0, std::memory_order_relaxed);
+    memoMisses.store(0, std::memory_order_relaxed);
+}
+
+size_t
+ExperimentRunner::cachedMeasurements() const
+{
+    size_t n = 0;
+    for (const MemoShard &shard : memoShards) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        n += shard.entries.size();
+    }
+    return n;
 }
 
 std::vector<PowerBreakdown>

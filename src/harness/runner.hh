@@ -5,12 +5,25 @@
  * Turbo governor, chip power model, phase behaviour, the Hall-sensor
  * measurement chain, and the per-suite repetition methodology — and
  * returns the Measurement the paper's analyses consume.
+ *
+ * Concurrency: every public method is safe to call from multiple
+ * threads. The memo cache is sharded by key hash; each entry is
+ * computed exactly once (std::call_once) while other threads asking
+ * for the same experiment block until it is ready. Per-processor
+ * models and sensor rigs are built lazily the same way. Because each
+ * experiment derives its own random stream from its key, results are
+ * bit-identical whatever the thread count or execution order — the
+ * contract lhr::SweepEngine builds on.
  */
 
 #ifndef LHR_HARNESS_RUNNER_HH
 #define LHR_HARNESS_RUNNER_HH
 
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -27,21 +40,37 @@
 namespace lhr
 {
 
+/** Memo-cache hit/miss counters (see ExperimentRunner::cacheStats). */
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+
+    uint64_t lookups() const { return hits + misses; }
+};
+
 /**
  * Runs experiments and caches results. Deterministic for a given
  * seed: every (configuration, benchmark) pair derives its own random
- * stream, so measurements are independent of execution order.
+ * stream, so measurements are independent of execution order and of
+ * the number of threads driving the runner.
  */
 class ExperimentRunner
 {
   public:
     explicit ExperimentRunner(uint64_t seed = 0xC0FFEEull);
 
+    ExperimentRunner(const ExperimentRunner &) = delete;
+    ExperimentRunner &operator=(const ExperimentRunner &) = delete;
+
     /**
      * Measure a benchmark on a configuration with the paper's
      * methodology: 3 invocations for SPEC CPU, 5 for PARSEC, 20 JVM
      * invocations reporting the fifth iteration for Java. Results
-     * are cached.
+     * are cached; the returned reference stays valid for the
+     * runner's lifetime. Thread-safe: concurrent calls under the
+     * same key compute the measurement once and all receive the
+     * same object.
      */
     const Measurement &measure(const MachineConfig &cfg,
                                const Benchmark &bench);
@@ -53,10 +82,10 @@ class ExperimentRunner
     ExecutionProfile profile(const MachineConfig &cfg,
                              const Benchmark &bench);
 
-    /** The performance model of a processor (built lazily). */
+    /** The performance model of a processor (built lazily, once). */
     const PerfModel &perfModel(const ProcessorSpec &spec);
 
-    /** The power model of a processor (built lazily). */
+    /** The power model of a processor (built lazily, once). */
     const ChipPowerModel &powerModel(const ProcessorSpec &spec);
 
     /** The calibrated measurement channel of a processor's rig. */
@@ -82,6 +111,20 @@ class ExperimentRunner
                              const Benchmark &bench,
                              double *duration_sec = nullptr);
 
+    /**
+     * Memo-cache counters since construction (or the last reset).
+     * A miss is counted by the thread that inserts the entry; every
+     * other lookup of that key is a hit, including lookups that
+     * block while the inserting thread is still measuring.
+     */
+    CacheStats cacheStats() const;
+
+    /** Zero the hit/miss counters (entries stay cached). */
+    void resetCacheStats();
+
+    /** Number of measurements currently memoized. */
+    size_t cachedMeasurements() const;
+
     /** Sensor sampling is capped to this many simulated seconds. */
     static constexpr double maxSampledSec = 30.0;
 
@@ -95,6 +138,42 @@ class ExperimentRunner
         std::unique_ptr<Calibration> calib;
     };
 
+    /**
+     * A lazily-built, build-exactly-once slot. The map that owns the
+     * slot is guarded by a mutex, but construction of the value runs
+     * outside that lock under the slot's own once_flag, so slow
+     * builds (model fitting, calibration sweeps) of different specs
+     * proceed in parallel.
+     */
+    template <typename T>
+    struct OnceSlot
+    {
+        std::once_flag once;
+        T value;
+    };
+
+    /** One memo-cache shard: a mutex plus the entries it guards. */
+    struct MemoShard
+    {
+        mutable std::mutex mutex;
+        // unique_ptr gives every entry a stable address: references
+        // handed out by measure() survive rehashing and concurrent
+        // inserts into the same shard.
+        std::unordered_map<std::string, std::unique_ptr<OnceSlot<Measurement>>>
+            entries;
+    };
+
+    static constexpr size_t memoShardCount = 16;
+
+    template <typename T>
+    using SpecSlotMap =
+        std::unordered_map<const ProcessorSpec *,
+                           std::unique_ptr<OnceSlot<T>>>;
+
+    template <typename T, typename Build>
+    const T &specOnce(SpecSlotMap<T> &map, const ProcessorSpec &spec,
+                      Build &&build);
+
     const Rig &rig(const ProcessorSpec &spec);
     Measurement runMeasurement(const MachineConfig &cfg,
                                const Benchmark &bench);
@@ -103,12 +182,15 @@ class ExperimentRunner
         const ExecutionProfile &prof, Rng &rng);
 
     uint64_t baseSeed;
-    std::unordered_map<std::string, Measurement> cache;
-    std::unordered_map<const ProcessorSpec *,
-                       std::unique_ptr<PerfModel>> perfModels;
-    std::unordered_map<const ProcessorSpec *,
-                       std::unique_ptr<ChipPowerModel>> powerModels;
-    std::unordered_map<const ProcessorSpec *, Rig> rigs;
+
+    std::array<MemoShard, memoShardCount> memoShards;
+    std::atomic<uint64_t> memoHits{0};
+    std::atomic<uint64_t> memoMisses{0};
+
+    std::mutex specMutex; ///< guards the three per-spec slot maps
+    SpecSlotMap<std::unique_ptr<PerfModel>> perfModels;
+    SpecSlotMap<std::unique_ptr<ChipPowerModel>> powerModels;
+    SpecSlotMap<Rig> rigs;
 };
 
 } // namespace lhr

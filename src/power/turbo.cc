@@ -22,7 +22,7 @@ TurboGovernor::grant(const MachineConfig &cfg, int active_cores,
     if (!cfg.spec->hasTurbo || !cfg.turboEnabled)
         return cfg.clockGhz;
     // Turbo engages only at the highest clock setting.
-    if (cfg.clockGhz < cfg.spec->stockClockGhz - 1e-9)
+    if (cfg.clockGhz < cfg.spec->stockClockGhz - clockToleranceGhz)
         return cfg.clockGhz;
     if (active_cores < 1)
         panic("TurboGovernor: no active cores");

@@ -47,6 +47,15 @@ class TurboGovernor
 
     /** Power headroom: boost requires power below this TDP share. */
     static constexpr double tdpHeadroom = 0.95;
+
+    /**
+     * Tolerance for comparing clock frequencies in GHz. BIOS clock
+     * settings are tens of MHz apart, so anything within a nanohertz
+     * of the requested clock is "the same clock" — callers must use
+     * this instead of exact float equality when deciding whether a
+     * grant actually boosted.
+     */
+    static constexpr double clockToleranceGhz = 1e-9;
 };
 
 } // namespace lhr

@@ -1,5 +1,6 @@
 #include "store/results_store.hh"
 
+#include <cctype>
 #include <cmath>
 #include <cstdlib>
 
@@ -51,13 +52,32 @@ splitCsvLine(const std::string &line)
     return fields;
 }
 
-double
-parseDouble(const std::string &text, const std::string &context)
+/** Strip surrounding whitespace (and a stray '\r') from a field. */
+std::string
+trimmed(const std::string &text)
 {
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+double
+parseDouble(const std::string &raw, const std::string &context)
+{
+    // Files written or hand-edited on Windows carry CRLF line ends;
+    // getline leaves the '\r' on the last field. Trim it (and any
+    // stray spaces) rather than rejecting the row.
+    const std::string text = trimmed(raw);
     char *end = nullptr;
     const double value = std::strtod(text.c_str(), &end);
-    if (end == text.c_str() || *end != '\0')
-        fatal("ResultStore: bad number '" + text + "' in " + context);
+    if (text.empty() || end == text.c_str() || *end != '\0')
+        fatal("ResultStore: bad number '" + raw + "' in " + context);
     return value;
 }
 
@@ -121,13 +141,23 @@ ResultStore::save(std::ostream &os) const
 ResultStore
 ResultStore::load(std::istream &is)
 {
+    // CRLF-tolerant line reader: drop the '\r' getline leaves behind
+    // on files written or edited on Windows.
+    auto getLine = [&is](std::string &line) -> bool {
+        if (!std::getline(is, line))
+            return false;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        return true;
+    };
+
     std::string line;
-    if (!std::getline(is, line) || line != storeHeader)
+    if (!getLine(line) || line != storeHeader)
         fatal("ResultStore: missing or unexpected CSV header");
 
     ResultStore store;
     size_t lineNo = 1;
-    while (std::getline(is, line)) {
+    while (getLine(line)) {
         ++lineNo;
         if (line.empty())
             continue;

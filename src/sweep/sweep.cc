@@ -1,0 +1,117 @@
+#include "sweep/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <mutex>
+
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+std::string
+SweepReport::summary() const
+{
+    return msgOf("sweep: ", cells.size(), " experiments on ", threads,
+                 threads == 1 ? " thread" : " threads", " in ",
+                 wallSec, "s (", experimentsPerSec(),
+                 " exp/s, utilization ", utilization(), ", cache ",
+                 cache.hits, " hits / ", cache.misses, " misses)");
+}
+
+SweepEngine::SweepEngine(ExperimentRunner &runner, SweepOptions options)
+    : runner(runner), options(options)
+{
+}
+
+SweepReport
+SweepEngine::runFullGrid()
+{
+    return run(standardConfigurations(), allBenchmarks());
+}
+
+SweepReport
+SweepEngine::run(std::vector<MachineConfig> configs,
+                 std::vector<Benchmark> benchmarks)
+{
+    SweepReport report;
+    report.configs = std::move(configs);
+    report.benchmarks = std::move(benchmarks);
+
+    const size_t nBench = report.benchmarks.size();
+    const size_t total = report.configs.size() * nBench;
+    report.cells.resize(total);
+
+    const CacheStats before = runner.cacheStats();
+    ThreadPool pool(options.threads);
+    report.threads = pool.threadCount();
+
+    std::atomic<size_t> done{0};
+    std::mutex progressMutex;
+    const size_t progressEvery = std::max<size_t>(1, total / 16);
+    const Clock::time_point start = Clock::now();
+
+    // One task per cell; the pool's work stealing keeps every worker
+    // busy even though Java benchmarks on big parts cost far more
+    // than native ones on the Atom. Cells write disjoint slots, so
+    // the results vector needs no lock.
+    pool.parallelFor(total, [&](size_t idx) {
+        const size_t ci = idx / nBench;
+        const size_t bi = idx % nBench;
+        const MachineConfig &cfg = report.configs[ci];
+        const Benchmark &bench = report.benchmarks[bi];
+        const Clock::time_point cellStart = Clock::now();
+        const Measurement &m = runner.measure(cfg, bench);
+        report.cells[idx] = {&cfg, &bench, &m,
+                             secondsSince(cellStart)};
+
+        const size_t finished =
+            done.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (options.progress &&
+            (finished % progressEvery == 0 || finished == total)) {
+            const double elapsed = secondsSince(start);
+            std::lock_guard<std::mutex> lock(progressMutex);
+            std::cerr << "sweep: " << finished << "/" << total << " ("
+                      << (elapsed > 0.0 ? finished / elapsed : 0.0)
+                      << " exp/s)" << (finished == total ? "\n" : "\r")
+                      << std::flush;
+        }
+    });
+
+    report.wallSec = secondsSince(start);
+    const CacheStats after = runner.cacheStats();
+    report.cache.hits = after.hits - before.hits;
+    report.cache.misses = after.misses - before.misses;
+    for (const SweepCell &cell : report.cells) {
+        report.maxCellSec = std::max(report.maxCellSec, cell.wallSec);
+        report.sumCellSec += cell.wallSec;
+    }
+    return report;
+}
+
+ResultStore
+toStore(const SweepReport &report)
+{
+    ResultStore store;
+    for (const SweepCell &cell : report.cells)
+        store.put(*cell.config, *cell.benchmark, *cell.measurement);
+    return store;
+}
+
+} // namespace lhr

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * lhr::SweepEngine — the parallel full-grid sweep executor.
+ *
+ * The paper's core artifact is a grid: 45 processor configurations
+ * x 61 benchmarks, re-measured after every BIOS-style feature
+ * toggle. SweepEngine fans that grid out across a work-stealing
+ * thread pool (one task per (configuration, benchmark) cell) and
+ * produces results bit-identical to a serial run.
+ *
+ * Determinism contract: ExperimentRunner derives every experiment's
+ * random stream from its experiment key, so a Measurement does not
+ * depend on when or on which thread it is computed. SweepEngine
+ * relies on exactly that — it imposes no ordering between cells and
+ * still returns the cells in deterministic row-major (config-major)
+ * order, each carrying the same bits a serial sweep would produce.
+ *
+ * Thread count: SweepOptions::threads, 0 meaning the LHR_THREADS
+ * environment variable or, failing that, the hardware concurrency
+ * (see ThreadPool::defaultThreadCount).
+ *
+ * Observability: per-cell wall time, runner cache hit/miss deltas,
+ * total wall time and throughput (experiments/sec) come back in the
+ * SweepReport; bench/sweep_throughput.cc turns that into the perf
+ * baseline future changes are measured against.
+ */
+
+#ifndef LHR_SWEEP_SWEEP_HH
+#define LHR_SWEEP_SWEEP_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "machine/processor.hh"
+#include "store/results_store.hh"
+#include "workload/benchmark.hh"
+
+namespace lhr
+{
+
+/** Knobs of one sweep execution. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = ThreadPool::defaultThreadCount(). */
+    int threads = 0;
+
+    /** Emit progress/throughput lines to stderr while sweeping. */
+    bool progress = false;
+};
+
+/** One completed grid cell. */
+struct SweepCell
+{
+    const MachineConfig *config;     ///< into the report's own grid
+    const Benchmark *benchmark;      ///< into the report's own grid
+    const Measurement *measurement;  ///< owned by the runner's cache
+    double wallSec;                  ///< time this cell's measure() took
+};
+
+/** Outcome and observability of one sweep. */
+struct SweepReport
+{
+    /** Cells in row-major order: configs outer, benchmarks inner. */
+    std::vector<SweepCell> cells;
+
+    /**
+     * The report owns its grid: cells point into these copies, so a
+     * report outlives any temporary vectors handed to run() (the
+     * measurements themselves live in the runner's cache).
+     */
+    std::vector<MachineConfig> configs;
+    std::vector<Benchmark> benchmarks;
+
+    int threads = 0;           ///< workers that executed the sweep
+    double wallSec = 0.0;      ///< whole-sweep wall time
+    double maxCellSec = 0.0;   ///< slowest single experiment
+    double sumCellSec = 0.0;   ///< total work across cells
+    CacheStats cache;          ///< runner hit/miss delta of this sweep
+
+    size_t experiments() const { return cells.size(); }
+
+    /** Throughput in experiments per second of wall time. */
+    double experimentsPerSec() const
+    {
+        return wallSec > 0.0 ? cells.size() / wallSec : 0.0;
+    }
+
+    /**
+     * Parallel efficiency proxy: total per-cell work divided by
+     * (wall time x threads). 1.0 means perfectly packed workers.
+     */
+    double utilization() const
+    {
+        const double capacity = wallSec * threads;
+        return capacity > 0.0 ? sumCellSec / capacity : 0.0;
+    }
+
+    /** One-paragraph human-readable summary. */
+    std::string summary() const;
+};
+
+/**
+ * Runs (configuration, benchmark) grids through an ExperimentRunner
+ * on a work-stealing thread pool.
+ */
+class SweepEngine
+{
+  public:
+    explicit SweepEngine(ExperimentRunner &runner,
+                         SweepOptions options = {});
+
+    /**
+     * Measure every configuration x benchmark cell. Cells come back
+     * in row-major order regardless of execution interleaving; the
+     * report copies the grid vectors, and the Measurement pointers
+     * stay valid for the runner's lifetime.
+     */
+    SweepReport run(std::vector<MachineConfig> configs,
+                    std::vector<Benchmark> benchmarks);
+
+    /**
+     * The paper's full grid: standardConfigurations() (45) x
+     * allBenchmarks() (61).
+     */
+    SweepReport runFullGrid();
+
+  private:
+    ExperimentRunner &runner;
+    SweepOptions options;
+};
+
+/** Convert a sweep's cells into a persistable ResultStore. */
+ResultStore toStore(const SweepReport &report);
+
+} // namespace lhr
+
+#endif // LHR_SWEEP_SWEEP_HH

@@ -86,6 +86,46 @@ TEST(Store, LoadRejectsGarbage)
     }
 }
 
+TEST(Store, LoadAcceptsCrlfLineEndings)
+{
+    // Regression: a store file written or edited on Windows carries
+    // CRLF line ends; getline used to leave the '\r' in the last
+    // field and parseDouble fatal()ed on it.
+    std::istringstream is(
+        "config,benchmark,time_s,time_ci95,power_w,power_ci95\r\n"
+        "cfg,mcf,1.500000,0.010000,40.250000,0.020000\r\n"
+        "\r\n"
+        "cfg,xalan,2.000000,0.010000,30.000000,0.010000\r\n");
+    const ResultStore loaded = ResultStore::load(is);
+    EXPECT_EQ(loaded.size(), 2u);
+    const StoredResult *found = loaded.find("cfg", "mcf");
+    ASSERT_NE(found, nullptr);
+    EXPECT_DOUBLE_EQ(found->timeSec, 1.5);
+    EXPECT_DOUBLE_EQ(found->powerW, 40.25);
+    EXPECT_DOUBLE_EQ(found->powerCi95Rel, 0.02);
+}
+
+TEST(Store, LoadToleratesPaddedNumericFields)
+{
+    // Hand-edited files often pick up stray spaces around numbers.
+    std::istringstream is(
+        "config,benchmark,time_s,time_ci95,power_w,power_ci95\n"
+        "cfg,mcf, 1.5 ,0.01, 40.25\t,0.02\n");
+    const ResultStore loaded = ResultStore::load(is);
+    const StoredResult *found = loaded.find("cfg", "mcf");
+    ASSERT_NE(found, nullptr);
+    EXPECT_DOUBLE_EQ(found->timeSec, 1.5);
+    EXPECT_DOUBLE_EQ(found->powerW, 40.25);
+}
+
+TEST(Store, LoadStillRejectsWhitespaceOnlyNumber)
+{
+    std::istringstream is(
+        "config,benchmark,time_s,time_ci95,power_w,power_ci95\n"
+        "cfg,mcf,  ,0.01,40.0,0.01\n");
+    EXPECT_DEATH(ResultStore::load(is), "bad number");
+}
+
 TEST(Store, LoadSkipsBlankLines)
 {
     std::istringstream is(

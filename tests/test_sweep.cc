@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Tests for the work-stealing thread pool, the concurrency-safe
+ * experiment runner, and the parallel sweep engine's determinism
+ * contract: a parallel sweep must produce bit-identical Measurements
+ * to a serial run, whatever the thread count or interleaving. The
+ * hammer tests here also run under the ThreadSanitizer CI job.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/lab.hh"
+#include "sweep/sweep.hh"
+#include "util/thread_pool.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+/** Bitwise equality, field by field (no tolerance). */
+bool
+identical(const Measurement &a, const Measurement &b)
+{
+    return a.timeSec == b.timeSec && a.timeCi95Rel == b.timeCi95Rel &&
+        a.powerW == b.powerW && a.powerCi95Rel == b.powerCi95Rel &&
+        a.invocations == b.invocations;
+}
+
+/** A small but representative grid: 3 configs x 10 benchmarks. */
+std::vector<MachineConfig>
+testConfigs()
+{
+    return {
+        stockConfig(processorById("Atom (45)")),
+        stockConfig(processorById("i7 (45)")),
+        withSmt(stockConfig(processorById("i5 (32)")), false),
+    };
+}
+
+std::vector<Benchmark>
+testBenchmarks()
+{
+    const auto &all = allBenchmarks();
+    // First ten spans native and Java workloads.
+    return {all.begin(), all.begin() + 10};
+}
+
+} // namespace
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 1000; ++i)
+        pool.submit([&counter] {
+            counter.fetch_add(1, std::memory_order_relaxed);
+        });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, ParallelForCoversTheRange)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallelFor(hits.size(), [&hits](size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossBatches)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (int batch = 0; batch < 5; ++batch) {
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&counter] { ++counter; });
+        pool.wait();
+        EXPECT_EQ(counter.load(), (batch + 1) * 50);
+    }
+}
+
+TEST(ThreadPool, ZeroMeansDefaultThreadCount)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.threadCount(), 1);
+    EXPECT_EQ(pool.threadCount(), ThreadPool::defaultThreadCount());
+}
+
+TEST(Sweep, ParallelIsBitIdenticalToSerial)
+{
+    const auto configs = testConfigs();
+    const auto benchmarks = testBenchmarks();
+
+    ExperimentRunner serialRunner(0xBEEF);
+    std::vector<const Measurement *> serial;
+    for (const auto &cfg : configs)
+        for (const auto &bench : benchmarks)
+            serial.push_back(&serialRunner.measure(cfg, bench));
+
+    ExperimentRunner parallelRunner(0xBEEF);
+    SweepEngine engine(parallelRunner, {.threads = 4});
+    const SweepReport report = engine.run(configs, benchmarks);
+
+    ASSERT_EQ(report.cells.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_TRUE(identical(*serial[i], *report.cells[i].measurement))
+            << report.cells[i].config->label() << " / "
+            << report.cells[i].benchmark->name;
+    }
+}
+
+TEST(Sweep, CellsComeBackInRowMajorOrder)
+{
+    const auto configs = testConfigs();
+    const auto benchmarks = testBenchmarks();
+    ExperimentRunner runner(0xBEEF);
+    SweepEngine engine(runner, {.threads = 4});
+    const SweepReport report = engine.run(configs, benchmarks);
+
+    ASSERT_EQ(report.cells.size(),
+              configs.size() * benchmarks.size());
+    // Cells point into the report's own grid copies, in row-major
+    // order: configs outer, benchmarks inner.
+    ASSERT_EQ(report.configs.size(), configs.size());
+    ASSERT_EQ(report.benchmarks.size(), benchmarks.size());
+    for (size_t ci = 0; ci < configs.size(); ++ci) {
+        for (size_t bi = 0; bi < benchmarks.size(); ++bi) {
+            const SweepCell &cell =
+                report.cells[ci * benchmarks.size() + bi];
+            EXPECT_EQ(cell.config, &report.configs[ci]);
+            EXPECT_EQ(cell.config->label(), configs[ci].label());
+            EXPECT_EQ(cell.benchmark, &report.benchmarks[bi]);
+            EXPECT_EQ(cell.benchmark->name, benchmarks[bi].name);
+            ASSERT_NE(cell.measurement, nullptr);
+            EXPECT_GE(cell.wallSec, 0.0);
+        }
+    }
+}
+
+TEST(Sweep, ReportCountsCacheTraffic)
+{
+    const auto configs = testConfigs();
+    const auto benchmarks = testBenchmarks();
+    ExperimentRunner runner(0xBEEF);
+    SweepEngine engine(runner, {.threads = 2});
+
+    const SweepReport cold = engine.run(configs, benchmarks);
+    EXPECT_EQ(cold.cache.misses, cold.cells.size());
+    EXPECT_EQ(cold.cache.hits, 0u);
+    EXPECT_GT(cold.wallSec, 0.0);
+    EXPECT_GT(cold.experimentsPerSec(), 0.0);
+
+    const SweepReport warm = engine.run(configs, benchmarks);
+    EXPECT_EQ(warm.cache.hits, warm.cells.size());
+    EXPECT_EQ(warm.cache.misses, 0u);
+    // Cached measurements are the same objects.
+    for (size_t i = 0; i < cold.cells.size(); ++i)
+        EXPECT_EQ(cold.cells[i].measurement,
+                  warm.cells[i].measurement);
+
+    EXPECT_EQ(runner.cachedMeasurements(), cold.cells.size());
+}
+
+TEST(Sweep, ReportOwnsItsGrid)
+{
+    // The grid vectors passed in are temporaries; the report must
+    // survive them, because its cells point into its own copies.
+    Lab lab(0xBEEF);
+    const SweepReport report =
+        lab.sweep(testConfigs(), testBenchmarks(), {.threads = 2});
+    ASSERT_FALSE(report.cells.empty());
+    const auto expect = testConfigs();
+    for (size_t i = 0; i < report.cells.size(); ++i) {
+        const SweepCell &cell = report.cells[i];
+        EXPECT_EQ(cell.config->label(),
+                  expect[i / report.benchmarks.size()].label());
+        EXPECT_GT(cell.measurement->timeSec, 0.0);
+    }
+}
+
+TEST(Sweep, ToStoreKeepsEveryCell)
+{
+    const auto configs = testConfigs();
+    const auto benchmarks = testBenchmarks();
+    ExperimentRunner runner(0xBEEF);
+    SweepEngine engine(runner, {.threads = 2});
+    const SweepReport report = engine.run(configs, benchmarks);
+
+    const ResultStore store = toStore(report);
+    EXPECT_EQ(store.size(), report.cells.size());
+    const StoredResult *found =
+        store.find(configs[0].label(), benchmarks[0].name);
+    ASSERT_NE(found, nullptr);
+    EXPECT_DOUBLE_EQ(found->timeSec,
+                     report.cells[0].measurement->timeSec);
+
+    // The parallel snapshot agrees with the serial snapshot API.
+    ExperimentRunner serialRunner(0xBEEF);
+    const ResultStore serialStore =
+        ResultStore::snapshot(serialRunner, {configs[0]});
+    for (const auto *row : serialStore.all()) {
+        const StoredResult *other =
+            store.find(row->configLabel, row->benchmark);
+        if (other)
+            EXPECT_DOUBLE_EQ(other->timeSec, row->timeSec);
+    }
+}
+
+TEST(Sweep, SameKeyHammerReturnsOneObject)
+{
+    // Many threads demand the same experiment at once: exactly one
+    // measurement must run, everyone gets the same address, and the
+    // bits match an independent serial runner. This is the test the
+    // TSan job leans on to race-check the sharded memo cache.
+    ExperimentRunner runner(0xBEEF);
+    const auto cfg = stockConfig(processorById("i7 (45)"));
+    const auto &bench = benchmarkByName("xalan");
+
+    constexpr int threadCount = 8;
+    std::vector<const Measurement *> seen(threadCount, nullptr);
+    {
+        std::vector<std::thread> threads;
+        for (int t = 0; t < threadCount; ++t)
+            threads.emplace_back([&, t] {
+                seen[t] = &runner.measure(cfg, bench);
+            });
+        for (auto &thread : threads)
+            thread.join();
+    }
+    for (int t = 1; t < threadCount; ++t)
+        EXPECT_EQ(seen[t], seen[0]);
+
+    const CacheStats stats = runner.cacheStats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, static_cast<uint64_t>(threadCount - 1));
+
+    ExperimentRunner fresh(0xBEEF);
+    EXPECT_TRUE(identical(fresh.measure(cfg, bench), *seen[0]));
+}
+
+TEST(Sweep, MixedKeyHammerStaysDeterministic)
+{
+    // Threads hammer overlapping keys (every thread walks the whole
+    // small grid) while the runner lazily builds models and rigs.
+    const auto configs = testConfigs();
+    const auto benchmarks = testBenchmarks();
+    ExperimentRunner runner(0x5EED);
+
+    constexpr int threadCount = 6;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < threadCount; ++t)
+        threads.emplace_back([&] {
+            for (const auto &cfg : configs)
+                for (const auto &bench : benchmarks)
+                    runner.measure(cfg, bench);
+        });
+    for (auto &thread : threads)
+        thread.join();
+
+    const size_t grid = configs.size() * benchmarks.size();
+    EXPECT_EQ(runner.cachedMeasurements(), grid);
+    const CacheStats stats = runner.cacheStats();
+    EXPECT_EQ(stats.misses, grid);
+    EXPECT_EQ(stats.lookups(), grid * threadCount);
+
+    ExperimentRunner serial(0x5EED);
+    for (const auto &cfg : configs)
+        for (const auto &bench : benchmarks)
+            EXPECT_TRUE(identical(serial.measure(cfg, bench),
+                                  runner.measure(cfg, bench)));
+}
+
+TEST(Sweep, CacheStatsResetKeepsEntries)
+{
+    ExperimentRunner runner(0xBEEF);
+    const auto cfg = stockConfig(processorById("Atom (45)"));
+    const auto &bench = benchmarkByName("mcf");
+    runner.measure(cfg, bench);
+    EXPECT_EQ(runner.cacheStats().misses, 1u);
+
+    runner.resetCacheStats();
+    EXPECT_EQ(runner.cacheStats().lookups(), 0u);
+    runner.measure(cfg, bench);
+    EXPECT_EQ(runner.cacheStats().hits, 1u);
+    EXPECT_EQ(runner.cacheStats().misses, 0u);
+}
+
+} // namespace lhr
