@@ -19,7 +19,10 @@
 int
 main()
 {
-    const uint64_t instructions = 300000;
+    // Long traces only became affordable with the O(log n) LRU
+    // stack; 3M instructions tightens the IPC estimate an order of
+    // magnitude over the old 300k cap.
+    const uint64_t instructions = 3000000;
 
     std::cout <<
         "Ablation: micro-op pipeline simulation vs analytic CPI\n"

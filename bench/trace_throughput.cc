@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Perf baseline of the trace substrate: times the three layers a
+ * trace flows through — the address-generator kernel (LRU-stack
+ * sampling), batched micro-op generation (TraceGenerator::fill),
+ * and a full PipelineSim::run — and prints one JSON line per
+ * measurement. Future PRs compare against these numbers before
+ * touching the hot path.
+ *
+ * The address-generator numbers are the interesting ones: the
+ * O(log n) stack keeps throughput flat in trace length, where the
+ * previous O(n) vector stack degraded linearly (a deep-reuse
+ * benchmark like mcf ran >20x slower at 8M accesses).
+ *
+ * Usage: trace_throughput [--accesses N] [--instructions N]
+ *   --accesses N      addresses per addrgen run   (default 8000000)
+ *   --instructions N  micro-ops per fill/pipe run (default 3000000)
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/lab.hh"
+#include "counters/hwcounters.hh"
+#include "pipesim/pipeline.hh"
+#include "trace/generator.hh"
+#include "workload/benchmark.hh"
+
+namespace
+{
+
+double
+seconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t accesses = 8000000;
+    uint64_t instructions = 3000000;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--accesses") == 0 && i + 1 < argc) {
+            accesses = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--instructions") == 0 &&
+                   i + 1 < argc) {
+            instructions = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::fprintf(stderr,
+                         "usage: trace_throughput [--accesses N] "
+                         "[--instructions N]\n");
+            return 2;
+        }
+    }
+
+    const auto &spec = lhr::processorById("i7 (45)");
+    const auto levels = lhr::structuralLevels(spec);
+    const auto pipeCfg =
+        lhr::PipelineConfig::of(spec, spec.stockClockGhz);
+    const uint64_t seed = 7;
+
+    // hmmer reuses near the stack top, gcc in the middle, mcf deep:
+    // together they exercise every path through the substrate.
+    for (const char *name : {"hmmer", "gcc", "mcf"}) {
+        const auto &bench = lhr::benchmarkByName(name);
+
+        {
+            lhr::AddressGenerator gen(
+                bench.miss, bench.memAccessPerInstr, seed ^ 0xADD2);
+            uint64_t sink = 0;
+            const auto t0 = std::chrono::steady_clock::now();
+            for (uint64_t i = 0; i < accesses; ++i)
+                sink ^= gen.next();
+            const double sec = seconds(t0);
+            std::printf(
+                "{\"kernel\": \"addrgen\", \"benchmark\": \"%s\", "
+                "\"accesses\": %llu, \"seconds\": %.3f, "
+                "\"maccess_per_sec\": %.2f, \"sink\": \"%llx\"}\n",
+                name, (unsigned long long)accesses, sec,
+                accesses / sec / 1e6, (unsigned long long)sink);
+        }
+
+        {
+            lhr::TraceGenerator trace(bench, seed);
+            lhr::MicroOpBatch batch;
+            uint64_t sink = 0;
+            const auto t0 = std::chrono::steady_clock::now();
+            for (uint64_t done = 0; done < instructions;) {
+                const uint64_t block =
+                    std::min<uint64_t>(lhr::MicroOpBatch::defaultSize,
+                                       instructions - done);
+                trace.fill(batch, block);
+                sink ^= batch.addr[block - 1];
+                done += block;
+            }
+            const double sec = seconds(t0);
+            std::printf(
+                "{\"kernel\": \"fill\", \"benchmark\": \"%s\", "
+                "\"micro_ops\": %llu, \"seconds\": %.3f, "
+                "\"mops_per_sec\": %.2f, \"sink\": \"%llx\"}\n",
+                name, (unsigned long long)instructions, sec,
+                instructions / sec / 1e6, (unsigned long long)sink);
+        }
+
+        {
+            lhr::PipelineSim pipe(pipeCfg, levels);
+            const auto t0 = std::chrono::steady_clock::now();
+            const auto r = pipe.run(bench, instructions, seed);
+            const double sec = seconds(t0);
+            std::printf(
+                "{\"kernel\": \"pipesim\", \"benchmark\": \"%s\", "
+                "\"instructions\": %llu, \"seconds\": %.3f, "
+                "\"minstr_per_sec\": %.2f, \"ipc\": %.4f}\n",
+                name, (unsigned long long)instructions, sec,
+                instructions / sec / 1e6, r.ipc);
+        }
+    }
+    return 0;
+}

@@ -47,12 +47,6 @@ BimodalPredictor::BimodalPredictor(int table_bits)
     counters.assign(mask + 1, 2); // weakly taken
 }
 
-uint32_t
-BimodalPredictor::index(uint64_t pc) const
-{
-    return static_cast<uint32_t>(pc >> 2) & mask;
-}
-
 bool
 BimodalPredictor::predict(uint64_t pc) const
 {

@@ -34,6 +34,20 @@ class BranchPredictor
     uint64_t mispredictions() const { return mispredictCount; }
     double mispredictRatio() const;
 
+  protected:
+    /**
+     * Count one resolved branch; returns the misprediction flag.
+     * Concrete predictors use this from devirtualized fast paths so
+     * the statistics stay shared with the virtual interface.
+     */
+    bool note(bool mispredicted)
+    {
+        ++branchCount;
+        if (mispredicted)
+            ++mispredictCount;
+        return mispredicted;
+    }
+
   private:
     uint64_t branchCount = 0;
     uint64_t mispredictCount = 0;
@@ -48,8 +62,29 @@ class BimodalPredictor : public BranchPredictor
     bool predict(uint64_t pc) const override;
     void update(uint64_t pc, bool taken) override;
 
+    /**
+     * Predict, train, and count in one inline step — the same
+     * transition run() makes, without two virtual dispatches per
+     * branch. Hot loops (pipesim, counters) use this.
+     */
+    bool runInline(uint64_t pc, bool taken)
+    {
+        uint8_t &counter = counters[index(pc)];
+        const bool predicted = counter >= 2;
+        if (taken) {
+            if (counter < 3)
+                ++counter;
+        } else if (counter > 0) {
+            --counter;
+        }
+        return note(predicted != taken);
+    }
+
   private:
-    uint32_t index(uint64_t pc) const;
+    uint32_t index(uint64_t pc) const
+    {
+        return static_cast<uint32_t>(pc >> 2) & mask;
+    }
 
     uint32_t mask;
     std::vector<uint8_t> counters; ///< 0..3, >=2 predicts taken

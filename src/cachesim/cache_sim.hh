@@ -8,6 +8,12 @@
  * synthetic traces the way hardware event counters characterize real
  * executions, and (b) cross-validate the analytic curves
  * (bench/ablation_tracesim).
+ *
+ * The arrays store tags and last-touch ages in flat contiguous
+ * vectors (no per-set node containers): LRU ordering is recovered by
+ * comparing ages, which makes hit/miss decisions identical to an
+ * explicit recency list while doing no allocation or element
+ * shuffling on the access path.
  */
 
 #ifndef LHR_CACHESIM_CACHE_SIM_HH
@@ -15,6 +21,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -32,27 +39,67 @@ class CacheArray
      */
     CacheArray(double capacity_kb, int ways, int line_bytes = 64);
 
-    /** Access a byte address; returns true on hit. Updates LRU. */
-    bool access(uint64_t addr);
+    /**
+     * Access a byte address; returns true on hit. Updates LRU.
+     * Inline so PipelineSim's issue loop sees the whole L1-hit fast
+     * path without a call per memory op.
+     */
+    bool access(uint64_t addr)
+    {
+        ++accessCount;
+        const uint64_t line = addr >> lineShift;
+        const size_t set = static_cast<size_t>(line & setMask);
+        const uint64_t tag = line >> setShift;
+
+        uint64_t *setTags = &tags[set * wayCount];
+        uint64_t *setAges = &ages[set * wayCount];
+        // Hit scan only; the victim scan below runs just on misses.
+        for (size_t way = 0; way < wayCount; ++way) {
+            if (setTags[way] == tag && setAges[way] != 0) {
+                // Hit: bump to most recent.
+                setAges[way] = ++stamp;
+                return true;
+            }
+        }
+        // Miss: fill an invalid way if any (age 0 sorts first), else
+        // evict the least recently used one (first minimum).
+        ++missCount;
+        size_t victim = 0;
+        uint64_t oldest = setAges[0];
+        for (size_t way = 1; way < wayCount; ++way) {
+            if (setAges[way] < oldest) {
+                oldest = setAges[way];
+                victim = way;
+            }
+        }
+        setTags[victim] = tag;
+        setAges[victim] = ++stamp;
+        return false;
+    }
 
     uint64_t accesses() const { return accessCount; }
     uint64_t misses() const { return missCount; }
     double missRatio() const;
 
-    int sets() const { return setCount; }
-    int associativity() const { return wayCount; }
+    size_t sets() const { return setCount; }
+    size_t associativity() const { return wayCount; }
 
     /** Invalidate everything and clear statistics. */
     void reset();
 
   private:
-    int wayCount;
-    int lineBytes;
-    int setCount;
+    size_t wayCount;
+    size_t setCount;
+    unsigned lineShift;          ///< log2(line bytes)
+    unsigned setShift;           ///< log2(set count)
+    uint64_t setMask;            ///< setCount - 1
     uint64_t accessCount;
     uint64_t missCount;
-    /** Per set: tags in LRU order, MRU first. */
-    std::vector<std::vector<uint64_t>> tagSets;
+    uint64_t stamp;              ///< monotonic access clock
+    /** setCount x wayCount tags, row-major by set. */
+    std::vector<uint64_t> tags;
+    /** Last-touch stamp per way; 0 marks an invalid way. */
+    std::vector<uint64_t> ages;
 };
 
 /** A fully-associative LRU TLB. */
@@ -74,7 +121,8 @@ class TlbArray
     /**
      * Model GC-style displacement: evict a fraction of the TLB, as
      * a collector scanning the heap on the same core does to the
-     * application (the paper's db observation, section 3.1).
+     * application (the paper's db observation, section 3.1). The
+     * most recently used entries survive.
      */
     void displace(double fraction);
 
@@ -82,10 +130,15 @@ class TlbArray
 
   private:
     size_t entryCount;
-    int pageBytes;
+    unsigned pageShift;          ///< log2(page bytes)
     uint64_t accessCount;
     uint64_t missCount;
-    std::vector<uint64_t> pages; ///< MRU first
+    uint64_t stamp;              ///< monotonic access clock
+    size_t liveCount;            ///< valid entries
+    std::vector<uint64_t> pages; ///< entryCount page numbers
+    std::vector<uint64_t> ages;  ///< last-touch stamp; 0 = invalid
+    std::vector<uint32_t> freeSlots;           ///< invalid slots
+    std::unordered_map<uint64_t, uint32_t> pageIndex; ///< page->slot
 };
 
 /**
@@ -100,13 +153,20 @@ class HierarchySim
         const std::vector<std::pair<double, int>> &levels);
 
     /** Access an address through the hierarchy. */
-    void access(uint64_t addr);
+    void access(uint64_t addr) { accessHitLevel(addr); }
 
     /**
      * Access an address and report where it hit: the level index,
      * or -1 when it missed every level (DRAM).
      */
-    int accessHitLevel(uint64_t addr);
+    int accessHitLevel(uint64_t addr)
+    {
+        for (size_t level = 0; level < arrays.size(); ++level) {
+            if (arrays[level].access(addr))
+                return static_cast<int>(level);
+        }
+        return -1;
+    }
 
     /** Misses of one level per kilo-instruction. */
     double mpki(size_t level, uint64_t instructions) const;

@@ -1,5 +1,7 @@
 #include "counters/hwcounters.hh"
 
+#include <algorithm>
+
 #include "bpred/predictor.hh"
 #include "cachesim/cache_sim.hh"
 #include "trace/generator.hh"
@@ -103,56 +105,69 @@ characterizeWorkload(const Benchmark &bench, const ProcessorSpec &spec,
     const int gcBurst = static_cast<int>(190.0 * gc_displacement);
     uint64_t gcScanAddr = 1ull << 44;
 
+    // The trace arrives in SoA blocks (the profiling loop is a hot
+    // path shared with pipesim; see trace/generator.hh).
+    MicroOpBatch batch;
     const uint64_t total = warmup_instructions + instructions;
-    for (uint64_t i = 0; i < total; ++i) {
-        const bool measured = i >= warmup_instructions;
-        if (measured)
-            counters.add(HwEvent::Instructions);
-        const MicroOp op = trace.next();
-        switch (op.kind) {
-          case MicroOp::Kind::Alu:
-            break;
-          case MicroOp::Kind::Load:
-          case MicroOp::Kind::Store: {
-            const bool tlbHit = dtlb.access(op.addr);
-            const uint64_t beforeL1 = caches.level(0).misses();
-            const size_t last = caches.levelCount() - 1;
-            const uint64_t beforeLast = caches.level(last).misses();
-            caches.access(op.addr);
-            if (measured) {
-                counters.add(HwEvent::MemAccesses);
-                counters.add(HwEvent::DtlbAccesses);
-                if (!tlbHit)
-                    counters.add(HwEvent::DtlbMisses);
-                if (caches.level(0).misses() > beforeL1)
-                    counters.add(HwEvent::L1dMisses);
-                if (caches.level(last).misses() > beforeLast)
-                    counters.add(HwEvent::LlcMisses);
-            }
-            break;
-          }
-          case MicroOp::Kind::Branch: {
-            const bool mispredicted = predictor.run(op.pc, op.taken);
-            if (measured) {
-                counters.add(HwEvent::BranchInstructions);
-                if (mispredicted)
-                    counters.add(HwEvent::BranchMispredicts);
-            }
-            break;
-          }
-        }
+    for (uint64_t base = 0; base < total; base += batch.size()) {
+        const size_t block = static_cast<size_t>(std::min<uint64_t>(
+            MicroOpBatch::defaultSize, total - base));
+        trace.fill(batch, block);
 
-        if (gcBurst > 0 && i > 0 && i % gcPeriod == 0) {
-            // The collector's scan: sequential pages, polluting the
-            // TLB and every cache level (unmeasured — the counters
-            // profile application behaviour, as the paper's
-            // instrumented HotSpot separates JVM from application).
-            for (int scan = 0; scan < gcBurst; ++scan) {
-                // Object scanning strides across pages: this is what
-                // displaces TLB state so effectively.
-                gcScanAddr += 4096 + 64;
-                dtlb.access(gcScanAddr);
-                caches.access(gcScanAddr);
+        for (size_t j = 0; j < block; ++j) {
+            const uint64_t i = base + j;
+            const bool measured = i >= warmup_instructions;
+            if (measured)
+                counters.add(HwEvent::Instructions);
+            switch (batch.kindAt(j)) {
+              case MicroOp::Kind::Alu:
+                break;
+              case MicroOp::Kind::Load:
+              case MicroOp::Kind::Store: {
+                const uint64_t addr = batch.addr[j];
+                const bool tlbHit = dtlb.access(addr);
+                const uint64_t beforeL1 = caches.level(0).misses();
+                const size_t last = caches.levelCount() - 1;
+                const uint64_t beforeLast =
+                    caches.level(last).misses();
+                caches.access(addr);
+                if (measured) {
+                    counters.add(HwEvent::MemAccesses);
+                    counters.add(HwEvent::DtlbAccesses);
+                    if (!tlbHit)
+                        counters.add(HwEvent::DtlbMisses);
+                    if (caches.level(0).misses() > beforeL1)
+                        counters.add(HwEvent::L1dMisses);
+                    if (caches.level(last).misses() > beforeLast)
+                        counters.add(HwEvent::LlcMisses);
+                }
+                break;
+              }
+              case MicroOp::Kind::Branch: {
+                const bool mispredicted = predictor.runInline(
+                    batch.pc[j], batch.taken[j] != 0);
+                if (measured) {
+                    counters.add(HwEvent::BranchInstructions);
+                    if (mispredicted)
+                        counters.add(HwEvent::BranchMispredicts);
+                }
+                break;
+              }
+            }
+
+            if (gcBurst > 0 && i > 0 && i % gcPeriod == 0) {
+                // The collector's scan: sequential pages, polluting
+                // the TLB and every cache level (unmeasured — the
+                // counters profile application behaviour, as the
+                // paper's instrumented HotSpot separates JVM from
+                // application).
+                for (int scan = 0; scan < gcBurst; ++scan) {
+                    // Object scanning strides across pages: this is
+                    // what displaces TLB state so effectively.
+                    gcScanAddr += 4096 + 64;
+                    dtlb.access(gcScanAddr);
+                    caches.access(gcScanAddr);
+                }
             }
         }
     }

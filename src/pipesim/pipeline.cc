@@ -94,88 +94,99 @@ PipelineSim::run(const Benchmark &bench, uint64_t instructions,
     double lastCompletion = 0.0;
     double measureStartCycle = 0.0;
 
+    // Micro-ops arrive in SoA blocks: the issue loop walks flat
+    // arrays instead of pulling one struct at a time through the
+    // generator.
+    MicroOpBatch batch;
     const uint64_t total = warmup + instructions;
-    for (uint64_t i = 0; i < total; ++i) {
-        if (i == warmup)
-            measureStartCycle = frontEnd;
+    for (uint64_t base = 0; base < total; base += batch.size()) {
+        const size_t block = static_cast<size_t>(std::min<uint64_t>(
+            MicroOpBatch::defaultSize, total - base));
+        trace.fill(batch, block);
 
-        const MicroOp op = trace.next();
-        frontEnd += 1.0 / slotsPerCycle;
+        for (size_t j = 0; j < block; ++j) {
+            const uint64_t i = base + j;
+            if (i == warmup)
+                measureStartCycle = frontEnd;
 
-        // Dependence: this op consumes the value of an op `d`
-        // earlier (exponential distances around the mean).
-        double u = 0.0;
-        do {
-            u = depRng.uniform();
-        } while (u <= 0.0);
-        const uint64_t dist = std::max<uint64_t>(
-            1, static_cast<uint64_t>(std::lround(-meanDep * std::log(u))));
-        double ready = 0.0;
-        bool depOnLoad = false;
-        if (dist <= i && dist < ring) {
-            ready = completion[(i - dist) % ring];
-            depOnLoad = wasLoad[(i - dist) % ring];
-        }
+            frontEnd += 1.0 / slotsPerCycle;
 
-        // Window constraint: no more than windowSize ops in flight
-        // (stall-on-use with a tiny window models in-order issue).
-        const auto window = static_cast<size_t>(cfg.windowSize);
-        double windowReady = 0.0;
-        bool windowOnLoad = false;
-        if (i >= window) {
-            windowReady = completion[(i - window) % ring];
-            windowOnLoad = wasLoad[(i - window) % ring];
-        }
-
-        const double issue = std::max({frontEnd, ready, windowReady});
-
-        // Attribute the stall beyond the front end. Out-of-order
-        // machines keep fetching past a waiting op (only the window
-        // limits them); an in-order machine serializes issue behind
-        // it.
-        const double stall = issue - frontEnd;
-        if (stall > 0.0) {
-            totalStall += stall;
-            if ((ready >= windowReady && depOnLoad) ||
-                (windowReady > ready && windowOnLoad)) {
-                memStall += stall;
+            // Dependence: this op consumes the value of an op `d`
+            // earlier (exponential distances around the mean).
+            const double u = depRng.uniformPositive();
+            const uint64_t dist = std::max<uint64_t>(
+                1,
+                static_cast<uint64_t>(std::lround(-meanDep * std::log(u))));
+            double ready = 0.0;
+            bool depOnLoad = false;
+            if (dist <= i && dist < ring) {
+                ready = completion[(i - dist) % ring];
+                depOnLoad = wasLoad[(i - dist) % ring];
             }
-            if (cfg.inOrder)
-                frontEnd = issue;
-        }
 
-        double latency = 1.0;
-        bool isLoad = false;
-        switch (op.kind) {
-          case MicroOp::Kind::Alu:
-            break;
-          case MicroOp::Kind::Store:
-            // Write buffers hide store latency.
-            caches.access(op.addr);
-            break;
-          case MicroOp::Kind::Load:
-            latency = loadLatency(op.addr);
-            isLoad = true;
-            break;
-          case MicroOp::Kind::Branch: {
-            if (predictor.run(op.pc, op.taken)) {
-                // Redirect after resolution.
-                const double resolve = issue + 1.0;
-                const double redirect = resolve + cfg.branchPenalty;
-                if (redirect > frontEnd) {
-                    branchStall += redirect - frontEnd;
-                    totalStall += redirect - frontEnd;
-                    frontEnd = redirect;
+            // Window constraint: no more than windowSize ops in
+            // flight (stall-on-use with a tiny window models
+            // in-order issue).
+            const auto window = static_cast<size_t>(cfg.windowSize);
+            double windowReady = 0.0;
+            bool windowOnLoad = false;
+            if (i >= window) {
+                windowReady = completion[(i - window) % ring];
+                windowOnLoad = wasLoad[(i - window) % ring];
+            }
+
+            const double issue =
+                std::max({frontEnd, ready, windowReady});
+
+            // Attribute the stall beyond the front end. Out-of-order
+            // machines keep fetching past a waiting op (only the
+            // window limits them); an in-order machine serializes
+            // issue behind it.
+            const double stall = issue - frontEnd;
+            if (stall > 0.0) {
+                totalStall += stall;
+                if ((ready >= windowReady && depOnLoad) ||
+                    (windowReady > ready && windowOnLoad)) {
+                    memStall += stall;
                 }
+                if (cfg.inOrder)
+                    frontEnd = issue;
             }
-            break;
-          }
-        }
 
-        const double done = issue + latency;
-        completion[i % ring] = done;
-        wasLoad[i % ring] = isLoad ? 1 : 0;
-        lastCompletion = std::max(lastCompletion, done);
+            double latency = 1.0;
+            bool isLoad = false;
+            switch (batch.kindAt(j)) {
+              case MicroOp::Kind::Alu:
+                break;
+              case MicroOp::Kind::Store:
+                // Write buffers hide store latency.
+                caches.access(batch.addr[j]);
+                break;
+              case MicroOp::Kind::Load:
+                latency = loadLatency(batch.addr[j]);
+                isLoad = true;
+                break;
+              case MicroOp::Kind::Branch: {
+                if (predictor.runInline(batch.pc[j],
+                                        batch.taken[j] != 0)) {
+                    // Redirect after resolution.
+                    const double resolve = issue + 1.0;
+                    const double redirect = resolve + cfg.branchPenalty;
+                    if (redirect > frontEnd) {
+                        branchStall += redirect - frontEnd;
+                        totalStall += redirect - frontEnd;
+                        frontEnd = redirect;
+                    }
+                }
+                break;
+              }
+            }
+
+            const double done = issue + latency;
+            completion[i % ring] = done;
+            wasLoad[i % ring] = isLoad ? 1 : 0;
+            lastCompletion = std::max(lastCompletion, done);
+        }
     }
 
     PipelineResult result;

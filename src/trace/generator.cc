@@ -11,7 +11,8 @@ namespace lhr
 AddressGenerator::AddressGenerator(const MissCurve &miss_curve,
                                    double accesses_per_instr,
                                    uint64_t seed)
-    : curve(miss_curve), nextFreshBlock(0), rng(seed)
+    : curve(miss_curve), nextFreshBlock(0), stack(maxStackBlocks),
+      rng(seed)
 {
     if (accesses_per_instr <= 0.0)
         panic("AddressGenerator: non-positive access rate");
@@ -34,7 +35,10 @@ AddressGenerator::AddressGenerator(const MissCurve &miss_curve,
     // whose reuse is overwhelmingly at the top of the stack.
     k0Blocks = std::max(1e-9, 512.0 * std::pow(missRatio32, 1.0 / alpha));
 
-    stack.reserve(4096);
+    // Constants of the depth distribution, hoisted out of the
+    // per-access sampling path.
+    wsBlocks = curve.workingSetKb * 1024.0 / lineBytes;
+    invNegAlpha = -1.0 / alpha;
 }
 
 size_t
@@ -43,12 +47,8 @@ AddressGenerator::sampleDepth()
     // Inverse-CDF sampling of the Pareto tail, truncated at the
     // working set: the curve says reuse beyond it does not exist
     // (only cold misses do, and those are drawn separately).
-    double u = 0.0;
-    do {
-        u = rng.uniform();
-    } while (u <= 0.0);
-    double depth = k0Blocks * std::pow(u, -1.0 / alpha);
-    const double wsBlocks = curve.workingSetKb * 1024.0 / lineBytes;
+    const double u = rng.uniformPositive();
+    double depth = k0Blocks * std::pow(u, invNegAlpha);
     depth = std::min(depth, wsBlocks);
     if (depth >= static_cast<double>(maxStackBlocks))
         return maxStackBlocks;
@@ -60,20 +60,15 @@ AddressGenerator::next()
 {
     uint64_t block = 0;
     const bool cold = rng.uniform() < coldProb;
-    size_t depth = cold ? maxStackBlocks : sampleDepth();
+    const size_t depth = cold ? maxStackBlocks : sampleDepth();
 
     if (!cold && depth <= stack.size()) {
         // Reuse the block at this stack depth; move it to the front.
-        block = stack[depth - 1];
-        std::rotate(stack.begin(), stack.begin() + depth - 1,
-                    stack.begin() + depth);
-        stack[0] = block;
+        block = stack.touch(depth);
     } else {
         // Cold or deeper than anything seen: a fresh block.
         block = (1ull << 40) + nextFreshBlock++;
-        stack.insert(stack.begin(), block);
-        if (stack.size() > maxStackBlocks)
-            stack.pop_back();
+        stack.pushFront(block);
     }
     return block * lineBytes + rng.below(lineBytes / 8) * 8;
 }
@@ -108,14 +103,16 @@ TraceGenerator::TraceGenerator(const Benchmark &bench, uint64_t seed)
 }
 
 MicroOp
-TraceGenerator::next()
+TraceGenerator::generate()
 {
     instructionPc += 4;
     const double roll = rng.uniform();
 
     if (roll < branchPerInstr) {
-        const auto &branch =
-            staticBranchPool[rng.below(staticBranchPool.size())];
+        // The pool always holds exactly staticBranches entries; the
+        // compile-time bound lets the modulo fold into a mask.
+        const auto &branch = staticBranchPool[rng.below(
+            static_cast<uint64_t>(staticBranches))];
         return {MicroOp::Kind::Branch, 0, branch.pc,
                 rng.uniform() < branch.takenBias};
     }
@@ -125,6 +122,25 @@ TraceGenerator::next()
                 addresses.next(), instructionPc, false};
     }
     return {MicroOp::Kind::Alu, 0, instructionPc, false};
+}
+
+MicroOp
+TraceGenerator::next()
+{
+    return generate();
+}
+
+void
+TraceGenerator::fill(MicroOpBatch &batch, size_t count)
+{
+    batch.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+        const MicroOp op = generate();
+        batch.kind[i] = static_cast<uint8_t>(op.kind);
+        batch.addr[i] = op.addr;
+        batch.pc[i] = op.pc;
+        batch.taken[i] = op.taken ? 1 : 0;
+    }
 }
 
 } // namespace lhr

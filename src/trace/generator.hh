@@ -23,9 +23,11 @@
 #ifndef LHR_TRACE_GENERATOR_HH
 #define LHR_TRACE_GENERATOR_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "trace/lru_stack.hh"
 #include "util/rng.hh"
 #include "workload/benchmark.hh"
 
@@ -47,6 +49,38 @@ struct MicroOp
     uint64_t addr;   ///< byte address (loads/stores), 0 otherwise
     uint64_t pc;     ///< static instruction address
     bool taken;      ///< branch outcome (branches only)
+};
+
+/**
+ * A block of micro-ops in structure-of-arrays layout, filled in one
+ * call by TraceGenerator::fill() so hot consumers (the pipeline
+ * simulator, the workload characterizer) iterate flat arrays
+ * instead of pulling one struct at a time through the generator.
+ */
+struct MicroOpBatch
+{
+    /** Default block size consumers request per fill. */
+    static constexpr size_t defaultSize = 4096;
+
+    std::vector<uint8_t> kind;   ///< MicroOp::Kind values
+    std::vector<uint64_t> addr;  ///< byte address, 0 for non-memory
+    std::vector<uint64_t> pc;    ///< static instruction address
+    std::vector<uint8_t> taken;  ///< branch outcome (branches only)
+
+    size_t size() const { return kind.size(); }
+
+    void resize(size_t n)
+    {
+        kind.resize(n);
+        addr.resize(n);
+        pc.resize(n);
+        taken.resize(n);
+    }
+
+    MicroOp::Kind kindAt(size_t i) const
+    {
+        return static_cast<MicroOp::Kind>(kind[i]);
+    }
 };
 
 /**
@@ -88,8 +122,10 @@ class AddressGenerator
     double alpha;        ///< Pareto shape (the curve's beta)
     double k0Blocks;     ///< Pareto scale in blocks
     double coldProb;
+    double wsBlocks;     ///< working-set truncation depth (blocks)
+    double invNegAlpha;  ///< -1/alpha, hoisted out of sampleDepth
     uint64_t nextFreshBlock;
-    std::vector<uint64_t> stack; ///< most recent block first
+    LruStack stack;      ///< order-statistic move-to-front stack
     Rng rng;
 };
 
@@ -116,6 +152,13 @@ class TraceGenerator
     /** Next micro-op of the stream. */
     MicroOp next();
 
+    /**
+     * Fill `batch` with the next `count` micro-ops of the stream, in
+     * structure-of-arrays layout. The generated stream is identical
+     * to `count` successive next() calls.
+     */
+    void fill(MicroOpBatch &batch, size_t count);
+
     /** Branch frequency used by the stream (per instruction). */
     static constexpr double branchPerInstr = 0.18;
 
@@ -128,6 +171,9 @@ class TraceGenerator
     }
 
   private:
+    /** Shared generation path behind next() and fill(). */
+    MicroOp generate();
+
     double memAccessPerInstr;
     AddressGenerator addresses;
     std::vector<StaticBranch> staticBranchPool;

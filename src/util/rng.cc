@@ -21,12 +21,6 @@ splitMix64(uint64_t &x)
     return z ^ (z >> 31);
 }
 
-uint64_t
-rotl(uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(uint64_t seed)
@@ -37,32 +31,6 @@ Rng::Rng(uint64_t seed)
         word = splitMix64(x);
 }
 
-uint64_t
-Rng::next()
-{
-    const uint64_t result = rotl(s[1] * 5, 7) * 9;
-    const uint64_t t = s[1] << 17;
-    s[2] ^= s[0];
-    s[3] ^= s[1];
-    s[1] ^= s[2];
-    s[0] ^= s[3];
-    s[2] ^= t;
-    s[3] = rotl(s[3], 45);
-    return result;
-}
-
-double
-Rng::uniform()
-{
-    return (next() >> 11) * 0x1.0p-53;
-}
-
-double
-Rng::uniform(double lo, double hi)
-{
-    return lo + (hi - lo) * uniform();
-}
-
 double
 Rng::gaussian()
 {
@@ -70,10 +38,7 @@ Rng::gaussian()
         hasCachedGaussian = false;
         return cachedGaussian;
     }
-    double u1 = 0.0;
-    do {
-        u1 = uniform();
-    } while (u1 <= 0.0);
+    const double u1 = uniformPositive();
     const double u2 = uniform();
     const double r = std::sqrt(-2.0 * std::log(u1));
     const double theta = 2.0 * M_PI * u2;
@@ -88,18 +53,10 @@ Rng::gaussian(double mean, double stddev)
     return mean + stddev * gaussian();
 }
 
-uint64_t
-Rng::below(uint64_t n)
+void
+Rng::panicBelowZero()
 {
-    if (n == 0)
-        panic("Rng::below called with n == 0");
-    // Rejection sampling to avoid modulo bias.
-    const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
-    uint64_t v = 0;
-    do {
-        v = next();
-    } while (v >= limit);
-    return v % n;
+    panic("Rng::below called with n == 0");
 }
 
 Rng

@@ -27,14 +27,46 @@ class Rng
     /** Construct from a 64-bit seed. Equal seeds yield equal streams. */
     explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
 
-    /** Next raw 64-bit value. */
-    uint64_t next();
+    /**
+     * Next raw 64-bit value. Defined inline (as are the uniform
+     * draws below) so hot simulation loops pay a handful of
+     * register ops per draw instead of a call.
+     */
+    uint64_t next()
+    {
+        const uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
 
     /** Uniform double in [0, 1). */
-    double uniform();
+    double uniform() { return (next() >> 11) * 0x1.0p-53; }
+
+    /**
+     * Uniform double in (0, 1): rejects exact zeros so the result
+     * is safe to pass to log() or raise to a negative power. Draws
+     * from the same stream as uniform(), one value per non-zero.
+     */
+    double uniformPositive()
+    {
+        double u = 0.0;
+        do {
+            u = uniform();
+        } while (u <= 0.0);
+        return u;
+    }
 
     /** Uniform double in [lo, hi). */
-    double uniform(double lo, double hi);
+    double uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
 
     /** Standard normal deviate (Box-Muller, cached pair). */
     double gaussian();
@@ -43,7 +75,20 @@ class Rng
     double gaussian(double mean, double stddev);
 
     /** Uniform integer in [0, n). n must be > 0. */
-    uint64_t below(uint64_t n);
+    uint64_t below(uint64_t n)
+    {
+        if (n == 0)
+            panicBelowZero();
+        // Rejection sampling to avoid modulo bias. With a
+        // compile-time-constant n the compiler folds both remainders
+        // into masks or multiplications.
+        const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+        uint64_t v = 0;
+        do {
+            v = next();
+        } while (v >= limit);
+        return v % n;
+    }
 
     /**
      * Derive an independent child generator. Streams of a parent and
@@ -53,6 +98,14 @@ class Rng
     Rng fork();
 
   private:
+    static uint64_t rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    /** Out-of-line panic keeps below() small enough to inline. */
+    [[noreturn]] static void panicBelowZero();
+
     uint64_t s[4];
     double cachedGaussian;
     bool hasCachedGaussian;

@@ -21,6 +21,24 @@ TEST(CacheArray, GeometryValidation)
     EXPECT_EQ(cache.sets(), 64);
 }
 
+TEST(CacheArray, NonPowerOfTwoCapacityRoundsSetsDown)
+{
+    // 48KB / 8 ways / 64B lines = 96 sets, rounded down to the
+    // nearest power of two (64) so set indexing stays a mask.
+    const CacheArray cache(48.0, 8);
+    EXPECT_EQ(cache.sets(), 64u);
+    EXPECT_EQ(cache.associativity(), 8u);
+
+    // 3KB / 2 ways / 64B = 24 sets -> 16.
+    const CacheArray odd(3.0, 2);
+    EXPECT_EQ(odd.sets(), 16u);
+
+    // Degenerate: capacity below one line per way still yields one
+    // set rather than zero.
+    const CacheArray tiny(0.0625, 2); // 64B, 2 ways
+    EXPECT_EQ(tiny.sets(), 1u);
+}
+
 TEST(CacheArray, ColdMissThenHit)
 {
     CacheArray cache(32.0, 8);
@@ -115,6 +133,38 @@ TEST(Tlb, DisplacementEvicts)
     // Everything gone.
     EXPECT_FALSE(tlb.access(0x0000));
     EXPECT_DEATH(tlb.displace(1.5), "fraction");
+}
+
+TEST(Tlb, DisplaceZeroIsNoOp)
+{
+    TlbArray tlb(8);
+    for (uint64_t page = 0; page < 8; ++page)
+        tlb.access(page * 4096);
+    tlb.displace(0.0);
+    for (uint64_t page = 0; page < 8; ++page)
+        EXPECT_TRUE(tlb.access(page * 4096)) << "page " << page;
+}
+
+TEST(Tlb, DisplaceFullThenRefill)
+{
+    TlbArray tlb(4);
+    for (uint64_t page = 0; page < 4; ++page)
+        tlb.access(page * 4096);
+    tlb.displace(1.0);
+    // The whole TLB is invalid: every page is a compulsory miss
+    // again, and the freed slots must absorb all of them.
+    for (uint64_t page = 0; page < 4; ++page)
+        EXPECT_FALSE(tlb.access(page * 4096)) << "page " << page;
+    for (uint64_t page = 0; page < 4; ++page)
+        EXPECT_TRUE(tlb.access(page * 4096)) << "page " << page;
+}
+
+TEST(Tlb, DisplaceOnEmptyIsSafe)
+{
+    TlbArray tlb(4);
+    tlb.displace(0.0);
+    tlb.displace(1.0);
+    EXPECT_FALSE(tlb.access(0x0000));
 }
 
 TEST(Tlb, PartialDisplacementKeepsMru)

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Golden bit-identity tests for the trace substrate.
+ *
+ * The O(log n) LRU stack, the flat-array cache/TLB simulators, and
+ * batched micro-op generation are pure representation changes: the
+ * streams and decisions they produce must match the original
+ * vector/rotate implementation bit for bit. These constants were
+ * captured from that original implementation (3 benchmarks x 2
+ * seeds, spanning shallow, mid, and deep reuse); any drift in the
+ * address stream, the hit/miss sequence, or the pipeline result is
+ * a correctness bug, not a tolerance issue — hence exact equality
+ * on hashes and hexfloat doubles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/lab.hh"
+#include "counters/hwcounters.hh"
+#include "pipesim/pipeline.hh"
+#include "trace/generator.hh"
+#include "workload/benchmark.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+/** Byte-wise FNV-1a over a 64-bit value. */
+uint64_t
+fnv1a(uint64_t h, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+constexpr uint64_t fnvInit = 0xcbf29ce484222325ull;
+constexpr uint64_t traceLength = 200000;
+
+struct Golden
+{
+    const char *bench;
+    uint64_t seed;
+    uint64_t addrHash;       ///< FNV-1a over the raw address stream
+    uint64_t seqHash;        ///< FNV-1a over (hit level, TLB hit)
+    uint64_t l1Misses;
+    uint64_t lastLevelMisses;
+    uint64_t tlbMisses;
+    uint64_t tlbAccesses;
+    double cycles;           ///< PipelineSim cycles, exact
+    double memStallShare;
+    double branchStallShare;
+};
+
+// Captured from the pre-optimization implementation at 200k
+// micro-ops on i7 (45) structural levels.
+constexpr Golden goldens[] = {
+    {"gcc", 7, 0xc2ddde3d75309c10ull, 0x3f8d02e3092b2546ull,
+     5879, 3382, 53, 70336,
+     0x1.e214650d7993p+17, 0x1.05e9ec3659861p-2,
+     0x1.95daa998bc5c3p-8},
+    {"gcc", 99, 0x70907043d6b3f6eeull, 0x0c2b472aced2ba62ull,
+     5919, 3465, 55, 70190,
+     0x1.e834b5e50dc8p+17, 0x1.06d90a7d6c888p-2,
+     0x1.915b8d7220c9ep-8},
+    {"mcf", 7, 0x4782e756fdb4f56eull, 0xd5385321c756ae82ull,
+     13137, 8333, 131, 80110,
+     0x1.1e86bd79436c6p+19, 0x1.29e883d1198b4p-2,
+     0x1.1d3e00310ee81p-7},
+    {"mcf", 99, 0xf99624e7fa4c4bd7ull, 0x45658fc54d8d4c2dull,
+     13353, 8395, 132, 80138,
+     0x1.1e3f8d79436dp+19, 0x1.27c030b67d40bp-2,
+     0x1.13701186e4e37p-7},
+    {"hmmer", 7, 0xa07693b5f711e56eull, 0x0a99c12ee48889c5ull,
+     968, 882, 14, 70336,
+     0x1.ca5fa86bcb33p+16, 0x1.0248cec5f342dp-2,
+     0x1.2c1d6c0316891p-9},
+    {"hmmer", 99, 0x935814041bccee21ull, 0xf6cfefd95740bf46ull,
+     1049, 948, 15, 70190,
+     0x1.cf9e5af288208p+16, 0x1.037b1fe5bc659p-2,
+     0x1.0f24a5a4a3509p-9},
+};
+
+class GoldenTrace : public ::testing::TestWithParam<Golden>
+{
+};
+
+} // namespace
+
+TEST_P(GoldenTrace, AddressStreamBitIdentical)
+{
+    const Golden &g = GetParam();
+    const auto &bench = benchmarkByName(g.bench);
+    AddressGenerator gen(bench.miss, bench.memAccessPerInstr,
+                         g.seed ^ 0xADD2);
+    uint64_t hash = fnvInit;
+    for (uint64_t i = 0; i < traceLength; ++i)
+        hash = fnv1a(hash, gen.next());
+    EXPECT_EQ(hash, g.addrHash);
+}
+
+TEST_P(GoldenTrace, HitMissSequenceBitIdentical)
+{
+    const Golden &g = GetParam();
+    const auto &bench = benchmarkByName(g.bench);
+    const auto levels = structuralLevels(processorById("i7 (45)"));
+
+    TraceGenerator trace(bench, g.seed);
+    HierarchySim caches(levels);
+    TlbArray tlb(512);
+    uint64_t hash = fnvInit;
+    for (uint64_t i = 0; i < traceLength; ++i) {
+        const MicroOp op = trace.next();
+        if (op.kind == MicroOp::Kind::Load ||
+            op.kind == MicroOp::Kind::Store) {
+            const int lvl = caches.accessHitLevel(op.addr);
+            const bool tlbHit = tlb.access(op.addr);
+            hash = fnv1a(hash,
+                         static_cast<uint64_t>(lvl + 2) * 2 +
+                             (tlbHit ? 1 : 0));
+        }
+    }
+    EXPECT_EQ(hash, g.seqHash);
+    EXPECT_EQ(caches.level(0).misses(), g.l1Misses);
+    EXPECT_EQ(caches.level(caches.levelCount() - 1).misses(),
+              g.lastLevelMisses);
+    EXPECT_EQ(tlb.misses(), g.tlbMisses);
+    EXPECT_EQ(tlb.accesses(), g.tlbAccesses);
+}
+
+TEST_P(GoldenTrace, PipelineResultBitIdentical)
+{
+    const Golden &g = GetParam();
+    const auto &bench = benchmarkByName(g.bench);
+    const auto &i7 = processorById("i7 (45)");
+    PipelineSim pipe(PipelineConfig::of(i7, i7.stockClockGhz),
+                     structuralLevels(i7));
+    const auto r = pipe.run(bench, traceLength, g.seed);
+    EXPECT_EQ(r.cycles, g.cycles);
+    EXPECT_EQ(r.memStallShare, g.memStallShare);
+    EXPECT_EQ(r.branchStallShare, g.branchStallShare);
+}
+
+TEST(GoldenTrace, FillMatchesNext)
+{
+    // Batched generation must replay the exact next() stream.
+    const auto &bench = benchmarkByName("mcf");
+    TraceGenerator a(bench, 7);
+    TraceGenerator b(bench, 7);
+    MicroOpBatch batch;
+    const size_t chunk = 1000;
+    for (int round = 0; round < 5; ++round) {
+        a.fill(batch, chunk);
+        for (size_t i = 0; i < chunk; ++i) {
+            const MicroOp op = b.next();
+            EXPECT_EQ(batch.kindAt(i), op.kind);
+            EXPECT_EQ(batch.addr[i], op.addr);
+            EXPECT_EQ(batch.pc[i], op.pc);
+            EXPECT_EQ(batch.taken[i] != 0, op.taken);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Substrate, GoldenTrace, ::testing::ValuesIn(goldens),
+    [](const ::testing::TestParamInfo<Golden> &info) {
+        return std::string(info.param.bench) + "_seed" +
+            std::to_string(info.param.seed);
+    });
+
+} // namespace lhr

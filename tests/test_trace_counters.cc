@@ -59,6 +59,45 @@ TEST(AddressGenerator, ValidationPanics)
     EXPECT_DEATH(AddressGenerator(curve, 0.0, 1), "access rate");
 }
 
+TEST(LruStack, MatchesReferenceVectorModel)
+{
+    // The order-statistic stack must behave exactly like the naive
+    // move-to-front vector it replaced, across depths that exercise
+    // the ring, the arena, spills, and the size bound.
+    constexpr size_t bound = 3000;
+    LruStack stack(bound);
+    std::vector<uint64_t> reference;
+    Rng rng(42);
+    uint64_t fresh = 0;
+    for (int i = 0; i < 200000; ++i) {
+        // Pareto-ish skew toward shallow depths, with a heavy tail
+        // that regularly crosses the ring/arena boundary.
+        const size_t span = 1ull << rng.below(14);
+        const size_t depth = 1 + rng.below(span);
+        if (depth <= reference.size()) {
+            const uint64_t expect = reference[depth - 1];
+            reference.erase(reference.begin() + (depth - 1));
+            reference.insert(reference.begin(), expect);
+            ASSERT_EQ(stack.touch(depth), expect) << "step " << i;
+        } else {
+            reference.insert(reference.begin(), ++fresh);
+            if (reference.size() > bound)
+                reference.pop_back();
+            stack.pushFront(fresh);
+        }
+        ASSERT_EQ(stack.size(), reference.size()) << "step " << i;
+    }
+}
+
+TEST(LruStack, BoundEvictsDeepest)
+{
+    LruStack stack(4);
+    for (uint64_t b = 1; b <= 5; ++b)
+        stack.pushFront(b);
+    EXPECT_EQ(stack.size(), 4u);
+    EXPECT_EQ(stack.touch(4), 2u); // 1 fell off the back
+}
+
 TEST(TraceGenerator, OpMixMatchesDescriptor)
 {
     const auto &bench = benchmarkByName("gcc");
