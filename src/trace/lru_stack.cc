@@ -47,7 +47,7 @@ LruStack::LruStack(size_t max_blocks)
     : maxBlocks(max_blocks), frontCount(0), frontHead(0),
       arenaSize(initialArena), frontPos(initialArena), arenaCount(0),
       slots(initialArena, 0), words(initialArena / slotsPerWord, 0),
-      blockCounts(initialArena / slotsPerBlock, 0),
+      blockCounts(blockEntries(initialArena), 0),
       superCounts((initialArena + slotsPerSuper - 1) / slotsPerSuper,
                   0)
 {
@@ -80,8 +80,10 @@ LruStack::select(size_t rank) const
         rank -= superCounts[super++];
     // Scan counts four at a time: the group sums are independent
     // adds, so the loop-carried rank chain advances 4 slots per
-    // step. Groups never straddle a parent boundary (64 % 4 == 0)
-    // and rank is already bounded by the parent's total.
+    // step. Groups never straddle a parent boundary (64 % 4 == 0),
+    // rank is already bounded by the parent's total, and
+    // blockCounts is zero-padded to a multiple of 4 entries
+    // (blockEntries) so the last group never reads out of bounds.
     size_t blockIdx = super * (slotsPerSuper / slotsPerBlock);
     for (;; blockIdx += 4) {
         const uint32_t group = blockCounts[blockIdx] +
@@ -139,7 +141,7 @@ LruStack::rebuild()
     arenaSize = newArena;
     slots.assign(arenaSize, 0);
     words.assign(arenaSize / slotsPerWord, 0);
-    blockCounts.assign(arenaSize / slotsPerBlock, 0);
+    blockCounts.assign(blockEntries(arenaSize), 0);
     superCounts.assign(
         (arenaSize + slotsPerSuper - 1) / slotsPerSuper, 0);
     frontPos = arenaSize - ordered.size();

@@ -67,22 +67,27 @@ class LruStack
         // Shallow: move the touched entry to the ring's head slot,
         // sliding the depth - 1 entries above it down by one. The
         // slide is one memmove, or two around the ring's wrap point.
-        const size_t idx = (frontHead + depth - 1) & ringMask;
+        // head is masked into a local (an identity — it never leaves
+        // [0, ringMask]) and the unwrapped slide length is written
+        // as idx - head so the compiler can bound every memmove by
+        // the ring size; otherwise inlined copies trip
+        // -Wstringop-overflow at call sites where it cannot see
+        // that large depths were routed to touchDeep above.
+        const size_t head = frontHead & ringMask;
+        const size_t idx = (head + depth - 1) & ringMask;
         const uint64_t block = frontBuf[idx];
-        if (idx >= frontHead) {
-            std::memmove(&frontBuf[frontHead + 1],
-                         &frontBuf[frontHead],
-                         (depth - 1) * sizeof(uint64_t));
+        if (idx >= head) {
+            std::memmove(&frontBuf[head + 1], &frontBuf[head],
+                         (idx - head) * sizeof(uint64_t));
         } else {
             std::memmove(&frontBuf[1], &frontBuf[0],
                          idx * sizeof(uint64_t));
             frontBuf[0] = frontBuf[frontCapacity - 1];
-            std::memmove(&frontBuf[frontHead + 1],
-                         &frontBuf[frontHead],
-                         (frontCapacity - 1 - frontHead) *
+            std::memmove(&frontBuf[head + 1], &frontBuf[head],
+                         (frontCapacity - 1 - head) *
                              sizeof(uint64_t));
         }
-        frontBuf[frontHead] = block;
+        frontBuf[head] = block;
         return block;
     }
 
@@ -113,6 +118,17 @@ class LruStack
     static constexpr size_t slotsPerWord = 64;
     static constexpr size_t slotsPerBlock = 64 * slotsPerWord;
     static constexpr size_t slotsPerSuper = 64 * slotsPerBlock;
+
+    /**
+     * blockCounts length for an arena: padded up to a multiple of
+     * four zero entries so select()'s group-of-4 scan never reads
+     * past the vector. Small arenas need the padding — at 8192
+     * slots the arena spans only two count blocks.
+     */
+    static constexpr size_t blockEntries(size_t arena)
+    {
+        return (arena / slotsPerBlock + 3) & ~size_t{3};
+    }
 
     /** Arena half of touch(): rank-select, remove, reinsert. */
     uint64_t touchDeep(size_t depth);

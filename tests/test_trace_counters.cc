@@ -63,18 +63,25 @@ TEST(LruStack, MatchesReferenceVectorModel)
 {
     // The order-statistic stack must behave exactly like the naive
     // move-to-front vector it replaced, across depths that exercise
-    // the ring, the arena, spills, and the size bound.
-    constexpr size_t bound = 3000;
+    // the ring, the arena, spills, and the size bound. The bound
+    // sits well above the 4096-entry ring so the stack is forced
+    // through spill, arena rank-select, rebuild, and arena-eviction
+    // paths — a bound below the ring leaves all of those untested.
+    constexpr size_t bound = 10000;
+    constexpr size_t ringCapacity = 4096; // LruStack::frontCapacity
     LruStack stack(bound);
     std::vector<uint64_t> reference;
     Rng rng(42);
     uint64_t fresh = 0;
-    for (int i = 0; i < 200000; ++i) {
+    int deepTouches = 0;
+    for (int i = 0; i < 150000; ++i) {
         // Pareto-ish skew toward shallow depths, with a heavy tail
         // that regularly crosses the ring/arena boundary.
-        const size_t span = 1ull << rng.below(14);
+        const size_t span = 1ull << rng.below(16);
         const size_t depth = 1 + rng.below(span);
         if (depth <= reference.size()) {
+            if (depth > ringCapacity)
+                ++deepTouches;
             const uint64_t expect = reference[depth - 1];
             reference.erase(reference.begin() + (depth - 1));
             reference.insert(reference.begin(), expect);
@@ -87,6 +94,12 @@ TEST(LruStack, MatchesReferenceVectorModel)
         }
         ASSERT_EQ(stack.size(), reference.size()) << "step " << i;
     }
+    // The distribution must have actually driven the arena: depths
+    // beyond the ring capacity guarantee touchDeep/select ran.
+    EXPECT_GT(deepTouches, 1000);
+    // And the size bound must have engaged, so arena-side eviction
+    // (pushFrontSlow's select of the deepest block) ran too.
+    EXPECT_EQ(stack.size(), bound);
 }
 
 TEST(LruStack, BoundEvictsDeepest)
