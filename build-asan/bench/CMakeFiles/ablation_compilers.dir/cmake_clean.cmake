@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_compilers.dir/ablation_compilers.cc.o"
+  "CMakeFiles/ablation_compilers.dir/ablation_compilers.cc.o.d"
+  "ablation_compilers"
+  "ablation_compilers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compilers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_corun.dir/ablation_corun.cc.o"
+  "CMakeFiles/ablation_corun.dir/ablation_corun.cc.o.d"
+  "ablation_corun"
+  "ablation_corun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_corun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

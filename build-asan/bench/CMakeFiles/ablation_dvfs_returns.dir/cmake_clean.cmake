@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dvfs_returns.dir/ablation_dvfs_returns.cc.o"
+  "CMakeFiles/ablation_dvfs_returns.dir/ablation_dvfs_returns.cc.o.d"
+  "ablation_dvfs_returns"
+  "ablation_dvfs_returns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dvfs_returns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_jvm_vendors.dir/ablation_jvm_vendors.cc.o"
+  "CMakeFiles/ablation_jvm_vendors.dir/ablation_jvm_vendors.cc.o.d"
+  "ablation_jvm_vendors"
+  "ablation_jvm_vendors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_jvm_vendors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_meters.dir/ablation_meters.cc.o"
+  "CMakeFiles/ablation_meters.dir/ablation_meters.cc.o.d"
+  "ablation_meters"
+  "ablation_meters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_meters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

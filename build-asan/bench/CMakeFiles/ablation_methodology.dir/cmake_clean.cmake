@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_methodology.dir/ablation_methodology.cc.o"
+  "CMakeFiles/ablation_methodology.dir/ablation_methodology.cc.o.d"
+  "ablation_methodology"
+  "ablation_methodology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_methodology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_os_scaling.dir/ablation_os_scaling.cc.o"
+  "CMakeFiles/ablation_os_scaling.dir/ablation_os_scaling.cc.o.d"
+  "ablation_os_scaling"
+  "ablation_os_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_os_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pipesim.dir/ablation_pipesim.cc.o"
+  "CMakeFiles/ablation_pipesim.dir/ablation_pipesim.cc.o.d"
+  "ablation_pipesim"
+  "ablation_pipesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pipesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

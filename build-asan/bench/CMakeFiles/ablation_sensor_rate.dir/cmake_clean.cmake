@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sensor_rate.dir/ablation_sensor_rate.cc.o"
+  "CMakeFiles/ablation_sensor_rate.dir/ablation_sensor_rate.cc.o.d"
+  "ablation_sensor_rate"
+  "ablation_sensor_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sensor_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_specrate.dir/ablation_specrate.cc.o"
+  "CMakeFiles/ablation_specrate.dir/ablation_specrate.cc.o.d"
+  "ablation_specrate"
+  "ablation_specrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_specrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

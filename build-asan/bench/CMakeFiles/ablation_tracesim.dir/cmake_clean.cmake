@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tracesim.dir/ablation_tracesim.cc.o"
+  "CMakeFiles/ablation_tracesim.dir/ablation_tracesim.cc.o.d"
+  "ablation_tracesim"
+  "ablation_tracesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tracesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

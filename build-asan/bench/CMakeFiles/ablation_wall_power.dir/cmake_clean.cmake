@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wall_power.dir/ablation_wall_power.cc.o"
+  "CMakeFiles/ablation_wall_power.dir/ablation_wall_power.cc.o.d"
+  "ablation_wall_power"
+  "ablation_wall_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wall_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

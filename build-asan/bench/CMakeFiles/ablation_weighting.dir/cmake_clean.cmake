@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_weighting.dir/ablation_weighting.cc.o"
+  "CMakeFiles/ablation_weighting.dir/ablation_weighting.cc.o.d"
+  "ablation_weighting"
+  "ablation_weighting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_weighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

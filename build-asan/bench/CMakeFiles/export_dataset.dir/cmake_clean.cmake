@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_dataset.dir/export_dataset.cc.o"
+  "CMakeFiles/export_dataset.dir/export_dataset.cc.o.d"
+  "export_dataset"
+  "export_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_plots.dir/export_plots.cc.o"
+  "CMakeFiles/export_plots.dir/export_plots.cc.o.d"
+  "export_plots"
+  "export_plots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_plots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_java_scalability.dir/fig01_java_scalability.cc.o"
+  "CMakeFiles/fig01_java_scalability.dir/fig01_java_scalability.cc.o.d"
+  "fig01_java_scalability"
+  "fig01_java_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_java_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_tdp.dir/fig02_tdp.cc.o"
+  "CMakeFiles/fig02_tdp.dir/fig02_tdp.cc.o.d"
+  "fig02_tdp"
+  "fig02_tdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_tdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

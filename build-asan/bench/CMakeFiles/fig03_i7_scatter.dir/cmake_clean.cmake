@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_i7_scatter.dir/fig03_i7_scatter.cc.o"
+  "CMakeFiles/fig03_i7_scatter.dir/fig03_i7_scatter.cc.o.d"
+  "fig03_i7_scatter"
+  "fig03_i7_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_i7_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

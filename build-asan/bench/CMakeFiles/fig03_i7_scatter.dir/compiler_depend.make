@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_i7_scatter.
+# This may be replaced when dependencies are built.

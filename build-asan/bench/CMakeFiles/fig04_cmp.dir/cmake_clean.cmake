@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_cmp.dir/fig04_cmp.cc.o"
+  "CMakeFiles/fig04_cmp.dir/fig04_cmp.cc.o.d"
+  "fig04_cmp"
+  "fig04_cmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_smt.dir/fig05_smt.cc.o"
+  "CMakeFiles/fig05_smt.dir/fig05_smt.cc.o.d"
+  "fig05_smt"
+  "fig05_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_java_cmp.dir/fig06_java_cmp.cc.o"
+  "CMakeFiles/fig06_java_cmp.dir/fig06_java_cmp.cc.o.d"
+  "fig06_java_cmp"
+  "fig06_java_cmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_java_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

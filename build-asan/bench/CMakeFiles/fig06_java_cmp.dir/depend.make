@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_java_cmp.
+# This may be replaced when dependencies are built.

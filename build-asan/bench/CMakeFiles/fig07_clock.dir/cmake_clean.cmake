@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_clock.dir/fig07_clock.cc.o"
+  "CMakeFiles/fig07_clock.dir/fig07_clock.cc.o.d"
+  "fig07_clock"
+  "fig07_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

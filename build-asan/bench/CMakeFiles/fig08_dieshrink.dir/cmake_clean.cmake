@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_dieshrink.dir/fig08_dieshrink.cc.o"
+  "CMakeFiles/fig08_dieshrink.dir/fig08_dieshrink.cc.o.d"
+  "fig08_dieshrink"
+  "fig08_dieshrink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_dieshrink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_uarch.dir/fig09_uarch.cc.o"
+  "CMakeFiles/fig09_uarch.dir/fig09_uarch.cc.o.d"
+  "fig09_uarch"
+  "fig09_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_turbo.dir/fig10_turbo.cc.o"
+  "CMakeFiles/fig10_turbo.dir/fig10_turbo.cc.o.d"
+  "fig10_turbo"
+  "fig10_turbo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_turbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

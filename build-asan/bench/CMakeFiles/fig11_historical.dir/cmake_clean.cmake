@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_historical.dir/fig11_historical.cc.o"
+  "CMakeFiles/fig11_historical.dir/fig11_historical.cc.o.d"
+  "fig11_historical"
+  "fig11_historical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_historical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_pareto.dir/fig12_pareto.cc.o"
+  "CMakeFiles/fig12_pareto.dir/fig12_pareto.cc.o.d"
+  "fig12_pareto"
+  "fig12_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/findings_scorecard.dir/findings_scorecard.cc.o"
+  "CMakeFiles/findings_scorecard.dir/findings_scorecard.cc.o.d"
+  "findings_scorecard"
+  "findings_scorecard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/findings_scorecard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

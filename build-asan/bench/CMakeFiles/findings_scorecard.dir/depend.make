@@ -1,0 +1,2 @@
+# Empty dependencies file for findings_scorecard.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_throughput.dir/sweep_throughput.cc.o"
+  "CMakeFiles/sweep_throughput.dir/sweep_throughput.cc.o.d"
+  "sweep_throughput"
+  "sweep_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

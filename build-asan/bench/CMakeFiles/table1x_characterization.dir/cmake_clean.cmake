@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1x_characterization.dir/table1x_characterization.cc.o"
+  "CMakeFiles/table1x_characterization.dir/table1x_characterization.cc.o.d"
+  "table1x_characterization"
+  "table1x_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1x_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

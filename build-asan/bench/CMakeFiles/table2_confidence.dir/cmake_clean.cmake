@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_confidence.dir/table2_confidence.cc.o"
+  "CMakeFiles/table2_confidence.dir/table2_confidence.cc.o.d"
+  "table2_confidence"
+  "table2_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

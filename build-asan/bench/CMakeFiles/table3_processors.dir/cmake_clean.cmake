@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_processors.dir/table3_processors.cc.o"
+  "CMakeFiles/table3_processors.dir/table3_processors.cc.o.d"
+  "table3_processors"
+  "table3_processors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_processors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

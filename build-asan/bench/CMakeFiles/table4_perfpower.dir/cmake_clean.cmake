@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_perfpower.dir/table4_perfpower.cc.o"
+  "CMakeFiles/table4_perfpower.dir/table4_perfpower.cc.o.d"
+  "table4_perfpower"
+  "table4_perfpower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_perfpower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

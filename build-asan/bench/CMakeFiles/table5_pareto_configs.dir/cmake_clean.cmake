@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_pareto_configs.dir/table5_pareto_configs.cc.o"
+  "CMakeFiles/table5_pareto_configs.dir/table5_pareto_configs.cc.o.d"
+  "table5_pareto_configs"
+  "table5_pareto_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_pareto_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

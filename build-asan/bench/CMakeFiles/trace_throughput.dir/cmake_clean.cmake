@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_throughput.dir/trace_throughput.cc.o"
+  "CMakeFiles/trace_throughput.dir/trace_throughput.cc.o.d"
+  "trace_throughput"
+  "trace_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

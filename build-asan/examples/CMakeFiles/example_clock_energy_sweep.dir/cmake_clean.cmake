@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_clock_energy_sweep.dir/clock_energy_sweep.cc.o"
+  "CMakeFiles/example_clock_energy_sweep.dir/clock_energy_sweep.cc.o.d"
+  "clock_energy_sweep"
+  "clock_energy_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_clock_energy_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_clock_energy_sweep.
+# This may be replaced when dependencies are built.

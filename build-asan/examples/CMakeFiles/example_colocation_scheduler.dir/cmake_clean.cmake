@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_colocation_scheduler.dir/colocation_scheduler.cc.o"
+  "CMakeFiles/example_colocation_scheduler.dir/colocation_scheduler.cc.o.d"
+  "colocation_scheduler"
+  "colocation_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_colocation_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_machine.dir/custom_machine.cc.o"
+  "CMakeFiles/example_custom_machine.dir/custom_machine.cc.o.d"
+  "custom_machine"
+  "custom_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_design_space_pareto.dir/design_space_pareto.cc.o"
+  "CMakeFiles/example_design_space_pareto.dir/design_space_pareto.cc.o.d"
+  "design_space_pareto"
+  "design_space_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_design_space_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lhrlab.dir/lhrlab.cc.o"
+  "CMakeFiles/example_lhrlab.dir/lhrlab.cc.o.d"
+  "lhrlab"
+  "lhrlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lhrlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_onchip_meters.dir/onchip_meters.cc.o"
+  "CMakeFiles/example_onchip_meters.dir/onchip_meters.cc.o.d"
+  "onchip_meters"
+  "onchip_meters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_onchip_meters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_power_trace.dir/power_trace.cc.o"
+  "CMakeFiles/example_power_trace.dir/power_trace.cc.o.d"
+  "power_trace"
+  "power_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_power_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sensor_calibration.dir/sensor_calibration.cc.o"
+  "CMakeFiles/example_sensor_calibration.dir/sensor_calibration.cc.o.d"
+  "sensor_calibration"
+  "sensor_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sensor_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

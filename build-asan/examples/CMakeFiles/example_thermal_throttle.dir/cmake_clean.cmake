@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_thermal_throttle.dir/thermal_throttle.cc.o"
+  "CMakeFiles/example_thermal_throttle.dir/thermal_throttle.cc.o.d"
+  "thermal_throttle"
+  "thermal_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_thermal_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

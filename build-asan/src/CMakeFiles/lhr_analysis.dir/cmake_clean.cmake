@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_analysis.dir/analysis/dvfs_study.cc.o"
+  "CMakeFiles/lhr_analysis.dir/analysis/dvfs_study.cc.o.d"
+  "CMakeFiles/lhr_analysis.dir/analysis/energy_metrics.cc.o"
+  "CMakeFiles/lhr_analysis.dir/analysis/energy_metrics.cc.o.d"
+  "CMakeFiles/lhr_analysis.dir/analysis/features.cc.o"
+  "CMakeFiles/lhr_analysis.dir/analysis/features.cc.o.d"
+  "CMakeFiles/lhr_analysis.dir/analysis/historical.cc.o"
+  "CMakeFiles/lhr_analysis.dir/analysis/historical.cc.o.d"
+  "CMakeFiles/lhr_analysis.dir/analysis/pareto_study.cc.o"
+  "CMakeFiles/lhr_analysis.dir/analysis/pareto_study.cc.o.d"
+  "CMakeFiles/lhr_analysis.dir/analysis/report.cc.o"
+  "CMakeFiles/lhr_analysis.dir/analysis/report.cc.o.d"
+  "liblhr_analysis.a"
+  "liblhr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

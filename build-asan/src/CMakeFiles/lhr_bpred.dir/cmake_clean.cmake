@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_bpred.dir/bpred/predictor.cc.o"
+  "CMakeFiles/lhr_bpred.dir/bpred/predictor.cc.o.d"
+  "liblhr_bpred.a"
+  "liblhr_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

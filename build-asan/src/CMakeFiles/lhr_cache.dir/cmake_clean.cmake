@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_cache.dir/cache/hierarchy.cc.o"
+  "CMakeFiles/lhr_cache.dir/cache/hierarchy.cc.o.d"
+  "liblhr_cache.a"
+  "liblhr_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

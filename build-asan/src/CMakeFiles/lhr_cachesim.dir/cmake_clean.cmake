@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_cachesim.dir/cachesim/cache_sim.cc.o"
+  "CMakeFiles/lhr_cachesim.dir/cachesim/cache_sim.cc.o.d"
+  "liblhr_cachesim.a"
+  "liblhr_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

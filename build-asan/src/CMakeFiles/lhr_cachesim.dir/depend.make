@@ -1,0 +1,2 @@
+# Empty dependencies file for lhr_cachesim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_core.dir/core/lab.cc.o"
+  "CMakeFiles/lhr_core.dir/core/lab.cc.o.d"
+  "liblhr_core.a"
+  "liblhr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_counters.dir/counters/hwcounters.cc.o"
+  "CMakeFiles/lhr_counters.dir/counters/hwcounters.cc.o.d"
+  "liblhr_counters.a"
+  "liblhr_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

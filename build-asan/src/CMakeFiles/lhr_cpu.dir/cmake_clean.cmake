@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_cpu.dir/cpu/perf_model.cc.o"
+  "CMakeFiles/lhr_cpu.dir/cpu/perf_model.cc.o.d"
+  "liblhr_cpu.a"
+  "liblhr_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_harness.dir/harness/aggregate.cc.o"
+  "CMakeFiles/lhr_harness.dir/harness/aggregate.cc.o.d"
+  "CMakeFiles/lhr_harness.dir/harness/corun.cc.o"
+  "CMakeFiles/lhr_harness.dir/harness/corun.cc.o.d"
+  "CMakeFiles/lhr_harness.dir/harness/multiprog.cc.o"
+  "CMakeFiles/lhr_harness.dir/harness/multiprog.cc.o.d"
+  "CMakeFiles/lhr_harness.dir/harness/reference.cc.o"
+  "CMakeFiles/lhr_harness.dir/harness/reference.cc.o.d"
+  "CMakeFiles/lhr_harness.dir/harness/runner.cc.o"
+  "CMakeFiles/lhr_harness.dir/harness/runner.cc.o.d"
+  "liblhr_harness.a"
+  "liblhr_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_jvm.dir/jvm/jvm_model.cc.o"
+  "CMakeFiles/lhr_jvm.dir/jvm/jvm_model.cc.o.d"
+  "CMakeFiles/lhr_jvm.dir/jvm/vendors.cc.o"
+  "CMakeFiles/lhr_jvm.dir/jvm/vendors.cc.o.d"
+  "liblhr_jvm.a"
+  "liblhr_jvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_jvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

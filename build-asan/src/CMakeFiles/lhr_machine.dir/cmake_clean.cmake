@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_machine.dir/machine/custom.cc.o"
+  "CMakeFiles/lhr_machine.dir/machine/custom.cc.o.d"
+  "CMakeFiles/lhr_machine.dir/machine/processor.cc.o"
+  "CMakeFiles/lhr_machine.dir/machine/processor.cc.o.d"
+  "liblhr_machine.a"
+  "liblhr_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_mem.dir/mem/dram.cc.o"
+  "CMakeFiles/lhr_mem.dir/mem/dram.cc.o.d"
+  "liblhr_mem.a"
+  "liblhr_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

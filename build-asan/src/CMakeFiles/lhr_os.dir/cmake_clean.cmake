@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_os.dir/os/governor.cc.o"
+  "CMakeFiles/lhr_os.dir/os/governor.cc.o.d"
+  "liblhr_os.a"
+  "liblhr_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

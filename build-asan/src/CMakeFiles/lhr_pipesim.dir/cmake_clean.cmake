@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_pipesim.dir/pipesim/pipeline.cc.o"
+  "CMakeFiles/lhr_pipesim.dir/pipesim/pipeline.cc.o.d"
+  "liblhr_pipesim.a"
+  "liblhr_pipesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_pipesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

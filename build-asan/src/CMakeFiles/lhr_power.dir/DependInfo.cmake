@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/chip_power.cc" "src/CMakeFiles/lhr_power.dir/power/chip_power.cc.o" "gcc" "src/CMakeFiles/lhr_power.dir/power/chip_power.cc.o.d"
+  "/root/repo/src/power/meters.cc" "src/CMakeFiles/lhr_power.dir/power/meters.cc.o" "gcc" "src/CMakeFiles/lhr_power.dir/power/meters.cc.o.d"
+  "/root/repo/src/power/thermal_transient.cc" "src/CMakeFiles/lhr_power.dir/power/thermal_transient.cc.o" "gcc" "src/CMakeFiles/lhr_power.dir/power/thermal_transient.cc.o.d"
+  "/root/repo/src/power/turbo.cc" "src/CMakeFiles/lhr_power.dir/power/turbo.cc.o" "gcc" "src/CMakeFiles/lhr_power.dir/power/turbo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/lhr_machine.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/lhr_tech.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/lhr_uarch.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/lhr_cache.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/lhr_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/lhr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_power.dir/power/chip_power.cc.o"
+  "CMakeFiles/lhr_power.dir/power/chip_power.cc.o.d"
+  "CMakeFiles/lhr_power.dir/power/meters.cc.o"
+  "CMakeFiles/lhr_power.dir/power/meters.cc.o.d"
+  "CMakeFiles/lhr_power.dir/power/thermal_transient.cc.o"
+  "CMakeFiles/lhr_power.dir/power/thermal_transient.cc.o.d"
+  "CMakeFiles/lhr_power.dir/power/turbo.cc.o"
+  "CMakeFiles/lhr_power.dir/power/turbo.cc.o.d"
+  "liblhr_power.a"
+  "liblhr_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_sensor.dir/sensor/calibration.cc.o"
+  "CMakeFiles/lhr_sensor.dir/sensor/calibration.cc.o.d"
+  "CMakeFiles/lhr_sensor.dir/sensor/channel.cc.o"
+  "CMakeFiles/lhr_sensor.dir/sensor/channel.cc.o.d"
+  "CMakeFiles/lhr_sensor.dir/sensor/trace_log.cc.o"
+  "CMakeFiles/lhr_sensor.dir/sensor/trace_log.cc.o.d"
+  "liblhr_sensor.a"
+  "liblhr_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

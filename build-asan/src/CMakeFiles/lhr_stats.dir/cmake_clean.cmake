@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_stats.dir/stats/bootstrap.cc.o"
+  "CMakeFiles/lhr_stats.dir/stats/bootstrap.cc.o.d"
+  "CMakeFiles/lhr_stats.dir/stats/linfit.cc.o"
+  "CMakeFiles/lhr_stats.dir/stats/linfit.cc.o.d"
+  "CMakeFiles/lhr_stats.dir/stats/pareto.cc.o"
+  "CMakeFiles/lhr_stats.dir/stats/pareto.cc.o.d"
+  "CMakeFiles/lhr_stats.dir/stats/summary.cc.o"
+  "CMakeFiles/lhr_stats.dir/stats/summary.cc.o.d"
+  "liblhr_stats.a"
+  "liblhr_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

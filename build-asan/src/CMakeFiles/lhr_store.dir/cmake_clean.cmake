@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_store.dir/store/results_store.cc.o"
+  "CMakeFiles/lhr_store.dir/store/results_store.cc.o.d"
+  "liblhr_store.a"
+  "liblhr_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_sweep.dir/sweep/sweep.cc.o"
+  "CMakeFiles/lhr_sweep.dir/sweep/sweep.cc.o.d"
+  "liblhr_sweep.a"
+  "liblhr_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

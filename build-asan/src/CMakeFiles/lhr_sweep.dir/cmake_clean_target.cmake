@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblhr_sweep.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_system.dir/system/wall_power.cc.o"
+  "CMakeFiles/lhr_system.dir/system/wall_power.cc.o.d"
+  "liblhr_system.a"
+  "liblhr_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_tech.dir/tech/node.cc.o"
+  "CMakeFiles/lhr_tech.dir/tech/node.cc.o.d"
+  "liblhr_tech.a"
+  "liblhr_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_trace.dir/trace/generator.cc.o"
+  "CMakeFiles/lhr_trace.dir/trace/generator.cc.o.d"
+  "CMakeFiles/lhr_trace.dir/trace/lru_stack.cc.o"
+  "CMakeFiles/lhr_trace.dir/trace/lru_stack.cc.o.d"
+  "liblhr_trace.a"
+  "liblhr_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

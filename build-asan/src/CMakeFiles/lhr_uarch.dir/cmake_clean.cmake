@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_uarch.dir/uarch/descriptor.cc.o"
+  "CMakeFiles/lhr_uarch.dir/uarch/descriptor.cc.o.d"
+  "liblhr_uarch.a"
+  "liblhr_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

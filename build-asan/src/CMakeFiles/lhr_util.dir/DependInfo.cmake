@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/lhr_util.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/lhr_util.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/hash.cc" "src/CMakeFiles/lhr_util.dir/util/hash.cc.o" "gcc" "src/CMakeFiles/lhr_util.dir/util/hash.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/lhr_util.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/lhr_util.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/lhr_util.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/lhr_util.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/lhr_util.dir/util/table.cc.o" "gcc" "src/CMakeFiles/lhr_util.dir/util/table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/lhr_util.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/lhr_util.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_util.dir/util/csv.cc.o"
+  "CMakeFiles/lhr_util.dir/util/csv.cc.o.d"
+  "CMakeFiles/lhr_util.dir/util/hash.cc.o"
+  "CMakeFiles/lhr_util.dir/util/hash.cc.o.d"
+  "CMakeFiles/lhr_util.dir/util/logging.cc.o"
+  "CMakeFiles/lhr_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/lhr_util.dir/util/rng.cc.o"
+  "CMakeFiles/lhr_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/lhr_util.dir/util/table.cc.o"
+  "CMakeFiles/lhr_util.dir/util/table.cc.o.d"
+  "CMakeFiles/lhr_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/lhr_util.dir/util/thread_pool.cc.o.d"
+  "liblhr_util.a"
+  "liblhr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_workload.dir/workload/benchmark.cc.o"
+  "CMakeFiles/lhr_workload.dir/workload/benchmark.cc.o.d"
+  "CMakeFiles/lhr_workload.dir/workload/compiler.cc.o"
+  "CMakeFiles/lhr_workload.dir/workload/compiler.cc.o.d"
+  "CMakeFiles/lhr_workload.dir/workload/phases.cc.o"
+  "CMakeFiles/lhr_workload.dir/workload/phases.cc.o.d"
+  "liblhr_workload.a"
+  "liblhr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cachesim.dir/test_cachesim.cc.o"
+  "CMakeFiles/test_cachesim.dir/test_cachesim.cc.o.d"
+  "test_cachesim"
+  "test_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

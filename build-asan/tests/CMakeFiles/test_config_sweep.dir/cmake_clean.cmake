@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_sweep.dir/test_config_sweep.cc.o"
+  "CMakeFiles/test_config_sweep.dir/test_config_sweep.cc.o.d"
+  "test_config_sweep"
+  "test_config_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

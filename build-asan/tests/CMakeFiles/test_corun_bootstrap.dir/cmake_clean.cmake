@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corun_bootstrap.dir/test_corun_bootstrap.cc.o"
+  "CMakeFiles/test_corun_bootstrap.dir/test_corun_bootstrap.cc.o.d"
+  "test_corun_bootstrap"
+  "test_corun_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corun_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

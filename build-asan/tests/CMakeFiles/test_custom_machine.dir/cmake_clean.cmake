@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_custom_machine.dir/test_custom_machine.cc.o"
+  "CMakeFiles/test_custom_machine.dir/test_custom_machine.cc.o.d"
+  "test_custom_machine"
+  "test_custom_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_custom_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy_metrics.dir/test_energy_metrics.cc.o"
+  "CMakeFiles/test_energy_metrics.dir/test_energy_metrics.cc.o.d"
+  "test_energy_metrics"
+  "test_energy_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_findings.dir/test_findings.cc.o"
+  "CMakeFiles/test_findings.dir/test_findings.cc.o.d"
+  "test_findings"
+  "test_findings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_findings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

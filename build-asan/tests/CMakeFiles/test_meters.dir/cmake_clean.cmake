@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_meters.dir/test_meters.cc.o"
+  "CMakeFiles/test_meters.dir/test_meters.cc.o.d"
+  "test_meters"
+  "test_meters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_meters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiprog_trace_dvfs.dir/test_multiprog_trace_dvfs.cc.o"
+  "CMakeFiles/test_multiprog_trace_dvfs.dir/test_multiprog_trace_dvfs.cc.o.d"
+  "test_multiprog_trace_dvfs"
+  "test_multiprog_trace_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiprog_trace_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipesim.dir/test_pipesim.cc.o"
+  "CMakeFiles/test_pipesim.dir/test_pipesim.cc.o.d"
+  "test_pipesim"
+  "test_pipesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tech_uarch_mem.dir/test_tech_uarch_mem.cc.o"
+  "CMakeFiles/test_tech_uarch_mem.dir/test_tech_uarch_mem.cc.o.d"
+  "test_tech_uarch_mem"
+  "test_tech_uarch_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tech_uarch_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thermal_transient.dir/test_thermal_transient.cc.o"
+  "CMakeFiles/test_thermal_transient.dir/test_thermal_transient.cc.o.d"
+  "test_thermal_transient"
+  "test_thermal_transient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thermal_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_counters.dir/test_trace_counters.cc.o"
+  "CMakeFiles/test_trace_counters.dir/test_trace_counters.cc.o.d"
+  "test_trace_counters"
+  "test_trace_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_turbo.dir/test_turbo.cc.o"
+  "CMakeFiles/test_turbo.dir/test_turbo.cc.o.d"
+  "test_turbo"
+  "test_turbo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_turbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vendors_compiler.dir/test_vendors_compiler.cc.o"
+  "CMakeFiles/test_vendors_compiler.dir/test_vendors_compiler.cc.o.d"
+  "test_vendors_compiler"
+  "test_vendors_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vendors_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wall_power.dir/test_wall_power.cc.o"
+  "CMakeFiles/test_wall_power.dir/test_wall_power.cc.o.d"
+  "test_wall_power"
+  "test_wall_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wall_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/export_dataset.cc" "bench/CMakeFiles/export_dataset.dir/export_dataset.cc.o" "gcc" "bench/CMakeFiles/export_dataset.dir/export_dataset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/CMakeFiles/lhr_counters.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_pipesim.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_trace.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_bpred.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_os.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_system.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_core.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_sweep.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_store.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_harness.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_power.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_sensor.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_stats.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_jvm.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_workload.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_machine.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_tech.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_uarch.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_cache.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_mem.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lhr_bpred.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/aggregate.cc" "src/CMakeFiles/lhr_harness.dir/harness/aggregate.cc.o" "gcc" "src/CMakeFiles/lhr_harness.dir/harness/aggregate.cc.o.d"
+  "/root/repo/src/harness/corun.cc" "src/CMakeFiles/lhr_harness.dir/harness/corun.cc.o" "gcc" "src/CMakeFiles/lhr_harness.dir/harness/corun.cc.o.d"
+  "/root/repo/src/harness/multiprog.cc" "src/CMakeFiles/lhr_harness.dir/harness/multiprog.cc.o" "gcc" "src/CMakeFiles/lhr_harness.dir/harness/multiprog.cc.o.d"
+  "/root/repo/src/harness/reference.cc" "src/CMakeFiles/lhr_harness.dir/harness/reference.cc.o" "gcc" "src/CMakeFiles/lhr_harness.dir/harness/reference.cc.o.d"
+  "/root/repo/src/harness/runner.cc" "src/CMakeFiles/lhr_harness.dir/harness/runner.cc.o" "gcc" "src/CMakeFiles/lhr_harness.dir/harness/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/CMakeFiles/lhr_machine.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_power.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_sensor.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_workload.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_jvm.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_stats.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_tech.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_uarch.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_cache.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_mem.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

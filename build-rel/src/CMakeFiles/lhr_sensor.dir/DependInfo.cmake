@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensor/calibration.cc" "src/CMakeFiles/lhr_sensor.dir/sensor/calibration.cc.o" "gcc" "src/CMakeFiles/lhr_sensor.dir/sensor/calibration.cc.o.d"
+  "/root/repo/src/sensor/channel.cc" "src/CMakeFiles/lhr_sensor.dir/sensor/channel.cc.o" "gcc" "src/CMakeFiles/lhr_sensor.dir/sensor/channel.cc.o.d"
+  "/root/repo/src/sensor/trace_log.cc" "src/CMakeFiles/lhr_sensor.dir/sensor/trace_log.cc.o" "gcc" "src/CMakeFiles/lhr_sensor.dir/sensor/trace_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/CMakeFiles/lhr_util.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/lhr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cc" "src/CMakeFiles/lhr_stats.dir/stats/bootstrap.cc.o" "gcc" "src/CMakeFiles/lhr_stats.dir/stats/bootstrap.cc.o.d"
+  "/root/repo/src/stats/linfit.cc" "src/CMakeFiles/lhr_stats.dir/stats/linfit.cc.o" "gcc" "src/CMakeFiles/lhr_stats.dir/stats/linfit.cc.o.d"
+  "/root/repo/src/stats/pareto.cc" "src/CMakeFiles/lhr_stats.dir/stats/pareto.cc.o" "gcc" "src/CMakeFiles/lhr_stats.dir/stats/pareto.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/CMakeFiles/lhr_stats.dir/stats/summary.cc.o" "gcc" "src/CMakeFiles/lhr_stats.dir/stats/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/CMakeFiles/lhr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
