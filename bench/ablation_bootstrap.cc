@@ -1,72 +1,12 @@
 /**
  * @file
- * Ablation: Student-t vs percentile-bootstrap confidence intervals
- * at the paper's repetition counts (3 for SPEC, 5 for PARSEC, 20 for
- * Java). At n=3 the t interval's 4.3x critical value is doing heavy
- * lifting; the bootstrap's narrow intervals under-cover instead.
- * Either way, Table 2's intervals are honest about which benchmarks
- * are noisy.
+ * Shim over the registered "ablation_bootstrap" study (see src/study/).
  */
 
-#include <cmath>
-#include <iostream>
-
-#include "stats/bootstrap.hh"
-#include "stats/summary.hh"
-#include "util/rng.hh"
-#include "util/table.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::cout <<
-        "Ablation: t vs bootstrap 95% CIs at the paper's repetition\n"
-        "counts (2000 trials of gaussian measurements, sd 1.5% of\n"
-        " the mean — the harness's invocation noise)\n\n";
-
-    lhr::TableWriter table;
-    table.addColumn("n");
-    table.addColumn("t halfwidth %");
-    table.addColumn("t coverage %");
-    table.addColumn("boot halfwidth %");
-    table.addColumn("boot coverage %");
-
-    const double trueMean = 100.0;
-    const double sd = 1.5;
-    lhr::Rng rng(2027);
-
-    for (int n : {3, 5, 10, 20}) {
-        double tWidth = 0.0, bootWidth = 0.0;
-        int tCover = 0, bootCover = 0;
-        const int trials = 2000;
-        for (int trial = 0; trial < trials; ++trial) {
-            std::vector<double> samples;
-            lhr::Summary summary;
-            for (int i = 0; i < n; ++i) {
-                const double x = rng.gaussian(trueMean, sd);
-                samples.push_back(x);
-                summary.add(x);
-            }
-            tWidth += summary.ci95Relative();
-            if (std::fabs(summary.mean() - trueMean) <= summary.ci95())
-                ++tCover;
-            const auto boot = lhr::bootstrapCi95(samples, rng, 400);
-            bootWidth += boot.halfWidthRelative();
-            if (boot.lo <= trueMean && trueMean <= boot.hi)
-                ++bootCover;
-        }
-        table.beginRow();
-        table.cell(static_cast<long>(n));
-        table.cell(100.0 * tWidth / trials, 2);
-        table.cell(100.0 * tCover / trials, 1);
-        table.cell(100.0 * bootWidth / trials, 2);
-        table.cell(100.0 * bootCover / trials, 1);
-    }
-    table.print(std::cout);
-
-    std::cout <<
-        "\nAt n=3 the bootstrap badly under-covers (it cannot see\n"
-        "variation beyond three points); the paper's t intervals are\n"
-        "the right call for SPEC's prescribed three runs.\n";
-    return 0;
+    return lhr::studyMain("ablation_bootstrap", argc, argv);
 }

@@ -1,73 +1,12 @@
 /**
  * @file
- * Ablation: icc versus gcc on the native benchmarks — the
- * "systematic comparison using both icc and gcc" the paper leaves to
- * future work (section 2.1). Also reproduces the methodology
- * constraint the paper hit: icc miscompiles many PARSEC codes.
+ * Shim over the registered "ablation_compilers" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "core/lab.hh"
-#include "stats/summary.hh"
-#include "util/table.hh"
-#include "workload/compiler.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-    const auto cfg = lhr::stockConfig(lhr::processorById("C2D (45)"));
-
-    std::cout <<
-        "Ablation: icc 11.1 -o3 vs gcc 4.4.1 -O3 on C2D (45)\n"
-        "(paper section 2.1: icc consistently better on SPEC; icc\n"
-        " fails to produce correct code for many PARSEC benchmarks)\n\n";
-
-    lhr::Summary intGain, fpGain;
-    std::vector<std::string> miscompiled;
-
-    for (const auto &bench : lhr::allBenchmarks()) {
-        if (bench.language() != lhr::Language::Native)
-            continue;
-        const auto gccBuild =
-            lhr::compileBenchmark(bench, lhr::NativeCompiler::Gcc441);
-        const auto iccBuild =
-            lhr::compileBenchmark(bench, lhr::NativeCompiler::Icc11);
-        if (!iccBuild) {
-            miscompiled.push_back(bench.name);
-            continue;
-        }
-        const double tGcc = lab.measure(cfg, *gccBuild).timeSec;
-        const double tIcc = lab.measure(cfg, *iccBuild).timeSec;
-        const double speedup = tGcc / tIcc;
-        if (bench.fpShare > 0.3)
-            fpGain.add(speedup);
-        else
-            intGain.add(speedup);
-    }
-
-    lhr::TableWriter table;
-    table.addColumn("Workload class", lhr::TableWriter::Align::Left);
-    table.addColumn("icc speedup over gcc");
-    table.addColumn("min");
-    table.addColumn("max");
-    table.beginRow();
-    table.cell(std::string("Integer-dominated"));
-    table.cell(intGain.mean(), 3);
-    table.cell(intGain.min(), 3);
-    table.cell(intGain.max(), 3);
-    table.beginRow();
-    table.cell(std::string("FP-dominated"));
-    table.cell(fpGain.mean(), 3);
-    table.cell(fpGain.min(), 3);
-    table.cell(fpGain.max(), 3);
-    table.print(std::cout);
-
-    std::cout << "\nPARSEC benchmarks icc miscompiles ("
-              << miscompiled.size() << "):";
-    for (const auto &name : miscompiled)
-        std::cout << " " << name;
-    std::cout << "\n";
-    return 0;
+    return lhr::studyMain("ablation_compilers", argc, argv);
 }

@@ -1,77 +1,12 @@
 /**
  * @file
- * Ablation: heterogeneous co-location interference on the i7 (45) —
- * the pairwise slowdown matrix of single-threaded benchmarks sharing
- * the 8MB LLC and DRAM bandwidth. Cache-insensitive codes (hmmer,
- * povray) neither suffer nor inflict; capacity-hungry codes (mcf)
- * suffer from and inflict on each other; streaming codes
- * (libquantum) inflict via bandwidth without caring about capacity.
+ * Shim over the registered "ablation_corun" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "core/lab.hh"
-#include "harness/corun.hh"
-#include "util/table.hh"
-
-namespace
-{
-
-void
-printMatrix(lhr::CoRunner &corunner, const lhr::MachineConfig &cfg,
-            const std::vector<const lhr::Benchmark *> &set)
-{
-    std::cout << cfg.label()
-              << " (rows: victim slowdown when co-run with column)\n";
-    const auto matrix = corunner.matrix(cfg, set);
-    lhr::TableWriter table;
-    table.addColumn("victim \\ rival", lhr::TableWriter::Align::Left);
-    for (const auto *bench : set)
-        table.addColumn(bench->name);
-    for (size_t i = 0; i < set.size(); ++i) {
-        table.beginRow();
-        table.cell(set[i]->name);
-        for (size_t j = 0; j < set.size(); ++j)
-            table.cell(matrix[i][j], 2);
-    }
-    table.print(std::cout);
-    std::cout << "\n";
-}
-
-} // namespace
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-    lhr::CoRunner corunner(lab.runner());
-
-    const std::vector<const lhr::Benchmark *> set = {
-        &lhr::benchmarkByName("hmmer"),
-        &lhr::benchmarkByName("povray"),
-        &lhr::benchmarkByName("gcc"),
-        &lhr::benchmarkByName("xalancbmk"),
-        &lhr::benchmarkByName("mcf"),
-        &lhr::benchmarkByName("libquantum"),
-    };
-
-    std::cout <<
-        "Ablation: heterogeneous co-run interference\n\n";
-
-    // The 2006-class part: 4MB shared L2 and a DDR2 FSB make
-    // colocation expensive.
-    printMatrix(corunner, lhr::stockConfig(lhr::processorById("C2D (65)")),
-                set);
-    // The 2008 i7: the 8MB L3 and triple-channel DDR3 absorb most of
-    // the same interference.
-    printMatrix(corunner,
-                lhr::withSmt(lhr::withTurbo(lhr::stockConfig(
-                                 lhr::processorById("i7 (45)")), false),
-                             false),
-                set);
-
-    std::cout <<
-        "Interference shrank generation over generation: bigger\n"
-        "shared caches and integrated memory controllers are why.\n";
-    return 0;
+    return lhr::studyMain("ablation_corun", argc, argv);
 }

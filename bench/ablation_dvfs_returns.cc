@@ -1,58 +1,12 @@
 /**
  * @file
- * Ablation: the DVFS "laws of diminishing returns" (Le Sueur &
- * Heiser, discussed in the paper's §5): where is each processor's
- * energy-optimal clock, and how much does down-clocking still save
- * as technology shrinks?
+ * Shim over the registered "ablation_dvfs_returns" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "analysis/dvfs_study.hh"
-#include "core/lab.hh"
-#include "util/logging.hh"
-#include "util/table.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-
-    std::cout <<
-        "Ablation: DVFS diminishing returns across technology\n"
-        "(energy-optimal clock and the cost of running at the\n"
-        " extremes; Turbo disabled)\n\n";
-
-    lhr::TableWriter table;
-    table.addColumn("Processor", lhr::TableWriter::Align::Left);
-    table.addColumn("nm");
-    table.addColumn("Range GHz", lhr::TableWriter::Align::Left);
-    table.addColumn("E-optimal GHz");
-    table.addColumn("E(min)/E(opt)");
-    table.addColumn("E(max)/E(opt)");
-    table.addColumn("Static share @min %");
-
-    for (const char *id :
-         {"C2D (65)", "i7 (45)", "C2D (45)", "i5 (32)"}) {
-        const auto profile =
-            lhr::dvfsProfile(lab.runner(), lab.reference(), id, 7);
-        table.beginRow();
-        table.cell(profile.processorId);
-        table.cell(static_cast<long>(profile.featureNm));
-        table.cell(lhr::msgOf(lhr::formatFixed(profile.fMinGhz, 1),
-                              " - ",
-                              lhr::formatFixed(profile.fMaxGhz, 1)));
-        table.cell(profile.energyOptimalGhz, 2);
-        table.cell(profile.energyAtMinRel, 3);
-        table.cell(profile.energyAtMaxRel, 3);
-        table.cell(100.0 * profile.staticShareAtMin, 1);
-    }
-    table.print(std::cout);
-
-    std::cout <<
-        "\nOn the 45nm parts the lowest clock is (near-)optimal; on\n"
-        "the 32nm i5 the optimum moves INTO the range — down-clocking\n"
-        "past it wastes static energy, the diminishing-returns\n"
-        "effect.\n";
-    return 0;
+    return lhr::studyMain("ablation_dvfs_returns", argc, argv);
 }

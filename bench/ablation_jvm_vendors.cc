@@ -1,92 +1,12 @@
 /**
  * @file
- * Ablation: JVM vendor influence on power and performance — the
- * future-work study paper section 2.2 sketches. Runs every Java
- * benchmark on the stock i7 (45) under HotSpot, JRockit, and J9.
- *
- * Expected shape (paper): average performance similar across JVMs,
- * individual benchmarks vary substantially, aggregate power differs
- * by up to ~10%.
+ * Shim over the registered "ablation_jvm_vendors" study (see src/study/).
  */
 
-#include <algorithm>
-#include <iostream>
-#include <vector>
-
-#include "core/lab.hh"
-#include "jvm/vendors.hh"
-#include "stats/summary.hh"
-#include "util/table.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-    const auto cfg = lhr::stockConfig(lhr::processorById("i7 (45)"));
-
-    std::cout <<
-        "Ablation: JVM vendors on i7 (45)\n"
-        "(paper section 2.2: similar average performance, individual\n"
-        " benchmarks vary substantially, up to 10% aggregate power\n"
-        " difference)\n\n";
-
-    struct VendorRow
-    {
-        std::string name;
-        double meanTimeRel;
-        double meanPowerRel;
-        double worstSlowdown;
-        double bestSpeedup;
-        std::string worstBench, bestBench;
-    };
-    std::vector<VendorRow> rows;
-
-    for (const auto vendor : lhr::allJvmVendors()) {
-        const auto &profile = lhr::jvmVendorProfile(vendor);
-        lhr::Summary timeRel, powerRel;
-        double worst = 0.0, best = 1e9;
-        std::string worstBench, bestBench;
-        for (const auto &bench : lhr::allBenchmarks()) {
-            if (bench.language() != lhr::Language::Java)
-                continue;
-            const auto adjusted = lhr::applyJvmVendor(bench, vendor);
-            const auto &base = lab.measure(cfg, bench);
-            const auto &m = lab.measure(cfg, adjusted);
-            const double tRel = m.timeSec / base.timeSec;
-            timeRel.add(tRel);
-            powerRel.add(m.powerW / base.powerW);
-            if (tRel > worst) {
-                worst = tRel;
-                worstBench = bench.name;
-            }
-            if (tRel < best) {
-                best = tRel;
-                bestBench = bench.name;
-            }
-        }
-        rows.push_back({profile.name + " (" + profile.build + ")",
-                        timeRel.mean(), powerRel.mean(), worst, best,
-                        worstBench, bestBench});
-    }
-
-    lhr::TableWriter table;
-    table.addColumn("JVM", lhr::TableWriter::Align::Left);
-    table.addColumn("Time vs HotSpot");
-    table.addColumn("Power vs HotSpot");
-    table.addColumn("Worst bench");
-    table.addColumn("", lhr::TableWriter::Align::Left);
-    table.addColumn("Best bench");
-    table.addColumn("", lhr::TableWriter::Align::Left);
-    for (const auto &row : rows) {
-        table.beginRow();
-        table.cell(row.name);
-        table.cell(row.meanTimeRel, 3);
-        table.cell(row.meanPowerRel, 3);
-        table.cell(row.worstSlowdown, 2);
-        table.cell(row.worstBench);
-        table.cell(row.bestSpeedup, 2);
-        table.cell(row.bestBench);
-    }
-    table.print(std::cout);
-    return 0;
+    return lhr::studyMain("ablation_jvm_vendors", argc, argv);
 }

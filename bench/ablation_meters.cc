@@ -1,68 +1,12 @@
 /**
  * @file
- * Ablation: on-chip structure meters versus the external Hall
- * sensor — demonstrating the instrumentation the paper's conclusion
- * recommends manufacturers expose, and quantifying what the external
- * rail measurement misses (per-structure attribution).
+ * Shim over the registered "ablation_meters" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "core/lab.hh"
-#include "power/meters.hh"
-#include "util/table.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-    const auto cfg = lhr::stockConfig(lhr::processorById("i7 (45)"));
-
-    std::cout <<
-        "Ablation: on-chip structure meters vs external Hall sensor\n"
-        "on the stock i7 (45) (the paper's recommendation: expose\n"
-        " per-structure power meters)\n\n";
-
-    lhr::TableWriter table;
-    table.addColumn("Benchmark", lhr::TableWriter::Align::Left);
-    table.addColumn("Meter pkg W");
-    table.addColumn("Hall W");
-    table.addColumn("Err %");
-    table.addColumn("Cores %");
-    table.addColumn("LLC %");
-    table.addColumn("Uncore %");
-
-    for (const char *name :
-         {"omnetpp", "povray", "fluidanimate", "db", "xalan",
-          "pjbb2005"}) {
-        const auto &bench = lhr::benchmarkByName(name);
-        double duration = 0.0;
-        const auto meters =
-            lab.runner().meterRun(cfg, bench, &duration);
-        const double pkgW =
-            meters.energyJ(lhr::MeterDomain::Package) / duration;
-        const double hallW = lab.measure(cfg, bench).powerW;
-
-        const double coresJ = meters.energyJ(lhr::MeterDomain::Cores);
-        const double llcJ = meters.energyJ(lhr::MeterDomain::Llc);
-        const double uncoreJ =
-            meters.energyJ(lhr::MeterDomain::Uncore);
-        const double pkgJ = meters.energyJ(lhr::MeterDomain::Package);
-
-        table.beginRow();
-        table.cell(bench.name);
-        table.cell(pkgW, 1);
-        table.cell(hallW, 1);
-        table.cell(100.0 * (hallW - pkgW) / pkgW, 1);
-        table.cell(100.0 * coresJ / pkgJ, 1);
-        table.cell(100.0 * llcJ / pkgJ, 1);
-        table.cell(100.0 * uncoreJ / pkgJ, 1);
-    }
-    table.print(std::cout);
-
-    std::cout <<
-        "\nThe external sensor sees only the package total; the\n"
-        "meters attribute it. Note how the cores' share collapses\n"
-        "for uncore-heavy workloads.\n";
-    return 0;
+    return lhr::studyMain("ablation_meters", argc, argv);
 }

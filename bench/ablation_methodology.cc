@@ -1,81 +1,12 @@
 /**
  * @file
- * Ablation: the Java measurement methodology itself (paper §2.2).
- *
- * (a) Reported iteration: the paper reports the fifth in-invocation
- *     iteration to capture steady state. Reporting earlier
- *     iterations inflates times with class loading and JIT work —
- *     quantified here per iteration.
- * (b) Heap size: the paper fixes the heap at a "generous 3x the
- *     minimum". Tighter heaps collect more often, inflating the
- *     runtime's share of work; larger heaps buy little beyond 3x.
+ * Shim over the registered "ablation_methodology" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "core/lab.hh"
-#include "jvm/jvm_model.hh"
-#include "stats/summary.hh"
-#include "util/table.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-    const auto &spec = lhr::processorById("i7 (45)");
-    const auto cfg = lhr::withTurbo(lhr::stockConfig(spec), false);
-    const auto &perf = lab.runner().perfModel(spec);
-
-    std::cout <<
-        "Ablation (a): which iteration is reported (paper: the 5th)\n"
-        "Reported time relative to steady state, all Java "
-        "benchmarks:\n\n";
-    {
-        lhr::TableWriter table;
-        table.addColumn("Iteration");
-        table.addColumn("Time vs steady");
-        for (int iteration = 1; iteration <= 5; ++iteration) {
-            table.beginRow();
-            table.cell(static_cast<long>(iteration));
-            table.cell(lhr::JvmModel::warmupFactor(iteration), 2);
-        }
-        table.print(std::cout);
-        std::cout <<
-            "Reporting iteration 1 overstates every Java time by "
-            "~55%\nand would corrupt every energy number downstream.\n";
-    }
-
-    std::cout <<
-        "\nAblation (b): heap size (paper: 3x the minimum)\n"
-        "Mean Java time and JVM service share vs heap factor:\n\n";
-    {
-        lhr::TableWriter table;
-        table.addColumn("Heap x min");
-        table.addColumn("Time vs 3x");
-        table.addColumn("Svc share (pjbb2005)");
-        for (double heap : {1.5, 2.0, 3.0, 4.0, 6.0}) {
-            lhr::Summary rel;
-            for (const auto &bench : lhr::allBenchmarks()) {
-                if (bench.language() != lhr::Language::Java)
-                    continue;
-                const double t = lhr::JvmModel::run(
-                    perf, bench, cfg, cfg.clockGhz, heap).timeSec;
-                const double t3 = lhr::JvmModel::run(
-                    perf, bench, cfg, cfg.clockGhz).timeSec;
-                rel.add(t / t3);
-            }
-            table.beginRow();
-            table.cell(heap, 1);
-            table.cell(rel.mean(), 3);
-            table.cell(lhr::JvmModel::serviceAtHeap(
-                           lhr::benchmarkByName("pjbb2005")
-                               .jvmServiceFraction,
-                           heap), 3);
-        }
-        table.print(std::cout);
-        std::cout <<
-            "A 1.5x heap roughly doubles GC work; beyond 3x the\n"
-            "returns flatten — the methodology's choice is the knee.\n";
-    }
-    return 0;
+    return lhr::studyMain("ablation_methodology", argc, argv);
 }

@@ -1,49 +1,12 @@
 /**
  * @file
- * Ablation: how the choice of efficiency metric (energy, EDP, ED^2P)
- * changes which 45nm configuration "wins" — extending the paper's
- * Pareto analysis (section 4.2) with the weighted metrics used by
- * the design-exploration work it cites.
+ * Shim over the registered "ablation_metrics" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "analysis/energy_metrics.hh"
-#include "core/lab.hh"
-#include "util/table.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-
-    std::cout <<
-        "Ablation: efficiency metric choice at 45nm "
-        "(equal-weight average)\n"
-        "(energy favours the lowest-power points; ED^2P favours\n"
-        " performance — the 'best' design is metric-dependent)\n\n";
-
-    for (const auto metric :
-         {lhr::EfficiencyMetric::Energy, lhr::EfficiencyMetric::Edp,
-          lhr::EfficiencyMetric::Ed2p}) {
-        const auto ranked = lhr::rankConfigurations45nm(
-            lab.runner(), lab.reference(), metric, std::nullopt);
-        std::cout << "Top 5 by " << lhr::efficiencyMetricName(metric)
-                  << ":\n";
-        lhr::TableWriter table;
-        table.addColumn("Configuration", lhr::TableWriter::Align::Left);
-        table.addColumn("Perf/Ref");
-        table.addColumn("Energy/Ref");
-        table.addColumn("Value");
-        for (size_t i = 0; i < 5 && i < ranked.size(); ++i) {
-            table.beginRow();
-            table.cell(ranked[i].label);
-            table.cell(ranked[i].perf, 2);
-            table.cell(ranked[i].energy, 3);
-            table.cell(ranked[i].value, 3);
-        }
-        table.print(std::cout);
-        std::cout << "\n";
-    }
-    return 0;
+    return lhr::studyMain("ablation_metrics", argc, argv);
 }

@@ -1,88 +1,12 @@
 /**
  * @file
- * Ablation: why the paper controls hardware through the BIOS.
- *
- * (a) OS hot-unplug versus BIOS core disabling: on the paper's
- *     2.6.31 kernel (Linux bug #5471), offlined cores keep polling,
- *     so "power consumption increased as hardware resources were
- *     decreased" (section 2.8).
- * (b) cpufreq governor behaviour on a bursty utilization profile:
- *     ondemand recovers most of powersave's energy at a fraction of
- *     its slowdown, but none of the governors equal fixed BIOS
- *     control for controlled experiments.
+ * Shim over the registered "ablation_os_scaling" study (see src/study/).
  */
 
-#include <cmath>
-#include <iostream>
-
-#include "os/governor.hh"
-#include "util/table.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::cout <<
-        "Ablation (a): OS core offlining vs BIOS core disabling\n"
-        "(power of a single-threaded run, OS / BIOS; > 1.00 means the\n"
-        " OS path draws MORE power with FEWER usable cores)\n\n";
-    {
-        lhr::TableWriter table;
-        table.addColumn("Processor", lhr::TableWriter::Align::Left);
-        table.addColumn("Offlined");
-        table.addColumn("2.6.31 (bug #5471)");
-        table.addColumn("fixed kernel");
-        for (const char *id : {"i7 (45)", "C2Q (65)", "i5 (32)"}) {
-            const auto &spec = lhr::processorById(id);
-            for (int offlined = 1; offlined < spec.cores;
-                 offlined += 2) {
-                table.beginRow();
-                table.cell(spec.id);
-                table.cell(static_cast<long>(offlined));
-                table.cell(lhr::OsContextScaling::osVsBiosPowerRatio(
-                               spec, offlined, true), 2);
-                table.cell(lhr::OsContextScaling::osVsBiosPowerRatio(
-                               spec, offlined, false), 2);
-            }
-        }
-        table.print(std::cout);
-    }
-
-    std::cout <<
-        "\nAblation (b): cpufreq governors on a bursty load\n"
-        "(i7 (45), alternating 95%/10% utilization phases)\n\n";
-    {
-        const auto &spec = lhr::processorById("i7 (45)");
-        lhr::TableWriter table;
-        table.addColumn("Governor", lhr::TableWriter::Align::Left);
-        table.addColumn("Mean GHz");
-        table.addColumn("GHz in busy phases");
-        for (const auto policy :
-             {lhr::GovernorPolicy::Performance,
-              lhr::GovernorPolicy::Ondemand,
-              lhr::GovernorPolicy::Powersave}) {
-            lhr::CpuFreqGovernor governor(spec, policy);
-            double sum = 0.0, busySum = 0.0;
-            int busyCount = 0;
-            const int samples = 400;
-            for (int i = 0; i < samples; ++i) {
-                const bool busy = (i / 20) % 2 == 0;
-                const double f = governor.step(busy ? 0.95 : 0.10);
-                sum += f;
-                if (busy) {
-                    busySum += f;
-                    ++busyCount;
-                }
-            }
-            table.beginRow();
-            table.cell(lhr::governorPolicyName(policy));
-            table.cell(sum / samples, 2);
-            table.cell(busySum / busyCount, 2);
-        }
-        table.print(std::cout);
-        std::cout <<
-            "\nondemand tracks the bursts, but its clock depends on\n"
-            "load history — the BIOS pin the paper uses is the only\n"
-            "way to hold frequency constant per configuration.\n";
-    }
-    return 0;
+    return lhr::studyMain("ablation_os_scaling", argc, argv);
 }

@@ -1,79 +1,12 @@
 /**
  * @file
- * Ablation: detailed pipeline simulation vs the analytic CPI stacks.
- * The micro-op pipeline model issues real synthetic traces through
- * issue-width, dependence, window, cache-latency, and branch-flush
- * constraints; the analytic layer computes the same IPC in closed
- * form. Agreement across benchmarks and microarchitectures is the
- * strongest internal-consistency check the laboratory has.
+ * Shim over the registered "ablation_pipesim" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "core/lab.hh"
-#include "counters/hwcounters.hh"
-#include "cpu/perf_model.hh"
-#include "pipesim/pipeline.hh"
-#include "util/table.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    // Long traces only became affordable with the O(log n) LRU
-    // stack; 3M instructions tightens the IPC estimate an order of
-    // magnitude over the old 300k cap.
-    const uint64_t instructions = 3000000;
-
-    std::cout <<
-        "Ablation: micro-op pipeline simulation vs analytic CPI\n"
-        "(" << instructions << "-instruction traces, IPC per thread)\n\n";
-
-    for (const char *procId :
-         {"i7 (45)", "C2D (65)", "Atom (45)", "Pentium4 (130)"}) {
-        const auto &spec = lhr::processorById(procId);
-        const lhr::PerfModel analytic(spec);
-        const auto pipeCfg =
-            lhr::PipelineConfig::of(spec, spec.stockClockGhz);
-
-        const auto levels = lhr::structuralLevels(spec);
-
-        std::cout << spec.id << " @ "
-                  << lhr::formatFixed(spec.stockClockGhz, 2)
-                  << " GHz:\n";
-        lhr::TableWriter table;
-        table.addColumn("Benchmark", lhr::TableWriter::Align::Left);
-        table.addColumn("IPC pipe");
-        table.addColumn("IPC analytic");
-        table.addColumn("ratio");
-        table.addColumn("mem wait %");
-        table.addColumn("branch wait %");
-
-        for (const char *name :
-             {"hmmer", "gcc", "mcf", "xalan", "povray"}) {
-            const auto &bench = lhr::benchmarkByName(name);
-            lhr::PipelineSim pipe(pipeCfg, levels);
-            const auto r = pipe.run(bench, instructions, 99);
-            const double analyticIpc =
-                analytic.threadCpi(bench, spec.stockClockGhz, 1, 1.0)
-                    .ipc();
-            table.beginRow();
-            table.cell(bench.name);
-            table.cell(r.ipc, 2);
-            table.cell(analyticIpc, 2);
-            table.cell(r.ipc / analyticIpc, 2);
-            table.cell(100.0 * r.memStallShare, 1);
-            table.cell(100.0 * r.branchStallShare, 1);
-        }
-        table.print(std::cout);
-        std::cout << "\n";
-    }
-
-    std::cout <<
-        "Both layers must agree on ordering (hmmer fastest, mcf\n"
-        "slowest) and on the microarchitecture ranking per clock\n"
-        "(Nehalem > Core > NetBurst ~ Bonnell). The detailed model\n"
-        "sits systematically below the analytic one (it exposes L1\n"
-        "latency on dependence chains the closed form folds into the\n"
-        "base term); what must match is structure, not the constant.\n";
-    return 0;
+    return lhr::studyMain("ablation_pipesim", argc, argv);
 }

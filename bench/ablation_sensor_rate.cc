@@ -1,82 +1,12 @@
 /**
  * @file
- * Ablation: sensor sampling-rate sensitivity. The paper logs at
- * 50Hz (section 2.5); this study sweeps the sampling rate against a
- * synthetic phase-rich power trace and reports the error of the
- * average-power estimate, justifying that 50Hz is sufficient for
- * average power (though not for phase analysis).
+ * Shim over the registered "ablation_sensor_rate" study (see src/study/).
  */
 
-#include <cmath>
-#include <iostream>
-#include <vector>
-
-#include "sensor/calibration.hh"
-#include "sensor/channel.hh"
-#include "stats/summary.hh"
-#include "util/rng.hh"
-#include "util/table.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::cout <<
-        "Ablation: sampling-rate sensitivity of average power\n"
-        "(paper methodology: 50Hz Hall-sensor logging)\n\n";
-
-    // A phase-rich 30-second trace: base 45W, +-20% phases at a few
-    // hertz plus GC-style spikes.
-    const double durationSec = 30.0;
-    auto truePowerAt = [](double t) {
-        double w = 45.0;
-        w *= 1.0 + 0.20 * std::sin(2.0 * M_PI * 1.3 * t);
-        if (std::fmod(t, 2.7) < 0.12)
-            w *= 1.35; // collector spike
-        return w;
-    };
-
-    // Ground-truth average by fine integration.
-    double truthSum = 0.0;
-    const int fine = 300000;
-    for (int i = 0; i < fine; ++i)
-        truthSum += truePowerAt(durationSec * i / fine);
-    const double truthW = truthSum / fine;
-
-    const lhr::PowerChannel channel(lhr::SensorVariant::A30, 2024);
-    lhr::Rng calRng(77);
-    const auto cal = lhr::Calibration::calibrate(channel, calRng);
-
-    lhr::TableWriter table;
-    table.addColumn("Rate Hz");
-    table.addColumn("Samples");
-    table.addColumn("Mean W");
-    table.addColumn("Err %");
-    table.addColumn("Run-to-run sd %");
-
-    for (double rate : {1.0, 5.0, 10.0, 50.0, 200.0, 1000.0}) {
-        lhr::Summary runs;
-        for (int trial = 0; trial < 16; ++trial) {
-            lhr::Rng rng(1000 + trial);
-            const double phase0 = rng.uniform(0.0, 1.0);
-            const int n = static_cast<int>(durationSec * rate);
-            double sum = 0.0;
-            for (int i = 0; i < n; ++i) {
-                const double t =
-                    std::fmod(phase0 + i / rate, durationSec);
-                sum += cal.wattsFromCounts(
-                    channel.sampleCounts(truePowerAt(t), rng));
-            }
-            runs.add(sum / n);
-        }
-        table.beginRow();
-        table.cell(rate, 0);
-        table.cell(static_cast<long>(durationSec * rate));
-        table.cell(runs.mean(), 2);
-        table.cell(100.0 * (runs.mean() - truthW) / truthW, 2);
-        table.cell(100.0 * runs.stddev() / runs.mean(), 2);
-    }
-    table.print(std::cout);
-    std::cout << "\nGround truth: " << lhr::formatFixed(truthW, 2)
-              << " W\n";
-    return 0;
+    return lhr::studyMain("ablation_sensor_rate", argc, argv);
 }

@@ -1,64 +1,12 @@
 /**
  * @file
- * Ablation: SPECrate-style multiprogramming — the analysis the paper
- * scopes out in §2.1. N copies of single-threaded SPEC codes share a
- * chip: compute-bound copies scale almost linearly while cache- and
- * bandwidth-bound copies collapse, and energy per copy tells a
- * different story than single-copy energy.
+ * Shim over the registered "ablation_specrate" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "core/lab.hh"
-#include "harness/multiprog.hh"
-#include "util/table.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-    lhr::RateRunner rate(lab.runner());
-
-    std::cout <<
-        "Ablation: SPECrate-style multiprogramming (paper section 2.1\n"
-        "scope-out). Copies of single-threaded benchmarks sharing a\n"
-        "chip; throughput relative to one copy.\n\n";
-
-    for (const char *procId : {"i7 (45)", "C2Q (65)"}) {
-        const auto cfg = lhr::withTurbo(
-            lhr::stockConfig(lhr::processorById(procId)), false);
-        std::cout << cfg.label() << ":\n";
-        lhr::TableWriter table;
-        table.addColumn("Benchmark", lhr::TableWriter::Align::Left);
-        table.addColumn("Copies");
-        table.addColumn("Throughput");
-        table.addColumn("Efficiency");
-        table.addColumn("Power W");
-        table.addColumn("J/copy");
-        for (const char *name : {"hmmer", "mcf", "libquantum"}) {
-            const auto &bench = lhr::benchmarkByName(name);
-            for (const auto &r : rate.sweep(cfg, bench)) {
-                if (r.copies != 1 && r.copies != 2 &&
-                    r.copies != cfg.contexts())
-                    continue;
-                table.beginRow();
-                table.cell(r.copies == 1 ? bench.name : "");
-                table.cell(static_cast<long>(r.copies));
-                table.cell(r.throughput, 2);
-                table.cell(r.rateEfficiency, 2);
-                table.cell(r.powerW, 1);
-                table.cell(r.energyPerCopyJ, 0);
-            }
-        }
-        table.print(std::cout);
-        std::cout << "\n";
-    }
-
-    std::cout <<
-        "Compute-bound hmmer rates near-linearly; mcf loses\n"
-        "throughput to cache sharing; libquantum saturates DRAM\n"
-        "bandwidth. Energy per copy can IMPROVE with load even as\n"
-        "per-copy performance degrades — the fixed uncore/leakage\n"
-        "cost amortizes.\n";
-    return 0;
+    return lhr::studyMain("ablation_specrate", argc, argv);
 }

@@ -1,81 +1,12 @@
 /**
  * @file
- * Ablation: cross-validation of the two modeling substrates. The
- * interval performance model consumes analytic miss curves; the
- * structural substrate simulates actual LRU arrays over synthetic
- * traces generated from the same descriptors. If the two disagree,
- * one of them is wrong. This bench characterizes representative
- * benchmarks on the i7's geometry and compares simulated MPKI,
- * branch misprediction, and DTLB behaviour against the analytic
- * values — including the GC-displacement DTLB effect behind the
- * paper's db observation (section 3.1).
+ * Shim over the registered "ablation_tracesim" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "counters/hwcounters.hh"
-#include "core/lab.hh"
-#include "util/table.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto &i7 = lhr::processorById("i7 (45)");
-    const uint64_t traceLength = 400000;
-
-    std::cout <<
-        "Ablation: structural trace simulation vs analytic curves\n"
-        "(i7 (45) geometry, " << traceLength
-              << "-instruction synthetic traces)\n\n";
-
-    lhr::TableWriter table;
-    table.addColumn("Benchmark", lhr::TableWriter::Align::Left);
-    table.addColumn("L1 MPKI sim");
-    table.addColumn("analytic");
-    table.addColumn("LLC MPKI sim");
-    table.addColumn("analytic");
-    table.addColumn("misp/Ki sim");
-    table.addColumn("target");
-    table.addColumn("dTLB MPKI");
-
-    const auto hierarchy = lhr::makeHierarchy(i7);
-    for (const char *name :
-         {"hmmer", "gcc", "mcf", "libquantum", "db", "xalan",
-          "fluidanimate"}) {
-        const auto &bench = lhr::benchmarkByName(name);
-        const auto profile =
-            lhr::characterizeWorkload(bench, i7, traceLength, 7);
-
-        const auto analytic = hierarchy.evaluate(bench.miss, 1.0, 1.0);
-
-        table.beginRow();
-        table.cell(bench.name);
-        table.cell(profile.l1Mpki, 1);
-        table.cell(analytic.l1Mpki, 1);
-        table.cell(profile.llcMpki, 2);
-        table.cell(analytic.dramMpki, 2);
-        table.cell(profile.branchMispKi, 1);
-        table.cell(bench.branchMispKi, 1);
-        table.cell(profile.dtlbMpki, 2);
-    }
-    table.print(std::cout);
-
-    std::cout <<
-        "\nGC DTLB displacement (the db effect): dTLB MPKI of db with\n"
-        "a same-core collector vs an offloaded one:\n";
-    const auto &db = lhr::benchmarkByName("db");
-    const auto sameCore =
-        lhr::characterizeWorkload(db, i7, traceLength, 7, 0.7);
-    const auto offloaded =
-        lhr::characterizeWorkload(db, i7, traceLength, 7, 0.0);
-    std::cout << "  same-core GC: "
-              << lhr::formatFixed(sameCore.dtlbMpki, 2)
-              << "  offloaded GC: "
-              << lhr::formatFixed(offloaded.dtlbMpki, 2)
-              << "  ratio: "
-              << lhr::formatFixed(
-                     sameCore.dtlbMpki / offloaded.dtlbMpki, 2)
-              << " (paper: factor ~2.5 fewer DTLB misses with the\n"
-                 "   collector elsewhere)\n";
-    return 0;
+    return lhr::studyMain("ablation_tracesim", argc, argv);
 }

@@ -1,63 +1,12 @@
 /**
  * @file
- * Ablation: chip power versus wall power — reconciling the paper's
- * isolated-rail methodology with the whole-system studies it cites
- * (§5). Also checks Fan et al.'s provisioning observation: even the
- * hungriest workload draws well under the machine's nameplate.
+ * Shim over the registered "ablation_wall_power" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "core/lab.hh"
-#include "system/wall_power.hh"
-#include "util/table.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-    const auto platform = lhr::PlatformConfig::desktop2009();
-
-    std::cout <<
-        "Ablation: chip (12V rail) vs wall (clamp ammeter) power\n"
-        "(stock configurations, busiest and leanest benchmark per\n"
-        " machine; desktop-2009 platform around each chip)\n\n";
-
-    lhr::TableWriter table;
-    table.addColumn("Processor", lhr::TableWriter::Align::Left);
-    table.addColumn("Chip W");
-    table.addColumn("Wall W");
-    table.addColumn("Chip share %");
-    table.addColumn("Wall/nameplate %");
-
-    for (const auto &spec : lhr::allProcessors()) {
-        const lhr::WallPowerModel wallModel(spec, platform);
-        const auto cfg = lhr::stockConfig(spec);
-        double maxChip = 0.0, maxDram = 0.0;
-        for (const auto &bench : lhr::allBenchmarks()) {
-            const auto profile = lab.runner().profile(cfg, bench);
-            if (profile.power.total() > maxChip) {
-                maxChip = profile.power.total();
-                maxDram = profile.dramGBs;
-            }
-        }
-        const auto wall = wallModel.at(maxChip, maxDram);
-        table.beginRow();
-        table.cell(spec.id);
-        table.cell(wall.chipW, 1);
-        table.cell(wall.wallW, 1);
-        table.cell(100.0 * wall.chipShare(), 1);
-        table.cell(100.0 * wall.wallW / wallModel.nameplateW(), 1);
-    }
-    table.print(std::cout);
-
-    std::cout <<
-        "\nTwo methodological lessons the paper draws:\n"
-        "1. The chip is only part of wall power (here 5-45%) — a\n"
-        "   clamp ammeter cannot isolate processor effects, hence\n"
-        "   the Hall sensor on the 12V rail.\n"
-        "2. Fan et al.: even the hungriest workload stays far below\n"
-        "   nameplate (here well under 60%) — provisioning by\n"
-        "   nameplate wastes datacenter capacity.\n";
-    return 0;
+    return lhr::studyMain("ablation_wall_power", argc, argv);
 }

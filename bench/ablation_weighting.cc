@@ -1,61 +1,12 @@
 /**
  * @file
- * Ablation: aggregation weighting. The paper weights the four
- * workload groups equally (Avg_w) instead of averaging benchmarks
- * directly (Avg_b), "avoiding bias due to the varying number of
- * benchmarks within each group (from 5 to 27)" — section 2.6. This
- * study quantifies how much the choice changes processor rankings.
+ * Shim over the registered "ablation_weighting" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "analysis/historical.hh"
-#include "core/lab.hh"
-#include "util/table.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-
-    std::cout <<
-        "Ablation: equal-group weighting (Avg_w) vs simple benchmark\n"
-        "mean (Avg_b) across the stock processors (paper Table 4)\n\n";
-
-    std::vector<std::string> ids;
-    std::vector<double> avgW, avgB;
-    for (const auto &spec : lhr::allProcessors()) {
-        const auto agg = lab.aggregate(lhr::stockConfig(spec));
-        ids.push_back(spec.id);
-        avgW.push_back(agg.weighted.perf);
-        avgB.push_back(agg.simple.perf);
-    }
-    const auto rankW = lhr::rankOf(avgW, false);
-    const auto rankB = lhr::rankOf(avgB, false);
-
-    lhr::TableWriter table;
-    table.addColumn("Processor", lhr::TableWriter::Align::Left);
-    table.addColumn("AvgW");
-    table.addColumn("rank");
-    table.addColumn("AvgB");
-    table.addColumn("rank");
-    table.addColumn("Bias %");
-    int rankChanges = 0;
-    for (size_t i = 0; i < ids.size(); ++i) {
-        table.beginRow();
-        table.cell(ids[i]);
-        table.cell(avgW[i], 2);
-        table.cell(static_cast<long>(rankW[i]));
-        table.cell(avgB[i], 2);
-        table.cell(static_cast<long>(rankB[i]));
-        table.cell(100.0 * (avgB[i] - avgW[i]) / avgW[i], 1);
-        if (rankW[i] != rankB[i])
-            ++rankChanges;
-    }
-    table.print(std::cout);
-    std::cout << "\nRank changes between weightings: " << rankChanges
-              << " of " << ids.size()
-              << "\n(the 27 Native Non-scalable benchmarks dominate "
-                 "Avg_b,\n deflating multicore parts)\n";
-    return 0;
+    return lhr::studyMain("ablation_weighting", argc, argv);
 }

@@ -1,56 +1,12 @@
 /**
  * @file
- * Exports the full experimental dataset — every benchmark on every
- * one of the 45 configurations — as CSV, mirroring the companion
- * data the paper published in the ACM Digital Library ("we make all
- * our data publicly available to encourage others to use it and
- * perform further analysis").
+ * Shim over the registered "dataset" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "core/lab.hh"
-#include "util/csv.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-    // Fan the full 45 x 61 grid out across cores up front; the
-    // serial CSV pass below then reads everything from cache.
-    lab.sweepFullGrid();
-    const auto &ref = lab.reference();
-
-    lhr::CsvWriter csv(std::cout,
-                       {"configuration", "processor", "cores", "smt",
-                        "clock_ghz", "turbo", "benchmark", "group",
-                        "suite", "time_s", "time_ci95", "power_w",
-                        "power_ci95", "energy_j", "perf_vs_ref",
-                        "energy_vs_ref"});
-
-    for (const auto &cfg : lhr::standardConfigurations()) {
-        for (const auto &bench : lhr::allBenchmarks()) {
-            const auto &m = lab.measure(cfg, bench);
-            csv.beginRow();
-            csv.field(cfg.label());
-            csv.field(cfg.spec->id);
-            csv.field(static_cast<long>(cfg.enabledCores));
-            csv.field(static_cast<long>(cfg.smtPerCore));
-            csv.field(cfg.clockGhz, 3);
-            csv.field(std::string(
-                cfg.spec->hasTurbo
-                    ? (cfg.turboEnabled ? "on" : "off") : "n/a"));
-            csv.field(bench.name);
-            csv.field(lhr::groupName(bench.group));
-            csv.field(lhr::suiteName(bench.suite));
-            csv.field(m.timeSec, 4);
-            csv.field(m.timeCi95Rel, 5);
-            csv.field(m.powerW, 3);
-            csv.field(m.powerCi95Rel, 5);
-            csv.field(m.energyJ(), 2);
-            csv.field(ref.refTimeSec(bench) / m.timeSec, 4);
-            csv.field(m.energyJ() / ref.refEnergyJ(bench), 4);
-        }
-    }
-    return 0;
+    return lhr::studyMain("dataset", argc, argv);
 }

@@ -1,50 +1,12 @@
 /**
  * @file
- * Reproduces paper Figure 1: scalability of the Java multithreaded
- * benchmarks on the i7 (45), measured as speedup of 4C2T over 1C1T,
- * in descending order. The five most scalable (sunflow, xalan,
- * tomcat, lusearch, eclipse) form the Java Scalable group and
- * average ~3.4x in the paper.
+ * Shim over the registered "fig01" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "analysis/features.hh"
-#include "core/lab.hh"
-#include "util/table.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-    const auto scaling = lhr::javaScalability(lab.runner());
-
-    std::cout <<
-        "Figure 1: Scalability of Java multithreaded benchmarks on "
-        "i7 (45)\n(4C2T / 1C1T, descending; paper: sunflow ~4.3 down "
-        "to h2 ~1.05,\n Java Scalable group average 3.4)\n\n";
-
-    lhr::TableWriter table;
-    table.addColumn("Benchmark", lhr::TableWriter::Align::Left);
-    table.addColumn("4C2T / 1C1T");
-    table.addColumn("Group", lhr::TableWriter::Align::Left);
-
-    double scalableSum = 0.0;
-    int scalableCount = 0;
-    for (const auto &[name, speedup] : scaling) {
-        const auto &bench = lhr::benchmarkByName(name);
-        table.beginRow();
-        table.cell(name);
-        table.cell(speedup, 2);
-        table.cell(lhr::groupName(bench.group));
-        if (bench.group == lhr::Group::JavaScalable) {
-            scalableSum += speedup;
-            ++scalableCount;
-        }
-    }
-    table.print(std::cout);
-    std::cout << "\nJava Scalable group average: "
-              << lhr::formatFixed(scalableSum / scalableCount, 2)
-              << " (paper: 3.4)\n";
-    return 0;
+    return lhr::studyMain("fig01", argc, argv);
 }

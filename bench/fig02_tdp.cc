@@ -1,74 +1,12 @@
 /**
  * @file
- * Reproduces paper Figure 2: measured benchmark power versus TDP for
- * each stock processor (the paper plots this log/log). The paper's
- * point: TDP is strictly above measured power, and measured power
- * varies widely across benchmarks (23W-89W on the i7), so TDP is a
- * poor proxy for real power.
+ * Shim over the registered "fig02" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "core/lab.hh"
-#include "util/table.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-
-    // All eight stock rows measured in parallel before the serial
-    // min/mean/max scan.
-    std::vector<lhr::MachineConfig> stock;
-    for (const auto &spec : lhr::allProcessors())
-        stock.push_back(lhr::stockConfig(spec));
-    lab.prewarm(stock);
-
-    std::cout <<
-        "Figure 2: Measured benchmark power vs TDP per processor\n"
-        "(paper: TDP strictly above measured; widest range on i7/i5)\n\n";
-
-    lhr::TableWriter table;
-    table.addColumn("Processor", lhr::TableWriter::Align::Left);
-    table.addColumn("TDP W");
-    table.addColumn("Min W");
-    table.addColumn("Mean W");
-    table.addColumn("Max W");
-    table.addColumn("Max/Min");
-    table.addColumn("TDP/Max");
-
-    for (const auto &spec : lhr::allProcessors()) {
-        const auto cfg = lhr::stockConfig(spec);
-        double minW = 1e9, maxW = 0.0, sumW = 0.0;
-        for (const auto &bench : lhr::allBenchmarks()) {
-            const double w = lab.measure(cfg, bench).powerW;
-            minW = std::min(minW, w);
-            maxW = std::max(maxW, w);
-            sumW += w;
-        }
-        table.beginRow();
-        table.cell(spec.id);
-        table.cell(spec.tdpW, 0);
-        table.cell(minW, 1);
-        table.cell(sumW / lhr::allBenchmarks().size(), 1);
-        table.cell(maxW, 1);
-        table.cell(maxW / minW, 2);
-        table.cell(spec.tdpW / maxW, 2);
-    }
-    table.print(std::cout);
-
-    std::cout << "\nPer-benchmark power on the i7 (45) extremes "
-                 "(paper: 23W omnetpp .. 89W fluidanimate):\n";
-    const auto i7 = lhr::stockConfig(lhr::processorById("i7 (45)"));
-    std::cout << "  omnetpp: "
-              << lhr::formatFixed(
-                     lab.measure(i7, lhr::benchmarkByName("omnetpp"))
-                         .powerW, 1)
-              << " W\n  fluidanimate: "
-              << lhr::formatFixed(
-                     lab.measure(i7,
-                                 lhr::benchmarkByName("fluidanimate"))
-                         .powerW, 1)
-              << " W\n";
-    return 0;
+    return lhr::studyMain("fig02", argc, argv);
 }

@@ -1,64 +1,12 @@
 /**
  * @file
- * Reproduces paper Figure 3: the power/performance distribution of
- * all 61 benchmarks on the stock i7 (45), by workload group.
- * Scalable benchmarks land fast and power-hungry (eight hardware
- * contexts); non-scalable ones span a wide range.
+ * Shim over the registered "fig03" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "core/lab.hh"
-#include "stats/summary.hh"
-#include "util/csv.hh"
-#include "util/table.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-    const auto cfg = lhr::stockConfig(lhr::processorById("i7 (45)"));
-    // Measure the 61 benchmarks (and the reference machines result()
-    // normalizes against) on all cores before the serial scan.
-    lab.prewarm({cfg});
-
-    std::cout <<
-        "Figure 3: Benchmark power and performance on i7 (45)\n"
-        "(performance normalized to reference; CSV series below)\n\n";
-
-    lhr::CsvWriter csv(std::cout,
-                       {"group", "benchmark", "performance", "power_w"});
-    std::array<lhr::Summary, 4> perfByGroup, powerByGroup;
-    for (const auto &bench : lhr::allBenchmarks()) {
-        const auto r = lab.result(cfg, bench);
-        csv.beginRow();
-        csv.field(lhr::groupName(bench.group));
-        csv.field(bench.name);
-        csv.field(r.perf, 3);
-        csv.field(r.powerW, 2);
-        perfByGroup[static_cast<size_t>(bench.group)].add(r.perf);
-        powerByGroup[static_cast<size_t>(bench.group)].add(r.powerW);
-    }
-
-    std::cout << "\nGroup centroids:\n";
-    lhr::TableWriter table;
-    table.addColumn("Group", lhr::TableWriter::Align::Left);
-    table.addColumn("Perf mean");
-    table.addColumn("Perf min");
-    table.addColumn("Perf max");
-    table.addColumn("Power mean W");
-    table.addColumn("Power min W");
-    table.addColumn("Power max W");
-    for (size_t gi = 0; gi < 4; ++gi) {
-        table.beginRow();
-        table.cell(lhr::groupName(lhr::allGroups()[gi]));
-        table.cell(perfByGroup[gi].mean(), 2);
-        table.cell(perfByGroup[gi].min(), 2);
-        table.cell(perfByGroup[gi].max(), 2);
-        table.cell(powerByGroup[gi].mean(), 1);
-        table.cell(powerByGroup[gi].min(), 1);
-        table.cell(powerByGroup[gi].max(), 1);
-    }
-    table.print(std::cout);
-    return 0;
+    return lhr::studyMain("fig03", argc, argv);
 }

@@ -1,28 +1,12 @@
 /**
  * @file
- * Reproduces paper Figure 4: the effect of enabling a second core
- * (SMT and Turbo Boost disabled) on the i7 (45) and i5 (32).
- *
- * Paper: i7 perf 1.32 / power 1.57 / energy 1.12;
- *        i5 perf 1.34 / power 1.29 / energy 0.91.
- * Per-group energy (i7): NN 1.13, NS 1.09, JN 1.19, JS 1.08;
- *               (i5): NN 1.04, NS 0.81, JN 1.00, JS 0.82.
+ * Shim over the registered "fig04" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "analysis/report.hh"
-#include "core/lab.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-    const auto effects = lhr::cmpStudy(lab.runner(), lab.reference());
-    lhr::printGroupedEffects(
-        std::cout,
-        "Figure 4: Effect of CMP (2 cores / 1 core, no SMT, no TB)\n"
-        "Paper (a): i7 1.32/1.57/1.12; i5 1.34/1.29/0.91",
-        effects);
-    return 0;
+    return lhr::studyMain("fig04", argc, argv);
 }

@@ -1,29 +1,12 @@
 /**
  * @file
- * Reproduces paper Figure 5: the effect of two-way SMT on a single
- * core, for Pentium 4 (130), i7 (45), Atom (45), and i5 (32).
- *
- * Paper (a): P4 1.06/1.06/0.98(?); i7 1.14/1.15/0.97;
- *            Atom 1.24/1.10/0.86; i5 1.17/1.10/0.89.
- * Paper (b), energy by group: Java Non-scalable on P4 is the outlier
- * at 1.11 (SMT hurts); scalables gain most everywhere.
+ * Shim over the registered "fig05" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "analysis/report.hh"
-#include "core/lab.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-    const auto effects = lhr::smtStudy(lab.runner(), lab.reference());
-    lhr::printGroupedEffects(
-        std::cout,
-        "Figure 5: Effect of SMT (2 threads / 1 thread, 1 core)\n"
-        "Paper (a): P4 1.06/1.06/0.98; i7 1.14/1.15/0.97; "
-        "Atom 1.24/1.10/0.86; i5 1.17/1.10/0.89",
-        effects);
-    return 0;
+    return lhr::studyMain("fig05", argc, argv);
 }

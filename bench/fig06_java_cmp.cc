@@ -1,40 +1,12 @@
 /**
  * @file
- * Reproduces paper Figure 6: CMP impact for single-threaded Java on
- * the i7 (45): speedup of 2C1T over 1C1T. The JVM's own parallelism
- * (JIT, GC) gives ostensibly sequential benchmarks a speedup —
- * about 10% on average and up to ~60% (antlr), with db's gain coming
- * from reduced GC cache/DTLB displacement (Workload Finding 1).
+ * Shim over the registered "fig06" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "analysis/features.hh"
-#include "core/lab.hh"
-#include "util/table.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-    const auto scaling = lhr::javaSingleThreadedCmp(lab.runner());
-
-    std::cout <<
-        "Figure 6: Scalability of single-threaded Java on i7 (45)\n"
-        "(2C1T / 1C1T; paper: avg ~1.1, max ~1.55 for antlr)\n\n";
-
-    lhr::TableWriter table;
-    table.addColumn("Benchmark", lhr::TableWriter::Align::Left);
-    table.addColumn("2C1T / 1C1T");
-    double sum = 0.0;
-    for (const auto &[name, speedup] : scaling) {
-        table.beginRow();
-        table.cell(name);
-        table.cell(speedup, 2);
-        sum += speedup;
-    }
-    table.print(std::cout);
-    std::cout << "\nAverage: "
-              << lhr::formatFixed(sum / scaling.size(), 2) << "\n";
-    return 0;
+    return lhr::studyMain("fig06", argc, argv);
 }

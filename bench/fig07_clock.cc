@@ -1,83 +1,12 @@
 /**
  * @file
- * Reproduces paper Figure 7: clock scaling on i7 (45), C2D (45) and
- * i5 (32) — (a) average effect of doubling the clock, (b) per-group
- * energy effect, (c) energy/performance curves across the clock
- * range, (d) absolute power vs performance per group per clock.
- *
- * Paper (a): i7 +83% perf / +180% power / +60% energy;
- *            C2D +73% / +159% / +56%; i5 +78% / +73% / -4%.
+ * Shim over the registered "fig07" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "analysis/features.hh"
-#include "analysis/report.hh"
-#include "core/lab.hh"
-#include "util/table.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-    auto &runner = lab.runner();
-    const auto &ref = lab.reference();
-
-    {
-        auto effects = lhr::clockStudy(runner, ref);
-        // Express as percent change per clock doubling, as the
-        // paper's Figure 7(a)/(b) does.
-        std::vector<lhr::GroupedEffect> pct = effects;
-        lhr::printGroupedEffects(
-            std::cout,
-            "Figure 7(a,b): Effect of doubling clock frequency "
-            "(ratios per 2x)\nPaper (a): i7 1.83/2.80/1.60; "
-            "C2D 1.73/2.59/1.56; i5 1.78/1.73/0.96",
-            pct);
-    }
-
-    std::cout << "Figure 7(c): energy vs performance across the "
-                 "clock range (relative to lowest clock)\n\n";
-    for (const std::string id : {"i7 (45)", "C2D (45)", "i5 (32)"}) {
-        const auto sweep = lhr::clockSweep(runner, ref, id, 5);
-        lhr::TableWriter table;
-        table.addColumn(id, lhr::TableWriter::Align::Left);
-        table.addColumn("GHz");
-        table.addColumn("perf/base");
-        table.addColumn("energy/base");
-        for (const auto &pt : sweep) {
-            table.beginRow();
-            table.cell(std::string());
-            table.cell(pt.clockGhz, 2);
-            table.cell(pt.perfRelBase, 2);
-            table.cell(pt.energyRelBase, 2);
-        }
-        table.print(std::cout);
-        std::cout << "\n";
-    }
-
-    std::cout << "Figure 7(d): absolute power by workload group "
-                 "across clock (i7 and i5)\n\n";
-    for (const std::string id : {"i7 (45)", "i5 (32)"}) {
-        const auto sweep = lhr::clockSweep(runner, ref, id, 5);
-        lhr::TableWriter table;
-        table.addColumn(id, lhr::TableWriter::Align::Left);
-        table.addColumn("GHz");
-        for (const auto group : lhr::allGroups()) {
-            table.addColumn(lhr::groupName(group) + " perf");
-            table.addColumn("W");
-        }
-        for (const auto &pt : sweep) {
-            table.beginRow();
-            table.cell(std::string());
-            table.cell(pt.clockGhz, 2);
-            for (size_t gi = 0; gi < 4; ++gi) {
-                table.cell(pt.groupPerfAbs[gi], 2);
-                table.cell(pt.groupPowerW[gi], 1);
-            }
-        }
-        table.print(std::cout);
-        std::cout << "\n";
-    }
-    return 0;
+    return lhr::studyMain("fig07", argc, argv);
 }

@@ -1,37 +1,12 @@
 /**
  * @file
- * Reproduces paper Figure 8: die shrink effects for the Core
- * (65nm -> 45nm) and Nehalem (45nm -> 32nm) families, at native and
- * matched clocks, plus the per-group energy breakdown at matched
- * clocks.
- *
- * Paper (a) native clocks: Core 1.25/0.79/0.65; Nehalem 1.14/0.77/0.69.
- * Paper (b) matched clocks: Core 1.01/0.55/0.54; Nehalem 0.90/0.53/0.60.
+ * Shim over the registered "fig08" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "analysis/report.hh"
-#include "core/lab.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-    auto &runner = lab.runner();
-    const auto &ref = lab.reference();
-
-    lhr::printGroupedEffects(
-        std::cout,
-        "Figure 8(a): Die shrink at native clocks (new / old)\n"
-        "Paper: Core 1.25/0.79/0.65; Nehalem 2C2T 1.14/0.77/0.69",
-        lhr::dieShrinkStudy(runner, ref, false));
-
-    lhr::printGroupedEffects(
-        std::cout,
-        "Figure 8(b,c): Die shrink at matched clocks (new / old)\n"
-        "Paper: Core 2.4GHz 1.01/0.55/0.54; "
-        "Nehalem 2C2T 2.6GHz 0.90/0.53/0.60",
-        lhr::dieShrinkStudy(runner, ref, true));
-    return 0;
+    return lhr::studyMain("fig08", argc, argv);
 }

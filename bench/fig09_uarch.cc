@@ -1,27 +1,12 @@
 /**
  * @file
- * Reproduces paper Figure 9: the effect of gross microarchitecture
- * change — Nehalem compared against Bonnell, NetBurst and Core,
- * controlling clock speed and hardware parallelism.
- *
- * Paper (a): i7/AtomD 2.70/2.38/0.85; i7/Pentium4 2.60/0.33/0.13;
- *            i7/C2D(45) 1.14/1.14/1.00; i5/C2D(65) 1.14/0.55/0.48.
+ * Shim over the registered "fig09" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "analysis/report.hh"
-#include "core/lab.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-    lhr::printGroupedEffects(
-        std::cout,
-        "Figure 9: Effect of gross microarchitecture change\n"
-        "Paper (a): Bonnell 2.70/2.38/0.85; NetBurst 2.60/0.33/0.13; "
-        "Core45 1.14/1.14/1.00; Core65 1.14/0.55/0.48",
-        lhr::uarchStudy(lab.runner(), lab.reference()));
-    return 0;
+    return lhr::studyMain("fig09", argc, argv);
 }

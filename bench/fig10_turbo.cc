@@ -1,27 +1,12 @@
 /**
  * @file
- * Reproduces paper Figure 10: the effect of Turbo Boost (enabled /
- * disabled) on the i7 (45) and i5 (32), in stock and single-context
- * configurations.
- *
- * Paper (a): i7 4C2T 1.05/1.19/1.13; i7 1C1T 1.07/1.49/1.39;
- *            i5 2C2T 1.03/1.07/1.04; i5 1C1T 1.05/1.05/1.00.
+ * Shim over the registered "fig10" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "analysis/report.hh"
-#include "core/lab.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-    lhr::printGroupedEffects(
-        std::cout,
-        "Figure 10: Effect of Turbo Boost (enabled / disabled)\n"
-        "Paper (a): i7 4C2T 1.05/1.19/1.13; i7 1C1T 1.07/1.49/1.39; "
-        "i5 2C2T 1.03/1.07/1.04; i5 1C1T 1.05/1.05/1.00",
-        lhr::turboStudy(lab.runner(), lab.reference()));
-    return 0;
+    return lhr::studyMain("fig10", argc, argv);
 }

@@ -1,84 +1,12 @@
 /**
  * @file
- * Reproduces paper Figure 11: the historical power/performance
- * overview of the eight stock processors, absolute (a) and per
- * transistor (b). Paper Finding 9: power per transistor is
- * consistent within a microarchitecture family; the Pentium 4 is
- * the outlier with both the most performance and the most power per
- * transistor.
+ * Shim over the registered "fig11" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "analysis/historical.hh"
-#include "core/lab.hh"
-#include "util/table.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-    const auto points =
-        lhr::historicalOverview(lab.runner(), lab.reference());
-
-    std::cout <<
-        "Figure 11(a): Power and performance by stock processor\n\n";
-    {
-        lhr::TableWriter table;
-        table.addColumn("Processor", lhr::TableWriter::Align::Left);
-        table.addColumn("uArch", lhr::TableWriter::Align::Left);
-        table.addColumn("Perf/Ref");
-        table.addColumn("Power W");
-        for (const auto &pt : points) {
-            table.beginRow();
-            table.cell(pt.spec->id);
-            table.cell(lhr::familyName(pt.spec->family));
-            table.cell(pt.aggregate.weighted.perf, 2);
-            table.cell(pt.aggregate.weighted.powerW, 1);
-        }
-        table.print(std::cout);
-    }
-
-    std::cout <<
-        "\nFigure 11(b): Per-transistor power and performance\n"
-        "(paper: power/transistor consistent within a family; "
-        "Pentium 4 is\n the high outlier on both axes)\n\n";
-    {
-        lhr::TableWriter table;
-        table.addColumn("Processor", lhr::TableWriter::Align::Left);
-        table.addColumn("uArch", lhr::TableWriter::Align::Left);
-        table.addColumn("Perf/MTran x1e3");
-        table.addColumn("mW/MTran");
-        for (const auto &pt : points) {
-            table.beginRow();
-            table.cell(pt.spec->id);
-            table.cell(lhr::familyName(pt.spec->family));
-            table.cell(1e3 * pt.perfPerMtran(), 2);
-            table.cell(1e3 * pt.powerPerMtran(), 1);
-        }
-        table.print(std::cout);
-    }
-
-    // The paper's closing thought experiment for Figure 11(b):
-    // project the Pentium 4 design to 32nm.
-    for (const auto &pt : points) {
-        if (pt.spec->family != lhr::Family::NetBurst)
-            continue;
-        const auto projected =
-            lhr::projectToNode(pt, lhr::Node::Nm32, 2.0);
-        std::cout <<
-            "\nProjection (paper: 'four fold less power, two fold\n"
-            "more performance' for a 32nm Pentium 4):\n  "
-                  << projected.label << ": perf "
-                  << lhr::formatFixed(projected.perf, 2) << " (x"
-                  << lhr::formatFixed(
-                         projected.perf / pt.aggregate.weighted.perf, 2)
-                  << "), power "
-                  << lhr::formatFixed(projected.powerW, 1) << " W (/"
-                  << lhr::formatFixed(
-                         pt.aggregate.weighted.powerW / projected.powerW,
-                         2)
-                  << ")\n";
-    }
-    return 0;
+    return lhr::studyMain("fig11", argc, argv);
 }

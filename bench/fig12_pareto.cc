@@ -1,55 +1,12 @@
 /**
  * @file
- * Reproduces paper Figure 12: energy/performance Pareto frontiers at
- * 45nm, per workload group and for the equal-weight average, over
- * the 29 45nm processor configurations.
+ * Shim over the registered "fig12" study (see src/study/).
  */
 
-#include <iostream>
-#include <optional>
-
-#include "analysis/pareto_study.hh"
-#include "core/lab.hh"
-#include "util/table.hh"
-
-namespace
-{
-
-void
-printFrontier(lhr::Lab &lab, std::optional<lhr::Group> group,
-              const std::string &label)
-{
-    const auto frontier = lhr::paretoFrontier45nm(
-        lab.runner(), lab.reference(), group);
-    std::cout << label << ":\n";
-    lhr::TableWriter table;
-    table.addColumn("Configuration", lhr::TableWriter::Align::Left);
-    table.addColumn("Perf/Ref");
-    table.addColumn("Energy/Ref");
-    for (const auto &pt : frontier) {
-        table.beginRow();
-        table.cell(pt.label);
-        table.cell(pt.performance, 2);
-        table.cell(pt.energy, 2);
-    }
-    table.print(std::cout);
-    std::cout << "\n";
-}
-
-} // namespace
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-    std::cout <<
-        "Figure 12: Energy / performance Pareto frontiers (45nm)\n"
-        "(paper: scalable groups extend the frontier right to perf ~7\n"
-        " at constant energy; each group's frontier deviates from the\n"
-        " average)\n\n";
-
-    printFrontier(lab, std::nullopt, "Average");
-    for (const auto group : lhr::allGroups())
-        printFrontier(lab, group, lhr::groupName(group));
-    return 0;
+    return lhr::studyMain("fig12", argc, argv);
 }

@@ -1,213 +1,12 @@
 /**
  * @file
- * The reproduction scorecard: evaluates every numbered finding of
- * the paper against the laboratory's measurements and prints
- * PASS/FAIL with the supporting numbers. The same predicates are
- * enforced as regression tests in tests/test_findings.cc; this
- * binary is the human-readable summary.
+ * Shim over the registered "findings" study (see src/study/).
  */
 
-#include <algorithm>
-#include <iostream>
-#include <optional>
-#include <set>
-
-#include "core/lab.hh"
-#include "util/logging.hh"
-#include "util/table.hh"
-
-namespace
-{
-
-lhr::GroupedEffect
-effectFor(const std::vector<lhr::GroupedEffect> &effects,
-          const std::string &label)
-{
-    for (const auto &e : effects)
-        if (e.label == label)
-            return e;
-    return {};
-}
-
-} // namespace
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-    auto &runner = lab.runner();
-    const auto &ref = lab.reference();
-
-    lhr::TableWriter table;
-    table.addColumn("Finding", lhr::TableWriter::Align::Left);
-    table.addColumn("Claim", lhr::TableWriter::Align::Left);
-    table.addColumn("Measured", lhr::TableWriter::Align::Left);
-    table.addColumn("Verdict", lhr::TableWriter::Align::Left);
-
-    auto row = [&](const std::string &id, const std::string &claim,
-                   const std::string &measured, bool pass) {
-        table.beginRow();
-        table.cell(id);
-        table.cell(claim);
-        table.cell(measured);
-        table.cell(pass ? "PASS" : "FAIL");
-    };
-
-    // A1 — CMP not consistently energy efficient.
-    {
-        const auto effects = lhr::cmpStudy(runner, ref);
-        const auto i7 = effectFor(effects, "i7 (45)");
-        const auto i5 = effectFor(effects, "i5 (32)");
-        row("A1", "CMP not consistently energy efficient",
-            "NN energy i7 " + lhr::formatFixed(i7.byGroup[0].energy, 2) +
-                ", i5 " + lhr::formatFixed(i5.byGroup[0].energy, 2),
-            i7.byGroup[0].energy > 1.0 && i5.byGroup[0].energy > 1.0);
-    }
-
-    // A2 — SMT saves energy on i5 and Atom.
-    {
-        const auto effects = lhr::smtStudy(runner, ref);
-        const double i5 = effectFor(effects, "i5 (32)").average.energy;
-        const double atom =
-            effectFor(effects, "Atom (45)").average.energy;
-        row("A2", "SMT delivers energy savings (i5, Atom)",
-            "energy i5 " + lhr::formatFixed(i5, 2) + ", Atom " +
-                lhr::formatFixed(atom, 2),
-            i5 < 0.95 && atom < 0.95);
-    }
-
-    // A3 — i5 energy-flat across clock; i7/C2D are not.
-    {
-        const auto effects = lhr::clockStudy(runner, ref);
-        const double i5 = effectFor(effects, "i5 (32)").average.energy;
-        const double i7 = effectFor(effects, "i7 (45)").average.energy;
-        row("A3", "i5 energy flat vs clock; i7 not",
-            "energy/2x i5 " + lhr::formatFixed(i5, 2) + ", i7 " +
-                lhr::formatFixed(i7, 2),
-            i5 < 1.1 && i7 > 1.3);
-    }
-
-    // A4/A5 — die shrinks cut energy at matched clocks, twice.
-    {
-        const auto matched = lhr::dieShrinkStudy(runner, ref, true);
-        row("A4+A5", "Die shrinks cut energy ~2x, both generations",
-            "Core " + lhr::formatFixed(matched[0].average.energy, 2) +
-                ", Nehalem " +
-                lhr::formatFixed(matched[1].average.energy, 2),
-            matched[0].average.energy < 0.75 &&
-                matched[1].average.energy < 0.75);
-    }
-
-    // A6/A7 — Nehalem moderately faster than Core; energy parity at
-    // a fixed node; order of magnitude vs NetBurst.
-    {
-        const auto effects = lhr::uarchStudy(runner, ref);
-        const auto core45 =
-            effectFor(effects, "Core: i7 (45) / C2D (45)");
-        const auto netburst =
-            effectFor(effects, "NetBurst: i7 (45) / Pentium4 (130)");
-        row("A6", "Nehalem beats Core at matched clock",
-            "perf " + lhr::formatFixed(core45.average.perf, 2),
-            core45.average.perf > 1.05);
-        row("A7", "Energy parity at 45nm; 7x+ vs NetBurst",
-            "energy vs Core " +
-                lhr::formatFixed(core45.average.energy, 2) +
-                ", vs P4 " +
-                lhr::formatFixed(netburst.average.energy, 2),
-            core45.average.energy > 0.75 &&
-                core45.average.energy < 1.25 &&
-                netburst.average.energy < 0.25);
-    }
-
-    // A8 — Turbo not energy efficient on i7.
-    {
-        const auto effects = lhr::turboStudy(runner, ref);
-        const double i7 =
-            effectFor(effects, "i7 (45) 4C2T").average.energy;
-        const double i5 =
-            effectFor(effects, "i5 (32) 2C2T").average.energy;
-        row("A8", "Turbo costs energy on i7, neutral on i5",
-            "energy i7 " + lhr::formatFixed(i7, 2) + ", i5 " +
-                lhr::formatFixed(i5, 2),
-            i7 > 1.05 && i5 < 1.06);
-    }
-
-    // A9 — power per transistor consistent within families.
-    {
-        const auto points = lhr::historicalOverview(runner, ref);
-        double p4 = 0.0, maxOther = 0.0;
-        for (const auto &pt : points) {
-            if (pt.spec->family == lhr::Family::NetBurst)
-                p4 = pt.powerPerMtran();
-            else
-                maxOther = std::max(maxOther, pt.powerPerMtran());
-        }
-        row("A9", "P4 is the power/transistor outlier",
-            lhr::formatFixed(1e3 * p4, 0) + " vs <= " +
-                lhr::formatFixed(1e3 * maxOther, 0) + " mW/MT",
-            p4 > 2.0 * maxOther);
-    }
-
-    // W1 — JVM-induced parallelism.
-    {
-        const auto scaling = lhr::javaSingleThreadedCmp(runner);
-        double sum = 0.0;
-        for (const auto &[name, s] : scaling)
-            sum += s;
-        const double avg = sum / scaling.size();
-        row("W1", "Single-threaded Java gains from a 2nd core",
-            "avg " + lhr::formatFixed(avg, 2) + ", max " +
-                lhr::formatFixed(scaling.front().second, 2) + " (" +
-                scaling.front().first + ")",
-            avg > 1.05 && scaling.front().second > 1.4);
-    }
-
-    // W2 — SMT hurts Java Non-scalable on the Pentium 4.
-    {
-        const auto effects = lhr::smtStudy(runner, ref);
-        const auto p4 = effectFor(effects, "Pentium4 (130)");
-        const double jn = p4.byGroup[static_cast<size_t>(
-            lhr::Group::JavaNonScalable)].energy;
-        row("W2", "P4 SMT costs Java Non-scalable energy",
-            "JN energy " + lhr::formatFixed(jn, 2), jn > 1.0);
-    }
-
-    // W3 — Native Non-scalable is the power outlier.
-    {
-        const auto agg = lab.aggregate(
-            lhr::stockConfig(lhr::processorById("i7 (45)")));
-        const double nn =
-            agg.group(lhr::Group::NativeNonScalable).powerW;
-        const double others = std::min(
-            {agg.group(lhr::Group::NativeScalable).powerW,
-             agg.group(lhr::Group::JavaNonScalable).powerW,
-             agg.group(lhr::Group::JavaScalable).powerW});
-        row("W3", "Native Non-scalable draws the least power",
-            lhr::formatFixed(nn, 1) + " W vs next " +
-                lhr::formatFixed(others, 1) + " W",
-            nn < others);
-    }
-
-    // W4 — Pareto frontiers are workload sensitive.
-    {
-        auto labels = [&](std::optional<lhr::Group> group) {
-            std::set<std::string> set;
-            for (const auto &pt :
-                 lhr::paretoFrontier45nm(runner, ref, group))
-                set.insert(pt.label);
-            return set;
-        };
-        const auto nn = labels(lhr::Group::NativeNonScalable);
-        const auto ns = labels(lhr::Group::NativeScalable);
-        const auto jn = labels(lhr::Group::JavaNonScalable);
-        row("W4", "Per-group Pareto frontiers differ",
-            lhr::msgOf(nn.size(), " / ", ns.size(), " / ", jn.size(),
-                       " members"),
-            nn != ns && nn != jn && ns != jn);
-    }
-
-    std::cout << "Reproduction scorecard: the paper's findings "
-                 "against this laboratory\n\n";
-    table.print(std::cout);
-    return 0;
+    return lhr::studyMain("findings", argc, argv);
 }

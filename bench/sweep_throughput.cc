@@ -6,18 +6,25 @@
  * throughput (experiments/sec), speedup and cache behaviour. Future
  * PRs compare against these numbers before touching the hot path.
  *
- * Usage: sweep_throughput [--threads N] [--grid full|small]
+ * Writes the measurements to BENCH_sweep.json (one record per run:
+ * {name, config, metrics, wall_sec}) so CI can archive them as an
+ * artifact and regressions are diffable across commits.
+ *
+ * Usage: sweep_throughput [--threads N] [--grid full|small] [--json F]
  *   --threads N   parallel worker count (default: auto)
  *   --grid small  8 configurations x all benchmarks (quick check)
+ *   --json FILE   baseline file to write (default: BENCH_sweep.json)
  */
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "sweep/sweep.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -32,6 +39,34 @@ identical(const lhr::Measurement &a, const lhr::Measurement &b)
         a.invocations == b.invocations;
 }
 
+void
+record(lhr::JsonWriter &json, const std::string &name,
+       const std::string &grid, const lhr::SweepReport &report,
+       double speedup = 0.0)
+{
+    json.beginObject();
+    json.key("name").value(name);
+    json.key("config").beginObject();
+    json.key("grid").value(grid);
+    json.key("configurations").value((uint64_t)report.configs.size());
+    json.key("benchmarks").value((uint64_t)report.benchmarks.size());
+    json.key("threads").value((long)report.threads);
+    json.endObject();
+    json.key("metrics").beginObject();
+    json.key("experiments").value((uint64_t)report.experiments());
+    json.key("experiments_per_sec")
+        .value(report.experimentsPerSec(), 1);
+    json.key("max_cell_sec").value(report.maxCellSec, 6);
+    json.key("sum_cell_sec").value(report.sumCellSec, 6);
+    json.key("cache_hits").value(report.cache.hits);
+    json.key("cache_misses").value(report.cache.misses);
+    if (speedup > 0.0)
+        json.key("speedup").value(speedup, 3);
+    json.endObject();
+    json.key("wall_sec").value(report.wallSec, 6);
+    json.endObject();
+}
+
 } // namespace
 
 int
@@ -39,14 +74,17 @@ main(int argc, char **argv)
 {
     int threads = 0;
     bool smallGrid = false;
+    std::string jsonPath = "BENCH_sweep.json";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
             threads = std::atoi(argv[++i]);
         } else if (std::strcmp(argv[i], "--grid") == 0 && i + 1 < argc) {
             smallGrid = std::string(argv[++i]) == "small";
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            jsonPath = argv[++i];
         } else {
             std::cerr << "usage: sweep_throughput [--threads N] "
-                         "[--grid full|small]\n";
+                         "[--grid full|small] [--json FILE]\n";
             return 2;
         }
     }
@@ -99,6 +137,16 @@ main(int argc, char **argv)
               << " mismatching cells)\n";
     std::cout << "slowest experiment: " << serialReport.maxCellSec
               << "s\n";
+
+    const std::string grid = smallGrid ? "small" : "full";
+    std::ofstream jsonOut(jsonPath, std::ios::binary);
+    lhr::JsonWriter json(jsonOut);
+    json.beginArray();
+    record(json, "sweep_serial", grid, serialReport);
+    record(json, "sweep_parallel", grid, parallelReport, speedup);
+    record(json, "sweep_cached", grid, cachedReport);
+    json.endArray();
+    std::cout << "baseline written: " << jsonPath << "\n";
 
     if (mismatches != 0) {
         std::cerr << "FAIL: parallel sweep diverged from serial\n";

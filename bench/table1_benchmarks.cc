@@ -1,44 +1,12 @@
 /**
  * @file
- * Reproduces paper Table 1: the 61 benchmarks, their groups, suites,
- * reference running times, and descriptions — plus the reference
- * times our own four-machine normalization produces.
+ * Shim over the registered "table1" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "core/lab.hh"
-#include "util/table.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-    const auto &ref = lab.reference();
-
-    std::cout << "Table 1: Benchmark groups (61 benchmarks)\n\n";
-
-    lhr::TableWriter table;
-    table.addColumn("Group", lhr::TableWriter::Align::Left);
-    table.addColumn("Suite", lhr::TableWriter::Align::Left);
-    table.addColumn("Name", lhr::TableWriter::Align::Left);
-    table.addColumn("Paper ref (s)");
-    table.addColumn("Measured ref (s)");
-    table.addColumn("Description", lhr::TableWriter::Align::Left);
-
-    for (const auto group : lhr::allGroups()) {
-        for (const auto *bench : lhr::benchmarksInGroup(group)) {
-            table.beginRow();
-            table.cell(lhr::groupName(group));
-            table.cell(lhr::suiteName(bench->suite));
-            table.cell(bench->name);
-            table.cell(bench->refTimeSec, 1);
-            table.cell(ref.refTimeSec(*bench), 1);
-            table.cell(bench->description);
-        }
-    }
-    table.print(std::cout);
-    std::cout << "\nTotal benchmarks: " << lhr::allBenchmarks().size()
-              << "\n";
-    return 0;
+    return lhr::studyMain("table1", argc, argv);
 }

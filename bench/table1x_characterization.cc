@@ -1,57 +1,12 @@
 /**
  * @file
- * Extended Table 1: model-level characterization of every benchmark
- * — the per-workload quantities behind the study (miss rates at the
- * interesting capacities, predicted single-thread IPC on the i7,
- * branch behaviour, parallelism). This is the table the paper's
- * event-counter methodology implies but does not print.
+ * Shim over the registered "table1x" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "core/lab.hh"
-#include "cpu/perf_model.hh"
-#include "util/table.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto &i7 = lhr::processorById("i7 (45)");
-    const lhr::PerfModel model(i7);
-
-    std::cout <<
-        "Extended Table 1: benchmark characterization "
-        "(model quantities, i7 (45))\n\n";
-
-    lhr::TableWriter table;
-    table.addColumn("Benchmark", lhr::TableWriter::Align::Left);
-    table.addColumn("Group", lhr::TableWriter::Align::Left);
-    table.addColumn("MPKI@32K");
-    table.addColumn("@256K");
-    table.addColumn("@8M");
-    table.addColumn("misp/Ki");
-    table.addColumn("ILP");
-    table.addColumn("pfrac");
-    table.addColumn("jvmSvc");
-    table.addColumn("IPC i7");
-    table.addColumn("memCPI %");
-
-    for (const auto &bench : lhr::allBenchmarks()) {
-        const auto stack =
-            model.threadCpi(bench, i7.stockClockGhz, 1, 1.0);
-        table.beginRow();
-        table.cell(bench.name);
-        table.cell(lhr::groupName(bench.group).substr(0, 9));
-        table.cell(bench.miss.missPerKi(32.0), 1);
-        table.cell(bench.miss.missPerKi(256.0), 1);
-        table.cell(bench.miss.missPerKi(8192.0), 2);
-        table.cell(bench.branchMispKi, 1);
-        table.cell(bench.ilp, 1);
-        table.cell(bench.parallelFraction, 2);
-        table.cell(bench.jvmServiceFraction, 2);
-        table.cell(stack.ipc(), 2);
-        table.cell(100.0 * stack.memory / stack.total(), 1);
-    }
-    table.print(std::cout);
-    return 0;
+    return lhr::studyMain("table1x", argc, argv);
 }

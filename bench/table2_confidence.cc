@@ -1,82 +1,12 @@
 /**
  * @file
- * Reproduces paper Table 2: aggregate 95% confidence intervals for
- * measured execution time and power — average and maximum across all
- * processor configurations and benchmarks, overall and per group.
+ * Shim over the registered "table2" study (see src/study/).
  */
 
-#include <algorithm>
-#include <iostream>
-
-#include "core/lab.hh"
-#include "util/table.hh"
-
-namespace
-{
-
-struct CiAggregate
-{
-    double timeSum = 0.0, timeMax = 0.0;
-    double powerSum = 0.0, powerMax = 0.0;
-    int n = 0;
-
-    void
-    add(const lhr::Measurement &m)
-    {
-        timeSum += m.timeCi95Rel;
-        timeMax = std::max(timeMax, m.timeCi95Rel);
-        powerSum += m.powerCi95Rel;
-        powerMax = std::max(powerMax, m.powerCi95Rel);
-        ++n;
-    }
-};
-
-} // namespace
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-    // Measure the whole grid on the parallel sweep engine first;
-    // the aggregation loop below is then pure cache hits.
-    lab.sweepFullGrid();
-
-    // Paper Table 2 aggregates over all processor configurations;
-    // we use the full 45-configuration set.
-    CiAggregate overall;
-    std::array<CiAggregate, 4> byGroup;
-
-    for (const auto &cfg : lhr::standardConfigurations()) {
-        for (const auto &bench : lhr::allBenchmarks()) {
-            const auto &m = lab.measure(cfg, bench);
-            overall.add(m);
-            byGroup[static_cast<size_t>(bench.group)].add(m);
-        }
-    }
-
-    std::cout <<
-        "Table 2: Aggregate 95% confidence intervals (percent)\n"
-        "Paper: overall avg 1.2% / 2.2% time, 1.5% / 7.1% power\n\n";
-
-    lhr::TableWriter table;
-    table.addColumn("", lhr::TableWriter::Align::Left);
-    table.addColumn("Time avg %");
-    table.addColumn("Time max %");
-    table.addColumn("Power avg %");
-    table.addColumn("Power max %");
-
-    auto emit = [&](const std::string &label, const CiAggregate &ci) {
-        table.beginRow();
-        table.cell(label);
-        table.cell(100.0 * ci.timeSum / ci.n, 1);
-        table.cell(100.0 * ci.timeMax, 1);
-        table.cell(100.0 * ci.powerSum / ci.n, 1);
-        table.cell(100.0 * ci.powerMax, 1);
-    };
-
-    emit("Average", overall);
-    for (size_t gi = 0; gi < byGroup.size(); ++gi)
-        emit(lhr::groupName(lhr::allGroups()[gi]), byGroup[gi]);
-    table.print(std::cout);
-    return 0;
+    return lhr::studyMain("table2", argc, argv);
 }

@@ -1,66 +1,12 @@
 /**
  * @file
- * Reproduces paper Table 3: the eight experimental processors and
- * their key specifications, as encoded in the machine database.
+ * Shim over the registered "table3" study (see src/study/).
  */
 
-#include <iostream>
-
-#include "core/lab.hh"
-#include "util/logging.hh"
-#include "util/table.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::cout << "Table 3: The eight experimental processors\n\n";
-
-    lhr::TableWriter table;
-    table.addColumn("Processor", lhr::TableWriter::Align::Left);
-    table.addColumn("uArch", lhr::TableWriter::Align::Left);
-    table.addColumn("Codename", lhr::TableWriter::Align::Left);
-    table.addColumn("sSpec", lhr::TableWriter::Align::Left);
-    table.addColumn("Released", lhr::TableWriter::Align::Left);
-    table.addColumn("USD");
-    table.addColumn("CMP/SMT", lhr::TableWriter::Align::Left);
-    table.addColumn("LLC");
-    table.addColumn("GHz");
-    table.addColumn("nm");
-    table.addColumn("MTrans");
-    table.addColumn("mm2");
-    table.addColumn("VID", lhr::TableWriter::Align::Left);
-    table.addColumn("TDP W");
-    table.addColumn("Memory", lhr::TableWriter::Align::Left);
-
-    for (const auto &spec : lhr::allProcessors()) {
-        table.beginRow();
-        table.cell(spec.model);
-        table.cell(lhr::familyName(spec.family));
-        table.cell(spec.codename);
-        table.cell(spec.sSpec);
-        table.cell(spec.releaseDate);
-        if (spec.releasePriceUsd > 0.0)
-            table.cell(static_cast<long>(spec.releasePriceUsd));
-        else
-            table.cell(std::string("--"));
-        table.cell(lhr::msgOf(spec.cores, "C", spec.smtWays, "T"));
-        table.cell(spec.llcMb >= 1.0
-                   ? lhr::msgOf(spec.llcMb, "M")
-                   : lhr::msgOf(spec.llcMb * 1024.0, "K"));
-        table.cell(spec.stockClockGhz, 2);
-        table.cell(static_cast<long>(spec.tech().featureNm));
-        table.cell(spec.transistorsM, 0);
-        table.cell(spec.dieMm2, 0);
-        if (spec.vidMaxV > 0.0) {
-            table.cell(lhr::msgOf(lhr::formatFixed(spec.vidMinV, 2),
-                                  " - ",
-                                  lhr::formatFixed(spec.vidMaxV, 2)));
-        } else {
-            table.cell(std::string("--"));
-        }
-        table.cell(spec.tdpW, 0);
-        table.cell(spec.dram);
-    }
-    table.print(std::cout);
-    return 0;
+    return lhr::studyMain("table3", argc, argv);
 }

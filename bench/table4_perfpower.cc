@@ -1,113 +1,12 @@
 /**
  * @file
- * Reproduces paper Table 4: average performance (speedup over the
- * four-machine reference) and average power for each stock
- * processor, per workload group, with weighted (Avg_w) and simple
- * (Avg_b) averages, min/max, and dense ranks.
+ * Shim over the registered "table4" study (see src/study/).
  */
 
-#include <iostream>
-#include <vector>
-
-#include "core/lab.hh"
-#include "util/table.hh"
-
-namespace
-{
-
-// Paper Table 4, Avg_w columns, for side-by-side comparison.
-struct PaperRow
-{
-    const char *id;
-    double perfAvgW;
-    double powerAvgW;
-};
-
-const PaperRow paperRows[] = {
-    {"Pentium4 (130)", 0.82, 44.1},
-    {"C2D (65)",       2.04, 26.4},
-    {"C2Q (65)",       2.70, 58.1},
-    {"i7 (45)",        4.46, 47.0},
-    {"Atom (45)",      0.52,  2.4},
-    {"C2D (45)",       2.54, 20.8},
-    {"AtomD (45)",     0.74,  4.7},
-    {"i5 (32)",        3.80, 25.7},
-};
-
-double
-paperPerf(const std::string &id)
-{
-    for (const auto &row : paperRows)
-        if (id == row.id)
-            return row.perfAvgW;
-    return 0.0;
-}
-
-double
-paperPower(const std::string &id)
-{
-    for (const auto &row : paperRows)
-        if (id == row.id)
-            return row.powerAvgW;
-    return 0.0;
-}
-
-} // namespace
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-
-    // Warm the eight stock rows (and the reference machines) in
-    // parallel; the aggregation loop below then runs from cache.
-    std::vector<lhr::MachineConfig> stock;
-    for (const auto &spec : lhr::allProcessors())
-        stock.push_back(lhr::stockConfig(spec));
-    lab.prewarm(stock);
-
-    std::cout <<
-        "Table 4: Average performance and power characteristics\n"
-        "(speedup over reference | watts; paper Avg_w in brackets)\n\n";
-
-    lhr::TableWriter table;
-    table.addColumn("Processor", lhr::TableWriter::Align::Left);
-    table.addColumn("NN");
-    table.addColumn("NS");
-    table.addColumn("JN");
-    table.addColumn("JS");
-    table.addColumn("AvgW");
-    table.addColumn("AvgB");
-    table.addColumn("Min");
-    table.addColumn("Max");
-    table.addColumn("[paper AvgW]");
-    table.addColumn("P:NN");
-    table.addColumn("P:NS");
-    table.addColumn("P:JN");
-    table.addColumn("P:JS");
-    table.addColumn("P:AvgW");
-    table.addColumn("P:Min");
-    table.addColumn("P:Max");
-    table.addColumn("[paper P]");
-
-    for (const auto &spec : lhr::allProcessors()) {
-        const auto agg = lab.aggregate(lhr::stockConfig(spec));
-        table.beginRow();
-        table.cell(spec.id);
-        for (const auto &g : agg.byGroup)
-            table.cell(g.perf, 2);
-        table.cell(agg.weighted.perf, 2);
-        table.cell(agg.simple.perf, 2);
-        table.cell(agg.minPerf, 2);
-        table.cell(agg.maxPerf, 2);
-        table.cell(paperPerf(spec.id), 2);
-        for (const auto &g : agg.byGroup)
-            table.cell(g.powerW, 1);
-        table.cell(agg.weighted.powerW, 1);
-        table.cell(agg.minPowerW, 1);
-        table.cell(agg.maxPowerW, 1);
-        table.cell(paperPower(spec.id), 1);
-    }
-    table.print(std::cout);
-    return 0;
+    return lhr::studyMain("table4", argc, argv);
 }

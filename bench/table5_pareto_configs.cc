@@ -1,68 +1,12 @@
 /**
  * @file
- * Reproduces paper Table 5: the Pareto-efficient 45nm processor
- * configurations for each benchmark group and the average.
- *
- * Paper highlights: 15 of the 29 configurations appear on some
- * frontier; no Atom D510 configuration is Pareto-efficient for any
- * group; every Native Non-scalable frontier point is an i7
- * configuration (contradicting Azizi et al.'s in-order prediction);
- * Java and native frontiers share few choices.
+ * Shim over the registered "table5" study (see src/study/).
  */
 
-#include <iostream>
-#include <map>
-#include <optional>
-#include <set>
-
-#include "analysis/pareto_study.hh"
-#include "core/lab.hh"
-#include "util/table.hh"
+#include "study/study.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    lhr::Lab lab;
-
-    // Collect frontier membership per group.
-    std::map<std::string, std::set<std::string>> membership;
-    std::set<std::string> allMembers;
-
-    auto collect = [&](std::optional<lhr::Group> group,
-                       const std::string &label) {
-        for (const auto &pt : lhr::paretoFrontier45nm(
-                 lab.runner(), lab.reference(), group)) {
-            membership[pt.label].insert(label);
-            allMembers.insert(pt.label);
-        }
-    };
-
-    collect(std::nullopt, "Average");
-    for (const auto group : lhr::allGroups())
-        collect(group, lhr::groupName(group));
-
-    std::cout <<
-        "Table 5: Pareto-efficient 45nm configurations per group\n"
-        "(paper: 15 of 29 configurations appear; all AtomD configs\n"
-        " absent; all Native Non-scalable picks are i7 configs)\n\n";
-
-    lhr::TableWriter table;
-    table.addColumn("Configuration", lhr::TableWriter::Align::Left);
-    table.addColumn("Avg", lhr::TableWriter::Align::Left);
-    for (const auto group : lhr::allGroups())
-        table.addColumn(lhr::groupName(group), lhr::TableWriter::Align::Left);
-
-    for (const auto &[label, groups] : membership) {
-        table.beginRow();
-        table.cell(label);
-        table.cell(groups.count("Average") ? "x" : "");
-        for (const auto group : lhr::allGroups())
-            table.cell(groups.count(lhr::groupName(group)) ? "x" : "");
-    }
-    table.print(std::cout);
-
-    std::cout << "\nConfigurations on some frontier: "
-              << allMembers.size() << " of "
-              << lhr::configurations45nm().size() << "\n";
-    return 0;
+    return lhr::studyMain("table5", argc, argv);
 }

@@ -12,9 +12,15 @@
  * previous O(n) vector stack degraded linearly (a deep-reuse
  * benchmark like mcf ran >20x slower at 8M accesses).
  *
- * Usage: trace_throughput [--accesses N] [--instructions N]
+ * Writes the measurements to BENCH_trace.json (one record per
+ * kernel x benchmark: {name, config, metrics, wall_sec}) so CI can
+ * archive them as an artifact and regressions are diffable across
+ * commits.
+ *
+ * Usage: trace_throughput [--accesses N] [--instructions N] [--json F]
  *   --accesses N      addresses per addrgen run   (default 8000000)
  *   --instructions N  micro-ops per fill/pipe run (default 3000000)
+ *   --json FILE       baseline file to write (default BENCH_trace.json)
  */
 
 #include <chrono>
@@ -22,11 +28,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <string>
 
 #include "core/lab.hh"
 #include "counters/hwcounters.hh"
 #include "pipesim/pipeline.hh"
 #include "trace/generator.hh"
+#include "util/json.hh"
 #include "workload/benchmark.hh"
 
 namespace
@@ -40,6 +49,29 @@ seconds(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
+/** One {name, config, metrics, wall_sec} baseline record. */
+void
+record(lhr::JsonWriter &json, const std::string &kernel,
+       const std::string &benchmark, const std::string &sizeKey,
+       uint64_t size, const std::string &rateKey, double rate,
+       double wallSec, double ipc = 0.0)
+{
+    json.beginObject();
+    json.key("name").value(kernel + "/" + benchmark);
+    json.key("config").beginObject();
+    json.key("kernel").value(kernel);
+    json.key("benchmark").value(benchmark);
+    json.key(sizeKey).value(size);
+    json.endObject();
+    json.key("metrics").beginObject();
+    json.key(rateKey).value(rate, 2);
+    if (ipc > 0.0)
+        json.key("ipc").value(ipc, 4);
+    json.endObject();
+    json.key("wall_sec").value(wallSec, 6);
+    json.endObject();
+}
+
 } // namespace
 
 int
@@ -47,16 +79,20 @@ main(int argc, char **argv)
 {
     uint64_t accesses = 8000000;
     uint64_t instructions = 3000000;
+    std::string jsonPath = "BENCH_trace.json";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--accesses") == 0 && i + 1 < argc) {
             accesses = std::strtoull(argv[++i], nullptr, 10);
         } else if (std::strcmp(argv[i], "--instructions") == 0 &&
                    i + 1 < argc) {
             instructions = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--json") == 0 &&
+                   i + 1 < argc) {
+            jsonPath = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: trace_throughput [--accesses N] "
-                         "[--instructions N]\n");
+                         "[--instructions N] [--json FILE]\n");
             return 2;
         }
     }
@@ -66,6 +102,10 @@ main(int argc, char **argv)
     const auto pipeCfg =
         lhr::PipelineConfig::of(spec, spec.stockClockGhz);
     const uint64_t seed = 7;
+
+    std::ofstream jsonOut(jsonPath, std::ios::binary);
+    lhr::JsonWriter json(jsonOut);
+    json.beginArray();
 
     // hmmer reuses near the stack top, gcc in the middle, mcf deep:
     // together they exercise every path through the substrate.
@@ -86,6 +126,8 @@ main(int argc, char **argv)
                 "\"maccess_per_sec\": %.2f, \"sink\": \"%llx\"}\n",
                 name, (unsigned long long)accesses, sec,
                 accesses / sec / 1e6, (unsigned long long)sink);
+            record(json, "addrgen", name, "accesses", accesses,
+                   "maccess_per_sec", accesses / sec / 1e6, sec);
         }
 
         {
@@ -108,6 +150,8 @@ main(int argc, char **argv)
                 "\"mops_per_sec\": %.2f, \"sink\": \"%llx\"}\n",
                 name, (unsigned long long)instructions, sec,
                 instructions / sec / 1e6, (unsigned long long)sink);
+            record(json, "fill", name, "micro_ops", instructions,
+                   "mops_per_sec", instructions / sec / 1e6, sec);
         }
 
         {
@@ -121,7 +165,13 @@ main(int argc, char **argv)
                 "\"minstr_per_sec\": %.2f, \"ipc\": %.4f}\n",
                 name, (unsigned long long)instructions, sec,
                 instructions / sec / 1e6, r.ipc);
+            record(json, "pipesim", name, "instructions",
+                   instructions, "minstr_per_sec",
+                   instructions / sec / 1e6, sec, r.ipc);
         }
     }
+
+    json.endArray();
+    std::fprintf(stderr, "baseline written: %s\n", jsonPath.c_str());
     return 0;
 }

@@ -3,6 +3,8 @@
  * lhrlab — command-line front end to the measurement laboratory.
  *
  * Subcommands:
+ *   list [--names]                  list the registered studies
+ *   run <study>... | run --all      run studies (one prewarm pass)
  *   processors                      list the eight processors
  *   benchmarks [group]              list benchmarks (nn|ns|jn|js)
  *   configs [--45nm]                list experimental configurations
@@ -10,10 +12,16 @@
  *   aggregate <proc-id> [opts]         Table 4-style row
  *   counters <proc-id> <bench>         event-counter profile
  *
+ * Options for run:
+ *   --format text|csv|json   --out DIR   --jobs N   --no-prewarm
  * Options for measure/aggregate:
  *   --cores N   --smt on|off   --clock GHZ   --turbo on|off
+ * Global options (before the command):
+ *   --seed N     experiment seed (also: LHR_SEED env variable)
  *
- * Example:
+ * Examples:
+ *   lhrlab run fig04 --format=json
+ *   lhrlab run --all --jobs 8 --format=json --out artifacts/
  *   lhrlab measure "i7 (45)" mcf --cores 2 --smt off --clock 1.6
  */
 
@@ -30,6 +38,8 @@
 #include "harness/corun.hh"
 #include "harness/multiprog.hh"
 #include "store/results_store.hh"
+#include "study/study.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -40,7 +50,10 @@ void
 usage()
 {
     std::cout <<
-        "usage: lhrlab <command> [args]\n"
+        "usage: lhrlab [--seed N] <command> [args]\n"
+        "  list [--names]\n"
+        "  run <study>... | run --all  [--format text|csv|json]\n"
+        "      [--out DIR] [--jobs N] [--no-prewarm]\n"
         "  processors\n"
         "  benchmarks [nn|ns|jn|js]\n"
         "  configs [--45nm]\n"
@@ -412,11 +425,33 @@ int
 main(int argc, char **argv)
 {
     std::vector<std::string> args(argv, argv + argc);
+
+    // Global options come before the command.
+    size_t first = 1;
+    while (first < args.size() && args[first] == "--seed") {
+        if (first + 1 >= args.size())
+            lhr::fatal("--seed needs a value");
+        const auto seed = lhr::parseSeed(args[first + 1]);
+        if (!seed)
+            lhr::fatal("malformed --seed '" + args[first + 1] + "'");
+        lhr::setSeedOverride(seed);
+        args.erase(args.begin() + first, args.begin() + first + 2);
+    }
+
     if (args.size() < 2) {
         usage();
         return 1;
     }
     const std::string &command = args[1];
+    if (command == "list") {
+        lhr::listStudies(std::cout,
+                         args.size() > 2 && args[2] == "--names");
+        return 0;
+    }
+    if (command == "run") {
+        return lhr::runStudyCommand(
+            std::vector<std::string>(args.begin() + 2, args.end()));
+    }
     if (command == "processors")
         return cmdProcessors();
     if (command == "benchmarks")

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "analysis/features.hh"
 #include "util/logging.hh"
 
 namespace lhr
@@ -11,13 +12,7 @@ DvfsProfile
 dvfsProfile(ExperimentRunner &runner, const ReferenceSet &ref,
             const std::string &processor_id, int steps)
 {
-    if (steps < 2)
-        panic("dvfsProfile: need at least two steps");
-
     const ProcessorSpec &spec = processorById(processor_id);
-    auto base = stockConfig(spec);
-    if (spec.hasTurbo)
-        base = withTurbo(base, false);
 
     DvfsProfile profile;
     profile.processorId = processor_id;
@@ -25,21 +20,22 @@ dvfsProfile(ExperimentRunner &runner, const ReferenceSet &ref,
     profile.fMinGhz = spec.fMinGhz;
     profile.fMaxGhz = spec.stockClockGhz;
 
+    // The same declared min-to-max clock grid the Figure 7 sweep
+    // measures (Turbo disabled), so a prewarm covering one covers
+    // the other.
+    const auto configs = clockSweepConfigs(processor_id, steps);
     double bestEnergy = std::numeric_limits<double>::infinity();
     double energyAtMin = 0.0, energyAtMax = 0.0;
-    for (int i = 0; i < steps; ++i) {
-        const double f = spec.fMinGhz +
-            (spec.stockClockGhz - spec.fMinGhz) * i / (steps - 1);
-        const auto agg =
-            aggregateConfig(runner, ref, withClock(base, f));
+    for (size_t i = 0; i < configs.size(); ++i) {
+        const auto agg = aggregateConfig(runner, ref, configs[i]);
         const double energy = agg.weighted.energy;
         if (energy < bestEnergy) {
             bestEnergy = energy;
-            profile.energyOptimalGhz = f;
+            profile.energyOptimalGhz = configs[i].clockGhz;
         }
         if (i == 0)
             energyAtMin = energy;
-        if (i == steps - 1)
+        if (i + 1 == configs.size())
             energyAtMax = energy;
     }
     profile.energyAtMinRel = energyAtMin / bestEnergy;
@@ -47,9 +43,8 @@ dvfsProfile(ExperimentRunner &runner, const ReferenceSet &ref,
 
     // Static share at the lowest clock for a representative
     // mid-intensity workload.
-    const auto slow = withClock(base, spec.fMinGhz);
     const auto prof =
-        runner.profile(slow, benchmarkByName("xalancbmk"));
+        runner.profile(configs.front(), benchmarkByName("xalancbmk"));
     profile.staticShareAtMin = prof.power.leakW / prof.power.total();
     return profile;
 }

@@ -19,6 +19,19 @@ ratioOf(const GroupAggregate &subject, const GroupAggregate &baseline)
             subject.energy / baseline.energy};
 }
 
+/** Measure every declared comparison of a study. */
+std::vector<GroupedEffect>
+compareAll(ExperimentRunner &runner, const ReferenceSet &ref,
+           const std::vector<StudyPair> &pairs)
+{
+    std::vector<GroupedEffect> effects;
+    for (const auto &pair : pairs) {
+        effects.push_back(compareConfigs(runner, ref, pair.subject,
+                                         pair.baseline, pair.label));
+    }
+    return effects;
+}
+
 } // namespace
 
 GroupedEffect
@@ -36,54 +49,81 @@ compareConfigs(ExperimentRunner &runner, const ReferenceSet &ref,
     return effect;
 }
 
-std::vector<GroupedEffect>
-cmpStudy(ExperimentRunner &runner, const ReferenceSet &ref)
+std::vector<MachineConfig>
+pairConfigs(const std::vector<StudyPair> &pairs)
 {
-    std::vector<GroupedEffect> effects;
+    std::vector<MachineConfig> configs;
+    for (const auto &pair : pairs) {
+        configs.push_back(pair.subject);
+        configs.push_back(pair.baseline);
+    }
+    return configs;
+}
+
+std::vector<StudyPair>
+cmpStudyPairs()
+{
+    std::vector<StudyPair> pairs;
     for (const std::string id : {"i7 (45)", "i5 (32)"}) {
         auto base = stockConfig(processorById(id));
         base = withTurbo(withSmt(base, false), false);
-        const auto one = withCores(base, 1);
-        const auto two = withCores(base, 2);
-        effects.push_back(
-            compareConfigs(runner, ref, two, one, id));
+        pairs.push_back({withCores(base, 2), withCores(base, 1), id});
     }
-    return effects;
+    return pairs;
 }
 
 std::vector<GroupedEffect>
-smtStudy(ExperimentRunner &runner, const ReferenceSet &ref)
+cmpStudy(ExperimentRunner &runner, const ReferenceSet &ref)
 {
-    std::vector<GroupedEffect> effects;
+    return compareAll(runner, ref, cmpStudyPairs());
+}
+
+std::vector<StudyPair>
+smtStudyPairs()
+{
+    std::vector<StudyPair> pairs;
     for (const std::string id :
              {"Pentium4 (130)", "i7 (45)", "Atom (45)", "i5 (32)"}) {
         auto base = withCores(stockConfig(processorById(id)), 1);
         if (base.spec->hasTurbo)
             base = withTurbo(base, false);
-        const auto smtOff = withSmt(base, false);
-        const auto smtOn = withSmt(base, true);
-        effects.push_back(
-            compareConfigs(runner, ref, smtOn, smtOff, id));
+        pairs.push_back(
+            {withSmt(base, true), withSmt(base, false), id});
     }
-    return effects;
+    return pairs;
+}
+
+std::vector<GroupedEffect>
+smtStudy(ExperimentRunner &runner, const ReferenceSet &ref)
+{
+    return compareAll(runner, ref, smtStudyPairs());
+}
+
+std::vector<StudyPair>
+clockStudyPairs()
+{
+    std::vector<StudyPair> pairs;
+    for (const std::string id : {"i7 (45)", "C2D (45)", "i5 (32)"}) {
+        auto base = stockConfig(processorById(id));
+        if (base.spec->hasTurbo)
+            base = withTurbo(base, false);
+        pairs.push_back({withClock(base, base.spec->stockClockGhz),
+                         withClock(base, base.spec->fMinGhz), id});
+    }
+    return pairs;
 }
 
 std::vector<GroupedEffect>
 clockStudy(ExperimentRunner &runner, const ReferenceSet &ref)
 {
     std::vector<GroupedEffect> effects;
-    for (const std::string id : {"i7 (45)", "C2D (45)", "i5 (32)"}) {
-        auto base = stockConfig(processorById(id));
-        if (base.spec->hasTurbo)
-            base = withTurbo(base, false);
-        const auto slow = withClock(base, base.spec->fMinGhz);
-        const auto fast = withClock(base, base.spec->stockClockGhz);
-        GroupedEffect span =
-            compareConfigs(runner, ref, fast, slow, id);
+    for (const auto &pair : clockStudyPairs()) {
+        GroupedEffect span = compareConfigs(
+            runner, ref, pair.subject, pair.baseline, pair.label);
 
         // Normalize the min-to-max span to one clock doubling.
         const double doublings =
-            std::log2(base.spec->stockClockGhz / base.spec->fMinGhz);
+            std::log2(pair.subject.clockGhz / pair.baseline.clockGhz);
         auto perDoubling = [doublings](FeatureEffect &e) {
             e.perf = std::pow(e.perf, 1.0 / doublings);
             e.power = std::pow(e.power, 1.0 / doublings);
@@ -97,9 +137,8 @@ clockStudy(ExperimentRunner &runner, const ReferenceSet &ref)
     return effects;
 }
 
-std::vector<ClockPoint>
-clockSweep(ExperimentRunner &runner, const ReferenceSet &ref,
-           const std::string &processor_id, int steps)
+std::vector<MachineConfig>
+clockSweepConfigs(const std::string &processor_id, int steps)
 {
     if (steps < 2)
         panic("clockSweep: need at least two steps");
@@ -109,19 +148,29 @@ clockSweep(ExperimentRunner &runner, const ReferenceSet &ref,
     const double fLo = base.spec->fMinGhz;
     const double fHi = base.spec->stockClockGhz;
 
+    std::vector<MachineConfig> configs;
+    for (int i = 0; i < steps; ++i) {
+        const double f = fLo + (fHi - fLo) * i / (steps - 1);
+        configs.push_back(withClock(base, f));
+    }
+    return configs;
+}
+
+std::vector<ClockPoint>
+clockSweep(ExperimentRunner &runner, const ReferenceSet &ref,
+           const std::string &processor_id, int steps)
+{
     std::vector<ClockPoint> points;
     double basePerf = 0.0;
     double baseEnergy = 0.0;
-    for (int i = 0; i < steps; ++i) {
-        const double f = fLo + (fHi - fLo) * i / (steps - 1);
-        const auto cfg = withClock(base, f);
+    for (const auto &cfg : clockSweepConfigs(processor_id, steps)) {
         const ConfigAggregate agg = aggregateConfig(runner, ref, cfg);
-        if (i == 0) {
+        if (points.empty()) {
             basePerf = agg.weighted.perf;
             baseEnergy = agg.weighted.energy;
         }
         ClockPoint pt;
-        pt.clockGhz = f;
+        pt.clockGhz = cfg.clockGhz;
         pt.perfRelBase = agg.weighted.perf / basePerf;
         pt.energyRelBase = agg.weighted.energy / baseEnergy;
         for (size_t gi = 0; gi < pt.groupPerfAbs.size(); ++gi) {
@@ -133,11 +182,10 @@ clockSweep(ExperimentRunner &runner, const ReferenceSet &ref,
     return points;
 }
 
-std::vector<GroupedEffect>
-dieShrinkStudy(ExperimentRunner &runner, const ReferenceSet &ref,
-               bool matched_clocks)
+std::vector<StudyPair>
+dieShrinkPairs(bool matched_clocks)
 {
-    std::vector<GroupedEffect> effects;
+    std::vector<StudyPair> pairs;
 
     // Core family: Conroe (65nm) -> Wolfdale (45nm), both 2C1T.
     {
@@ -145,9 +193,8 @@ dieShrinkStudy(ExperimentRunner &runner, const ReferenceSet &ref,
         auto newCfg = stockConfig(processorById("C2D (45)"));
         if (matched_clocks)
             newCfg = withClock(newCfg, 2.4);
-        effects.push_back(compareConfigs(
-            runner, ref, newCfg, oldCfg,
-            matched_clocks ? "Core 2.4GHz" : "Core"));
+        pairs.push_back({newCfg, oldCfg,
+                         matched_clocks ? "Core 2.4GHz" : "Core"});
     }
 
     // Nehalem family: Bloomfield (45nm) -> Clarkdale (32nm),
@@ -159,25 +206,31 @@ dieShrinkStudy(ExperimentRunner &runner, const ReferenceSet &ref,
             stockConfig(processorById("i5 (32)")), false);
         if (matched_clocks)
             newCfg = withClock(newCfg, oldCfg.spec->stockClockGhz);
-        effects.push_back(compareConfigs(
-            runner, ref, newCfg, oldCfg,
-            matched_clocks ? "Nehalem 2C2T 2.6GHz" : "Nehalem 2C2T"));
+        pairs.push_back({newCfg, oldCfg,
+                         matched_clocks ? "Nehalem 2C2T 2.6GHz"
+                                        : "Nehalem 2C2T"});
     }
-    return effects;
+    return pairs;
 }
 
 std::vector<GroupedEffect>
-uarchStudy(ExperimentRunner &runner, const ReferenceSet &ref)
+dieShrinkStudy(ExperimentRunner &runner, const ReferenceSet &ref,
+               bool matched_clocks)
 {
-    std::vector<GroupedEffect> effects;
+    return compareAll(runner, ref, dieShrinkPairs(matched_clocks));
+}
+
+std::vector<StudyPair>
+uarchStudyPairs()
+{
+    std::vector<StudyPair> pairs;
 
     // i7 vs Atom D510: 2 cores, 2 threads, 1.7GHz.
     {
         const auto atomD = stockConfig(processorById("AtomD (45)"));
         auto i7 = withTurbo(stockConfig(processorById("i7 (45)")), false);
         i7 = withClock(withCores(i7, 2), atomD.spec->stockClockGhz);
-        effects.push_back(compareConfigs(
-            runner, ref, i7, atomD, "Bonnell: i7 (45) / AtomD (45)"));
+        pairs.push_back({i7, atomD, "Bonnell: i7 (45) / AtomD (45)"});
     }
 
     // i7 vs Pentium 4: 1 core, 2 threads, 2.4GHz.
@@ -185,8 +238,7 @@ uarchStudy(ExperimentRunner &runner, const ReferenceSet &ref)
         const auto p4 = stockConfig(processorById("Pentium4 (130)"));
         auto i7 = withTurbo(stockConfig(processorById("i7 (45)")), false);
         i7 = withClock(withCores(i7, 1), 2.4);
-        effects.push_back(compareConfigs(
-            runner, ref, i7, p4, "NetBurst: i7 (45) / Pentium4 (130)"));
+        pairs.push_back({i7, p4, "NetBurst: i7 (45) / Pentium4 (130)"});
     }
 
     // i7 vs Core 2 Duo E7600: 2 cores, 1 thread, at the i7's clock.
@@ -195,8 +247,7 @@ uarchStudy(ExperimentRunner &runner, const ReferenceSet &ref)
         i7 = withSmt(withCores(i7, 2), false);
         auto c2d = withClock(stockConfig(processorById("C2D (45)")),
                              i7.clockGhz);
-        effects.push_back(compareConfigs(
-            runner, ref, i7, c2d, "Core: i7 (45) / C2D (45)"));
+        pairs.push_back({i7, c2d, "Core: i7 (45) / C2D (45)"});
     }
 
     // i5 vs Core 2 Duo E6600: 2 cores, 1 thread, 2.4GHz.
@@ -204,37 +255,54 @@ uarchStudy(ExperimentRunner &runner, const ReferenceSet &ref)
         const auto c2d = stockConfig(processorById("C2D (65)"));
         auto i5 = withTurbo(stockConfig(processorById("i5 (32)")), false);
         i5 = withClock(withSmt(i5, false), 2.4);
-        effects.push_back(compareConfigs(
-            runner, ref, i5, c2d, "Core: i5 (32) / C2D (65)"));
+        pairs.push_back({i5, c2d, "Core: i5 (32) / C2D (65)"});
     }
-    return effects;
+    return pairs;
+}
+
+std::vector<GroupedEffect>
+uarchStudy(ExperimentRunner &runner, const ReferenceSet &ref)
+{
+    return compareAll(runner, ref, uarchStudyPairs());
+}
+
+std::vector<StudyPair>
+turboStudyPairs()
+{
+    std::vector<StudyPair> pairs;
+    for (const std::string id : {"i7 (45)", "i5 (32)"}) {
+        const auto stock = stockConfig(processorById(id));
+        pairs.push_back({withTurbo(stock, true),
+                         withTurbo(stock, false),
+                         msgOf(id, " ", stock.enabledCores, "C",
+                               stock.smtPerCore, "T")});
+        const auto single = withSmt(withCores(stock, 1), false);
+        pairs.push_back({withTurbo(single, true),
+                         withTurbo(single, false), id + " 1C1T"});
+    }
+    return pairs;
 }
 
 std::vector<GroupedEffect>
 turboStudy(ExperimentRunner &runner, const ReferenceSet &ref)
 {
-    std::vector<GroupedEffect> effects;
-    for (const std::string id : {"i7 (45)", "i5 (32)"}) {
-        const auto stock = stockConfig(processorById(id));
-        effects.push_back(compareConfigs(
-            runner, ref, withTurbo(stock, true),
-            withTurbo(stock, false),
-            msgOf(id, " ", stock.enabledCores, "C",
-                  stock.smtPerCore, "T")));
-        const auto single = withSmt(withCores(stock, 1), false);
-        effects.push_back(compareConfigs(
-            runner, ref, withTurbo(single, true),
-            withTurbo(single, false), id + " 1C1T"));
-    }
-    return effects;
+    return compareAll(runner, ref, turboStudyPairs());
+}
+
+std::vector<MachineConfig>
+javaScalabilityConfigs()
+{
+    auto base = withTurbo(stockConfig(processorById("i7 (45)")), false);
+    // {1C1T, 4C2T}: measure() order in javaScalability().
+    return {withSmt(withCores(base, 1), false), base};
 }
 
 std::vector<std::pair<std::string, double>>
 javaScalability(ExperimentRunner &runner)
 {
-    auto base = withTurbo(stockConfig(processorById("i7 (45)")), false);
-    const auto full = base;                                   // 4C2T
-    const auto single = withSmt(withCores(base, 1), false);   // 1C1T
+    const auto configs = javaScalabilityConfigs();
+    const auto &single = configs[0];
+    const auto &full = configs[1];
 
     std::vector<std::pair<std::string, double>> result;
     for (const auto &bench : allBenchmarks()) {
@@ -255,13 +323,20 @@ javaScalability(ExperimentRunner &runner)
     return result;
 }
 
-std::vector<std::pair<std::string, double>>
-javaSingleThreadedCmp(ExperimentRunner &runner)
+std::vector<MachineConfig>
+javaSingleThreadedCmpConfigs()
 {
     auto base = withSmt(
         withTurbo(stockConfig(processorById("i7 (45)")), false), false);
-    const auto one = withCores(base, 1);
-    const auto two = withCores(base, 2);
+    return {withCores(base, 1), withCores(base, 2)};
+}
+
+std::vector<std::pair<std::string, double>>
+javaSingleThreadedCmp(ExperimentRunner &runner)
+{
+    const auto configs = javaSingleThreadedCmpConfigs();
+    const auto &one = configs[0];
+    const auto &two = configs[1];
 
     std::vector<std::pair<std::string, double>> result;
     for (const auto &bench : allBenchmarks()) {

@@ -49,6 +49,55 @@ GroupedEffect compareConfigs(ExperimentRunner &runner,
                              const std::string &label);
 
 /**
+ * One controlled comparison: the two configurations a feature study
+ * measures and the label its effect is reported under.
+ *
+ * Every feature study declares its comparisons as data (the *Pairs()
+ * functions below) and measures by iterating them. The declaration
+ * is what lets a driver union the configuration grids of many
+ * studies into a single parallel Lab::prewarm pass before any study
+ * measures serially.
+ */
+struct StudyPair
+{
+    MachineConfig subject;
+    MachineConfig baseline;
+    std::string label;
+};
+
+/** The comparisons of the CMP study (Figure 4). */
+std::vector<StudyPair> cmpStudyPairs();
+
+/** The comparisons of the SMT study (Figure 5). */
+std::vector<StudyPair> smtStudyPairs();
+
+/** The min/max-clock comparisons of the clock study (Figure 7a/b). */
+std::vector<StudyPair> clockStudyPairs();
+
+/** The comparisons of the die shrink study (Figure 8). */
+std::vector<StudyPair> dieShrinkPairs(bool matched_clocks);
+
+/** The comparisons of the microarchitecture study (Figure 9). */
+std::vector<StudyPair> uarchStudyPairs();
+
+/** The comparisons of the Turbo Boost study (Figure 10). */
+std::vector<StudyPair> turboStudyPairs();
+
+/** The clock points clockSweep() measures. */
+std::vector<MachineConfig> clockSweepConfigs(
+    const std::string &processor_id, int steps);
+
+/** The two configurations javaScalability() measures. */
+std::vector<MachineConfig> javaScalabilityConfigs();
+
+/** The two configurations javaSingleThreadedCmp() measures. */
+std::vector<MachineConfig> javaSingleThreadedCmpConfigs();
+
+/** Flatten study pairs into their configuration grid. */
+std::vector<MachineConfig> pairConfigs(
+    const std::vector<StudyPair> &pairs);
+
+/**
  * CMP study (Figure 4): two cores versus one, SMT and Turbo
  * disabled, on the i7 (45) and i5 (32).
  */

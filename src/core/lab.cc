@@ -7,7 +7,7 @@ namespace lhr
 {
 
 Lab::Lab(uint64_t seed)
-    : experimentRunner(seed)
+    : labSeed(seed), experimentRunner(seed)
 {
 }
 

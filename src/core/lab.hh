@@ -27,6 +27,7 @@
 #include "harness/reference.hh"
 #include "harness/runner.hh"
 #include "sweep/sweep.hh"
+#include "util/env.hh"
 
 namespace lhr
 {
@@ -35,13 +36,16 @@ namespace lhr
 class Lab
 {
   public:
-    explicit Lab(uint64_t seed = 0xC0FFEEull);
+    explicit Lab(uint64_t seed = defaultSeed());
 
     Lab(const Lab &) = delete;
     Lab &operator=(const Lab &) = delete;
 
     /** The underlying experiment runner. */
     ExperimentRunner &runner() { return experimentRunner; }
+
+    /** The seed this laboratory was constructed with. */
+    uint64_t seed() const { return labSeed; }
 
     /** The four-machine reference set (built lazily). */
     const ReferenceSet &reference();
@@ -80,6 +84,7 @@ class Lab
                  SweepOptions options = {});
 
   private:
+    uint64_t labSeed;
     ExperimentRunner experimentRunner;
     std::unique_ptr<ReferenceSet> referenceSet;
 };

@@ -30,6 +30,7 @@
 #include "cpu/perf_model.hh"
 #include "harness/measurement.hh"
 #include "machine/processor.hh"
+#include "util/env.hh"
 #include "power/chip_power.hh"
 #include "power/meters.hh"
 #include "sensor/calibration.hh"
@@ -58,7 +59,7 @@ struct CacheStats
 class ExperimentRunner
 {
   public:
-    explicit ExperimentRunner(uint64_t seed = 0xC0FFEEull);
+    explicit ExperimentRunner(uint64_t seed = defaultSeed());
 
     ExperimentRunner(const ExperimentRunner &) = delete;
     ExperimentRunner &operator=(const ExperimentRunner &) = delete;

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Per-translation-unit registration hooks for the builtin studies.
+ * registerBuiltinStudies() calls each of these exactly once; the
+ * explicit calls keep the studies alive through static linking,
+ * where self-registering global objects would be garbage-collected.
+ */
+
+#ifndef LHR_STUDY_BUILTIN_HH
+#define LHR_STUDY_BUILTIN_HH
+
+namespace lhr
+{
+
+class StudyRegistry;
+
+void registerFigureStudies(StudyRegistry &registry);
+void registerTableStudies(StudyRegistry &registry);
+void registerFindingsStudies(StudyRegistry &registry);
+void registerModelAblationStudies(StudyRegistry &registry);
+void registerLabAblationStudies(StudyRegistry &registry);
+
+} // namespace lhr
+
+#endif // LHR_STUDY_BUILTIN_HH

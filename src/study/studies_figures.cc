@@ -1,0 +1,463 @@
+/**
+ * @file
+ * The paper's figures (1-12) as registered studies. Each run()
+ * reproduces the corresponding historical bench binary's output
+ * byte-for-byte through a TextSink; the declared grids let a driver
+ * prewarm everything the figures measure in one parallel pass.
+ */
+
+#include "study/builtin.hh"
+
+#include <optional>
+
+#include "core/lab.hh"
+#include "stats/summary.hh"
+#include "study/study.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+std::vector<MachineConfig>
+stockConfigs()
+{
+    std::vector<MachineConfig> stock;
+    for (const auto &spec : allProcessors())
+        stock.push_back(stockConfig(spec));
+    return stock;
+}
+
+std::vector<MachineConfig>
+concatConfigs(std::vector<MachineConfig> a,
+              const std::vector<MachineConfig> &b)
+{
+    a.insert(a.end(), b.begin(), b.end());
+    return a;
+}
+
+void
+runFig01(Lab &lab, ReportContext &ctx)
+{
+    const auto scaling = javaScalability(lab.runner());
+    Sink &sink = ctx.out();
+
+    sink.prose(
+        "Figure 1: Scalability of Java multithreaded benchmarks on "
+        "i7 (45)\n(4C2T / 1C1T, descending; paper: sunflow ~4.3 down "
+        "to h2 ~1.05,\n Java Scalable group average 3.4)\n\n");
+
+    sink.beginTable("scalability",
+                    {leftColumn("Benchmark"), {"4C2T / 1C1T"},
+                     leftColumn("Group")});
+    double scalableSum = 0.0;
+    int scalableCount = 0;
+    for (const auto &[name, speedup] : scaling) {
+        const auto &bench = benchmarkByName(name);
+        sink.beginRow();
+        sink.cell(name);
+        sink.cell(speedup, 2);
+        sink.cell(groupName(bench.group));
+        if (bench.group == Group::JavaScalable) {
+            scalableSum += speedup;
+            ++scalableCount;
+        }
+    }
+    sink.endTable();
+    sink.prose("\nJava Scalable group average: " +
+               formatFixed(scalableSum / scalableCount, 2) +
+               " (paper: 3.4)\n");
+}
+
+void
+runFig02(Lab &lab, ReportContext &ctx)
+{
+    Sink &sink = ctx.out();
+    sink.prose(
+        "Figure 2: Measured benchmark power vs TDP per processor\n"
+        "(paper: TDP strictly above measured; widest range on "
+        "i7/i5)\n\n");
+
+    sink.beginTable("power_vs_tdp",
+                    {leftColumn("Processor"), {"TDP W"}, {"Min W"},
+                     {"Mean W"}, {"Max W"}, {"Max/Min"}, {"TDP/Max"}});
+    for (const auto &spec : allProcessors()) {
+        const auto cfg = stockConfig(spec);
+        double minW = 1e9, maxW = 0.0, sumW = 0.0;
+        for (const auto &bench : allBenchmarks()) {
+            const double w = lab.measure(cfg, bench).powerW;
+            minW = std::min(minW, w);
+            maxW = std::max(maxW, w);
+            sumW += w;
+        }
+        sink.beginRow();
+        sink.cell(spec.id);
+        sink.cell(spec.tdpW, 0);
+        sink.cell(minW, 1);
+        sink.cell(sumW / allBenchmarks().size(), 1);
+        sink.cell(maxW, 1);
+        sink.cell(maxW / minW, 2);
+        sink.cell(spec.tdpW / maxW, 2);
+    }
+    sink.endTable();
+
+    const auto i7 = stockConfig(processorById("i7 (45)"));
+    sink.prose(
+        "\nPer-benchmark power on the i7 (45) extremes "
+        "(paper: 23W omnetpp .. 89W fluidanimate):\n  omnetpp: " +
+        formatFixed(
+            lab.measure(i7, benchmarkByName("omnetpp")).powerW, 1) +
+        " W\n  fluidanimate: " +
+        formatFixed(
+            lab.measure(i7, benchmarkByName("fluidanimate")).powerW,
+            1) +
+        " W\n");
+}
+
+void
+runFig03(Lab &lab, ReportContext &ctx)
+{
+    const auto cfg = stockConfig(processorById("i7 (45)"));
+    Sink &sink = ctx.out();
+
+    sink.prose(
+        "Figure 3: Benchmark power and performance on i7 (45)\n"
+        "(performance normalized to reference; CSV series below)\n\n");
+
+    sink.beginTable("scatter",
+                    {{"group"}, {"benchmark"}, {"performance"},
+                     {"power_w"}},
+                    TableStyle::Csv);
+    std::array<Summary, 4> perfByGroup, powerByGroup;
+    for (const auto &bench : allBenchmarks()) {
+        const auto r = lab.result(cfg, bench);
+        sink.beginRow();
+        sink.cell(groupName(bench.group));
+        sink.cell(bench.name);
+        sink.cell(r.perf, 3);
+        sink.cell(r.powerW, 2);
+        perfByGroup[static_cast<size_t>(bench.group)].add(r.perf);
+        powerByGroup[static_cast<size_t>(bench.group)].add(r.powerW);
+    }
+    sink.endTable();
+
+    sink.prose("\nGroup centroids:\n");
+    sink.beginTable("centroids",
+                    {leftColumn("Group"), {"Perf mean"}, {"Perf min"},
+                     {"Perf max"}, {"Power mean W"}, {"Power min W"},
+                     {"Power max W"}});
+    for (size_t gi = 0; gi < 4; ++gi) {
+        sink.beginRow();
+        sink.cell(groupName(allGroups()[gi]));
+        sink.cell(perfByGroup[gi].mean(), 2);
+        sink.cell(perfByGroup[gi].min(), 2);
+        sink.cell(perfByGroup[gi].max(), 2);
+        sink.cell(powerByGroup[gi].mean(), 1);
+        sink.cell(powerByGroup[gi].min(), 1);
+        sink.cell(powerByGroup[gi].max(), 1);
+    }
+    sink.endTable();
+}
+
+void
+runFig06(Lab &lab, ReportContext &ctx)
+{
+    const auto scaling = javaSingleThreadedCmp(lab.runner());
+    Sink &sink = ctx.out();
+
+    sink.prose(
+        "Figure 6: Scalability of single-threaded Java on i7 (45)\n"
+        "(2C1T / 1C1T; paper: avg ~1.1, max ~1.55 for antlr)\n\n");
+
+    sink.beginTable("scalability",
+                    {leftColumn("Benchmark"), {"2C1T / 1C1T"}});
+    double sum = 0.0;
+    for (const auto &[name, speedup] : scaling) {
+        sink.beginRow();
+        sink.cell(name);
+        sink.cell(speedup, 2);
+        sum += speedup;
+    }
+    sink.endTable();
+    sink.prose("\nAverage: " + formatFixed(sum / scaling.size(), 2) +
+               "\n");
+}
+
+void
+runFig07(Lab &lab, ReportContext &ctx)
+{
+    auto &runner = lab.runner();
+    const auto &ref = lab.reference();
+    Sink &sink = ctx.out();
+
+    emitGroupedEffects(
+        sink,
+        "Figure 7(a,b): Effect of doubling clock frequency "
+        "(ratios per 2x)\nPaper (a): i7 1.83/2.80/1.60; "
+        "C2D 1.73/2.59/1.56; i5 1.78/1.73/0.96",
+        clockStudy(runner, ref));
+
+    sink.prose("Figure 7(c): energy vs performance across the "
+               "clock range (relative to lowest clock)\n\n");
+    for (const std::string id : {"i7 (45)", "C2D (45)", "i5 (32)"}) {
+        const auto sweep = clockSweep(runner, ref, id, 5);
+        sink.beginTable("clock_energy_" + id,
+                        {leftColumn(id), {"GHz"}, {"perf/base"},
+                         {"energy/base"}});
+        for (const auto &pt : sweep) {
+            sink.beginRow();
+            sink.cell(std::string());
+            sink.cell(pt.clockGhz, 2);
+            sink.cell(pt.perfRelBase, 2);
+            sink.cell(pt.energyRelBase, 2);
+        }
+        sink.endTable();
+        sink.prose("\n");
+    }
+
+    sink.prose("Figure 7(d): absolute power by workload group "
+               "across clock (i7 and i5)\n\n");
+    for (const std::string id : {"i7 (45)", "i5 (32)"}) {
+        const auto sweep = clockSweep(runner, ref, id, 5);
+        std::vector<SinkColumn> columns = {leftColumn(id), {"GHz"}};
+        for (const auto group : allGroups()) {
+            columns.push_back({groupName(group) + " perf"});
+            columns.push_back({"W"});
+        }
+        sink.beginTable("clock_power_" + id, std::move(columns));
+        for (const auto &pt : sweep) {
+            sink.beginRow();
+            sink.cell(std::string());
+            sink.cell(pt.clockGhz, 2);
+            for (size_t gi = 0; gi < 4; ++gi) {
+                sink.cell(pt.groupPerfAbs[gi], 2);
+                sink.cell(pt.groupPowerW[gi], 1);
+            }
+        }
+        sink.endTable();
+        sink.prose("\n");
+    }
+}
+
+void
+runFig11(Lab &lab, ReportContext &ctx)
+{
+    const auto points = historicalOverview(lab.runner(), lab.reference());
+    Sink &sink = ctx.out();
+
+    sink.prose(
+        "Figure 11(a): Power and performance by stock processor\n\n");
+    sink.beginTable("absolute",
+                    {leftColumn("Processor"), leftColumn("uArch"),
+                     {"Perf/Ref"}, {"Power W"}});
+    for (const auto &pt : points) {
+        sink.beginRow();
+        sink.cell(pt.spec->id);
+        sink.cell(familyName(pt.spec->family));
+        sink.cell(pt.aggregate.weighted.perf, 2);
+        sink.cell(pt.aggregate.weighted.powerW, 1);
+    }
+    sink.endTable();
+
+    sink.prose(
+        "\nFigure 11(b): Per-transistor power and performance\n"
+        "(paper: power/transistor consistent within a family; "
+        "Pentium 4 is\n the high outlier on both axes)\n\n");
+    sink.beginTable("per_transistor",
+                    {leftColumn("Processor"), leftColumn("uArch"),
+                     {"Perf/MTran x1e3"}, {"mW/MTran"}});
+    for (const auto &pt : points) {
+        sink.beginRow();
+        sink.cell(pt.spec->id);
+        sink.cell(familyName(pt.spec->family));
+        sink.cell(1e3 * pt.perfPerMtran(), 2);
+        sink.cell(1e3 * pt.powerPerMtran(), 1);
+    }
+    sink.endTable();
+
+    for (const auto &pt : points) {
+        if (pt.spec->family != Family::NetBurst)
+            continue;
+        const auto projected = projectToNode(pt, Node::Nm32, 2.0);
+        sink.prose(
+            "\nProjection (paper: 'four fold less power, two fold\n"
+            "more performance' for a 32nm Pentium 4):\n  " +
+            projected.label + ": perf " +
+            formatFixed(projected.perf, 2) + " (x" +
+            formatFixed(projected.perf / pt.aggregate.weighted.perf,
+                        2) +
+            "), power " + formatFixed(projected.powerW, 1) + " W (/" +
+            formatFixed(
+                pt.aggregate.weighted.powerW / projected.powerW, 2) +
+            ")\n");
+    }
+}
+
+void
+emitFrontier(Lab &lab, Sink &sink, std::optional<Group> group,
+             const std::string &label)
+{
+    const auto frontier =
+        paretoFrontier45nm(lab.runner(), lab.reference(), group);
+    sink.prose(label + ":\n");
+    sink.beginTable("frontier_" + label,
+                    {leftColumn("Configuration"), {"Perf/Ref"},
+                     {"Energy/Ref"}});
+    for (const auto &pt : frontier) {
+        sink.beginRow();
+        sink.cell(pt.label);
+        sink.cell(pt.performance, 2);
+        sink.cell(pt.energy, 2);
+    }
+    sink.endTable();
+    sink.prose("\n");
+}
+
+void
+runFig12(Lab &lab, ReportContext &ctx)
+{
+    Sink &sink = ctx.out();
+    sink.prose(
+        "Figure 12: Energy / performance Pareto frontiers (45nm)\n"
+        "(paper: scalable groups extend the frontier right to perf ~7\n"
+        " at constant energy; each group's frontier deviates from the\n"
+        " average)\n\n");
+
+    emitFrontier(lab, sink, std::nullopt, "Average");
+    for (const auto group : allGroups())
+        emitFrontier(lab, sink, group, groupName(group));
+}
+
+} // namespace
+
+void
+registerFigureStudies(StudyRegistry &registry)
+{
+    registry.add(makeStudy(
+        "fig01",
+        "Figure 1: Java multithreaded scalability on the i7 (45)",
+        [] { return javaScalabilityConfigs(); }, runFig01));
+
+    registry.add(makeStudy(
+        "fig02",
+        "Figure 2: measured benchmark power vs TDP per processor",
+        [] { return stockConfigs(); }, runFig02));
+
+    registry.add(makeStudy(
+        "fig03",
+        "Figure 3: benchmark power/performance scatter on i7 (45)",
+        [] {
+            return std::vector<MachineConfig>{
+                stockConfig(processorById("i7 (45)"))};
+        },
+        runFig03));
+
+    registry.add(makeStudy(
+        "fig04", "Figure 4: effect of CMP (2 cores / 1 core)",
+        [] { return pairConfigs(cmpStudyPairs()); },
+        [](Lab &lab, ReportContext &ctx) {
+            emitGroupedEffects(
+                ctx.out(),
+                "Figure 4: Effect of CMP (2 cores / 1 core, no SMT, "
+                "no TB)\n"
+                "Paper (a): i7 1.32/1.57/1.12; i5 1.34/1.29/0.91",
+                cmpStudy(lab.runner(), lab.reference()));
+        }));
+
+    registry.add(makeStudy(
+        "fig05", "Figure 5: effect of SMT (2 threads / 1 thread)",
+        [] { return pairConfigs(smtStudyPairs()); },
+        [](Lab &lab, ReportContext &ctx) {
+            emitGroupedEffects(
+                ctx.out(),
+                "Figure 5: Effect of SMT (2 threads / 1 thread, 1 "
+                "core)\n"
+                "Paper (a): P4 1.06/1.06/0.98; i7 1.14/1.15/0.97; "
+                "Atom 1.24/1.10/0.86; i5 1.17/1.10/0.89",
+                smtStudy(lab.runner(), lab.reference()));
+        }));
+
+    registry.add(makeStudy(
+        "fig06",
+        "Figure 6: CMP impact for single-threaded Java on i7 (45)",
+        [] { return javaSingleThreadedCmpConfigs(); }, runFig06));
+
+    registry.add(makeStudy(
+        "fig07", "Figure 7: clock scaling effects and energy curves",
+        [] {
+            auto grid = pairConfigs(clockStudyPairs());
+            for (const char *id : {"i7 (45)", "C2D (45)", "i5 (32)"})
+                grid = concatConfigs(std::move(grid),
+                                     clockSweepConfigs(id, 5));
+            return grid;
+        },
+        runFig07));
+
+    registry.add(makeStudy(
+        "fig08", "Figure 8: die shrink effects (native and matched "
+                 "clocks)",
+        [] {
+            return concatConfigs(pairConfigs(dieShrinkPairs(false)),
+                                 pairConfigs(dieShrinkPairs(true)));
+        },
+        [](Lab &lab, ReportContext &ctx) {
+            auto &runner = lab.runner();
+            const auto &ref = lab.reference();
+            emitGroupedEffects(
+                ctx.out(),
+                "Figure 8(a): Die shrink at native clocks (new / "
+                "old)\n"
+                "Paper: Core 1.25/0.79/0.65; Nehalem 2C2T "
+                "1.14/0.77/0.69",
+                dieShrinkStudy(runner, ref, false));
+            emitGroupedEffects(
+                ctx.out(),
+                "Figure 8(b,c): Die shrink at matched clocks (new / "
+                "old)\n"
+                "Paper: Core 2.4GHz 1.01/0.55/0.54; "
+                "Nehalem 2C2T 2.6GHz 0.90/0.53/0.60",
+                dieShrinkStudy(runner, ref, true));
+        }));
+
+    registry.add(makeStudy(
+        "fig09", "Figure 9: effect of gross microarchitecture change",
+        [] { return pairConfigs(uarchStudyPairs()); },
+        [](Lab &lab, ReportContext &ctx) {
+            emitGroupedEffects(
+                ctx.out(),
+                "Figure 9: Effect of gross microarchitecture change\n"
+                "Paper (a): Bonnell 2.70/2.38/0.85; NetBurst "
+                "2.60/0.33/0.13; "
+                "Core45 1.14/1.14/1.00; Core65 1.14/0.55/0.48",
+                uarchStudy(lab.runner(), lab.reference()));
+        }));
+
+    registry.add(makeStudy(
+        "fig10", "Figure 10: effect of Turbo Boost",
+        [] { return pairConfigs(turboStudyPairs()); },
+        [](Lab &lab, ReportContext &ctx) {
+            emitGroupedEffects(
+                ctx.out(),
+                "Figure 10: Effect of Turbo Boost (enabled / "
+                "disabled)\n"
+                "Paper (a): i7 4C2T 1.05/1.19/1.13; i7 1C1T "
+                "1.07/1.49/1.39; "
+                "i5 2C2T 1.03/1.07/1.04; i5 1C1T 1.05/1.05/1.00",
+                turboStudy(lab.runner(), lab.reference()));
+        }));
+
+    registry.add(makeStudy(
+        "fig11",
+        "Figure 11: historical power/performance overview",
+        [] { return stockConfigs(); }, runFig11));
+
+    registry.add(makeStudy(
+        "fig12",
+        "Figure 12: energy/performance Pareto frontiers at 45nm",
+        [] { return configurations45nm(); }, runFig12));
+}
+
+} // namespace lhr

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * The reproduction scorecard (every numbered finding of the paper
+ * as a PASS/FAIL row) and the full dataset export, as registered
+ * studies.
+ */
+
+#include "study/builtin.hh"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "core/lab.hh"
+#include "study/study.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+GroupedEffect
+effectFor(const std::vector<GroupedEffect> &effects,
+          const std::string &label)
+{
+    for (const auto &e : effects)
+        if (e.label == label)
+            return e;
+    return {};
+}
+
+void
+runFindings(Lab &lab, ReportContext &ctx)
+{
+    auto &runner = lab.runner();
+    const auto &ref = lab.reference();
+    Sink &sink = ctx.out();
+
+    sink.prose("Reproduction scorecard: the paper's findings "
+               "against this laboratory\n\n");
+
+    sink.beginTable("scorecard",
+                    {leftColumn("Finding"), leftColumn("Claim"),
+                     leftColumn("Measured"), leftColumn("Verdict")});
+    auto row = [&](const std::string &id, const std::string &claim,
+                   const std::string &measured, bool pass) {
+        sink.beginRow();
+        sink.cell(id);
+        sink.cell(claim);
+        sink.cell(measured);
+        sink.cell(pass ? "PASS" : "FAIL");
+    };
+
+    // A1 — CMP not consistently energy efficient.
+    {
+        const auto effects = cmpStudy(runner, ref);
+        const auto i7 = effectFor(effects, "i7 (45)");
+        const auto i5 = effectFor(effects, "i5 (32)");
+        row("A1", "CMP not consistently energy efficient",
+            "NN energy i7 " + formatFixed(i7.byGroup[0].energy, 2) +
+                ", i5 " + formatFixed(i5.byGroup[0].energy, 2),
+            i7.byGroup[0].energy > 1.0 && i5.byGroup[0].energy > 1.0);
+    }
+
+    // A2 — SMT saves energy on i5 and Atom.
+    {
+        const auto effects = smtStudy(runner, ref);
+        const double i5 = effectFor(effects, "i5 (32)").average.energy;
+        const double atom =
+            effectFor(effects, "Atom (45)").average.energy;
+        row("A2", "SMT delivers energy savings (i5, Atom)",
+            "energy i5 " + formatFixed(i5, 2) + ", Atom " +
+                formatFixed(atom, 2),
+            i5 < 0.95 && atom < 0.95);
+    }
+
+    // A3 — i5 energy-flat across clock; i7/C2D are not.
+    {
+        const auto effects = clockStudy(runner, ref);
+        const double i5 = effectFor(effects, "i5 (32)").average.energy;
+        const double i7 = effectFor(effects, "i7 (45)").average.energy;
+        row("A3", "i5 energy flat vs clock; i7 not",
+            "energy/2x i5 " + formatFixed(i5, 2) + ", i7 " +
+                formatFixed(i7, 2),
+            i5 < 1.1 && i7 > 1.3);
+    }
+
+    // A4/A5 — die shrinks cut energy at matched clocks, twice.
+    {
+        const auto matched = dieShrinkStudy(runner, ref, true);
+        row("A4+A5", "Die shrinks cut energy ~2x, both generations",
+            "Core " + formatFixed(matched[0].average.energy, 2) +
+                ", Nehalem " +
+                formatFixed(matched[1].average.energy, 2),
+            matched[0].average.energy < 0.75 &&
+                matched[1].average.energy < 0.75);
+    }
+
+    // A6/A7 — Nehalem moderately faster than Core; energy parity at
+    // a fixed node; order of magnitude vs NetBurst.
+    {
+        const auto effects = uarchStudy(runner, ref);
+        const auto core45 =
+            effectFor(effects, "Core: i7 (45) / C2D (45)");
+        const auto netburst =
+            effectFor(effects, "NetBurst: i7 (45) / Pentium4 (130)");
+        row("A6", "Nehalem beats Core at matched clock",
+            "perf " + formatFixed(core45.average.perf, 2),
+            core45.average.perf > 1.05);
+        row("A7", "Energy parity at 45nm; 7x+ vs NetBurst",
+            "energy vs Core " +
+                formatFixed(core45.average.energy, 2) + ", vs P4 " +
+                formatFixed(netburst.average.energy, 2),
+            core45.average.energy > 0.75 &&
+                core45.average.energy < 1.25 &&
+                netburst.average.energy < 0.25);
+    }
+
+    // A8 — Turbo not energy efficient on i7.
+    {
+        const auto effects = turboStudy(runner, ref);
+        const double i7 =
+            effectFor(effects, "i7 (45) 4C2T").average.energy;
+        const double i5 =
+            effectFor(effects, "i5 (32) 2C2T").average.energy;
+        row("A8", "Turbo costs energy on i7, neutral on i5",
+            "energy i7 " + formatFixed(i7, 2) + ", i5 " +
+                formatFixed(i5, 2),
+            i7 > 1.05 && i5 < 1.06);
+    }
+
+    // A9 — power per transistor consistent within families.
+    {
+        const auto points = historicalOverview(runner, ref);
+        double p4 = 0.0, maxOther = 0.0;
+        for (const auto &pt : points) {
+            if (pt.spec->family == Family::NetBurst)
+                p4 = pt.powerPerMtran();
+            else
+                maxOther = std::max(maxOther, pt.powerPerMtran());
+        }
+        row("A9", "P4 is the power/transistor outlier",
+            formatFixed(1e3 * p4, 0) + " vs <= " +
+                formatFixed(1e3 * maxOther, 0) + " mW/MT",
+            p4 > 2.0 * maxOther);
+    }
+
+    // W1 — JVM-induced parallelism.
+    {
+        const auto scaling = javaSingleThreadedCmp(runner);
+        double sum = 0.0;
+        for (const auto &[name, s] : scaling)
+            sum += s;
+        const double avg = sum / scaling.size();
+        row("W1", "Single-threaded Java gains from a 2nd core",
+            "avg " + formatFixed(avg, 2) + ", max " +
+                formatFixed(scaling.front().second, 2) + " (" +
+                scaling.front().first + ")",
+            avg > 1.05 && scaling.front().second > 1.4);
+    }
+
+    // W2 — SMT hurts Java Non-scalable on the Pentium 4.
+    {
+        const auto effects = smtStudy(runner, ref);
+        const auto p4 = effectFor(effects, "Pentium4 (130)");
+        const double jn = p4.byGroup[static_cast<size_t>(
+            Group::JavaNonScalable)].energy;
+        row("W2", "P4 SMT costs Java Non-scalable energy",
+            "JN energy " + formatFixed(jn, 2), jn > 1.0);
+    }
+
+    // W3 — Native Non-scalable is the power outlier.
+    {
+        const auto agg =
+            lab.aggregate(stockConfig(processorById("i7 (45)")));
+        const double nn = agg.group(Group::NativeNonScalable).powerW;
+        const double others = std::min(
+            {agg.group(Group::NativeScalable).powerW,
+             agg.group(Group::JavaNonScalable).powerW,
+             agg.group(Group::JavaScalable).powerW});
+        row("W3", "Native Non-scalable draws the least power",
+            formatFixed(nn, 1) + " W vs next " +
+                formatFixed(others, 1) + " W",
+            nn < others);
+    }
+
+    // W4 — Pareto frontiers are workload sensitive.
+    {
+        auto labels = [&](std::optional<Group> group) {
+            std::set<std::string> set;
+            for (const auto &pt :
+                 paretoFrontier45nm(runner, ref, group))
+                set.insert(pt.label);
+            return set;
+        };
+        const auto nn = labels(Group::NativeNonScalable);
+        const auto ns = labels(Group::NativeScalable);
+        const auto jn = labels(Group::JavaNonScalable);
+        row("W4", "Per-group Pareto frontiers differ",
+            msgOf(nn.size(), " / ", ns.size(), " / ", jn.size(),
+                  " members"),
+            nn != ns && nn != jn && ns != jn);
+    }
+
+    sink.endTable();
+}
+
+void
+runDataset(Lab &lab, ReportContext &ctx)
+{
+    const auto &ref = lab.reference();
+    Sink &sink = ctx.out();
+
+    sink.beginTable("dataset",
+                    {{"configuration"}, {"processor"}, {"cores"},
+                     {"smt"}, {"clock_ghz"}, {"turbo"}, {"benchmark"},
+                     {"group"}, {"suite"}, {"time_s"}, {"time_ci95"},
+                     {"power_w"}, {"power_ci95"}, {"energy_j"},
+                     {"perf_vs_ref"}, {"energy_vs_ref"}},
+                    TableStyle::Csv);
+    for (const auto &cfg : standardConfigurations()) {
+        for (const auto &bench : allBenchmarks()) {
+            const auto &m = lab.measure(cfg, bench);
+            sink.beginRow();
+            sink.cell(cfg.label());
+            sink.cell(cfg.spec->id);
+            sink.cell(static_cast<long>(cfg.enabledCores));
+            sink.cell(static_cast<long>(cfg.smtPerCore));
+            sink.cell(cfg.clockGhz, 3);
+            sink.cell(std::string(
+                cfg.spec->hasTurbo
+                    ? (cfg.turboEnabled ? "on" : "off") : "n/a"));
+            sink.cell(bench.name);
+            sink.cell(groupName(bench.group));
+            sink.cell(suiteName(bench.suite));
+            sink.cell(m.timeSec, 4);
+            sink.cell(m.timeCi95Rel, 5);
+            sink.cell(m.powerW, 3);
+            sink.cell(m.powerCi95Rel, 5);
+            sink.cell(m.energyJ(), 2);
+            sink.cell(ref.refTimeSec(bench) / m.timeSec, 4);
+            sink.cell(m.energyJ() / ref.refEnergyJ(bench), 4);
+        }
+    }
+    sink.endTable();
+}
+
+std::vector<MachineConfig>
+findingsGrid()
+{
+    std::vector<MachineConfig> grid;
+    auto append = [&](const std::vector<MachineConfig> &configs) {
+        grid.insert(grid.end(), configs.begin(), configs.end());
+    };
+    append(pairConfigs(cmpStudyPairs()));
+    append(pairConfigs(smtStudyPairs()));
+    append(pairConfigs(clockStudyPairs()));
+    append(pairConfigs(dieShrinkPairs(true)));
+    append(pairConfigs(uarchStudyPairs()));
+    append(pairConfigs(turboStudyPairs()));
+    append(javaSingleThreadedCmpConfigs());
+    append({stockConfig(processorById("i7 (45)"))});
+    append(configurations45nm());
+    return grid;
+}
+
+} // namespace
+
+void
+registerFindingsStudies(StudyRegistry &registry)
+{
+    registry.add(makeStudy(
+        "findings",
+        "Reproduction scorecard: every paper finding, PASS/FAIL",
+        findingsGrid, runFindings));
+
+    registry.add(makeStudy(
+        "dataset",
+        "Full 45x61 measurement grid as companion-data CSV",
+        [] { return standardConfigurations(); }, runDataset));
+}
+
+} // namespace lhr

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * The paper's tables (1-5, plus the extended characterization
+ * table) as registered studies.
+ */
+
+#include "study/builtin.hh"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "core/lab.hh"
+#include "cpu/perf_model.hh"
+#include "study/study.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+void
+runTable1(Lab &lab, ReportContext &ctx)
+{
+    const auto &ref = lab.reference();
+    Sink &sink = ctx.out();
+
+    sink.prose("Table 1: Benchmark groups (61 benchmarks)\n\n");
+
+    sink.beginTable("benchmarks",
+                    {leftColumn("Group"), leftColumn("Suite"),
+                     leftColumn("Name"), {"Paper ref (s)"},
+                     {"Measured ref (s)"}, leftColumn("Description")});
+    for (const auto group : allGroups()) {
+        for (const auto *bench : benchmarksInGroup(group)) {
+            sink.beginRow();
+            sink.cell(groupName(group));
+            sink.cell(suiteName(bench->suite));
+            sink.cell(bench->name);
+            sink.cell(bench->refTimeSec, 1);
+            sink.cell(ref.refTimeSec(*bench), 1);
+            sink.cell(bench->description);
+        }
+    }
+    sink.endTable();
+    sink.prose("\nTotal benchmarks: " +
+               std::to_string(allBenchmarks().size()) + "\n");
+}
+
+void
+runTable1x(Lab &, ReportContext &ctx)
+{
+    const auto &i7 = processorById("i7 (45)");
+    const PerfModel model(i7);
+    Sink &sink = ctx.out();
+
+    sink.prose("Extended Table 1: benchmark characterization "
+               "(model quantities, i7 (45))\n\n");
+
+    sink.beginTable("characterization",
+                    {leftColumn("Benchmark"), leftColumn("Group"),
+                     {"MPKI@32K"}, {"@256K"}, {"@8M"}, {"misp/Ki"},
+                     {"ILP"}, {"pfrac"}, {"jvmSvc"}, {"IPC i7"},
+                     {"memCPI %"}});
+    for (const auto &bench : allBenchmarks()) {
+        const auto stack =
+            model.threadCpi(bench, i7.stockClockGhz, 1, 1.0);
+        sink.beginRow();
+        sink.cell(bench.name);
+        sink.cell(groupName(bench.group).substr(0, 9));
+        sink.cell(bench.miss.missPerKi(32.0), 1);
+        sink.cell(bench.miss.missPerKi(256.0), 1);
+        sink.cell(bench.miss.missPerKi(8192.0), 2);
+        sink.cell(bench.branchMispKi, 1);
+        sink.cell(bench.ilp, 1);
+        sink.cell(bench.parallelFraction, 2);
+        sink.cell(bench.jvmServiceFraction, 2);
+        sink.cell(stack.ipc(), 2);
+        sink.cell(100.0 * stack.memory / stack.total(), 1);
+    }
+    sink.endTable();
+}
+
+struct CiAggregate
+{
+    double timeSum = 0.0, timeMax = 0.0;
+    double powerSum = 0.0, powerMax = 0.0;
+    int n = 0;
+
+    void
+    add(const Measurement &m)
+    {
+        timeSum += m.timeCi95Rel;
+        timeMax = std::max(timeMax, m.timeCi95Rel);
+        powerSum += m.powerCi95Rel;
+        powerMax = std::max(powerMax, m.powerCi95Rel);
+        ++n;
+    }
+};
+
+void
+runTable2(Lab &lab, ReportContext &ctx)
+{
+    // Paper Table 2 aggregates over all processor configurations;
+    // we use the full 45-configuration set (prewarmed by the
+    // declared grid, so the loop below is pure cache hits).
+    CiAggregate overall;
+    std::array<CiAggregate, 4> byGroup;
+
+    for (const auto &cfg : standardConfigurations()) {
+        for (const auto &bench : allBenchmarks()) {
+            const auto &m = lab.measure(cfg, bench);
+            overall.add(m);
+            byGroup[static_cast<size_t>(bench.group)].add(m);
+        }
+    }
+
+    Sink &sink = ctx.out();
+    sink.prose(
+        "Table 2: Aggregate 95% confidence intervals (percent)\n"
+        "Paper: overall avg 1.2% / 2.2% time, 1.5% / 7.1% power\n\n");
+
+    sink.beginTable("confidence",
+                    {leftColumn(""), {"Time avg %"}, {"Time max %"},
+                     {"Power avg %"}, {"Power max %"}});
+    auto emit = [&](const std::string &label, const CiAggregate &ci) {
+        sink.beginRow();
+        sink.cell(label);
+        sink.cell(100.0 * ci.timeSum / ci.n, 1);
+        sink.cell(100.0 * ci.timeMax, 1);
+        sink.cell(100.0 * ci.powerSum / ci.n, 1);
+        sink.cell(100.0 * ci.powerMax, 1);
+    };
+    emit("Average", overall);
+    for (size_t gi = 0; gi < byGroup.size(); ++gi)
+        emit(groupName(allGroups()[gi]), byGroup[gi]);
+    sink.endTable();
+}
+
+void
+runTable3(Lab &, ReportContext &ctx)
+{
+    Sink &sink = ctx.out();
+    sink.prose("Table 3: The eight experimental processors\n\n");
+
+    sink.beginTable(
+        "processors",
+        {leftColumn("Processor"), leftColumn("uArch"),
+         leftColumn("Codename"), leftColumn("sSpec"),
+         leftColumn("Released"), {"USD"}, leftColumn("CMP/SMT"),
+         {"LLC"}, {"GHz"}, {"nm"}, {"MTrans"}, {"mm2"},
+         leftColumn("VID"), {"TDP W"}, leftColumn("Memory")});
+    for (const auto &spec : allProcessors()) {
+        sink.beginRow();
+        sink.cell(spec.model);
+        sink.cell(familyName(spec.family));
+        sink.cell(spec.codename);
+        sink.cell(spec.sSpec);
+        sink.cell(spec.releaseDate);
+        if (spec.releasePriceUsd > 0.0)
+            sink.cell(static_cast<long>(spec.releasePriceUsd));
+        else
+            sink.cell(std::string("--"));
+        sink.cell(msgOf(spec.cores, "C", spec.smtWays, "T"));
+        sink.cell(spec.llcMb >= 1.0
+                  ? msgOf(spec.llcMb, "M")
+                  : msgOf(spec.llcMb * 1024.0, "K"));
+        sink.cell(spec.stockClockGhz, 2);
+        sink.cell(static_cast<long>(spec.tech().featureNm));
+        sink.cell(spec.transistorsM, 0);
+        sink.cell(spec.dieMm2, 0);
+        if (spec.vidMaxV > 0.0) {
+            sink.cell(msgOf(formatFixed(spec.vidMinV, 2), " - ",
+                            formatFixed(spec.vidMaxV, 2)));
+        } else {
+            sink.cell(std::string("--"));
+        }
+        sink.cell(spec.tdpW, 0);
+        sink.cell(spec.dram);
+    }
+    sink.endTable();
+}
+
+// Paper Table 4, Avg_w columns, for side-by-side comparison.
+struct PaperRow
+{
+    const char *id;
+    double perfAvgW;
+    double powerAvgW;
+};
+
+constexpr PaperRow paperRows[] = {
+    {"Pentium4 (130)", 0.82, 44.1},
+    {"C2D (65)",       2.04, 26.4},
+    {"C2Q (65)",       2.70, 58.1},
+    {"i7 (45)",        4.46, 47.0},
+    {"Atom (45)",      0.52,  2.4},
+    {"C2D (45)",       2.54, 20.8},
+    {"AtomD (45)",     0.74,  4.7},
+    {"i5 (32)",        3.80, 25.7},
+};
+
+double
+paperPerf(const std::string &id)
+{
+    for (const auto &row : paperRows)
+        if (id == row.id)
+            return row.perfAvgW;
+    return 0.0;
+}
+
+double
+paperPower(const std::string &id)
+{
+    for (const auto &row : paperRows)
+        if (id == row.id)
+            return row.powerAvgW;
+    return 0.0;
+}
+
+void
+runTable4(Lab &lab, ReportContext &ctx)
+{
+    Sink &sink = ctx.out();
+    sink.prose(
+        "Table 4: Average performance and power characteristics\n"
+        "(speedup over reference | watts; paper Avg_w in "
+        "brackets)\n\n");
+
+    sink.beginTable("perfpower",
+                    {leftColumn("Processor"), {"NN"}, {"NS"}, {"JN"},
+                     {"JS"}, {"AvgW"}, {"AvgB"}, {"Min"}, {"Max"},
+                     {"[paper AvgW]"}, {"P:NN"}, {"P:NS"}, {"P:JN"},
+                     {"P:JS"}, {"P:AvgW"}, {"P:Min"}, {"P:Max"},
+                     {"[paper P]"}});
+    for (const auto &spec : allProcessors()) {
+        const auto agg = lab.aggregate(stockConfig(spec));
+        sink.beginRow();
+        sink.cell(spec.id);
+        for (const auto &g : agg.byGroup)
+            sink.cell(g.perf, 2);
+        sink.cell(agg.weighted.perf, 2);
+        sink.cell(agg.simple.perf, 2);
+        sink.cell(agg.minPerf, 2);
+        sink.cell(agg.maxPerf, 2);
+        sink.cell(paperPerf(spec.id), 2);
+        for (const auto &g : agg.byGroup)
+            sink.cell(g.powerW, 1);
+        sink.cell(agg.weighted.powerW, 1);
+        sink.cell(agg.minPowerW, 1);
+        sink.cell(agg.maxPowerW, 1);
+        sink.cell(paperPower(spec.id), 1);
+    }
+    sink.endTable();
+}
+
+void
+runTable5(Lab &lab, ReportContext &ctx)
+{
+    // Collect frontier membership per group.
+    std::map<std::string, std::set<std::string>> membership;
+    std::set<std::string> allMembers;
+
+    auto collect = [&](std::optional<Group> group,
+                       const std::string &label) {
+        for (const auto &pt : paretoFrontier45nm(
+                 lab.runner(), lab.reference(), group)) {
+            membership[pt.label].insert(label);
+            allMembers.insert(pt.label);
+        }
+    };
+
+    collect(std::nullopt, "Average");
+    for (const auto group : allGroups())
+        collect(group, groupName(group));
+
+    Sink &sink = ctx.out();
+    sink.prose(
+        "Table 5: Pareto-efficient 45nm configurations per group\n"
+        "(paper: 15 of 29 configurations appear; all AtomD configs\n"
+        " absent; all Native Non-scalable picks are i7 configs)\n\n");
+
+    std::vector<SinkColumn> columns = {leftColumn("Configuration"),
+                                       leftColumn("Avg")};
+    for (const auto group : allGroups())
+        columns.push_back(leftColumn(groupName(group)));
+    sink.beginTable("membership", std::move(columns));
+    for (const auto &[label, groups] : membership) {
+        sink.beginRow();
+        sink.cell(label);
+        sink.cell(groups.count("Average") ? "x" : "");
+        for (const auto group : allGroups())
+            sink.cell(groups.count(groupName(group)) ? "x" : "");
+    }
+    sink.endTable();
+
+    sink.prose("\nConfigurations on some frontier: " +
+               std::to_string(allMembers.size()) + " of " +
+               std::to_string(configurations45nm().size()) + "\n");
+}
+
+} // namespace
+
+void
+registerTableStudies(StudyRegistry &registry)
+{
+    registry.add(makeStudy(
+        "table1", "Table 1: the 61 benchmarks and their groups",
+        [] { return std::vector<MachineConfig>{}; }, runTable1));
+
+    registry.add(makeStudy(
+        "table1x",
+        "Extended Table 1: model-level benchmark characterization",
+        [] { return std::vector<MachineConfig>{}; }, runTable1x));
+
+    registry.add(makeStudy(
+        "table2",
+        "Table 2: aggregate 95% confidence intervals",
+        [] { return standardConfigurations(); }, runTable2));
+
+    registry.add(makeStudy(
+        "table3", "Table 3: the eight experimental processors",
+        [] { return std::vector<MachineConfig>{}; }, runTable3));
+
+    registry.add(makeStudy(
+        "table4",
+        "Table 4: average performance and power per processor",
+        [] {
+            std::vector<MachineConfig> stock;
+            for (const auto &spec : allProcessors())
+                stock.push_back(stockConfig(spec));
+            return stock;
+        },
+        runTable4));
+
+    registry.add(makeStudy(
+        "table5",
+        "Table 5: Pareto-efficient 45nm configurations per group",
+        [] { return configurations45nm(); }, runTable5));
+}
+
+} // namespace lhr

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The study framework: every reproduced figure, table, and ablation
+ * of the paper as a named, registered Study.
+ *
+ * A Study couples three things:
+ *
+ *   - an identity (name(), description()) the front ends list;
+ *   - a declared measurement grid (grid()) — the machine
+ *     configurations the study will read through the memo cache —
+ *     so a driver can union many studies' grids into one parallel
+ *     Lab::prewarm pass before anything runs serially;
+ *   - the report itself (run()), emitted through a Sink so the same
+ *     study renders as the historical console text, CSV, or JSON.
+ *
+ * Studies register in the global StudyRegistry via explicit
+ * registration functions (static initializers would be dropped when
+ * the study library is linked statically). The historical
+ * per-figure binaries under bench/ are three-line shims over
+ * studyMain().
+ */
+
+#ifndef LHR_STUDY_STUDY_HH
+#define LHR_STUDY_STUDY_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/report.hh"
+#include "machine/processor.hh"
+
+namespace lhr
+{
+
+class Lab;
+
+/** The artifact format a study run emits. */
+enum class OutputFormat
+{
+    Text,  ///< the historical console layout (byte-identical)
+    Csv,   ///< every table as CSV, prose dropped
+    Json,  ///< one JSON document per study
+};
+
+/** Parse "text" / "csv" / "json"; nullopt otherwise. */
+std::optional<OutputFormat> parseOutputFormat(std::string_view text);
+
+/** File extension (without dot) of a format: txt, csv, json. */
+const char *outputFormatExtension(OutputFormat format);
+
+/** Everything a running study reports through. */
+class ReportContext
+{
+  public:
+    ReportContext(Sink &sink, OutputFormat format)
+        : sinkRef(sink), fmt(format)
+    {
+    }
+
+    /** The sink the study writes its prose and tables to. */
+    Sink &out() { return sinkRef; }
+
+    /** The format the sink renders (rarely needed by studies). */
+    OutputFormat format() const { return fmt; }
+
+  private:
+    Sink &sinkRef;
+    OutputFormat fmt;
+};
+
+/** One reproduced figure, table, or ablation. */
+class Study
+{
+  public:
+    virtual ~Study() = default;
+
+    /** Registry key and artifact basename, e.g. "fig04". */
+    virtual const std::string &name() const = 0;
+
+    /** One-line description shown by `lhrlab list`. */
+    virtual const std::string &description() const = 0;
+
+    /**
+     * The machine configurations this study measures through the
+     * memo cache. A driver that prewarms exactly this grid makes
+     * the study's own measurement loop run entirely from cache.
+     * Studies whose work bypasses the cache declare an empty grid.
+     */
+    virtual std::vector<MachineConfig> grid() const = 0;
+
+    /** Compute and report. */
+    virtual void run(Lab &lab, ReportContext &ctx) const = 0;
+};
+
+/** Build a Study from its parts (the usual registration idiom). */
+std::unique_ptr<Study> makeStudy(
+    std::string name, std::string description,
+    std::function<std::vector<MachineConfig>()> grid,
+    std::function<void(Lab &, ReportContext &)> run);
+
+/** The process-wide name -> Study table. */
+class StudyRegistry
+{
+  public:
+    /** The global registry, with the builtin studies registered. */
+    static StudyRegistry &instance();
+
+    /** Register a study; panics on a duplicate name. */
+    void add(std::unique_ptr<Study> study);
+
+    /** Look a study up by name; nullptr when absent. */
+    const Study *find(const std::string &name) const;
+
+    /** Every registered study, in registration order. */
+    std::vector<const Study *> all() const;
+
+  private:
+    std::vector<std::unique_ptr<Study>> studies;
+    std::map<std::string, size_t> byName;
+};
+
+/** Options of a study run (the shared CLI surface). */
+struct StudyOptions
+{
+    OutputFormat format = OutputFormat::Text;
+
+    /** Artifact directory; empty writes to stdout. */
+    std::string outDir;
+
+    /** Prewarm worker threads; 0 = ThreadPool default. */
+    int threads = 0;
+
+    /** Skip the prewarm pass (measure serially on demand). */
+    bool prewarm = true;
+};
+
+/**
+ * The union of the studies' declared grids, deduplicated by full
+ * configuration identity (label() truncates the clock).
+ */
+std::vector<MachineConfig> unionGrid(
+    const std::vector<const Study *> &studies);
+
+/** Run one study into an explicit sink (no prewarm; test seam). */
+void runStudy(Lab &lab, const Study &study, Sink &sink,
+              OutputFormat format = OutputFormat::Text);
+
+/**
+ * Run studies in order: one union-grid prewarm, then each study
+ * serially into stdout or `<outDir>/<name>.<ext>`.
+ */
+int runStudies(Lab &lab, const std::vector<const Study *> &studies,
+               const StudyOptions &options);
+
+/**
+ * The `lhrlab run` command body. `args` holds study names (or
+ * --all) and options: --format=text|csv|json, --out DIR, --seed N,
+ * --jobs N, --no-prewarm.
+ */
+int runStudyCommand(const std::vector<std::string> &args);
+
+/** List registered studies; names only (for scripting) or a table. */
+void listStudies(std::ostream &os, bool namesOnly);
+
+/** main() body of a per-study shim binary. */
+int studyMain(const char *name, int argc, char **argv);
+
+/** Register every builtin study (idempotent via instance()). */
+void registerBuiltinStudies(StudyRegistry &registry);
+
+} // namespace lhr
+
+#endif // LHR_STUDY_STUDY_HH

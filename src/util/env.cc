@@ -1,0 +1,55 @@
+#include "util/env.hh"
+
+#include <cstdlib>
+
+namespace lhr
+{
+
+namespace
+{
+
+std::optional<uint64_t> &
+seedOverrideSlot()
+{
+    static std::optional<uint64_t> slot;
+    return slot;
+}
+
+} // namespace
+
+std::optional<uint64_t>
+parseSeed(const std::string &text)
+{
+    if (text.empty())
+        return std::nullopt;
+    const bool hex =
+        text.size() > 2 && text[0] == '0' &&
+        (text[1] == 'x' || text[1] == 'X');
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value =
+        std::strtoull(text.c_str() + (hex ? 2 : 0), &end, hex ? 16 : 10);
+    if (errno != 0 || end == nullptr || *end != '\0')
+        return std::nullopt;
+    return static_cast<uint64_t>(value);
+}
+
+uint64_t
+defaultSeed()
+{
+    if (seedOverrideSlot())
+        return *seedOverrideSlot();
+    if (const char *env = std::getenv("LHR_SEED")) {
+        if (const auto seed = parseSeed(env))
+            return *seed;
+    }
+    return builtinSeed;
+}
+
+void
+setSeedOverride(std::optional<uint64_t> seed)
+{
+    seedOverrideSlot() = seed;
+}
+
+} // namespace lhr

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Process-environment knobs of the laboratory.
+ *
+ * Every Lab and ExperimentRunner seeds its random streams from
+ * defaultSeed(): the LHR_SEED environment variable when set (decimal
+ * or 0x-prefixed hex), otherwise the historical 0xC0FFEE default the
+ * paper reproduction has always used. Front ends (lhrlab --seed)
+ * can override both with setSeedOverride().
+ */
+
+#ifndef LHR_UTIL_ENV_HH
+#define LHR_UTIL_ENV_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace lhr
+{
+
+/** The seed used when none is given explicitly: 0xC0FFEE. */
+inline constexpr uint64_t builtinSeed = 0xC0FFEEull;
+
+/**
+ * The experiment seed: the --seed override if one was installed,
+ * else LHR_SEED from the environment, else builtinSeed.
+ */
+uint64_t defaultSeed();
+
+/** Install (or, with nullopt, clear) a process-wide seed override. */
+void setSeedOverride(std::optional<uint64_t> seed);
+
+/**
+ * Parse a seed string: decimal or 0x-prefixed hexadecimal.
+ * Returns nullopt on malformed input.
+ */
+std::optional<uint64_t> parseSeed(const std::string &text);
+
+} // namespace lhr
+
+#endif // LHR_UTIL_ENV_HH

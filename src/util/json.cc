@@ -1,0 +1,181 @@
+#include "util/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+std::string
+jsonQuote(const std::string &text)
+{
+    std::string out = "\"";
+    for (const char ch : text) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+JsonWriter::JsonWriter(std::ostream &os)
+    : out(os)
+{
+}
+
+void
+JsonWriter::indent()
+{
+    out << '\n' << std::string(2 * firstInScope.size(), ' ');
+}
+
+void
+JsonWriter::separate()
+{
+    if (afterKey) {
+        afterKey = false;
+        return;
+    }
+    if (firstInScope.empty())
+        return;
+    if (!firstInScope.back())
+        out << ',';
+    firstInScope.back() = false;
+    indent();
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    out << '{';
+    firstInScope.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (firstInScope.empty())
+        panic("JsonWriter: endObject without beginObject");
+    const bool empty = firstInScope.back();
+    firstInScope.pop_back();
+    if (!empty)
+        indent();
+    out << '}';
+    if (firstInScope.empty())
+        out << '\n';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    out << '[';
+    firstInScope.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (firstInScope.empty())
+        panic("JsonWriter: endArray without beginArray");
+    const bool empty = firstInScope.back();
+    firstInScope.pop_back();
+    if (!empty)
+        indent();
+    out << ']';
+    if (firstInScope.empty())
+        out << '\n';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    separate();
+    out << jsonQuote(name) << ": ";
+    afterKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &text)
+{
+    separate();
+    out << jsonQuote(text);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *text)
+{
+    return value(std::string(text));
+}
+
+JsonWriter &
+JsonWriter::value(double number, int decimals)
+{
+    separate();
+    if (std::isfinite(number)) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f", decimals, number);
+        out << buf;
+    } else {
+        // JSON has no inf/nan literals; be explicit rather than
+        // emit an invalid document.
+        out << "null";
+    }
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(long number)
+{
+    separate();
+    out << number;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t number)
+{
+    separate();
+    out << number;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    separate();
+    out << (flag ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::raw(const std::string &token)
+{
+    separate();
+    out << token;
+    return *this;
+}
+
+} // namespace lhr

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal streaming JSON emission for the laboratory's structured
+ * artifacts (study sinks, perf-baseline files). Values are written
+ * as they are appended; objects and arrays nest via begin/end pairs.
+ * The writer tracks separators and indentation; the caller supplies
+ * structure in order.
+ */
+
+#ifndef LHR_UTIL_JSON_HH
+#define LHR_UTIL_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lhr
+{
+
+/** Escape and double-quote a string for JSON. */
+std::string jsonQuote(const std::string &text);
+
+/**
+ * Writes one JSON document to a stream. Usage:
+ *
+ *   JsonWriter json(out);
+ *   json.beginObject();
+ *   json.key("name").value("sweep");
+ *   json.key("metrics").beginObject();
+ *   json.key("speedup").value(7.9, 2);
+ *   json.endObject();
+ *   json.endObject();   // emits a trailing newline at depth 0
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os);
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Object member key; must be followed by exactly one value. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &text);
+    JsonWriter &value(const char *text);
+    JsonWriter &value(double number, int decimals);
+    JsonWriter &value(long number);
+    JsonWriter &value(uint64_t number);
+    JsonWriter &value(bool flag);
+
+    /** Emit a raw, pre-serialized JSON token (trusted input). */
+    JsonWriter &raw(const std::string &token);
+
+  private:
+    void separate();
+    void indent();
+
+    std::ostream &out;
+    /** true = first element of the open container not yet written */
+    std::vector<bool> firstInScope;
+    bool afterKey = false;
+};
+
+} // namespace lhr
+
+#endif // LHR_UTIL_JSON_HH
