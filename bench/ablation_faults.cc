@@ -1,0 +1,12 @@
+/**
+ * @file
+ * Shim over the registered "ablation_faults" study (see src/study/).
+ */
+
+#include "study/study.hh"
+
+int
+main(int argc, char **argv)
+{
+    return lhr::studyMain("ablation_faults", argc, argv);
+}

@@ -47,9 +47,9 @@ namespace
 {
 
 void
-usage()
+usage(std::ostream &os)
 {
-    std::cout <<
+    os <<
         "usage: lhrlab [--seed N] <command> [args]\n"
         "  list [--names]\n"
         "  run <study>... | run --all  [--format text|csv|json]\n"
@@ -65,6 +65,19 @@ usage()
         "  corun <proc-id> <bench-a> <bench-b>\n"
         "  snapshot <file.csv> [--45nm]\n"
         "  compare <before.csv> <after.csv> [tolerance]\n";
+}
+
+/**
+ * A command line we cannot act on: report why, show the usage text
+ * on stderr, exit nonzero. Silent-success on garbage (the old atoi
+ * behaviour) is how a typo in a flag wastes an hour of sweeping.
+ */
+[[noreturn]] void
+usageError(const std::string &message)
+{
+    std::cerr << "lhrlab: " << message << "\n";
+    usage(std::cerr);
+    std::exit(2);
 }
 
 /** Apply --cores/--smt/--clock/--turbo options to a config. */
@@ -94,37 +107,45 @@ applyOptions(lhr::MachineConfig cfg,
 {
     for (size_t i = first; i < args.size(); i += 2) {
         if (i + 1 >= args.size())
-            lhr::fatal("option " + args[i] + " needs a value");
+            usageError("option " + args[i] + " needs a value");
         const std::string &opt = args[i];
         const std::string &value = args[i + 1];
         if (opt == "--cores") {
-            const int cores = std::atoi(value.c_str());
-            if (cores < 1 || cores > cfg.spec->cores)
-                lhr::fatal("--cores must be 1.." +
+            const lhr::Expected<long> cores =
+                lhr::parseInt(value, 1, cfg.spec->cores);
+            if (!cores.ok())
+                usageError("--cores must be 1.." +
                            std::to_string(cfg.spec->cores) + " for " +
-                           cfg.spec->id);
-            cfg = lhr::withCores(cfg, cores);
+                           cfg.spec->id + ": " +
+                           cores.status().message());
+            cfg = lhr::withCores(cfg, static_cast<int>(cores.value()));
         } else if (opt == "--smt") {
+            if (value != "on" && value != "off")
+                usageError("--smt takes on|off, got '" + value + "'");
             if (value == "on" && cfg.spec->smtWays < 2)
                 lhr::fatal(cfg.spec->id + " has no SMT");
             cfg = lhr::withSmt(cfg, value == "on");
         } else if (opt == "--clock") {
-            const double clock = std::atof(value.c_str());
-            if (clock < cfg.spec->fMinGhz ||
-                clock > cfg.spec->stockClockGhz) {
+            const lhr::Expected<double> clock = lhr::parseReal(value);
+            if (!clock.ok())
+                usageError("--clock: " + clock.status().message());
+            if (clock.value() < cfg.spec->fMinGhz ||
+                clock.value() > cfg.spec->stockClockGhz) {
                 lhr::fatal("--clock must be within " +
                            lhr::formatFixed(cfg.spec->fMinGhz, 2) +
                            ".." +
                            lhr::formatFixed(cfg.spec->stockClockGhz, 2) +
                            " GHz for " + cfg.spec->id);
             }
-            cfg = lhr::withClock(cfg, clock);
+            cfg = lhr::withClock(cfg, clock.value());
         } else if (opt == "--turbo") {
+            if (value != "on" && value != "off")
+                usageError("--turbo takes on|off, got '" + value + "'");
             if (value == "on" && !cfg.spec->hasTurbo)
                 lhr::fatal(cfg.spec->id + " has no Turbo Boost");
             cfg = lhr::withTurbo(cfg, value == "on");
         } else {
-            lhr::fatal("unknown option " + opt);
+            usageError("unknown option " + opt);
         }
     }
     return cfg;
@@ -366,10 +387,11 @@ cmdSnapshot(const std::vector<std::string> &args)
                          : lhr::standardConfigurations(),
                   lhr::allBenchmarks(), {.progress = true});
     const auto store = lhr::toStore(report);
-    std::ofstream out(args[2]);
-    if (!out)
-        lhr::fatal("cannot write " + args[2]);
-    store.save(out);
+    // Atomic temp-then-rename write: an interrupted snapshot never
+    // clobbers the previous good file with a truncated one.
+    const lhr::Status saved = store.saveToFile(args[2]);
+    if (!saved.ok())
+        lhr::fatal("snapshot: " + saved.toString());
     std::cout << "wrote " << store.size() << " measurements to "
               << args[2] << "\n";
     return 0;
@@ -380,15 +402,23 @@ cmdCompare(const std::vector<std::string> &args)
 {
     if (args.size() < 4)
         lhr::fatal("compare needs <before.csv> <after.csv>");
-    const double tolerance =
-        args.size() > 4 ? std::atof(args[4].c_str()) : 0.02;
-    std::ifstream beforeFile(args[2]), afterFile(args[3]);
-    if (!beforeFile)
-        lhr::fatal("cannot read " + args[2]);
-    if (!afterFile)
-        lhr::fatal("cannot read " + args[3]);
-    const auto before = lhr::ResultStore::load(beforeFile);
-    const auto after = lhr::ResultStore::load(afterFile);
+    double tolerance = 0.02;
+    if (args.size() > 4) {
+        const lhr::Expected<double> parsed = lhr::parseReal(args[4]);
+        if (!parsed.ok() || parsed.value() < 0.0)
+            usageError("tolerance must be a non-negative number, "
+                       "got '" + args[4] + "'");
+        tolerance = parsed.value();
+    }
+    auto loadOrDie = [](const std::string &path) {
+        lhr::Expected<lhr::ResultStore> store =
+            lhr::ResultStore::tryLoadFile(path);
+        if (!store.ok())
+            lhr::fatal("compare: " + store.status().toString());
+        return std::move(store).value();
+    };
+    const auto before = loadOrDie(args[2]);
+    const auto after = loadOrDie(args[3]);
     const auto cmp = lhr::compareStores(before, after, tolerance);
 
     std::cout << "compared " << cmp.compared << " rows at +-"
@@ -430,19 +460,23 @@ main(int argc, char **argv)
     size_t first = 1;
     while (first < args.size() && args[first] == "--seed") {
         if (first + 1 >= args.size())
-            lhr::fatal("--seed needs a value");
+            usageError("--seed needs a value");
         const auto seed = lhr::parseSeed(args[first + 1]);
         if (!seed)
-            lhr::fatal("malformed --seed '" + args[first + 1] + "'");
+            usageError("malformed --seed '" + args[first + 1] + "'");
         lhr::setSeedOverride(seed);
         args.erase(args.begin() + first, args.begin() + first + 2);
     }
 
     if (args.size() < 2) {
-        usage();
-        return 1;
+        usage(std::cerr);
+        return 2;
     }
     const std::string &command = args[1];
+    if (command == "help" || command == "--help" || command == "-h") {
+        usage(std::cout);
+        return 0;
+    }
     if (command == "list") {
         lhr::listStudies(std::cout,
                          args.size() > 2 && args[2] == "--names");
@@ -472,6 +506,5 @@ main(int argc, char **argv)
         return cmdSnapshot(args);
     if (command == "compare")
         return cmdCompare(args);
-    usage();
-    return 1;
+    usageError("unknown command '" + command + "'");
 }

@@ -1,0 +1,201 @@
+#include "fault/fault.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+/**
+ * Fold the per-class seed material into one stream seed. Mixing the
+ * session ordinal with a large odd constant keeps sessions of the
+ * same experiment on well-separated SplitMix64 trajectories.
+ */
+uint64_t
+mixStreamSeed(uint64_t plan_seed, uint64_t stream_hash, int session)
+{
+    uint64_t x = plan_seed ^ 0x9e3779b97f4a7c15ull;
+    x ^= stream_hash + 0x517cc1b727220a95ull + (x << 6) + (x >> 2);
+    x ^= static_cast<uint64_t>(session) * 0xbf58476d1ce4e5b9ull;
+    return x;
+}
+
+} // namespace
+
+const char *
+faultClassName(FaultClass cls)
+{
+    switch (cls) {
+    case FaultClass::DroppedSample:
+        return "dropped-sample";
+    case FaultClass::DuplicatedSample:
+        return "duplicated-sample";
+    case FaultClass::SensorSaturation:
+        return "sensor-saturation";
+    case FaultClass::CalibrationDrift:
+        return "calibration-drift";
+    case FaultClass::LoggerDisconnect:
+        return "logger-disconnect";
+    case FaultClass::ThermalThrottle:
+        return "thermal-throttle";
+    case FaultClass::CorunInterference:
+        return "corun-interference";
+    }
+    panic("faultClassName: unknown fault class");
+}
+
+std::optional<FaultClass>
+parseFaultClass(std::string_view text)
+{
+    for (const FaultClass cls : allFaultClasses()) {
+        if (text == faultClassName(cls))
+            return cls;
+    }
+    return std::nullopt;
+}
+
+std::array<FaultClass, faultClassCount>
+allFaultClasses()
+{
+    return {FaultClass::DroppedSample,     FaultClass::DuplicatedSample,
+            FaultClass::SensorSaturation,  FaultClass::CalibrationDrift,
+            FaultClass::LoggerDisconnect,  FaultClass::ThermalThrottle,
+            FaultClass::CorunInterference};
+}
+
+FaultPlan &
+FaultPlan::with(FaultClass cls, double rate)
+{
+    if (!(rate >= 0.0 && rate <= 1.0)) {
+        panic(msgOf("FaultPlan: rate ", rate, " for ",
+                    faultClassName(cls), " is outside [0, 1]"));
+    }
+    rates[static_cast<size_t>(cls)] = rate;
+    return *this;
+}
+
+bool
+FaultPlan::any() const
+{
+    return injectsSamples() || !poisonedConfig.empty();
+}
+
+bool
+FaultPlan::injectsSamples() const
+{
+    for (const double r : rates) {
+        if (r > 0.0)
+            return true;
+    }
+    return false;
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan_, uint64_t stream_hash,
+                             int session, int expected_samples)
+    : plan(plan_),
+      rng(mixStreamSeed(plan_.seed, stream_hash, session)),
+      expectedSamples(std::max(expected_samples, 1))
+{
+    // Session-scoped events are all decided up front, in a fixed
+    // order, so the per-sample stream below is identical whether or
+    // not any of them fired — determinism is per (plan, experiment,
+    // session), never per code path taken.
+    if (bernoulli(FaultClass::CalibrationDrift)) {
+        // Gain ramps linearly to 6-12% off by session end, like a
+        // Hall sensor warming next to an exhaust vent.
+        const double endGain = rng.uniform(0.06, 0.12) *
+                               (rng.uniform() < 0.5 ? -1.0 : 1.0);
+        driftGainPerSample = endGain / expectedSamples;
+    } else {
+        rng.uniform();
+        rng.uniform();
+    }
+
+    if (bernoulli(FaultClass::LoggerDisconnect)) {
+        // The logger dies somewhere in the middle half of the
+        // session: early enough to matter, late enough that some
+        // samples exist.
+        disconnectAt = static_cast<int>(
+            expectedSamples * rng.uniform(0.25, 0.75));
+    } else {
+        rng.uniform();
+    }
+
+    if (bernoulli(FaultClass::ThermalThrottle)) {
+        throttleStart = static_cast<int>(
+            expectedSamples * rng.uniform(0.0, 0.6));
+        throttleEnd = throttleStart + std::max(
+            1, static_cast<int>(expectedSamples * rng.uniform(0.1, 0.4)));
+        throttleScale = rng.uniform(0.55, 0.80);
+    } else {
+        rng.uniform();
+        rng.uniform();
+        rng.uniform();
+    }
+
+    if (bernoulli(FaultClass::CorunInterference)) {
+        interfereStart = static_cast<int>(
+            expectedSamples * rng.uniform(0.0, 0.6));
+        interfereEnd = interfereStart + std::max(
+            1, static_cast<int>(expectedSamples * rng.uniform(0.1, 0.4)));
+        interfereScale = rng.uniform(1.25, 1.60);
+    } else {
+        rng.uniform();
+        rng.uniform();
+        rng.uniform();
+    }
+}
+
+bool
+FaultInjector::bernoulli(FaultClass cls)
+{
+    // Always draw, even at rate 0, so the stream position is a pure
+    // function of the sample index.
+    return rng.uniform() < plan.rate(cls);
+}
+
+SampleFault
+FaultInjector::next()
+{
+    SampleFault fault;
+    const int i = index++;
+
+    if (disconnectAt >= 0 && i >= disconnectAt)
+        fault.lost = true;
+
+    if (bernoulli(FaultClass::DroppedSample))
+        fault.lost = true;
+
+    if (bernoulli(FaultClass::DuplicatedSample))
+        fault.extraCopies = 1 + static_cast<int>(rng.below(2));
+    else
+        rng.next();
+
+    // Saturation arrives in short bursts — a few consecutive railed
+    // samples while the load transient exceeds the sensor's range.
+    if (railRemaining > 0) {
+        fault.railed = true;
+        --railRemaining;
+        rng.uniform(); // consumed in place of the burst-start check
+    } else if (bernoulli(FaultClass::SensorSaturation)) {
+        fault.railed = true;
+        railRemaining = 1 + static_cast<int>(rng.uniform() * 3.0);
+    } else {
+        rng.uniform();
+    }
+
+    if (i >= throttleStart && i < throttleEnd)
+        fault.powerScale *= throttleScale;
+    if (i >= interfereStart && i < interfereEnd)
+        fault.powerScale *= interfereScale;
+
+    fault.countsGain = 1.0 + driftGainPerSample * i;
+    return fault;
+}
+
+} // namespace lhr

@@ -20,11 +20,22 @@ namespace lhr
  */
 struct Measurement
 {
-    double timeSec;        ///< mean measured execution time
-    double timeCi95Rel;    ///< 95% CI as a fraction of the mean
-    double powerW;         ///< mean measured average power
-    double powerCi95Rel;   ///< 95% CI as a fraction of the mean
-    int invocations;       ///< repetitions aggregated
+    double timeSec = 0.0;      ///< mean measured execution time
+    double timeCi95Rel = 0.0;  ///< 95% CI as a fraction of the mean
+    double powerW = 0.0;       ///< mean measured average power
+    double powerCi95Rel = 0.0; ///< 95% CI as a fraction of the mean
+    int invocations = 0;       ///< repetitions aggregated
+
+    // Measurement-quality accounting, populated only when a fault
+    // plan routed sampling through the injector (all zero on the
+    // clean path; see MeasurementPolicy for the recovery protocol).
+    long samplesLost = 0;       ///< 50Hz slots the logger missed
+    long samplesRailed = 0;     ///< saturated ADC codes rejected
+    long samplesDuplicated = 0; ///< stale repeats rejected
+    int retries = 0;            ///< sessions re-run after validation
+    int extraInvocations = 0;   ///< CI-gate re-runs beyond prescribed
+    int outlierInvocations = 0; ///< invocations the MAD screen dropped
+    bool degraded = false;      ///< recovery hit a cap; suspect result
 
     /** Energy = power x time (paper section 1). */
     double energyJ() const { return timeSec * powerW; }

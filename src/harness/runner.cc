@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "jvm/jvm_model.hh"
+#include "sensor/trace_log.hh"
 #include "workload/phases.hh"
 #include "power/turbo.hh"
 #include "stats/summary.hh"
@@ -81,6 +82,26 @@ countActive(const std::vector<double> &activity)
 ExperimentRunner::ExperimentRunner(uint64_t seed)
     : baseSeed(seed)
 {
+}
+
+void
+ExperimentRunner::setFaultPlan(FaultPlan plan)
+{
+    if (cachedMeasurements() > 0) {
+        panic("ExperimentRunner::setFaultPlan: measurements taken "
+              "under the previous plan are already cached");
+    }
+    faults = std::move(plan);
+}
+
+void
+ExperimentRunner::setMeasurementPolicy(const MeasurementPolicy &pol)
+{
+    if (cachedMeasurements() > 0) {
+        panic("ExperimentRunner::setMeasurementPolicy: measurements "
+              "taken under the previous policy are already cached");
+    }
+    policy = pol;
 }
 
 /**
@@ -319,17 +340,35 @@ ExperimentRunner::runMeasurement(const MachineConfig &cfg,
                                  const Benchmark &bench)
 {
     const ProcessorSpec &spec = *cfg.spec;
+    if (!faults.poisonedConfig.empty() &&
+        cfg.label() == faults.poisonedConfig) {
+        throw FaultError(Status::error(
+            StatusCode::FaultDetected,
+            "rig offline for poisoned configuration '" + cfg.label() +
+                "' (" + bench.name + ")"));
+    }
+
     const ExecutionProfile prof = profile(cfg, bench);
     const Rig &sensorRig = rig(spec);
     const bool java = bench.language() == Language::Java;
 
-    Rng rng(baseSeed ^ fnv1a(experimentKey(cfg, bench)));
+    const uint64_t streamHash = fnv1a(experimentKey(cfg, bench));
+    Rng rng(baseSeed ^ streamHash);
 
     const std::vector<PowerBreakdown> phases =
         phaseBreakdowns(cfg, bench, prof, rng);
     std::vector<double> phasePowerW(phases.size());
     for (size_t k = 0; k < phases.size(); ++k)
         phasePowerW[k] = phases[k].total();
+
+    // A plan with nonzero rates takes the fault-aware path. The
+    // clean path below is deliberately untouched legacy code: with
+    // an empty plan the runner must stay byte-identical to the
+    // fault-free laboratory (the golden-output contract).
+    if (faults.injectsSamples()) {
+        return faultedMeasurement(cfg, bench, prof, phasePowerW, rng,
+                                  streamHash);
+    }
 
     const int invocations = bench.prescribedInvocations();
     const double timeSigma = java ? 0.016 : 0.004;
@@ -385,6 +424,254 @@ ExperimentRunner::runMeasurement(const MachineConfig &cfg,
     m.powerW = powerStats.mean();
     m.powerCi95Rel = powerStats.ci95Relative();
     m.invocations = invocations;
+    return m;
+}
+
+/**
+ * The fault-aware measurement path. Every sampling session (one
+ * benchmark invocation's 50Hz run) goes through the FaultInjector
+ * and PowerTraceLogger; the raw pipeline (policy.harden == false)
+ * then averages whatever the logger recorded, while the hardened
+ * pipeline validates, retries, screens and re-runs per
+ * MeasurementPolicy. Fully deterministic: sessions are numbered, and
+ * every random decision flows from the experiment's derived stream.
+ */
+Measurement
+ExperimentRunner::faultedMeasurement(const MachineConfig &cfg,
+                                     const Benchmark &bench,
+                                     const ExecutionProfile &prof,
+                                     const std::vector<double> &phasePowerW,
+                                     Rng &rng, uint64_t stream_hash)
+{
+    const Rig &sensorRig = rig(*cfg.spec);
+    const bool java = bench.language() == Language::Java;
+    const int invocations = bench.prescribedInvocations();
+    const double timeSigma = java ? 0.016 : 0.004;
+    const double powerSigma =
+        (java ? 0.012 : 0.008) + 0.04 * bench.phaseVariability;
+    const int railHigh = sensorRig.channel->railHighCounts();
+    const int railLow = sensorRig.channel->railLowCounts();
+
+    struct Session
+    {
+        double measuredTime = 0.0;
+        int expectedSamples = 0;
+        long lost = 0;
+        std::vector<TraceSample> trace;
+    };
+
+    // Sessions are numbered across the whole measurement (initial
+    // invocations, retries, CI-gate extras) so every one gets its
+    // own fault stream and the sequence is reproducible.
+    int nextSession = 0;
+    auto runSession = [&]() {
+        const int session = nextSession++;
+        Rng invRng = rng.fork();
+
+        double trueTime = prof.timeSec;
+        if (java) {
+            trueTime *= JvmModel::warmupFactor(
+                JvmMethodology::measuredIteration);
+            trueTime *= 1.0 + 0.01 * std::fabs(invRng.gaussian());
+        }
+        Session out;
+        out.measuredTime =
+            trueTime * (1.0 + timeSigma * invRng.gaussian());
+        const double invocationPowerScale =
+            1.0 + powerSigma * invRng.gaussian();
+
+        const double duration =
+            std::min(out.measuredTime, maxSampledSec);
+        const int samples = std::max(
+            10, static_cast<int>(duration * PowerChannel::sampleHz));
+        out.expectedSamples = samples;
+
+        FaultInjector injector(faults, stream_hash, session, samples);
+        PowerTraceLogger logger(*sensorRig.channel, *sensorRig.calib);
+        for (int s = 0; s < samples; ++s) {
+            const int k = static_cast<int>(
+                static_cast<int64_t>(s) * powerPhases / samples) %
+                powerPhases;
+            const double trueW = phasePowerW[k] * invocationPowerScale *
+                (1.0 + 0.003 * invRng.gaussian());
+            logger.sampleFaulted(s / PowerChannel::sampleHz, trueW,
+                                 invRng, injector.next());
+        }
+        out.lost = static_cast<long>(logger.lostSamples());
+        out.trace = logger.samples();
+        return out;
+    };
+
+    Measurement m;
+
+    if (!policy.harden) {
+        // The naive pipeline: believe the logger. A disconnected
+        // logger reads as zero power, a railed sensor as its rail.
+        Summary timeStats, powerStats;
+        for (int inv = 0; inv < invocations; ++inv) {
+            const Session s = runSession();
+            double mean = 0.0;
+            if (!s.trace.empty()) {
+                double sum = 0.0;
+                for (const TraceSample &ts : s.trace)
+                    sum += ts.watts;
+                mean = sum / s.trace.size();
+            }
+            timeStats.add(s.measuredTime);
+            powerStats.add(mean);
+            m.samplesLost += s.lost;
+        }
+        m.timeSec = timeStats.mean();
+        m.timeCi95Rel = timeStats.ci95Relative();
+        m.powerW = powerStats.mean();
+        m.powerCi95Rel = powerStats.ci95Relative();
+        m.invocations = invocations;
+        return m;
+    }
+
+    struct Accepted
+    {
+        double timeSec;
+        double powerW;
+    };
+    std::vector<Accepted> accepted;
+
+    // Session validation: reject duplicate timestamps and railed ADC
+    // codes sample by sample, then the session as a whole when too
+    // few samples survive or its two halves disagree on mean power.
+    auto validateSession = [&](const Session &s, Accepted &out) {
+        m.samplesLost += s.lost;
+        double sum = 0.0, headSum = 0.0, tailSum = 0.0;
+        long kept = 0, headN = 0, tailN = 0;
+        const double midTime =
+            s.expectedSamples / PowerChannel::sampleHz * 0.5;
+        double prevTime = -1.0;
+        for (const TraceSample &ts : s.trace) {
+            if (ts.timeSec == prevTime) {
+                ++m.samplesDuplicated;
+                continue;
+            }
+            prevTime = ts.timeSec;
+            if (ts.counts >= railHigh || ts.counts <= railLow) {
+                ++m.samplesRailed;
+                continue;
+            }
+            sum += ts.watts;
+            ++kept;
+            if (ts.timeSec < midTime) {
+                headSum += ts.watts;
+                ++headN;
+            } else {
+                tailSum += ts.watts;
+                ++tailN;
+            }
+        }
+        if (kept < policy.minSampleFraction * s.expectedSamples)
+            return false;
+        const double mean = sum / kept;
+        if (headN > 0 && tailN > 0 && mean > 0.0) {
+            const double skew =
+                std::fabs(headSum / headN - tailSum / tailN);
+            if (skew > policy.balanceGateRel * mean)
+                return false;
+        }
+        out.timeSec = s.measuredTime;
+        out.powerW = mean;
+        return true;
+    };
+
+    // One accepted invocation, re-running invalid sessions with a
+    // fresh stream up to the retry cap.
+    auto acquire = [&]() {
+        for (int attempt = 0; attempt <= policy.maxRetries; ++attempt) {
+            if (attempt > 0)
+                ++m.retries;
+            const Session s = runSession();
+            Accepted a;
+            if (validateSession(s, a)) {
+                accepted.push_back(a);
+                return true;
+            }
+        }
+        return false;
+    };
+
+    for (int inv = 0; inv < invocations; ++inv) {
+        if (!acquire())
+            m.degraded = true;
+    }
+    if (accepted.size() < 2) {
+        throw FaultError(Status::error(
+            StatusCode::FaultDetected,
+            msgOf("unrecoverable measurement for '", cfg.label(), "' / ",
+                  bench.name, ": only ", accepted.size(),
+                  " valid invocations after retries")));
+    }
+
+    // Median/MAD screen across accepted invocations, then the
+    // paper's protocol: add invocations until the CIs pass the gate.
+    Summary timeStats, powerStats;
+    int rejected = 0;
+    auto aggregate = [&]() {
+        std::vector<double> powers;
+        powers.reserve(accepted.size());
+        for (const Accepted &a : accepted)
+            powers.push_back(a.powerW);
+        const double med = percentileOf(powers, 50.0);
+        std::vector<double> dev;
+        dev.reserve(powers.size());
+        for (const double p : powers)
+            dev.push_back(std::fabs(p - med));
+        const double mad = percentileOf(std::move(dev), 50.0);
+        // The noise floor keeps a near-zero MAD (tightly clustered
+        // invocations) from rejecting everything over rounding dust.
+        const double limit =
+            policy.outlierMadK * std::max(mad, 0.005 * med);
+        timeStats = Summary();
+        powerStats = Summary();
+        rejected = 0;
+        for (const Accepted &a : accepted) {
+            if (std::fabs(a.powerW - med) > limit) {
+                ++rejected;
+                continue;
+            }
+            timeStats.add(a.timeSec);
+            powerStats.add(a.powerW);
+        }
+    };
+
+    aggregate();
+    while ((timeStats.count() < 2 ||
+            timeStats.ci95Relative() > policy.ciGateRel ||
+            powerStats.ci95Relative() > policy.ciGateRel) &&
+           m.extraInvocations < policy.maxExtraInvocations) {
+        ++m.extraInvocations;
+        if (!acquire())
+            m.degraded = true;
+        aggregate();
+    }
+    if (timeStats.count() < 2) {
+        // The screen left too little data; fall back to every
+        // accepted invocation and flag the result.
+        timeStats = Summary();
+        powerStats = Summary();
+        rejected = 0;
+        for (const Accepted &a : accepted) {
+            timeStats.add(a.timeSec);
+            powerStats.add(a.powerW);
+        }
+        m.degraded = true;
+    }
+    if (timeStats.ci95Relative() > policy.ciGateRel ||
+        powerStats.ci95Relative() > policy.ciGateRel)
+        m.degraded = true;
+
+    m.outlierInvocations = rejected;
+    m.timeSec = timeStats.mean();
+    m.timeCi95Rel = timeStats.ci95Relative();
+    m.powerW = powerStats.mean();
+    m.powerCi95Rel = powerStats.ci95Relative();
+    m.invocations = static_cast<int>(timeStats.count());
     return m;
 }
 

@@ -28,6 +28,7 @@
 #include <unordered_map>
 
 #include "cpu/perf_model.hh"
+#include "fault/fault.hh"
 #include "harness/measurement.hh"
 #include "machine/processor.hh"
 #include "util/env.hh"
@@ -36,6 +37,7 @@
 #include "sensor/calibration.hh"
 #include "sensor/channel.hh"
 #include "util/rng.hh"
+#include "util/status.hh"
 #include "workload/benchmark.hh"
 
 namespace lhr
@@ -48,6 +50,48 @@ struct CacheStats
     uint64_t misses = 0;
 
     uint64_t lookups() const { return hits + misses; }
+};
+
+/**
+ * How the measurement pipeline defends itself when a rig is flaky
+ * (a FaultPlan with nonzero rates is installed). With harden on, the
+ * runner mirrors the paper's protocol of re-running until intervals
+ * are tight: it validates every sampling session (drops railed ADC
+ * codes and duplicate timestamps, rejects sessions with too few
+ * surviving samples or an unbalanced first/second-half power mean),
+ * re-runs invalid sessions with a fresh random stream, screens
+ * accepted invocations with a median/MAD outlier test, and keeps
+ * adding invocations until the 95% CIs pass the gate — all within
+ * hard caps, so a dead rig degrades to a FaultError instead of an
+ * infinite loop. None of this runs when the plan injects nothing:
+ * the clean path is byte-identical to the fault-free laboratory.
+ */
+struct MeasurementPolicy
+{
+    /** Recover (true) or record the raw faulted stream (false). */
+    bool harden = true;
+
+    /** Re-run until both relative 95% CIs are inside this gate. */
+    double ciGateRel = 0.05;
+
+    /**
+     * A session whose first- and second-half power means differ by
+     * more than this fraction is rejected (calibration drift,
+     * throttle or co-runner windows show up as exactly this skew).
+     */
+    double balanceGateRel = 0.04;
+
+    /** Minimum surviving-sample fraction for a session to count. */
+    double minSampleFraction = 0.6;
+
+    /** Re-runs allowed per invalid invocation. */
+    int maxRetries = 3;
+
+    /** Extra invocations allowed by the CI gate. */
+    int maxExtraInvocations = 12;
+
+    /** Median/MAD rejection threshold across invocations. */
+    double outlierMadK = 6.0;
 };
 
 /**
@@ -75,6 +119,23 @@ class ExperimentRunner
      */
     const Measurement &measure(const MachineConfig &cfg,
                                const Benchmark &bench);
+
+    /**
+     * Install a fault model. Experiments on the plan's poisoned
+     * configuration throw FaultError from measure(); nonzero rates
+     * route sampling through the FaultInjector. Must be called
+     * before any measurement is cached (panic otherwise — cached
+     * results taken under another plan would silently mix in).
+     */
+    void setFaultPlan(FaultPlan plan);
+    const FaultPlan &faultPlan() const { return faults; }
+
+    /**
+     * Install the recovery policy (see MeasurementPolicy). Same
+     * no-cached-measurements precondition as setFaultPlan().
+     */
+    void setMeasurementPolicy(const MeasurementPolicy &policy);
+    const MeasurementPolicy &measurementPolicy() const { return policy; }
 
     /**
      * The deterministic execution profile (no sensor, no noise) at
@@ -178,11 +239,18 @@ class ExperimentRunner
     const Rig &rig(const ProcessorSpec &spec);
     Measurement runMeasurement(const MachineConfig &cfg,
                                const Benchmark &bench);
+    Measurement faultedMeasurement(const MachineConfig &cfg,
+                                   const Benchmark &bench,
+                                   const ExecutionProfile &prof,
+                                   const std::vector<double> &phasePowerW,
+                                   Rng &rng, uint64_t stream_hash);
     std::vector<PowerBreakdown> phaseBreakdowns(
         const MachineConfig &cfg, const Benchmark &bench,
         const ExecutionProfile &prof, Rng &rng);
 
     uint64_t baseSeed;
+    FaultPlan faults;
+    MeasurementPolicy policy;
 
     std::array<MemoShard, memoShardCount> memoShards;
     std::atomic<uint64_t> memoHits{0};

@@ -60,6 +60,20 @@ PowerChannel::quantize(double volts)
 }
 
 int
+PowerChannel::railHighCounts() const
+{
+    return quantize(zeroCurrentVolts +
+                    sensorSensitivity(sensorVariant) * ratedAmps());
+}
+
+int
+PowerChannel::railLowCounts() const
+{
+    return quantize(zeroCurrentVolts -
+                    sensorSensitivity(sensorVariant) * ratedAmps());
+}
+
+int
 PowerChannel::sampleCounts(double watts, Rng &noise) const
 {
     if (watts < 0.0)

@@ -69,6 +69,16 @@ class PowerChannel
     /** One ADC sample (counts) for a true chip power in watts. */
     int sampleCounts(double watts, Rng &noise) const;
 
+    /**
+     * ADC counts of the sensor pegged at its positive/negative rail:
+     * the ideal output at ±ratedAmps(), no noise or device error. A
+     * saturated logger slot reads exactly railHighCounts(); the
+     * hardened measurement pipeline detects railing by comparing
+     * recorded counts against these (see MeasurementPolicy).
+     */
+    int railHighCounts() const;
+    int railLowCounts() const;
+
     /** True rail current for a chip power (I = P / 12V). */
     static double railAmps(double watts) { return watts / railVolts; }
 

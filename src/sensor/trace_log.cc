@@ -23,6 +23,36 @@ PowerTraceLogger::sample(double time_sec, double true_watts, Rng &rng)
     log.push_back({time_sec, counts, calib.wattsFromCounts(counts)});
 }
 
+void
+PowerTraceLogger::sampleFaulted(double time_sec, double true_watts,
+                                Rng &rng, const SampleFault &fault)
+{
+    const double scaledW = true_watts * fault.powerScale;
+    int counts = sensorChannel.sampleCounts(scaledW, rng);
+    if (fault.railed)
+        counts = sensorChannel.railHighCounts();
+    if (fault.countsGain != 1.0) {
+        // Drift scales the sensor transfer about the zero-current
+        // output, so the recorded code drifts proportionally to the
+        // distance from the zero code.
+        const int zero = PowerChannel::quantize(
+            PowerChannel::zeroCurrentVolts);
+        const double shifted = zero + (counts - zero) * fault.countsGain;
+        counts = std::clamp(
+            static_cast<int>(std::lround(shifted)), 0,
+            PowerChannel::adcCounts - 1);
+    }
+    if (fault.lost) {
+        ++lostCount;
+        return;
+    }
+    log.push_back({time_sec, counts, calib.wattsFromCounts(counts)});
+    for (int i = 0; i < fault.extraCopies; ++i) {
+        ++duplicateCount;
+        log.push_back({time_sec, counts, calib.wattsFromCounts(counts)});
+    }
+}
+
 double
 PowerTraceLogger::meanW() const
 {

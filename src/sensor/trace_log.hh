@@ -12,9 +12,11 @@
 #ifndef LHR_SENSOR_TRACE_LOG_HH
 #define LHR_SENSOR_TRACE_LOG_HH
 
+#include <cstddef>
 #include <ostream>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "sensor/calibration.hh"
 #include "sensor/channel.hh"
 
@@ -43,6 +45,23 @@ class PowerTraceLogger
      */
     void sample(double time_sec, double true_watts, Rng &rng);
 
+    /**
+     * sample() with a fault decision applied. The sensor always
+     * converts — the same rng draws are consumed as on the clean
+     * path — and the fault acts on what the logger records: a lost
+     * slot is counted but not logged, a railed slot records the
+     * channel's rail counts, calibration drift rescales the counts
+     * about the zero-current code, duplicates re-log the slot.
+     */
+    void sampleFaulted(double time_sec, double true_watts, Rng &rng,
+                       const SampleFault &fault);
+
+    /** Slots the logger missed (drops + post-disconnect). */
+    size_t lostSamples() const { return lostCount; }
+
+    /** Stale repeats logged beyond the real slots. */
+    size_t duplicatedSamples() const { return duplicateCount; }
+
     /** All samples in arrival order. */
     const std::vector<TraceSample> &samples() const { return log; }
 
@@ -64,13 +83,20 @@ class PowerTraceLogger
     /** Emit the trace as CSV (time_s, counts, watts). */
     void writeCsv(std::ostream &os) const;
 
-    /** Drop all samples. */
-    void clear() { log.clear(); }
+    /** Drop all samples and reset the fault counters. */
+    void clear()
+    {
+        log.clear();
+        lostCount = 0;
+        duplicateCount = 0;
+    }
 
   private:
     const PowerChannel &sensorChannel;
     const Calibration &calib;
     std::vector<TraceSample> log;
+    size_t lostCount = 0;
+    size_t duplicateCount = 0;
 };
 
 } // namespace lhr

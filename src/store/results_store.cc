@@ -1,8 +1,8 @@
 #include "store/results_store.hh"
 
-#include <cctype>
 #include <cmath>
-#include <cstdlib>
+#include <cstdio>
+#include <fstream>
 
 #include "util/csv.hh"
 #include "util/logging.hh"
@@ -15,71 +15,6 @@ namespace
 
 const char *const storeHeader =
     "config,benchmark,time_s,time_ci95,power_w,power_ci95";
-
-/**
- * Split one CSV line into fields, honouring double-quote quoting as
- * produced by CsvWriter.
- */
-std::vector<std::string>
-splitCsvLine(const std::string &line)
-{
-    std::vector<std::string> fields;
-    std::string field;
-    bool quoted = false;
-    for (size_t i = 0; i < line.size(); ++i) {
-        const char ch = line[i];
-        if (quoted) {
-            if (ch == '"') {
-                if (i + 1 < line.size() && line[i + 1] == '"') {
-                    field += '"';
-                    ++i;
-                } else {
-                    quoted = false;
-                }
-            } else {
-                field += ch;
-            }
-        } else if (ch == '"' && field.empty()) {
-            quoted = true;
-        } else if (ch == ',') {
-            fields.push_back(field);
-            field.clear();
-        } else {
-            field += ch;
-        }
-    }
-    fields.push_back(field);
-    return fields;
-}
-
-/** Strip surrounding whitespace (and a stray '\r') from a field. */
-std::string
-trimmed(const std::string &text)
-{
-    size_t begin = 0;
-    size_t end = text.size();
-    while (begin < end &&
-           std::isspace(static_cast<unsigned char>(text[begin])))
-        ++begin;
-    while (end > begin &&
-           std::isspace(static_cast<unsigned char>(text[end - 1])))
-        --end;
-    return text.substr(begin, end - begin);
-}
-
-double
-parseDouble(const std::string &raw, const std::string &context)
-{
-    // Files written or hand-edited on Windows carry CRLF line ends;
-    // getline leaves the '\r' on the last field. Trim it (and any
-    // stray spaces) rather than rejecting the row.
-    const std::string text = trimmed(raw);
-    char *end = nullptr;
-    const double value = std::strtod(text.c_str(), &end);
-    if (text.empty() || end == text.c_str() || *end != '\0')
-        fatal("ResultStore: bad number '" + raw + "' in " + context);
-    return value;
-}
 
 } // namespace
 
@@ -138,8 +73,38 @@ ResultStore::save(std::ostream &os) const
     }
 }
 
-ResultStore
-ResultStore::load(std::istream &is)
+Status
+ResultStore::saveToFile(const std::string &path) const
+{
+    // Temp-then-rename: a reader (or a crash) never observes a
+    // half-written snapshot under the final name.
+    const std::string temp = path + ".tmp";
+    {
+        std::ofstream os(temp, std::ios::trunc);
+        if (!os) {
+            return Status::error(StatusCode::IoError,
+                                 "cannot write '" + temp + "'");
+        }
+        save(os);
+        os.flush();
+        if (!os) {
+            os.close();
+            std::remove(temp.c_str());
+            return Status::error(StatusCode::IoError,
+                                 "write to '" + temp + "' failed");
+        }
+    }
+    if (std::rename(temp.c_str(), path.c_str()) != 0) {
+        std::remove(temp.c_str());
+        return Status::error(StatusCode::IoError,
+                             "cannot rename '" + temp + "' to '" +
+                                 path + "'");
+    }
+    return Status();
+}
+
+Expected<ResultStore>
+ResultStore::tryLoad(std::istream &is)
 {
     // CRLF-tolerant line reader: drop the '\r' getline leaves behind
     // on files written or edited on Windows.
@@ -152,8 +117,10 @@ ResultStore::load(std::istream &is)
     };
 
     std::string line;
-    if (!getLine(line) || line != storeHeader)
-        fatal("ResultStore: missing or unexpected CSV header");
+    if (!getLine(line) || line != storeHeader) {
+        return Status::error(StatusCode::ParseError,
+                             "missing or unexpected CSV header");
+    }
 
     ResultStore store;
     size_t lineNo = 1;
@@ -163,17 +130,60 @@ ResultStore::load(std::istream &is)
             continue;
         const auto fields = splitCsvLine(line);
         if (fields.size() != 6) {
-            fatal(msgOf("ResultStore: line ", lineNo, " has ",
-                        fields.size(), " fields, expected 6"));
+            return Status::error(
+                StatusCode::ParseError,
+                msgOf("line ", lineNo, " has ", fields.size(),
+                      " fields, expected 6"));
         }
-        const std::string context = msgOf("line ", lineNo);
-        store.put({fields[0], fields[1],
-                   parseDouble(fields[2], context),
-                   parseDouble(fields[3], context),
-                   parseDouble(fields[4], context),
-                   parseDouble(fields[5], context)});
+        StoredResult row;
+        row.configLabel = trimmedField(fields[0]);
+        row.benchmark = trimmedField(fields[1]);
+        double *const numbers[4] = {&row.timeSec, &row.timeCi95Rel,
+                                    &row.powerW, &row.powerCi95Rel};
+        for (int f = 0; f < 4; ++f) {
+            Expected<double> parsed = parseCsvNumber(fields[2 + f]);
+            if (!parsed.ok()) {
+                return Status::error(
+                    StatusCode::ParseError,
+                    msgOf("line ", lineNo, ": ",
+                          parsed.status().message()));
+            }
+            *numbers[f] = parsed.value();
+        }
+        if (store.find(row.configLabel, row.benchmark)) {
+            return Status::error(
+                StatusCode::ParseError,
+                msgOf("line ", lineNo, ": duplicate row for '",
+                      row.configLabel, "' / '", row.benchmark, "'"));
+        }
+        store.put(row);
     }
     return store;
+}
+
+Expected<ResultStore>
+ResultStore::tryLoadFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        return Status::error(StatusCode::IoError,
+                             "cannot open '" + path + "'");
+    }
+    Expected<ResultStore> store = tryLoad(is);
+    if (!store.ok()) {
+        return Status::error(store.status().code(),
+                             path + ": " + store.status().message());
+    }
+    return store;
+}
+
+ResultStore
+ResultStore::load(std::istream &is)
+{
+    Expected<ResultStore> store = tryLoad(is);
+    if (!store.ok())
+        fatal("ResultStore: " + store.status().message());
+    return std::move(store).value();
 }
 
 ResultStore

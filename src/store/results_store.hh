@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "harness/runner.hh"
+#include "util/status.hh"
 
 namespace lhr
 {
@@ -61,8 +62,29 @@ class ResultStore
     void save(std::ostream &os) const;
 
     /**
+     * Serialize to a file atomically: the CSV is written to a
+     * sibling temporary and renamed into place, so a crash or a
+     * full disk mid-write never leaves a truncated snapshot where a
+     * good one (or nothing) used to be. Returns an IoError with the
+     * failing path on any filesystem problem.
+     */
+    Status saveToFile(const std::string &path) const;
+
+    /**
+     * Parse a store from CSV as written by save(). A malformed
+     * input — wrong header, truncated row, non-numeric or non-finite
+     * field, duplicate (config, benchmark) key — returns a
+     * line-numbered ParseError instead of a store.
+     */
+    static Expected<ResultStore> tryLoad(std::istream &is);
+
+    /** tryLoad() on a file; IoError when it cannot be opened. */
+    static Expected<ResultStore> tryLoadFile(const std::string &path);
+
+    /**
      * Parse a store from CSV as written by save(). fatal()s on a
-     * malformed header or row (a user-supplied file is user input).
+     * malformed header or row (a user-supplied file is user input);
+     * front ends that want to report instead of exit use tryLoad().
      */
     static ResultStore load(std::istream &is);
 

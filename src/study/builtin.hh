@@ -19,6 +19,7 @@ void registerTableStudies(StudyRegistry &registry);
 void registerFindingsStudies(StudyRegistry &registry);
 void registerModelAblationStudies(StudyRegistry &registry);
 void registerLabAblationStudies(StudyRegistry &registry);
+void registerFaultStudies(StudyRegistry &registry);
 
 } // namespace lhr
 

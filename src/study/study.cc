@@ -150,6 +150,7 @@ registerBuiltinStudies(StudyRegistry &registry)
     registerFindingsStudies(registry);
     registerModelAblationStudies(registry);
     registerLabAblationStudies(registry);
+    registerFaultStudies(registry);
 }
 
 // ---- running ----------------------------------------------------------
@@ -340,11 +341,14 @@ runStudyCommand(const std::vector<std::string> &args)
                 fatal("malformed --seed '" + value + "'");
             setSeedOverride(seed);
         } else if (opt == "--jobs") {
-            options.threads =
-                std::atoi(valueOf(opt, i, inlineValue, hasInline)
-                              .c_str());
-            if (options.threads < 0)
-                fatal("--jobs must be >= 0");
+            const auto value =
+                valueOf(opt, i, inlineValue, hasInline);
+            // Strict parse: atoi would quietly turn "banana" into 0
+            // (= hardware concurrency), hiding the typo.
+            const Expected<long> jobs = parseInt(value, 0, 1024);
+            if (!jobs.ok())
+                fatal("--jobs: " + jobs.status().message());
+            options.threads = static_cast<int>(jobs.value());
         } else if (opt == "--no-prewarm") {
             options.prewarm = false;
         } else if (arg.rfind("--", 0) == 0) {

@@ -25,14 +25,42 @@ secondsSince(Clock::time_point start)
 
 } // namespace
 
+size_t
+SweepReport::failedCells() const
+{
+    size_t n = 0;
+    for (const SweepCell &cell : cells)
+        if (!cell.ok())
+            ++n;
+    return n;
+}
+
+size_t
+SweepReport::degradedCells() const
+{
+    size_t n = 0;
+    for (const SweepCell &cell : cells)
+        if (cell.measurement && cell.measurement->degraded)
+            ++n;
+    return n;
+}
+
 std::string
 SweepReport::summary() const
 {
-    return msgOf("sweep: ", cells.size(), " experiments on ", threads,
-                 threads == 1 ? " thread" : " threads", " in ",
-                 wallSec, "s (", experimentsPerSec(),
-                 " exp/s, utilization ", utilization(), ", cache ",
-                 cache.hits, " hits / ", cache.misses, " misses)");
+    std::string text =
+        msgOf("sweep: ", cells.size(), " experiments on ", threads,
+              threads == 1 ? " thread" : " threads", " in ",
+              wallSec, "s (", experimentsPerSec(),
+              " exp/s, utilization ", utilization(), ", cache ",
+              cache.hits, " hits / ", cache.misses, " misses)");
+    const size_t failed = failedCells();
+    const size_t degraded = degradedCells();
+    if (failed > 0)
+        text += msgOf(", ", failed, " failed");
+    if (degraded > 0)
+        text += msgOf(", ", degraded, " degraded");
+    return text;
 }
 
 SweepEngine::SweepEngine(ExperimentRunner &runner, SweepOptions options)
@@ -67,19 +95,51 @@ SweepEngine::run(std::vector<MachineConfig> configs,
     const size_t progressEvery = std::max<size_t>(1, total / 16);
     const Clock::time_point start = Clock::now();
 
+    std::atomic<int> failures{0};
+
     // One task per cell; the pool's work stealing keeps every worker
     // busy even though Java benchmarks on big parts cost far more
     // than native ones on the Atom. Cells write disjoint slots, so
-    // the results vector needs no lock.
+    // the results vector needs no lock. A throwing experiment
+    // degrades its own cell to a flagged row and never takes the
+    // sweep down; past maxFailures the pool is cancelled and the
+    // remaining cells come back Cancelled without running.
     pool.parallelFor(total, [&](size_t idx) {
         const size_t ci = idx / nBench;
         const size_t bi = idx % nBench;
         const MachineConfig &cfg = report.configs[ci];
         const Benchmark &bench = report.benchmarks[bi];
-        const Clock::time_point cellStart = Clock::now();
-        const Measurement &m = runner.measure(cfg, bench);
-        report.cells[idx] = {&cfg, &bench, &m,
-                             secondsSince(cellStart)};
+        SweepCell &cell = report.cells[idx];
+        cell.config = &cfg;
+        cell.benchmark = &bench;
+
+        if (pool.cancelled()) {
+            cell.status = Status::error(
+                StatusCode::Cancelled,
+                "sweep cancelled after too many failed cells");
+        } else {
+            const Clock::time_point cellStart = Clock::now();
+            try {
+                cell.measurement = &runner.measure(cfg, bench);
+            } catch (const FaultError &e) {
+                cell.status = e.status();
+            } catch (const std::exception &e) {
+                cell.status =
+                    Status::error(StatusCode::Internal, e.what());
+            }
+            cell.wallSec = secondsSince(cellStart);
+            if (cell.status.ok() && options.cellTimeoutSec > 0.0 &&
+                cell.wallSec > options.cellTimeoutSec) {
+                cell.status = Status::error(
+                    StatusCode::Timeout,
+                    msgOf("cell took ", cell.wallSec, "s, budget ",
+                          options.cellTimeoutSec, "s"));
+            }
+            if (!cell.status.ok() && options.maxFailures >= 0 &&
+                failures.fetch_add(1, std::memory_order_relaxed) + 1 >
+                    options.maxFailures)
+                pool.cancel();
+        }
 
         const size_t finished =
             done.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -109,8 +169,10 @@ ResultStore
 toStore(const SweepReport &report)
 {
     ResultStore store;
-    for (const SweepCell &cell : report.cells)
-        store.put(*cell.config, *cell.benchmark, *cell.measurement);
+    for (const SweepCell &cell : report.cells) {
+        if (cell.measurement)
+            store.put(*cell.config, *cell.benchmark, *cell.measurement);
+    }
     return store;
 }
 

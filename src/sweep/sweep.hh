@@ -49,15 +49,39 @@ struct SweepOptions
 
     /** Emit progress/throughput lines to stderr while sweeping. */
     bool progress = false;
+
+    /**
+     * Wall-time budget per cell in seconds; a cell that exceeds it
+     * is flagged StatusCode::Timeout in its status (the measurement
+     * still completes — the flag marks the row as suspect, it does
+     * not preempt model code). 0 disables the budget.
+     */
+    double cellTimeoutSec = 0.0;
+
+    /**
+     * Failed cells tolerated before the sweep cooperatively cancels
+     * the rest (remaining cells come back StatusCode::Cancelled
+     * without running). Negative = never cancel: every cell runs
+     * and failures degrade to flagged rows.
+     */
+    int maxFailures = -1;
 };
 
-/** One completed grid cell. */
+/**
+ * One grid cell. A cell that measured cleanly carries a Measurement
+ * and an ok() status; a cell whose experiment threw (poisoned rig,
+ * unrecoverable faults, any other error) carries a null measurement
+ * and the error — one bad cell never aborts the sweep.
+ */
 struct SweepCell
 {
-    const MachineConfig *config;     ///< into the report's own grid
-    const Benchmark *benchmark;      ///< into the report's own grid
-    const Measurement *measurement;  ///< owned by the runner's cache
-    double wallSec;                  ///< time this cell's measure() took
+    const MachineConfig *config = nullptr;    ///< report's own grid
+    const Benchmark *benchmark = nullptr;     ///< report's own grid
+    const Measurement *measurement = nullptr; ///< runner's cache; null on failure
+    double wallSec = 0.0;   ///< time this cell's measure() took
+    Status status;          ///< ok, or why the cell has no result
+
+    bool ok() const { return status.ok() && measurement != nullptr; }
 };
 
 /** Outcome and observability of one sweep. */
@@ -81,6 +105,12 @@ struct SweepReport
     CacheStats cache;          ///< runner hit/miss delta of this sweep
 
     size_t experiments() const { return cells.size(); }
+
+    /** Cells that failed (FaultError, timeout flag, cancellation). */
+    size_t failedCells() const;
+
+    /** Cells whose recovery hit a cap (Measurement::degraded). */
+    size_t degradedCells() const;
 
     /** Throughput in experiments per second of wall time. */
     double experimentsPerSec() const
@@ -132,7 +162,11 @@ class SweepEngine
     SweepOptions options;
 };
 
-/** Convert a sweep's cells into a persistable ResultStore. */
+/**
+ * Convert a sweep's cells into a persistable ResultStore. Failed
+ * cells (no measurement) are skipped — the store holds only rows
+ * that actually measured.
+ */
 ResultStore toStore(const SweepReport &report);
 
 } // namespace lhr

@@ -1,6 +1,9 @@
 #include "util/csv.hh"
 
+#include <cctype>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/logging.hh"
 
@@ -87,6 +90,72 @@ CsvWriter::~CsvWriter()
 {
     if (rowOpen)
         flushRow();
+}
+
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string field;
+    bool quoted = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+        const char ch = line[i];
+        if (quoted) {
+            if (ch == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    field += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                field += ch;
+            }
+        } else if (ch == '"' && field.empty()) {
+            quoted = true;
+        } else if (ch == ',') {
+            fields.push_back(field);
+            field.clear();
+        } else {
+            field += ch;
+        }
+    }
+    fields.push_back(field);
+    return fields;
+}
+
+std::string
+trimmedField(const std::string &text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+Expected<double>
+parseCsvNumber(const std::string &raw)
+{
+    // Files written or hand-edited on Windows carry CRLF line ends;
+    // getline leaves the '\r' on the last field. Trim it (and any
+    // stray spaces) rather than rejecting the field.
+    const std::string text = trimmedField(raw);
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (text.empty() || end == text.c_str() || *end != '\0') {
+        return Status::error(StatusCode::ParseError,
+                             "bad number '" + raw + "'");
+    }
+    if (!std::isfinite(value)) {
+        return Status::error(StatusCode::ParseError,
+                             "non-finite number '" + raw + "'");
+    }
+    return value;
 }
 
 } // namespace lhr

@@ -1,6 +1,9 @@
 /**
  * @file
- * Minimal CSV emission, mirroring the paper's companion csv data sets.
+ * Minimal CSV emission and parsing, mirroring the paper's companion
+ * csv data sets. Parsing reports malformed input through
+ * Expected/Status (util/status.hh) so loaders can attach line
+ * numbers and degrade instead of crashing.
  */
 
 #ifndef LHR_UTIL_CSV_HH
@@ -9,6 +12,8 @@
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "util/status.hh"
 
 namespace lhr
 {
@@ -46,6 +51,23 @@ class CsvWriter
     std::vector<std::string> pending;
     bool rowOpen;
 };
+
+/**
+ * Split one CSV line into fields, honouring the double-quote quoting
+ * CsvWriter produces.
+ */
+std::vector<std::string> splitCsvLine(const std::string &line);
+
+/** Strip surrounding whitespace (and a stray '\r') from a field. */
+std::string trimmedField(const std::string &text);
+
+/**
+ * Parse one CSV field as a finite double. Tolerates surrounding
+ * whitespace (CRLF files, hand-padded numbers); rejects empty
+ * fields, trailing junk, and non-finite values (NaN/inf) with a
+ * ParseError naming the offending text.
+ */
+Expected<double> parseCsvNumber(const std::string &raw);
 
 } // namespace lhr
 

@@ -1,6 +1,10 @@
 #include "util/env.hh"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
+
+#include "util/logging.hh"
 
 namespace lhr
 {
@@ -50,6 +54,42 @@ void
 setSeedOverride(std::optional<uint64_t> seed)
 {
     seedOverrideSlot() = seed;
+}
+
+Expected<long>
+parseInt(const std::string &text, long min, long max)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long value = std::strtol(text.c_str(), &end, 10);
+    if (text.empty() || end == text.c_str() || *end != '\0' ||
+        errno == ERANGE) {
+        return Status::error(StatusCode::ParseError,
+                             "'" + text + "' is not an integer");
+    }
+    if (value < min || value > max) {
+        return Status::error(
+            StatusCode::InvalidArgument,
+            msgOf("'", text, "' is outside ", min, "..", max));
+    }
+    return value;
+}
+
+Expected<double>
+parseReal(const std::string &text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (text.empty() || end == text.c_str() || *end != '\0') {
+        return Status::error(StatusCode::ParseError,
+                             "'" + text + "' is not a number");
+    }
+    if (!std::isfinite(value)) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "'" + text + "' is not finite");
+    }
+    return value;
 }
 
 } // namespace lhr

@@ -16,6 +16,8 @@
 #include <optional>
 #include <string>
 
+#include "util/status.hh"
+
 namespace lhr
 {
 
@@ -36,6 +38,19 @@ void setSeedOverride(std::optional<uint64_t> seed);
  * Returns nullopt on malformed input.
  */
 std::optional<uint64_t> parseSeed(const std::string &text);
+
+/**
+ * Parse a command-line integer strictly: the whole string must be a
+ * decimal integer inside [min, max]. Unlike atoi, "banana" and "4x"
+ * are ParseErrors instead of silently becoming 0 and 4.
+ */
+Expected<long> parseInt(const std::string &text, long min, long max);
+
+/**
+ * Parse a command-line real strictly: the whole string must be a
+ * finite number. Unlike atof, trailing junk is a ParseError.
+ */
+Expected<double> parseReal(const std::string &text);
 
 } // namespace lhr
 

@@ -1,0 +1,40 @@
+#include "util/status.hh"
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok:              return "ok";
+      case StatusCode::InvalidArgument: return "invalid-argument";
+      case StatusCode::ParseError:      return "parse-error";
+      case StatusCode::IoError:         return "io-error";
+      case StatusCode::FaultDetected:   return "fault-detected";
+      case StatusCode::Timeout:         return "timeout";
+      case StatusCode::Cancelled:       return "cancelled";
+      case StatusCode::Internal:        return "internal";
+    }
+    panic("statusCodeName: unknown code");
+}
+
+Status
+Status::error(StatusCode code, std::string message)
+{
+    if (code == StatusCode::Ok)
+        panic("Status::error: StatusCode::Ok is not an error");
+    return Status(code, std::move(message));
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    return std::string(statusCodeName(statusCode)) + ": " + text;
+}
+
+} // namespace lhr

@@ -41,7 +41,25 @@ ThreadPool::ThreadPool(int threads)
 
 ThreadPool::~ThreadPool()
 {
-    wait();
+    drain();
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex);
+        if (firstError) {
+            // A task failed and nobody called wait() to collect the
+            // error; surface it rather than swallowing it silently
+            // (throwing from a destructor is not an option).
+            try {
+                std::rethrow_exception(firstError);
+            } catch (const std::exception &e) {
+                warn(std::string("ThreadPool: uncollected task "
+                                 "error: ") + e.what());
+            } catch (...) {
+                warn("ThreadPool: uncollected non-standard task "
+                     "exception");
+            }
+            firstError = nullptr;
+        }
+    }
     {
         std::lock_guard<std::mutex> lock(sleepMutex);
         shuttingDown = true;
@@ -103,7 +121,17 @@ ThreadPool::workerLoop(size_t index)
                 std::lock_guard<std::mutex> lock(sleepMutex);
                 --queuedTasks;
             }
-            task();
+            // A throwing task must neither kill this worker
+            // (std::terminate) nor stall the batch: capture the
+            // first exception for wait() to rethrow and keep
+            // draining, so sibling tasks still complete.
+            try {
+                task();
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(sleepMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
             size_t left;
             {
                 std::lock_guard<std::mutex> lock(sleepMutex);
@@ -126,10 +154,24 @@ ThreadPool::workerLoop(size_t index)
 }
 
 void
-ThreadPool::wait()
+ThreadPool::drain()
 {
     std::unique_lock<std::mutex> lock(sleepMutex);
     allDone.wait(lock, [this] { return pendingTasks == 0; });
+}
+
+void
+ThreadPool::wait()
+{
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(sleepMutex);
+        allDone.wait(lock, [this] { return pendingTasks == 0; });
+        error = firstError;
+        firstError = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 void

@@ -24,6 +24,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -53,7 +54,13 @@ class ThreadPool
     /** Enqueue one task. Thread-safe. */
     void submit(std::function<void()> task);
 
-    /** Block until every submitted task has finished. */
+    /**
+     * Block until every submitted task has finished, then rethrow
+     * the first exception any of them raised (if one did). A
+     * throwing task never takes down a worker or loses its
+     * siblings' work: the remaining tasks all still run, and the
+     * pool stays usable after the rethrow.
+     */
     void wait();
 
     /** Number of worker threads. */
@@ -69,9 +76,26 @@ class ThreadPool
     /**
      * Run fn(0) .. fn(n-1) across the pool and wait for all of them.
      * Iterations must be independent; they run in arbitrary order on
-     * arbitrary workers.
+     * arbitrary workers. Rethrows like wait() if an iteration threw.
      */
     void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    /**
+     * Cooperative cancellation: cancel() raises a flag that
+     * submitted work can poll via cancelled() to cut a batch short
+     * (e.g. a sweep abandoning a dead rig after too many failures).
+     * The pool itself keeps running every task; it is the tasks'
+     * job to return early. reset by resetCancel().
+     */
+    void cancel() { cancelFlag.store(true, std::memory_order_relaxed); }
+    bool cancelled() const
+    {
+        return cancelFlag.load(std::memory_order_relaxed);
+    }
+    void resetCancel()
+    {
+        cancelFlag.store(false, std::memory_order_relaxed);
+    }
 
   private:
     struct WorkerQueue
@@ -82,6 +106,7 @@ class ThreadPool
 
     void workerLoop(size_t index);
     bool popTask(size_t index, std::function<void()> &task);
+    void drain(); ///< wait() without the rethrow (used by ~ThreadPool)
 
     std::vector<std::unique_ptr<WorkerQueue>> queues;
     std::vector<std::thread> workers;
@@ -92,7 +117,9 @@ class ThreadPool
     size_t queuedTasks = 0;    ///< tasks sitting in deques
     size_t pendingTasks = 0;   ///< submitted but not yet finished
     bool shuttingDown = false; ///< all three guarded by sleepMutex
+    std::exception_ptr firstError; ///< guarded by sleepMutex
     std::atomic<size_t> nextQueue{0};
+    std::atomic<bool> cancelFlag{false};
 };
 
 } // namespace lhr

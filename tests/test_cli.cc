@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Exit-code and error-path tests of the lhrlab command-line front
+ * end, run against the real binary (path baked in by CMake as
+ * LHR_LHRLAB_BIN). The contract under test: a command line lhrlab
+ * cannot act on exits nonzero with a diagnostic — never the old
+ * atoi-style silent success where "--jobs banana" quietly meant
+ * something else.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace
+{
+
+struct CliResult
+{
+    int exitCode = -1;
+    std::string output; ///< stdout and stderr, interleaved
+};
+
+CliResult
+runCli(const std::string &args)
+{
+    const std::string cmd =
+        std::string(LHR_LHRLAB_BIN) + " " + args + " 2>&1";
+    FILE *pipe = popen(cmd.c_str(), "r");
+    EXPECT_NE(pipe, nullptr) << cmd;
+    CliResult result;
+    char buf[4096];
+    size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0)
+        result.output.append(buf, n);
+    const int status = pclose(pipe);
+    result.exitCode =
+        WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return result;
+}
+
+bool
+mentions(const CliResult &r, const std::string &needle)
+{
+    return r.output.find(needle) != std::string::npos;
+}
+
+} // namespace
+
+TEST(Cli, HelpExitsZeroWithUsage)
+{
+    const CliResult r = runCli("help");
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_TRUE(mentions(r, "usage: lhrlab"));
+}
+
+TEST(Cli, NoArgumentsExitsTwoWithUsage)
+{
+    const CliResult r = runCli("");
+    EXPECT_EQ(r.exitCode, 2);
+    EXPECT_TRUE(mentions(r, "usage: lhrlab"));
+}
+
+TEST(Cli, UnknownCommandExitsTwoWithUsage)
+{
+    const CliResult r = runCli("frobnicate");
+    EXPECT_EQ(r.exitCode, 2);
+    EXPECT_TRUE(mentions(r, "unknown command"));
+    EXPECT_TRUE(mentions(r, "frobnicate"));
+    EXPECT_TRUE(mentions(r, "usage: lhrlab"));
+}
+
+TEST(Cli, MalformedSeedExitsTwo)
+{
+    const CliResult r = runCli("--seed banana list");
+    EXPECT_EQ(r.exitCode, 2);
+    EXPECT_TRUE(mentions(r, "--seed"));
+    EXPECT_TRUE(mentions(r, "banana"));
+}
+
+TEST(Cli, MissingSeedValueExitsTwo)
+{
+    const CliResult r = runCli("--seed");
+    EXPECT_EQ(r.exitCode, 2);
+    EXPECT_TRUE(mentions(r, "--seed needs a value"));
+}
+
+TEST(Cli, UnknownRunFormatExitsNonzero)
+{
+    const CliResult r = runCli("run fig04 --format=yaml");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_TRUE(mentions(r, "unknown format"));
+}
+
+TEST(Cli, NonNumericJobsExitsNonzero)
+{
+    const CliResult r = runCli("run fig04 --jobs banana");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_TRUE(mentions(r, "--jobs"));
+}
+
+TEST(Cli, UnknownRunOptionExitsNonzero)
+{
+    const CliResult r = runCli("run fig04 --frobnicate");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_TRUE(mentions(r, "unknown option"));
+}
+
+TEST(Cli, UnknownStudyExitsNonzero)
+{
+    const CliResult r = runCli("run no_such_study");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_TRUE(mentions(r, "unknown study"));
+}
+
+TEST(Cli, UnwritableOutDirExitsNonzero)
+{
+    // /dev/null is a file: creating a directory under it must fail
+    // before any artifact write is attempted.
+    const CliResult r =
+        runCli("run ablation_faults --format=json --out /dev/null/x");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_TRUE(mentions(r, "cannot create"));
+}
+
+TEST(Cli, MultiStudyJsonWithoutOutDirExitsNonzero)
+{
+    const CliResult r = runCli("run --all --format=json");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_TRUE(mentions(r, "--out"));
+}
+
+TEST(Cli, BadMeasureCoresExitsTwo)
+{
+    const CliResult r =
+        runCli("measure \"i7 (45)\" mcf --cores banana");
+    EXPECT_EQ(r.exitCode, 2);
+    EXPECT_TRUE(mentions(r, "--cores"));
+}
+
+TEST(Cli, OutOfRangeMeasureCoresExitsTwo)
+{
+    const CliResult r =
+        runCli("measure \"i7 (45)\" mcf --cores 99");
+    EXPECT_EQ(r.exitCode, 2);
+    EXPECT_TRUE(mentions(r, "--cores"));
+}
+
+TEST(Cli, BadSmtValueExitsTwo)
+{
+    const CliResult r =
+        runCli("measure \"i7 (45)\" mcf --smt maybe");
+    EXPECT_EQ(r.exitCode, 2);
+    EXPECT_TRUE(mentions(r, "on|off"));
+}
+
+TEST(Cli, BadClockValueExitsTwo)
+{
+    const CliResult r =
+        runCli("measure \"i7 (45)\" mcf --clock fast");
+    EXPECT_EQ(r.exitCode, 2);
+    EXPECT_TRUE(mentions(r, "--clock"));
+}
+
+TEST(Cli, DanglingOptionValueExitsTwo)
+{
+    const CliResult r = runCli("measure \"i7 (45)\" mcf --cores");
+    EXPECT_EQ(r.exitCode, 2);
+    EXPECT_TRUE(mentions(r, "needs a value"));
+}
+
+TEST(Cli, ListNamesIncludesTheFaultStudy)
+{
+    const CliResult r = runCli("list --names");
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_TRUE(mentions(r, "ablation_faults"));
+}
+
+TEST(Cli, CompareRejectsNegativeTolerance)
+{
+    const CliResult r = runCli("compare a.csv b.csv -0.5");
+    EXPECT_EQ(r.exitCode, 2);
+    EXPECT_TRUE(mentions(r, "tolerance"));
+}
+
+TEST(Cli, CompareMissingFileExitsNonzero)
+{
+    const CliResult r =
+        runCli("compare /no/such/before.csv /no/such/after.csv");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_TRUE(mentions(r, "cannot open"));
+}

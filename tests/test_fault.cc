@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Tests for the fault-injection rig and the hardened measurement
+ * pipeline: injector determinism, the logger's fault semantics, the
+ * byte-identity guarantee of an empty plan, poisoned configurations,
+ * and the recovery path against an injected fault the raw pipeline
+ * cannot survive.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/fault.hh"
+#include "harness/runner.hh"
+#include "sensor/calibration.hh"
+#include "sensor/channel.hh"
+#include "sensor/trace_log.hh"
+#include "util/status.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+/** Bitwise equality of the paper-facing measurement fields. */
+bool
+identical(const Measurement &a, const Measurement &b)
+{
+    return a.timeSec == b.timeSec && a.timeCi95Rel == b.timeCi95Rel &&
+        a.powerW == b.powerW && a.powerCi95Rel == b.powerCi95Rel &&
+        a.invocations == b.invocations;
+}
+
+bool
+sameFault(const SampleFault &a, const SampleFault &b)
+{
+    return a.lost == b.lost && a.railed == b.railed &&
+        a.extraCopies == b.extraCopies &&
+        a.powerScale == b.powerScale && a.countsGain == b.countsGain;
+}
+
+} // namespace
+
+TEST(FaultPlan, NamesRoundTrip)
+{
+    for (const FaultClass cls : allFaultClasses()) {
+        const auto parsed = parseFaultClass(faultClassName(cls));
+        ASSERT_TRUE(parsed.has_value()) << faultClassName(cls);
+        EXPECT_EQ(*parsed, cls);
+    }
+    EXPECT_FALSE(parseFaultClass("cosmic-ray").has_value());
+    EXPECT_FALSE(parseFaultClass("").has_value());
+}
+
+TEST(FaultPlan, DefaultInjectsNothing)
+{
+    const FaultPlan plan;
+    EXPECT_FALSE(plan.any());
+    EXPECT_FALSE(plan.injectsSamples());
+    for (const FaultClass cls : allFaultClasses())
+        EXPECT_EQ(plan.rate(cls), 0.0);
+}
+
+TEST(FaultPlan, WithSetsRateAndValidates)
+{
+    FaultPlan plan;
+    plan.with(FaultClass::DroppedSample, 0.25)
+        .with(FaultClass::ThermalThrottle, 1.0);
+    EXPECT_DOUBLE_EQ(plan.rate(FaultClass::DroppedSample), 0.25);
+    EXPECT_DOUBLE_EQ(plan.rate(FaultClass::ThermalThrottle), 1.0);
+    EXPECT_TRUE(plan.injectsSamples());
+    EXPECT_TRUE(plan.any());
+
+    EXPECT_DEATH(plan.with(FaultClass::DroppedSample, 1.5), "0, 1");
+    EXPECT_DEATH(plan.with(FaultClass::DroppedSample, -0.1), "0, 1");
+}
+
+TEST(FaultPlan, PoisonedConfigAloneInjectsNoSamples)
+{
+    FaultPlan plan;
+    plan.poisonedConfig = "some rig";
+    EXPECT_TRUE(plan.any());
+    EXPECT_FALSE(plan.injectsSamples());
+}
+
+TEST(FaultInjector, StreamIsAPureFunctionOfItsKey)
+{
+    FaultPlan plan;
+    plan.seed = 0xABCD;
+    for (const FaultClass cls : allFaultClasses())
+        plan.with(cls, 0.2);
+
+    constexpr int samples = 400;
+    FaultInjector a(plan, 0x1111, 2, samples);
+    FaultInjector b(plan, 0x1111, 2, samples);
+    FaultInjector otherSession(plan, 0x1111, 3, samples);
+    FaultInjector otherExperiment(plan, 0x2222, 2, samples);
+
+    bool sessionDiffers = false, experimentDiffers = false;
+    for (int i = 0; i < samples; ++i) {
+        const SampleFault fa = a.next();
+        EXPECT_TRUE(sameFault(fa, b.next())) << "sample " << i;
+        sessionDiffers |= !sameFault(fa, otherSession.next());
+        experimentDiffers |= !sameFault(fa, otherExperiment.next());
+    }
+    EXPECT_EQ(a.sampleIndex(), samples);
+    EXPECT_TRUE(sessionDiffers);
+    EXPECT_TRUE(experimentDiffers);
+}
+
+TEST(FaultInjector, ZeroRatesYieldCleanSamples)
+{
+    const FaultPlan plan; // all rates zero
+    FaultInjector injector(plan, 0xFEED, 0, 256);
+    for (int i = 0; i < 256; ++i) {
+        const SampleFault fault = injector.next();
+        EXPECT_FALSE(fault.lost);
+        EXPECT_FALSE(fault.railed);
+        EXPECT_EQ(fault.extraCopies, 0);
+        EXPECT_DOUBLE_EQ(fault.powerScale, 1.0);
+        EXPECT_DOUBLE_EQ(fault.countsGain, 1.0);
+    }
+}
+
+TEST(FaultInjector, DisconnectLosesEveryLaterSample)
+{
+    FaultPlan plan;
+    plan.with(FaultClass::LoggerDisconnect, 1.0);
+    constexpr int samples = 300;
+    FaultInjector injector(plan, 0x5EED, 0, samples);
+    int firstLost = -1;
+    for (int i = 0; i < samples; ++i) {
+        const bool lost = injector.next().lost;
+        if (lost && firstLost < 0)
+            firstLost = i;
+        if (firstLost >= 0)
+            EXPECT_TRUE(lost) << "sample " << i;
+    }
+    // The cut lands in the middle half of the session.
+    ASSERT_GE(firstLost, samples / 4);
+    ASSERT_LE(firstLost, 3 * samples / 4);
+}
+
+TEST(TraceLog, FaultedSamplingCountsAndLogs)
+{
+    const PowerChannel channel(SensorVariant::A30, 0x714);
+    Rng calRng(0xCAFE);
+    const Calibration calib =
+        Calibration::calibrate(channel, calRng);
+    PowerTraceLogger logger(channel, calib);
+    Rng rng(0xD00D);
+
+    SampleFault clean;
+    logger.sampleFaulted(0.00, 40.0, rng, clean);
+
+    SampleFault lost;
+    lost.lost = true;
+    logger.sampleFaulted(0.02, 40.0, rng, lost);
+
+    SampleFault duplicated;
+    duplicated.extraCopies = 2;
+    logger.sampleFaulted(0.04, 40.0, rng, duplicated);
+
+    SampleFault railed;
+    railed.railed = true;
+    logger.sampleFaulted(0.06, 40.0, rng, railed);
+
+    // 1 clean + (1 + 2 copies) + 1 railed; the lost slot is counted
+    // but never logged.
+    EXPECT_EQ(logger.count(), 5u);
+    EXPECT_EQ(logger.lostSamples(), 1u);
+    EXPECT_EQ(logger.duplicatedSamples(), 2u);
+
+    const auto &log = logger.samples();
+    // Duplicates repeat the slot's timestamp (how recovery spots them).
+    EXPECT_DOUBLE_EQ(log[1].timeSec, 0.04);
+    EXPECT_DOUBLE_EQ(log[2].timeSec, 0.04);
+    EXPECT_DOUBLE_EQ(log[3].timeSec, 0.04);
+    EXPECT_EQ(log[1].counts, log[2].counts);
+    // The railed slot reads exactly the channel's rail code, far
+    // above any honest 40W reading.
+    EXPECT_EQ(log[4].counts, channel.railHighCounts());
+    EXPECT_GT(log[4].counts, log[0].counts);
+
+    logger.clear();
+    EXPECT_EQ(logger.count(), 0u);
+    EXPECT_EQ(logger.lostSamples(), 0u);
+    EXPECT_EQ(logger.duplicatedSamples(), 0u);
+}
+
+TEST(RailCodes, BracketTheHonestRange)
+{
+    const PowerChannel channel(SensorVariant::A30, 0x714);
+    EXPECT_GT(channel.railHighCounts(), channel.railLowCounts());
+    // The ideal zero-current code sits between the rails.
+    const int zero = PowerChannel::quantize(PowerChannel::zeroCurrentVolts);
+    EXPECT_GT(channel.railHighCounts(), zero);
+    EXPECT_LT(channel.railLowCounts(), zero);
+    EXPECT_LT(channel.railHighCounts(), PowerChannel::adcCounts);
+    EXPECT_GE(channel.railLowCounts(), 0);
+}
+
+TEST(Runner, EmptyPlanIsBitIdenticalToTheCleanPath)
+{
+    const auto cfg = stockConfig(processorById("i7 (45)"));
+    const auto &bench = benchmarkByName("mcf");
+    const auto &java = benchmarkByName("db");
+
+    ExperimentRunner plain(0xBEEF);
+    ExperimentRunner planned(0xBEEF);
+    planned.setFaultPlan(FaultPlan{}); // all-zero: must change nothing
+    MeasurementPolicy policy;          // defaults, harden on
+    planned.setMeasurementPolicy(policy);
+
+    EXPECT_TRUE(identical(plain.measure(cfg, bench),
+                          planned.measure(cfg, bench)));
+    EXPECT_TRUE(identical(plain.measure(cfg, java),
+                          planned.measure(cfg, java)));
+}
+
+TEST(Runner, FaultPlanMustBeInstalledBeforeMeasuring)
+{
+    ExperimentRunner runner(0xBEEF);
+    runner.measure(stockConfig(processorById("Atom (45)")),
+                   benchmarkByName("mcf"));
+    FaultPlan plan;
+    plan.with(FaultClass::DroppedSample, 0.1);
+    EXPECT_DEATH(runner.setFaultPlan(plan), "cached");
+    EXPECT_DEATH(runner.setMeasurementPolicy(MeasurementPolicy{}),
+                 "cached");
+}
+
+TEST(Runner, PoisonedConfigThrowsTypedFaultError)
+{
+    const auto poisoned = stockConfig(processorById("i7 (45)"));
+    const auto healthy = stockConfig(processorById("Atom (45)"));
+    const auto &bench = benchmarkByName("mcf");
+
+    ExperimentRunner runner(0xBEEF);
+    FaultPlan plan;
+    plan.poisonedConfig = poisoned.label();
+    runner.setFaultPlan(plan);
+
+    try {
+        runner.measure(poisoned, bench);
+        FAIL() << "poisoned configuration measured successfully";
+    } catch (const FaultError &e) {
+        EXPECT_EQ(e.status().code(), StatusCode::FaultDetected);
+        EXPECT_NE(e.status().message().find(poisoned.label()),
+                  std::string::npos);
+    }
+
+    // Other configurations are untouched — and bit-identical to a
+    // plan-free runner, since a poison-only plan injects no samples.
+    ExperimentRunner plain(0xBEEF);
+    EXPECT_TRUE(identical(runner.measure(healthy, bench),
+                          plain.measure(healthy, bench)));
+}
+
+TEST(Runner, HardenedPipelineRecoversFromSaturation)
+{
+    const auto cfg = stockConfig(processorById("i7 (45)"));
+    const auto &bench = benchmarkByName("mcf");
+
+    ExperimentRunner clean(0xBEEF);
+    const Measurement &truth = clean.measure(cfg, bench);
+
+    FaultPlan plan;
+    plan.seed = 0xBEEF;
+    plan.with(FaultClass::SensorSaturation, 0.02);
+
+    ExperimentRunner rawRunner(0xBEEF);
+    rawRunner.setFaultPlan(plan);
+    MeasurementPolicy raw;
+    raw.harden = false;
+    rawRunner.setMeasurementPolicy(raw);
+    const Measurement &rawM = rawRunner.measure(cfg, bench);
+
+    ExperimentRunner recRunner(0xBEEF);
+    recRunner.setFaultPlan(plan);
+    const Measurement &recM = recRunner.measure(cfg, bench);
+
+    // Railed codes decode far above the real draw: the raw mean is
+    // badly biased, the recovered mean is back near the truth.
+    EXPECT_GT(rawM.powerW, truth.powerW * 1.10);
+    EXPECT_NEAR(recM.powerW, truth.powerW, truth.powerW * 0.03);
+    EXPECT_GT(recM.samplesRailed, 0);
+    EXPECT_FALSE(recM.degraded);
+
+    // Faulted measurements are deterministic: a second runner with
+    // the same seed and plan reproduces both bit for bit.
+    ExperimentRunner rawAgain(0xBEEF);
+    rawAgain.setFaultPlan(plan);
+    rawAgain.setMeasurementPolicy(raw);
+    EXPECT_TRUE(identical(rawAgain.measure(cfg, bench), rawM));
+    ExperimentRunner recAgain(0xBEEF);
+    recAgain.setFaultPlan(plan);
+    EXPECT_TRUE(identical(recAgain.measure(cfg, bench), recM));
+}
+
+TEST(Runner, DeadRigDegradesToFaultErrorNotAHang)
+{
+    // Rate-1.0 disconnects kill every session; retries and the CI
+    // gate are capped, so the pipeline must give up with a typed
+    // error rather than loop or fabricate a number.
+    const auto cfg = stockConfig(processorById("i7 (45)"));
+    const auto &bench = benchmarkByName("mcf");
+
+    FaultPlan plan;
+    plan.seed = 1;
+    plan.with(FaultClass::LoggerDisconnect, 1.0)
+        .with(FaultClass::DroppedSample, 0.9);
+
+    ExperimentRunner runner(0xBEEF);
+    runner.setFaultPlan(plan);
+    MeasurementPolicy policy;
+    policy.minSampleFraction = 0.9; // nothing survives this gate
+    runner.setMeasurementPolicy(policy);
+
+    EXPECT_THROW(runner.measure(cfg, bench), FaultError);
+}
+
+} // namespace lhr

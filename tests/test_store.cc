@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "store/results_store.hh"
+#include "util/status.hh"
 
 namespace lhr
 {
@@ -124,6 +127,108 @@ TEST(Store, LoadStillRejectsWhitespaceOnlyNumber)
         "config,benchmark,time_s,time_ci95,power_w,power_ci95\n"
         "cfg,mcf,  ,0.01,40.0,0.01\n");
     EXPECT_DEATH(ResultStore::load(is), "bad number");
+}
+
+TEST(Store, TryLoadReportsTypedLineNumberedErrors)
+{
+    const std::string header =
+        "config,benchmark,time_s,time_ci95,power_w,power_ci95\n";
+
+    struct Case
+    {
+        const char *label;
+        std::string input;
+        std::string expectInMessage;
+    };
+    const Case cases[] = {
+        {"wrong header", "not,a,store\n", "header"},
+        {"truncated row", header + "cfg,mcf,1.0,0.01\n",
+         "line 2 has 4 fields"},
+        {"extra fields", header + "cfg,mcf,1.0,0.01,40.0,0.01,9\n",
+         "line 2 has 7 fields"},
+        {"non-numeric", header + "cfg,mcf,banana,0.01,40.0,0.01\n",
+         "line 2"},
+        {"nan field", header + "cfg,mcf,nan,0.01,40.0,0.01\n",
+         "line 2"},
+        {"inf field", header + "cfg,mcf,1.0,0.01,inf,0.01\n",
+         "line 2"},
+        {"duplicate key",
+         header + "cfg,mcf,1.0,0.01,40.0,0.01\n"
+                  "cfg,mcf,2.0,0.01,41.0,0.01\n",
+         "line 3: duplicate row"},
+        {"error after good rows",
+         header + "cfg,mcf,1.0,0.01,40.0,0.01\n"
+                  "cfg,gcc,oops,0.01,40.0,0.01\n",
+         "line 3"},
+    };
+
+    for (const Case &c : cases) {
+        std::istringstream is(c.input);
+        const Expected<ResultStore> loaded = ResultStore::tryLoad(is);
+        ASSERT_FALSE(loaded.ok()) << c.label;
+        EXPECT_EQ(loaded.status().code(), StatusCode::ParseError)
+            << c.label;
+        EXPECT_NE(loaded.status().message().find(c.expectInMessage),
+                  std::string::npos)
+            << c.label << ": " << loaded.status().message();
+    }
+
+    // The same matrix through tryLoad never kills the process — the
+    // paper's 45-config sweep must shrug off one corrupt snapshot.
+    std::istringstream good(header + "cfg,mcf,1.0,0.01,40.0,0.01\n");
+    const Expected<ResultStore> loaded = ResultStore::tryLoad(good);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value().size(), 1u);
+}
+
+TEST(Store, TryLoadFileReportsMissingPath)
+{
+    const Expected<ResultStore> loaded =
+        ResultStore::tryLoadFile("/no/such/dir/store.csv");
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::IoError);
+    EXPECT_NE(loaded.status().message().find("cannot open"),
+              std::string::npos);
+}
+
+TEST(Store, SaveToFileRoundTripsAtomically)
+{
+    ResultStore store;
+    store.put(row("cfgA", "mcf", 10.0, 40.0));
+    store.put(row("cfg,with,commas", "db", 1.5, 2.5));
+
+    const std::string path =
+        testing::TempDir() + "store_roundtrip.csv";
+    const Status saved = store.saveToFile(path);
+    ASSERT_TRUE(saved.ok()) << saved.toString();
+    // The temp file must be gone after the rename.
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+
+    const Expected<ResultStore> loaded =
+        ResultStore::tryLoadFile(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    EXPECT_EQ(loaded.value().size(), store.size());
+    ASSERT_NE(loaded.value().find("cfgA", "mcf"), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(Store, SaveToFileOverwriteKeepsOldFileOnFailure)
+{
+    const std::string path = testing::TempDir() + "store_keep.csv";
+    ResultStore store;
+    store.put(row("cfg", "mcf", 10.0, 40.0));
+    ASSERT_TRUE(store.saveToFile(path).ok());
+
+    // Writing into a directory that does not exist fails without
+    // touching the good file written above.
+    const Status bad = store.saveToFile("/no/such/dir/store.csv");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.code(), StatusCode::IoError);
+    const Expected<ResultStore> still =
+        ResultStore::tryLoadFile(path);
+    ASSERT_TRUE(still.ok());
+    EXPECT_EQ(still.value().size(), 1u);
+    std::remove(path.c_str());
 }
 
 TEST(Store, LoadSkipsBlankLines)

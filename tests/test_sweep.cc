@@ -96,6 +96,151 @@ TEST(ThreadPool, ZeroMeansDefaultThreadCount)
     EXPECT_EQ(pool.threadCount(), ThreadPool::defaultThreadCount());
 }
 
+TEST(ThreadPool, ThrowingTaskSurfacesFromWaitWithoutLosingSiblings)
+{
+    ThreadPool pool(4);
+    std::atomic<int> completed{0};
+    for (int i = 0; i < 200; ++i) {
+        pool.submit([&completed, i] {
+            if (i == 97)
+                throw FaultError(Status::error(
+                    StatusCode::Internal, "task 97 exploded"));
+            completed.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    try {
+        pool.wait();
+        FAIL() << "wait() swallowed the task's exception";
+    } catch (const FaultError &e) {
+        EXPECT_EQ(e.status().code(), StatusCode::Internal);
+        EXPECT_NE(std::string(e.what()).find("task 97"),
+                  std::string::npos);
+    }
+    // Every sibling still ran; no worker died, no task was lost.
+    EXPECT_EQ(completed.load(), 199);
+
+    // The pool is reusable after the rethrow.
+    pool.submit([&completed] { ++completed; });
+    pool.wait();
+    EXPECT_EQ(completed.load(), 200);
+}
+
+TEST(ThreadPool, ParallelForRethrowsToo)
+{
+    ThreadPool pool(3);
+    EXPECT_THROW(pool.parallelFor(64,
+                                  [](size_t i) {
+                                      if (i == 13)
+                                          throw std::runtime_error(
+                                              "iteration 13");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, CancelIsCooperativeAndResettable)
+{
+    ThreadPool pool(2);
+    EXPECT_FALSE(pool.cancelled());
+    pool.cancel();
+    EXPECT_TRUE(pool.cancelled());
+    std::atomic<int> skipped{0};
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&] {
+            if (pool.cancelled())
+                ++skipped;
+        });
+    pool.wait();
+    EXPECT_EQ(skipped.load(), 10);
+    pool.resetCancel();
+    EXPECT_FALSE(pool.cancelled());
+}
+
+TEST(Sweep, PoisonedConfigDegradesToOneFlaggedRow)
+{
+    // The acceptance scenario of the fault rig: the paper's full 45
+    // configurations with one dead rig. The sweep completes, flags
+    // exactly the poisoned rows, and every other cell measures.
+    const auto configs = standardConfigurations();
+    ASSERT_EQ(configs.size(), 45u);
+    const std::vector<Benchmark> benchmarks = {
+        benchmarkByName("mcf")};
+
+    ExperimentRunner runner(0xBEEF);
+    FaultPlan plan;
+    plan.poisonedConfig = configs[7].label();
+    runner.setFaultPlan(plan);
+
+    SweepEngine engine(runner, {.threads = 4});
+    const SweepReport report = engine.run(configs, benchmarks);
+
+    ASSERT_EQ(report.cells.size(), 45u);
+    size_t flagged = 0;
+    for (const SweepCell &cell : report.cells) {
+        if (cell.config->label() == plan.poisonedConfig) {
+            ++flagged;
+            EXPECT_FALSE(cell.ok());
+            EXPECT_EQ(cell.measurement, nullptr);
+            EXPECT_EQ(cell.status.code(), StatusCode::FaultDetected);
+        } else {
+            EXPECT_TRUE(cell.ok()) << cell.config->label();
+            ASSERT_NE(cell.measurement, nullptr);
+            EXPECT_GT(cell.measurement->timeSec, 0.0);
+        }
+    }
+    // Several of the 45 configurations are derated variants of the
+    // same label; the poisoned label appears exactly once here.
+    EXPECT_EQ(flagged, 1u);
+    EXPECT_EQ(report.failedCells(), 1u);
+    EXPECT_NE(report.summary().find("1 failed"), std::string::npos);
+
+    // The persistable store holds only the 44 healthy rows.
+    const ResultStore store = toStore(report);
+    EXPECT_EQ(store.size(), 44u);
+    EXPECT_EQ(store.find(plan.poisonedConfig, "mcf"), nullptr);
+
+    // Healthy rows are bit-identical to a plan-free serial runner: a
+    // poison-only plan perturbs nothing else.
+    ExperimentRunner clean(0xBEEF);
+    for (const SweepCell &cell : report.cells) {
+        if (cell.ok())
+            EXPECT_TRUE(identical(
+                *cell.measurement,
+                clean.measure(*cell.config, *cell.benchmark)));
+    }
+}
+
+TEST(Sweep, FailureCapCancelsTheRemainder)
+{
+    // Poison the very first configuration and allow zero failures:
+    // the sweep must cancel cooperatively, marking cells it skipped
+    // as Cancelled rather than running them.
+    const auto configs = testConfigs();
+    const auto benchmarks = testBenchmarks();
+    ExperimentRunner runner(0xBEEF);
+    FaultPlan plan;
+    plan.poisonedConfig = configs[0].label();
+    runner.setFaultPlan(plan);
+
+    SweepEngine engine(runner, {.threads = 1, .maxFailures = 0});
+    const SweepReport report = engine.run(configs, benchmarks);
+
+    ASSERT_EQ(report.cells.size(),
+              configs.size() * benchmarks.size());
+    size_t faulted = 0, cancelled = 0, measured = 0;
+    for (const SweepCell &cell : report.cells) {
+        if (cell.status.code() == StatusCode::FaultDetected)
+            ++faulted;
+        else if (cell.status.code() == StatusCode::Cancelled)
+            ++cancelled;
+        else if (cell.ok())
+            ++measured;
+    }
+    EXPECT_GE(faulted, 1u);
+    EXPECT_GE(cancelled, 1u);
+    EXPECT_EQ(faulted + cancelled + measured, report.cells.size());
+    EXPECT_EQ(report.failedCells(), faulted + cancelled);
+}
+
 TEST(Sweep, ParallelIsBitIdenticalToSerial)
 {
     const auto configs = testConfigs();
