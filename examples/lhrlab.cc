@@ -23,6 +23,12 @@
  *   lhrlab run fig04 --format=json
  *   lhrlab run --all --jobs 8 --format=json --out artifacts/
  *   lhrlab measure "i7 (45)" mcf --cores 2 --smt off --clock 1.6
+ *
+ * Sharded sweep with checkpoint/resume (see DESIGN.md):
+ *   lhrlab snapshot s1.csv --shard 1/3 --checkpoint 50 --resume
+ *   lhrlab snapshot s2.csv --shard 2/3 --checkpoint 50 --resume
+ *   lhrlab snapshot s3.csv --shard 3/3 --checkpoint 50 --resume
+ *   lhrlab merge grid.csv s1.csv s2.csv s3.csv
  */
 
 #include <cstdlib>
@@ -63,7 +69,9 @@ usage(std::ostream &os)
         "  counters <proc-id> <bench>\n"
         "  rate <proc-id> <bench>\n"
         "  corun <proc-id> <bench-a> <bench-b>\n"
-        "  snapshot <file.csv> [--45nm]\n"
+        "  snapshot <file.csv> [--45nm] [--shard I/N]\n"
+        "           [--resume] [--checkpoint N]\n"
+        "  merge <out.csv> <in.csv> [in.csv ...]\n"
         "  compare <before.csv> <after.csv> [tolerance]\n";
 }
 
@@ -372,28 +380,132 @@ cmdCorun(const std::vector<std::string> &args)
     return 0;
 }
 
+/** Parse the `--shard I/N` contract (1-based I, 1 <= I <= N). */
+void
+parseShardSpec(const std::string &value, lhr::SweepOptions &options)
+{
+    const size_t slash = value.find('/');
+    if (slash == std::string::npos)
+        usageError("--shard takes I/N (e.g. 1/3), got '" + value +
+                   "'");
+    const lhr::Expected<long> index =
+        lhr::parseInt(value.substr(0, slash), 1, 1 << 20);
+    const lhr::Expected<long> count =
+        lhr::parseInt(value.substr(slash + 1), 1, 1 << 20);
+    if (!index.ok() || !count.ok() ||
+        index.value() > count.value()) {
+        usageError("--shard takes I/N with 1 <= I <= N, got '" +
+                   value + "'");
+    }
+    options.shardIndex = static_cast<int>(index.value()) - 1;
+    options.shardCount = static_cast<int>(count.value());
+}
+
 int
 cmdSnapshot(const std::vector<std::string> &args)
 {
     if (args.size() < 3)
         lhr::fatal("snapshot needs <file.csv>");
-    const bool only45 = args.size() > 3 && args[3] == "--45nm";
+    const std::string &path = args[2];
+
+    bool only45 = false;
+    bool resume = false;
+    lhr::SweepOptions options{.progress = true};
+    for (size_t i = 3; i < args.size(); ++i) {
+        const std::string &opt = args[i];
+        if (opt == "--45nm") {
+            only45 = true;
+        } else if (opt == "--shard") {
+            if (++i >= args.size())
+                usageError("--shard needs a value (I/N)");
+            parseShardSpec(args[i], options);
+        } else if (opt == "--resume") {
+            resume = true;
+        } else if (opt == "--checkpoint") {
+            if (++i >= args.size())
+                usageError("--checkpoint needs a cell count");
+            const lhr::Expected<long> every =
+                lhr::parseInt(args[i], 1, 1L << 30);
+            if (!every.ok())
+                usageError("--checkpoint: " +
+                           every.status().message());
+            options.checkpointEvery =
+                static_cast<size_t>(every.value());
+            options.checkpointPath = path;
+        } else {
+            usageError("unknown snapshot option " + opt);
+        }
+    }
+
+    // --resume warm-starts from the output file itself: the last
+    // checkpoint (or completed run) of the same command. A missing
+    // file is simply a cold start — the first attempt and a resumed
+    // one use the identical command line.
+    lhr::ResultStore prior;
+    if (resume) {
+        lhr::Expected<lhr::ResultStore> loaded =
+            lhr::ResultStore::tryLoadFile(path);
+        if (loaded.ok()) {
+            prior = std::move(loaded).value();
+            options.warmStart = &prior;
+            std::cerr << "resuming from " << path << " ("
+                      << prior.size() << " rows)\n";
+        } else if (loaded.status().code() !=
+                   lhr::StatusCode::IoError) {
+            // A present-but-corrupt checkpoint is an error; silently
+            // recomputing would mask it.
+            lhr::fatal("snapshot --resume: " +
+                       loaded.status().toString());
+        }
+    }
+
     lhr::Lab lab;
     // Snapshot through the parallel sweep engine: bit-identical to
-    // the serial ResultStore::snapshot, but grid cells fan out
-    // across cores (thread count via LHR_THREADS).
+    // a serial sweep, but grid cells fan out across cores (thread
+    // count via LHR_THREADS).
     const auto report =
         lab.sweep(only45 ? lhr::configurations45nm()
                          : lhr::standardConfigurations(),
-                  lhr::allBenchmarks(), {.progress = true});
+                  lhr::allBenchmarks(), options);
     const auto store = lhr::toStore(report);
     // Atomic temp-then-rename write: an interrupted snapshot never
     // clobbers the previous good file with a truncated one.
-    const lhr::Status saved = store.saveToFile(args[2]);
+    const lhr::Status saved = store.saveToFile(path);
     if (!saved.ok())
         lhr::fatal("snapshot: " + saved.toString());
     std::cout << "wrote " << store.size() << " measurements to "
-              << args[2] << "\n";
+              << path;
+    if (options.shardCount > 1)
+        std::cout << " (shard " << (options.shardIndex + 1) << "/"
+                  << options.shardCount << ")";
+    if (report.seededCells > 0)
+        std::cout << " (" << report.seededCells
+                  << " resumed, cache hits " << report.cache.hits
+                  << ", misses " << report.cache.misses << ")";
+    std::cout << "\n";
+    return 0;
+}
+
+int
+cmdMerge(const std::vector<std::string> &args)
+{
+    if (args.size() < 4)
+        lhr::fatal("merge needs <out.csv> and at least one <in.csv>");
+    lhr::ResultStore merged;
+    for (size_t i = 3; i < args.size(); ++i) {
+        lhr::Expected<lhr::ResultStore> shard =
+            lhr::ResultStore::tryLoadFile(args[i]);
+        if (!shard.ok())
+            lhr::fatal("merge: " + shard.status().toString());
+        const lhr::Status ok = merged.merge(shard.value());
+        if (!ok.ok())
+            lhr::fatal("merge: " + args[i] + ": " + ok.toString());
+    }
+    const lhr::Status saved = merged.saveToFile(args[2]);
+    if (!saved.ok())
+        lhr::fatal("merge: " + saved.toString());
+    std::cout << "merged " << (args.size() - 3) << " stores, "
+              << merged.size() << " rows, into " << args[2] << "\n";
     return 0;
 }
 
@@ -504,6 +616,8 @@ main(int argc, char **argv)
         return cmdCorun(args);
     if (command == "snapshot")
         return cmdSnapshot(args);
+    if (command == "merge")
+        return cmdMerge(args);
     if (command == "compare")
         return cmdCompare(args);
     usageError("unknown command '" + command + "'");

@@ -52,6 +52,16 @@ Lab::sweepFullGrid(SweepOptions options)
     return engine.runFullGrid();
 }
 
+SweepReport
+Lab::resumeSweep(const ResultStore &prior,
+                 std::vector<MachineConfig> configs,
+                 std::vector<Benchmark> benchmarks,
+                 SweepOptions options)
+{
+    options.warmStart = &prior;
+    return sweep(std::move(configs), std::move(benchmarks), options);
+}
+
 void
 Lab::prewarm(const std::vector<MachineConfig> &configs,
              SweepOptions options)

@@ -174,6 +174,18 @@ class ExperimentRunner
                              double *duration_sec = nullptr);
 
     /**
+     * Pre-seed the memo cache with a previously persisted
+     * measurement (checkpoint/resume: see SweepOptions::warmStart).
+     * The entry behaves exactly like a computed one — measure() on
+     * the same key returns it as a cache hit without running the
+     * experiment. Returns false (and changes nothing) when the key
+     * is already cached or being computed. Seeding counts neither
+     * as a hit nor a miss.
+     */
+    bool seedCache(const MachineConfig &cfg, const Benchmark &bench,
+                   const Measurement &m);
+
+    /**
      * Memo-cache counters since construction (or the last reset).
      * A miss is counted by the thread that inserts the entry; every
      * other lookup of that key is a hit, including lookups that

@@ -16,7 +16,34 @@ namespace
 const char *const storeHeader =
     "config,benchmark,time_s,time_ci95,power_w,power_ci95";
 
+bool
+finiteRow(const StoredResult &row)
+{
+    return std::isfinite(row.timeSec) &&
+        std::isfinite(row.timeCi95Rel) && std::isfinite(row.powerW) &&
+        std::isfinite(row.powerCi95Rel);
+}
+
 } // namespace
+
+Measurement
+StoredResult::toMeasurement() const
+{
+    Measurement m;
+    m.timeSec = timeSec;
+    m.timeCi95Rel = timeCi95Rel;
+    m.powerW = powerW;
+    m.powerCi95Rel = powerCi95Rel;
+    return m;
+}
+
+bool
+StoredResult::sameBits(const StoredResult &other) const
+{
+    return timeSec == other.timeSec &&
+        timeCi95Rel == other.timeCi95Rel && powerW == other.powerW &&
+        powerCi95Rel == other.powerCi95Rel;
+}
 
 std::string
 ResultStore::key(const std::string &config_label,
@@ -57,9 +84,40 @@ ResultStore::all() const
     return out;
 }
 
-void
+Status
+ResultStore::merge(const ResultStore &other)
+{
+    // Validate-then-apply: a conflict anywhere leaves this store
+    // exactly as it was, so a failed merge of N shard files never
+    // produces a half-merged archive.
+    for (const auto &[k, row] : other.rows) {
+        const auto it = rows.find(k);
+        if (it != rows.end() && !it->second.sameBits(row)) {
+            return Status::error(
+                StatusCode::Conflict,
+                "stores disagree on '" + row.configLabel + "' / '" +
+                    row.benchmark + "'");
+        }
+    }
+    for (const auto &[k, row] : other.rows)
+        rows[k] = row;
+    return Status();
+}
+
+Status
 ResultStore::save(std::ostream &os) const
 {
+    // Reject poisoned rows before emitting anything: tryLoad()
+    // refuses non-finite fields, so writing them would produce a
+    // snapshot this store's own reader cannot read back.
+    for (const auto &[k, row] : rows) {
+        if (!finiteRow(row)) {
+            return Status::error(
+                StatusCode::InvalidArgument,
+                "non-finite measurement for '" + row.configLabel +
+                    "' / '" + row.benchmark + "'");
+        }
+    }
     CsvWriter csv(os, {"config", "benchmark", "time_s", "time_ci95",
                        "power_w", "power_ci95"});
     for (const auto &[k, row] : rows) {
@@ -71,6 +129,7 @@ ResultStore::save(std::ostream &os) const
         csv.field(row.powerW, 6);
         csv.field(row.powerCi95Rel, 6);
     }
+    return Status();
 }
 
 Status
@@ -85,7 +144,12 @@ ResultStore::saveToFile(const std::string &path) const
             return Status::error(StatusCode::IoError,
                                  "cannot write '" + temp + "'");
         }
-        save(os);
+        const Status written = save(os);
+        if (!written.ok()) {
+            os.close();
+            std::remove(temp.c_str());
+            return written;
+        }
         os.flush();
         if (!os) {
             os.close();
@@ -136,8 +200,11 @@ ResultStore::tryLoad(std::istream &is)
                       " fields, expected 6"));
         }
         StoredResult row;
-        row.configLabel = trimmedField(fields[0]);
-        row.benchmark = trimmedField(fields[1]);
+        // splitCsvLine already trimmed unquoted fields and kept
+        // quoted ones verbatim; trimming again here would corrupt a
+        // quoted label whose whitespace is significant.
+        row.configLabel = fields[0];
+        row.benchmark = fields[1];
         double *const numbers[4] = {&row.timeSec, &row.timeCi95Rel,
                                     &row.powerW, &row.powerCi95Rel};
         for (int f = 0; f < 4; ++f) {
@@ -186,16 +253,8 @@ ResultStore::load(std::istream &is)
     return std::move(store).value();
 }
 
-ResultStore
-ResultStore::snapshot(ExperimentRunner &runner,
-                      const std::vector<MachineConfig> &configs)
-{
-    ResultStore store;
-    for (const auto &cfg : configs)
-        for (const auto &bench : allBenchmarks())
-            store.put(cfg, bench, runner.measure(cfg, bench));
-    return store;
-}
+// ResultStore::snapshot is defined in sweep/sweep.cc: it runs on
+// the parallel SweepEngine, which links above this module.
 
 StoreComparison
 compareStores(const ResultStore &before, const ResultStore &after,
@@ -216,7 +275,12 @@ compareStores(const ResultStore &before, const ResultStore &after,
         ++cmp.compared;
         const double timeRatio = other->timeSec / row->timeSec;
         const double powerRatio = other->powerW / row->powerW;
-        if (std::fabs(timeRatio - 1.0) > tolerance ||
+        // A zero or NaN baseline makes a ratio inf/NaN; NaN fails
+        // every `>` comparison, so without the isfinite test a real
+        // regression against a nonsense baseline reads as clean.
+        const bool suspect = !std::isfinite(timeRatio) ||
+            !std::isfinite(powerRatio);
+        if (suspect || std::fabs(timeRatio - 1.0) > tolerance ||
             std::fabs(powerRatio - 1.0) > tolerance) {
             cmp.regressions.push_back(
                 {row->configLabel, row->benchmark, timeRatio,

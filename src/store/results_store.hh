@@ -36,6 +36,22 @@ struct StoredResult
     double powerCi95Rel;
 
     double energyJ() const { return timeSec * powerW; }
+
+    /**
+     * The row as a Measurement, for re-seeding a runner's memo
+     * cache on resume (SweepOptions::warmStart). Only the four
+     * persisted fields carry over; invocation and fault-recovery
+     * accounting is not stored, so it comes back zero.
+     */
+    Measurement toMeasurement() const;
+
+    /**
+     * Bitwise equality of the persisted fields — the merge
+     * conflict test. Compares exact double bits, not tolerances:
+     * two shards of the same seeded sweep agree exactly or one of
+     * them is wrong.
+     */
+    bool sameBits(const StoredResult &other) const;
 };
 
 /** A keyed collection of measurements with CSV persistence. */
@@ -58,8 +74,22 @@ class ResultStore
     /** Rows in key order. */
     std::vector<const StoredResult *> all() const;
 
-    /** Serialize as CSV (stable row order). */
-    void save(std::ostream &os) const;
+    /**
+     * Union another store into this one. Duplicate keys whose rows
+     * are bit-identical are fine (an overlapping re-measurement of
+     * the same seeded sweep); a duplicate key with differing bits
+     * returns a Conflict naming the row, and this store is left
+     * untouched (the check runs before any row is copied).
+     */
+    Status merge(const ResultStore &other);
+
+    /**
+     * Serialize as CSV (stable row order). A row holding a
+     * non-finite value returns InvalidArgument before anything is
+     * written: the load path rejects NaN/inf fields, so writing
+     * them would produce a snapshot save's own reader refuses.
+     */
+    Status save(std::ostream &os) const;
 
     /**
      * Serialize to a file atomically: the CSV is written to a
@@ -90,11 +120,20 @@ class ResultStore
 
     /**
      * Snapshot a configuration set: measures every benchmark on
-     * every configuration through the runner.
+     * every configuration. Runs on the parallel SweepEngine
+     * (bit-identical to a serial loop by the engine's determinism
+     * contract); defined in sweep/sweep.cc, which sits above this
+     * module in the link graph.
      */
     static ResultStore snapshot(
         ExperimentRunner &runner,
         const std::vector<MachineConfig> &configs);
+
+    /** Snapshot an explicit grid (configs x benchmarks). */
+    static ResultStore snapshot(
+        ExperimentRunner &runner,
+        const std::vector<MachineConfig> &configs,
+        const std::vector<Benchmark> &benchmarks);
 
   private:
     static std::string key(const std::string &config_label,
@@ -130,7 +169,10 @@ struct StoreComparison
 
 /**
  * Compare two stores: rows whose time or power moved by more than
- * `tolerance` (fractional) are reported as regressions.
+ * `tolerance` (fractional) are reported as regressions. A ratio
+ * that is not finite — a zero or NaN baseline yields inf/NaN, and
+ * NaN fails every `>` comparison — is always a regression: a
+ * nonsense baseline must never read as a clean run.
  */
 StoreComparison compareStores(const ResultStore &before,
                               const ResultStore &after,

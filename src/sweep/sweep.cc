@@ -54,6 +54,10 @@ SweepReport::summary() const
               wallSec, "s (", experimentsPerSec(),
               " exp/s, utilization ", utilization(), ", cache ",
               cache.hits, " hits / ", cache.misses, " misses)");
+    if (shardCount > 1)
+        text += msgOf(", shard ", shardIndex + 1, "/", shardCount);
+    if (seededCells > 0)
+        text += msgOf(", ", seededCells, " resumed from store");
     const size_t failed = failedCells();
     const size_t degraded = degradedCells();
     if (failed > 0)
@@ -78,13 +82,53 @@ SweepReport
 SweepEngine::run(std::vector<MachineConfig> configs,
                  std::vector<Benchmark> benchmarks)
 {
+    if (options.shardCount < 1 || options.shardIndex < 0 ||
+        options.shardIndex >= options.shardCount) {
+        panic(msgOf("SweepEngine: shard ", options.shardIndex, "/",
+                    options.shardCount, " is outside the contract"));
+    }
+
     SweepReport report;
     report.configs = std::move(configs);
     report.benchmarks = std::move(benchmarks);
+    report.shardIndex = options.shardIndex;
+    report.shardCount = options.shardCount;
 
     const size_t nBench = report.benchmarks.size();
-    const size_t total = report.configs.size() * nBench;
+    const size_t gridTotal = report.configs.size() * nBench;
+
+    // Deterministic strided partition of the row-major cell list:
+    // shard i owns the global indices congruent to i (mod N). The
+    // stride interleaves cheap Atom cells with expensive Java-on-i7
+    // ones, so shards finish in comparable wall time.
+    std::vector<size_t> mine;
+    mine.reserve(gridTotal / options.shardCount + 1);
+    for (size_t idx = static_cast<size_t>(options.shardIndex);
+         idx < gridTotal;
+         idx += static_cast<size_t>(options.shardCount))
+        mine.push_back(idx);
+    const size_t total = mine.size();
     report.cells.resize(total);
+
+    // Checkpoint/resume plumbing. The checkpoint store accumulates
+    // every row this shard has (seeded or measured) and is saved
+    // atomically every checkpointEvery completions, so a kill loses
+    // at most one checkpoint interval of work.
+    std::mutex checkpointMutex;
+    ResultStore checkpointStore;
+    if (options.warmStart) {
+        for (const size_t idx : mine) {
+            const MachineConfig &cfg = report.configs[idx / nBench];
+            const Benchmark &bench = report.benchmarks[idx % nBench];
+            const StoredResult *prior =
+                options.warmStart->find(cfg.label(), bench.name);
+            if (prior &&
+                runner.seedCache(cfg, bench, prior->toMeasurement())) {
+                ++report.seededCells;
+                checkpointStore.put(*prior);
+            }
+        }
+    }
 
     const CacheStats before = runner.cacheStats();
     ThreadPool pool(options.threads);
@@ -104,12 +148,13 @@ SweepEngine::run(std::vector<MachineConfig> configs,
     // degrades its own cell to a flagged row and never takes the
     // sweep down; past maxFailures the pool is cancelled and the
     // remaining cells come back Cancelled without running.
-    pool.parallelFor(total, [&](size_t idx) {
+    pool.parallelFor(total, [&](size_t slot) {
+        const size_t idx = mine[slot];
         const size_t ci = idx / nBench;
         const size_t bi = idx % nBench;
         const MachineConfig &cfg = report.configs[ci];
         const Benchmark &bench = report.benchmarks[bi];
-        SweepCell &cell = report.cells[idx];
+        SweepCell &cell = report.cells[slot];
         cell.config = &cfg;
         cell.benchmark = &bench;
 
@@ -143,6 +188,23 @@ SweepEngine::run(std::vector<MachineConfig> configs,
 
         const size_t finished =
             done.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (options.checkpointEvery > 0 && cell.measurement) {
+            // Accumulate under the lock (cells finish out of order)
+            // and persist atomically every checkpointEvery cells;
+            // the last partial interval is covered by the caller's
+            // final save of the full shard store.
+            std::lock_guard<std::mutex> lock(checkpointMutex);
+            checkpointStore.put(cfg, bench, *cell.measurement);
+            if (finished % options.checkpointEvery == 0 &&
+                finished != total) {
+                const Status saved =
+                    checkpointStore.saveToFile(options.checkpointPath);
+                if (!saved.ok()) {
+                    std::cerr << "sweep: checkpoint failed: "
+                              << saved.toString() << "\n";
+                }
+            }
+        }
         if (options.progress &&
             (finished % progressEvery == 0 || finished == total)) {
             const double elapsed = secondsSince(start);
@@ -174,6 +236,26 @@ toStore(const SweepReport &report)
             store.put(*cell.config, *cell.benchmark, *cell.measurement);
     }
     return store;
+}
+
+// Defined here rather than in store/results_store.cc: snapshot runs
+// on the parallel SweepEngine, and the sweep module links above the
+// store module. Bit-identical to the old serial double loop by the
+// engine's determinism contract (tests/test_store.cc asserts it).
+ResultStore
+ResultStore::snapshot(ExperimentRunner &runner,
+                      const std::vector<MachineConfig> &configs)
+{
+    return snapshot(runner, configs, allBenchmarks());
+}
+
+ResultStore
+ResultStore::snapshot(ExperimentRunner &runner,
+                      const std::vector<MachineConfig> &configs,
+                      const std::vector<Benchmark> &benchmarks)
+{
+    SweepEngine engine(runner);
+    return toStore(engine.run(configs, benchmarks));
 }
 
 } // namespace lhr

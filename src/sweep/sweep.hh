@@ -23,6 +23,14 @@
  * total wall time and throughput (experiments/sec) come back in the
  * SweepReport; bench/sweep_throughput.cc turns that into the perf
  * baseline future changes are measured against.
+ *
+ * Scale-out: SweepOptions::shardIndex/shardCount split the grid
+ * deterministically across independent processes (each shard's
+ * partial ResultStore merges back into a byte-identical full
+ * store), SweepOptions::warmStart re-seeds the memo cache from a
+ * prior store so an interrupted sweep resumes without recomputing,
+ * and SweepOptions::checkpointEvery persists partial results
+ * mid-run. See DESIGN.md "Sharded sweeps".
  */
 
 #ifndef LHR_SWEEP_SWEEP_HH
@@ -65,6 +73,40 @@ struct SweepOptions
      * and failures degrade to flagged rows.
      */
     int maxFailures = -1;
+
+    /**
+     * Shard contract (`lhrlab snapshot --shard i/N`): the row-major
+     * cell list is partitioned deterministically across shardCount
+     * shards and this engine runs only the cells whose global index
+     * is congruent to shardIndex (mod shardCount) — a strided
+     * partition, so expensive configurations spread across shards.
+     * Every shard of the same grid and seed produces bits identical
+     * to the corresponding cells of a single-process sweep, so the
+     * N partial stores merge into a byte-identical full store.
+     * Defaults run the whole grid; run() panics on an index outside
+     * [0, shardCount).
+     */
+    int shardIndex = 0;
+    int shardCount = 1;
+
+    /**
+     * Warm-start store for checkpoint/resume: cells of this sweep
+     * found in the store (by config label and benchmark name) are
+     * pre-seeded into the runner's memo cache and come back as
+     * cache hits without re-measuring. Only the persisted fields
+     * survive (see StoredResult::toMeasurement). The store must
+     * outlive run(); not owned.
+     */
+    const ResultStore *warmStart = nullptr;
+
+    /**
+     * Checkpoint cadence: every N completed cells the rows measured
+     * so far (plus any warm-started ones) are saved atomically to
+     * checkpointPath, so a killed shard resumes from its last
+     * checkpoint instead of recomputing. 0 disables checkpointing.
+     */
+    size_t checkpointEvery = 0;
+    std::string checkpointPath = "";
 };
 
 /**
@@ -87,7 +129,11 @@ struct SweepCell
 /** Outcome and observability of one sweep. */
 struct SweepReport
 {
-    /** Cells in row-major order: configs outer, benchmarks inner. */
+    /**
+     * Cells in row-major order: configs outer, benchmarks inner.
+     * A sharded sweep (shardCount > 1) holds only this shard's
+     * cells, still in ascending row-major order.
+     */
     std::vector<SweepCell> cells;
 
     /**
@@ -103,6 +149,9 @@ struct SweepReport
     double maxCellSec = 0.0;   ///< slowest single experiment
     double sumCellSec = 0.0;   ///< total work across cells
     CacheStats cache;          ///< runner hit/miss delta of this sweep
+    int shardIndex = 0;        ///< which shard this report covers
+    int shardCount = 1;        ///< total shards of the grid
+    size_t seededCells = 0;    ///< cells warm-started from a store
 
     size_t experiments() const { return cells.size(); }
 

@@ -13,10 +13,22 @@ namespace lhr
 namespace
 {
 
+bool
+hasWhitespaceEdge(const std::string &text)
+{
+    return !text.empty() &&
+        (std::isspace(static_cast<unsigned char>(text.front())) ||
+         std::isspace(static_cast<unsigned char>(text.back())));
+}
+
 std::string
 quoteIfNeeded(const std::string &text)
 {
-    if (text.find_first_of(",\"\n") == std::string::npos)
+    // Leading/trailing whitespace is significant only inside quotes
+    // (splitCsvLine trims unquoted fields), so such fields must be
+    // quoted or they would not survive a save/load round trip.
+    if (text.find_first_of(",\"\n") == std::string::npos &&
+        !hasWhitespaceEdge(text))
         return text;
     std::string out = "\"";
     for (char ch : text) {
@@ -97,7 +109,22 @@ splitCsvLine(const std::string &line)
 {
     std::vector<std::string> fields;
     std::string field;
-    bool quoted = false;
+    bool quoted = false;     // currently inside a quoted run
+    bool wasQuoted = false;  // this field had a quoted run
+    bool prefixBlank = true; // nothing but whitespace seen so far
+
+    const auto finishField = [&] {
+        // Whitespace around an unquoted field is insignificant
+        // (CRLF remnants, hand-padded rows); quoted content is
+        // verbatim, which is what lets labels with significant
+        // whitespace round-trip.
+        fields.push_back(wasQuoted ? field : trimmedField(field));
+        field.clear();
+        quoted = false;
+        wasQuoted = false;
+        prefixBlank = true;
+    };
+
     for (size_t i = 0; i < line.size(); ++i) {
         const char ch = line[i];
         if (quoted) {
@@ -111,16 +138,27 @@ splitCsvLine(const std::string &line)
             } else {
                 field += ch;
             }
-        } else if (ch == '"' && field.empty()) {
-            quoted = true;
-        } else if (ch == ',') {
-            fields.push_back(field);
+        } else if (ch == '"' && !wasQuoted && prefixBlank) {
+            // An opening quote may follow stray whitespace (a
+            // hand-edited ` "a,b"` field); the whitespace is not
+            // part of the field.
             field.clear();
+            quoted = true;
+            wasQuoted = true;
+        } else if (ch == ',') {
+            finishField();
+        } else if (wasQuoted) {
+            // Junk after the closing quote: ignore the whitespace a
+            // hand edit leaves, keep anything else (lenient).
+            if (!std::isspace(static_cast<unsigned char>(ch)))
+                field += ch;
         } else {
+            if (!std::isspace(static_cast<unsigned char>(ch)))
+                prefixBlank = false;
             field += ch;
         }
     }
-    fields.push_back(field);
+    finishField();
     return fields;
 }
 

@@ -31,7 +31,11 @@ class CsvWriter
     /** Begin a new row (flushes the previous one). */
     void beginRow();
 
-    /** Append a text field (quoted if it contains , " or newline). */
+    /**
+     * Append a text field (quoted if it contains , " or newline, or
+     * has leading/trailing whitespace — which is only significant
+     * inside quotes).
+     */
     void field(const std::string &text);
 
     /** Append a numeric field with fixed decimals. */
@@ -54,7 +58,12 @@ class CsvWriter
 
 /**
  * Split one CSV line into fields, honouring the double-quote quoting
- * CsvWriter produces.
+ * CsvWriter produces. Unquoted fields are returned with surrounding
+ * whitespace trimmed (hand-padded rows, CRLF remnants); quoted
+ * fields are returned verbatim, and the opening quote may follow
+ * stray whitespace. Significant leading/trailing whitespace
+ * therefore survives a round trip exactly when the writer quotes it
+ * (CsvWriter does).
  */
 std::vector<std::string> splitCsvLine(const std::string &line);
 

@@ -16,6 +16,7 @@ statusCodeName(StatusCode code)
       case StatusCode::FaultDetected:   return "fault-detected";
       case StatusCode::Timeout:         return "timeout";
       case StatusCode::Cancelled:       return "cancelled";
+      case StatusCode::Conflict:        return "conflict";
       case StatusCode::Internal:        return "internal";
     }
     panic("statusCodeName: unknown code");

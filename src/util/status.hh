@@ -37,6 +37,7 @@ enum class StatusCode
     FaultDetected,    ///< the rig fault model fired and won
     Timeout,          ///< per-experiment deadline exceeded
     Cancelled,        ///< abandoned after the sweep's failure cap
+    Conflict,         ///< two stores disagree about the same key
     Internal,         ///< unexpected exception from lower layers
 };
 

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include <sys/wait.h>
@@ -47,6 +48,20 @@ mentions(const CliResult &r, const std::string &needle)
 {
     return r.output.find(needle) != std::string::npos;
 }
+
+/** Write a small fixture file under gtest's temp dir, return path. */
+std::string
+writeFile(const std::string &name, const std::string &text)
+{
+    const std::string path = testing::TempDir() + name;
+    std::ofstream os(path, std::ios::trunc);
+    os << text;
+    EXPECT_TRUE(os.good()) << path;
+    return path;
+}
+
+const char *const storeHeader =
+    "config,benchmark,time_s,time_ci95,power_w,power_ci95\n";
 
 } // namespace
 
@@ -192,4 +207,101 @@ TEST(Cli, CompareMissingFileExitsNonzero)
         runCli("compare /no/such/before.csv /no/such/after.csv");
     EXPECT_EQ(r.exitCode, 1);
     EXPECT_TRUE(mentions(r, "cannot open"));
+}
+
+TEST(Cli, SnapshotRejectsMalformedShardSpec)
+{
+    const CliResult r = runCli("snapshot out.csv --shard banana");
+    EXPECT_EQ(r.exitCode, 2);
+    EXPECT_TRUE(mentions(r, "--shard"));
+    EXPECT_TRUE(mentions(r, "banana"));
+}
+
+TEST(Cli, SnapshotRejectsShardIndexOutOfRange)
+{
+    const CliResult r = runCli("snapshot out.csv --shard 4/3");
+    EXPECT_EQ(r.exitCode, 2);
+    EXPECT_TRUE(mentions(r, "--shard"));
+    EXPECT_TRUE(mentions(r, "4/3"));
+}
+
+TEST(Cli, SnapshotRejectsZeroShardIndex)
+{
+    const CliResult r = runCli("snapshot out.csv --shard 0/3");
+    EXPECT_EQ(r.exitCode, 2);
+    EXPECT_TRUE(mentions(r, "1 <= I <= N"));
+}
+
+TEST(Cli, SnapshotRejectsMissingShardValue)
+{
+    const CliResult r = runCli("snapshot out.csv --shard");
+    EXPECT_EQ(r.exitCode, 2);
+    EXPECT_TRUE(mentions(r, "--shard needs a value"));
+}
+
+TEST(Cli, SnapshotRejectsNonNumericCheckpoint)
+{
+    const CliResult r = runCli("snapshot out.csv --checkpoint banana");
+    EXPECT_EQ(r.exitCode, 2);
+    EXPECT_TRUE(mentions(r, "--checkpoint"));
+}
+
+TEST(Cli, MergeWithoutInputsExitsNonzero)
+{
+    const CliResult r = runCli("merge out.csv");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_TRUE(mentions(r, "merge needs"));
+}
+
+TEST(Cli, MergeMissingInputExitsNonzero)
+{
+    const std::string out = testing::TempDir() + "cli_merge_out.csv";
+    const CliResult r =
+        runCli("merge " + out + " /no/such/shard.csv");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_TRUE(mentions(r, "cannot open"));
+}
+
+TEST(Cli, MergeCombinesDisjointShards)
+{
+    const std::string a = writeFile(
+        "cli_merge_a.csv",
+        std::string(storeHeader) +
+            "atom,gcc,1.000000,0.010000,4.000000,0.100000\n");
+    const std::string b = writeFile(
+        "cli_merge_b.csv",
+        std::string(storeHeader) +
+            "i7,gcc,0.500000,0.005000,45.000000,0.900000\n");
+    const std::string out = testing::TempDir() + "cli_merge_ab.csv";
+    const CliResult r = runCli("merge " + out + " " + a + " " + b);
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_TRUE(mentions(r, "merged 2 stores"));
+    EXPECT_TRUE(mentions(r, "2 rows"));
+    std::ifstream is(out);
+    EXPECT_TRUE(is.good()) << out;
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+    std::remove(out.c_str());
+}
+
+TEST(Cli, MergeConflictingShardsExitsNonzero)
+{
+    const std::string a = writeFile(
+        "cli_conflict_a.csv",
+        std::string(storeHeader) +
+            "atom,gcc,1.000000,0.010000,4.000000,0.100000\n");
+    const std::string b = writeFile(
+        "cli_conflict_b.csv",
+        std::string(storeHeader) +
+            "atom,gcc,2.000000,0.010000,4.000000,0.100000\n");
+    const std::string out =
+        testing::TempDir() + "cli_conflict_out.csv";
+    const CliResult r = runCli("merge " + out + " " + a + " " + b);
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_TRUE(mentions(r, "conflict"));
+    std::ifstream is(out);
+    EXPECT_FALSE(is.good()) << "conflicting merge must not write "
+                            << out;
+    std::remove(a.c_str());
+    std::remove(b.c_str());
 }

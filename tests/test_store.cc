@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
+#include <random>
 #include <sstream>
 
 #include "store/results_store.hh"
@@ -23,6 +26,16 @@ row(const std::string &cfg, const std::string &bench, double t,
     double w)
 {
     return {cfg, bench, t, 0.01, w, 0.01};
+}
+
+/** save() into a string; the store must be serializable. */
+std::string
+savedText(const ResultStore &store)
+{
+    std::ostringstream os;
+    const Status saved = store.save(os);
+    EXPECT_TRUE(saved.ok()) << saved.toString();
+    return os.str();
 }
 
 } // namespace
@@ -54,7 +67,7 @@ TEST(Store, SaveLoadRoundTrip)
     store.put(row("cfg,with,commas", "b\"quoted\"", 1.5, 2.5));
 
     std::ostringstream os;
-    store.save(os);
+    ASSERT_TRUE(store.save(os).ok());
     std::istringstream is(os.str());
     const ResultStore loaded = ResultStore::load(is);
 
@@ -313,6 +326,287 @@ TEST(Store, SnapshotsAreReproducible)
     const auto storeA = ResultStore::snapshot(a, configs);
     const auto storeB = ResultStore::snapshot(b, configs);
     EXPECT_TRUE(compareStores(storeA, storeB, 1e-12).clean());
+}
+
+TEST(Store, SnapshotBitIdenticalToSerialLoop)
+{
+    // snapshot() now runs on the parallel SweepEngine; the engine's
+    // determinism contract says the rebuild must be bit-identical
+    // to the serial double loop it replaced.
+    const std::vector<MachineConfig> configs = {
+        stockConfig(processorById("Atom (45)")),
+        stockConfig(processorById("i7 (45)")),
+    };
+    ExperimentRunner parallel(0xFACE);
+    const ResultStore store = ResultStore::snapshot(parallel, configs);
+
+    ExperimentRunner serial(0xFACE);
+    ResultStore byHand;
+    for (const auto &cfg : configs)
+        for (const auto &bench : allBenchmarks())
+            byHand.put(cfg, bench, serial.measure(cfg, bench));
+
+    EXPECT_EQ(savedText(store), savedText(byHand));
+}
+
+TEST(Store, SnapshotTakesAnExplicitGrid)
+{
+    // The old snapshot hard-coded allBenchmarks(); the overload
+    // accepts any benchmark subset.
+    const std::vector<MachineConfig> configs = {
+        stockConfig(processorById("Atom (45)")),
+    };
+    const std::vector<Benchmark> benchmarks = {
+        benchmarkByName("mcf"), benchmarkByName("xalan")};
+    ExperimentRunner runner(0xFACE);
+    const ResultStore store =
+        ResultStore::snapshot(runner, configs, benchmarks);
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_NE(store.find(configs[0].label(), "mcf"), nullptr);
+    EXPECT_NE(store.find(configs[0].label(), "xalan"), nullptr);
+}
+
+TEST(Store, CompareFlagsZeroBaselineAsRegression)
+{
+    // A zero baseline makes the after/before ratio inf (or NaN for
+    // 0/0); NaN fails the `> tolerance` check, so the old compare
+    // reported a real regression as clean.
+    ResultStore before, after;
+    before.put(row("cfg", "mcf", 0.0, 40.0));
+    after.put(row("cfg", "mcf", 11.0, 40.0));
+    const auto cmp = compareStores(before, after, 0.05);
+    ASSERT_EQ(cmp.regressions.size(), 1u);
+    EXPECT_FALSE(cmp.clean());
+    EXPECT_FALSE(std::isfinite(cmp.regressions[0].timeRatio));
+}
+
+TEST(Store, CompareFlagsNanBaselineAsRegression)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    ResultStore before, after;
+    before.put(row("cfg", "mcf", nan, 40.0));
+    after.put(row("cfg", "mcf", 10.0, 40.0));
+    EXPECT_EQ(compareStores(before, after, 0.05).regressions.size(),
+              1u);
+
+    // NaN power in the after store is just as poisonous.
+    ResultStore before2, after2;
+    before2.put(row("cfg", "mcf", 10.0, 40.0));
+    after2.put(row("cfg", "mcf", 10.0, nan));
+    EXPECT_EQ(compareStores(before2, after2, 0.05).regressions.size(),
+              1u);
+}
+
+TEST(Store, CompareFlagsZeroOnZeroBaseline)
+{
+    // 0/0 is NaN: two zero rows are a nonsense comparison, not a
+    // clean one.
+    ResultStore a;
+    a.put(row("cfg", "mcf", 0.0, 40.0));
+    EXPECT_FALSE(compareStores(a, a, 0.05).clean());
+}
+
+TEST(Store, SaveRejectsNonFiniteValues)
+{
+    // The load path rejects nan/inf fields, so the save path must
+    // refuse to produce such a file instead of poisoning it.
+    const double inf = std::numeric_limits<double>::infinity();
+    ResultStore store;
+    store.put(row("cfg", "mcf", 1.0, 40.0));
+    store.put(row("cfg", "gcc", inf, 40.0));
+
+    std::ostringstream os;
+    const Status saved = store.save(os);
+    ASSERT_FALSE(saved.ok());
+    EXPECT_EQ(saved.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(saved.message().find("gcc"), std::string::npos);
+    // Nothing was emitted — not even the header or the good row.
+    EXPECT_TRUE(os.str().empty());
+}
+
+TEST(Store, SaveToFileRejectsNonFiniteAndKeepsOldFile)
+{
+    const std::string path = testing::TempDir() + "store_finite.csv";
+    ResultStore good;
+    good.put(row("cfg", "mcf", 1.0, 40.0));
+    ASSERT_TRUE(good.saveToFile(path).ok());
+
+    ResultStore bad;
+    bad.put(row("cfg", "mcf",
+                std::numeric_limits<double>::quiet_NaN(), 40.0));
+    const Status saved = bad.saveToFile(path);
+    ASSERT_FALSE(saved.ok());
+    EXPECT_EQ(saved.code(), StatusCode::InvalidArgument);
+    // The temp file is cleaned up and the good snapshot survives.
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+    const Expected<ResultStore> still = ResultStore::tryLoadFile(path);
+    ASSERT_TRUE(still.ok());
+    EXPECT_EQ(still.value().size(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(Store, HostileLabelsRoundTrip)
+{
+    // Labels a hand-edited or adversarial file can carry: commas,
+    // quotes, leading/trailing whitespace, and combinations. Each
+    // must survive save -> tryLoad -> save byte-identically.
+    const std::string labels[] = {
+        "plain",
+        "a,b",
+        "\"quoted\"",
+        " leading space",
+        "trailing space ",
+        " \"a,b\" ",
+        "tab\tinside",
+        "  ",
+        "comma, \"and quote\"",
+    };
+    ResultStore store;
+    int n = 0;
+    for (const std::string &label : labels)
+        store.put(row(label, "bench" + std::to_string(n++), 1.5, 2.5));
+
+    const std::string first = savedText(store);
+    std::istringstream is(first);
+    const Expected<ResultStore> loaded = ResultStore::tryLoad(is);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    ASSERT_EQ(loaded.value().size(), store.size());
+    for (const auto *original : store.all()) {
+        EXPECT_NE(loaded.value().find(original->configLabel,
+                                      original->benchmark),
+                  nullptr)
+            << "'" << original->configLabel << "'";
+    }
+    EXPECT_EQ(savedText(loaded.value()), first);
+}
+
+TEST(Store, QuotedFieldAfterStrayWhitespaceStaysOneField)
+{
+    // Regression: splitCsvLine only entered quoted mode when the
+    // quote was the first character of the field, so a hand-edited
+    // ` "a,b"` split at the embedded comma.
+    std::istringstream is(
+        "config,benchmark,time_s,time_ci95,power_w,power_ci95\n"
+        " \"a,b\" ,mcf,1.500000,0.010000,40.000000,0.010000\n");
+    const Expected<ResultStore> loaded = ResultStore::tryLoad(is);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    EXPECT_NE(loaded.value().find("a,b", "mcf"), nullptr);
+}
+
+TEST(Store, HostileLabelsSurviveCrlfFiles)
+{
+    // The same hostile labels written through a CRLF file (the
+    // loader strips the '\r' the line reader leaves behind).
+    ResultStore store;
+    store.put(row("a,b", "mcf", 1.5, 2.5));
+    store.put(row(" padded ", "gcc", 2.5, 3.5));
+    std::string text = savedText(store);
+    std::string crlf;
+    for (char ch : text)
+        crlf += (ch == '\n') ? std::string("\r\n") : std::string(1, ch);
+    std::istringstream is(crlf);
+    const Expected<ResultStore> loaded = ResultStore::tryLoad(is);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    EXPECT_NE(loaded.value().find("a,b", "mcf"), nullptr);
+    EXPECT_NE(loaded.value().find(" padded ", "gcc"), nullptr);
+}
+
+TEST(Store, PropertyRoundTripIsByteStable)
+{
+    // Property-style: generated stores with hostile labels and
+    // random finite values must satisfy save -> tryLoad -> save
+    // byte-identity. Seeded mt19937, so a failure reproduces.
+    std::mt19937 rng(0xC0FFEE);
+    const std::string alphabet =
+        "abcXYZ059 ,\"\t_-()/";
+    std::uniform_int_distribution<size_t> lenDist(0, 12);
+    std::uniform_int_distribution<size_t> chDist(
+        0, alphabet.size() - 1);
+    std::uniform_real_distribution<double> valDist(0.0, 5000.0);
+    std::uniform_int_distribution<int> rowsDist(1, 12);
+
+    auto randomLabel = [&] {
+        std::string label;
+        const size_t len = lenDist(rng);
+        for (size_t i = 0; i < len; ++i)
+            label += alphabet[chDist(rng)];
+        return label;
+    };
+
+    for (int iter = 0; iter < 50; ++iter) {
+        ResultStore store;
+        const int n = rowsDist(rng);
+        for (int i = 0; i < n; ++i) {
+            store.put({randomLabel(),
+                       randomLabel() + std::to_string(i),
+                       valDist(rng), valDist(rng) / 1000.0,
+                       valDist(rng), valDist(rng) / 1000.0});
+        }
+        const std::string first = savedText(store);
+        std::istringstream is(first);
+        const Expected<ResultStore> loaded = ResultStore::tryLoad(is);
+        ASSERT_TRUE(loaded.ok())
+            << "iter " << iter << ": " << loaded.status().toString()
+            << "\n" << first;
+        EXPECT_EQ(savedText(loaded.value()), first) << "iter " << iter;
+    }
+}
+
+TEST(Store, MergeDisjointStores)
+{
+    ResultStore a, b;
+    a.put(row("cfg", "mcf", 10.0, 40.0));
+    a.put(row("cfg", "gcc", 5.0, 35.0));
+    b.put(row("cfg", "xalan", 2.0, 50.0));
+    b.put(row("other", "mcf", 3.0, 20.0));
+
+    ASSERT_TRUE(a.merge(b).ok());
+    EXPECT_EQ(a.size(), 4u);
+    EXPECT_NE(a.find("cfg", "mcf"), nullptr);
+    EXPECT_NE(a.find("other", "mcf"), nullptr);
+}
+
+TEST(Store, MergeToleratesOverlappingIdenticalRows)
+{
+    ResultStore a, b;
+    a.put(row("cfg", "mcf", 10.0, 40.0));
+    a.put(row("cfg", "gcc", 5.0, 35.0));
+    b.put(row("cfg", "gcc", 5.0, 35.0)); // same bits
+    b.put(row("cfg", "xalan", 2.0, 50.0));
+
+    ASSERT_TRUE(a.merge(b).ok());
+    EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(Store, MergeConflictOnDivergentRowsLeavesStoreUntouched)
+{
+    ResultStore a, b;
+    a.put(row("cfg", "mcf", 10.0, 40.0));
+    b.put(row("cfg", "xalan", 2.0, 50.0));   // new row
+    b.put(row("cfg", "mcf", 10.0, 40.0001)); // differing bits
+
+    const Status merged = a.merge(b);
+    ASSERT_FALSE(merged.ok());
+    EXPECT_EQ(merged.code(), StatusCode::Conflict);
+    EXPECT_NE(merged.message().find("mcf"), std::string::npos);
+    // Validate-then-apply: nothing from b landed, not even the
+    // non-conflicting row.
+    EXPECT_EQ(a.size(), 1u);
+    EXPECT_EQ(a.find("cfg", "xalan"), nullptr);
+    EXPECT_DOUBLE_EQ(a.find("cfg", "mcf")->powerW, 40.0);
+}
+
+TEST(Store, MergeEmptyAndSelf)
+{
+    ResultStore a, empty;
+    a.put(row("cfg", "mcf", 10.0, 40.0));
+    ASSERT_TRUE(a.merge(empty).ok());
+    EXPECT_EQ(a.size(), 1u);
+    ASSERT_TRUE(empty.merge(a).ok());
+    EXPECT_EQ(empty.size(), 1u);
+    // Self-merge: every row identical to itself.
+    ASSERT_TRUE(a.merge(a).ok());
+    EXPECT_EQ(a.size(), 1u);
 }
 
 } // namespace lhr

@@ -9,7 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -423,6 +427,240 @@ TEST(Sweep, MixedKeyHammerStaysDeterministic)
         for (const auto &bench : benchmarks)
             EXPECT_TRUE(identical(serial.measure(cfg, bench),
                                   runner.measure(cfg, bench)));
+}
+
+namespace
+{
+
+/** save() into a string for byte-identity assertions. */
+std::string
+savedText(const ResultStore &store)
+{
+    std::ostringstream os;
+    const Status saved = store.save(os);
+    EXPECT_TRUE(saved.ok()) << saved.toString();
+    return os.str();
+}
+
+} // namespace
+
+TEST(Sweep, ShardPartitionCoversTheGridExactlyOnce)
+{
+    // The --shard i/N contract: the row-major cell list is split
+    // deterministically, every cell lands in exactly one shard, and
+    // each shard's cells stay in ascending row-major order.
+    const auto configs = testConfigs();
+    const auto benchmarks = testBenchmarks();
+    const int shards = 4;
+    const size_t total = configs.size() * benchmarks.size();
+
+    std::vector<int> owner(total, 0);
+    for (int s = 0; s < shards; ++s) {
+        ExperimentRunner runner(0xBEEF);
+        SweepEngine engine(runner, {.threads = 2,
+                                    .shardIndex = s,
+                                    .shardCount = shards});
+        const SweepReport report = engine.run(configs, benchmarks);
+        EXPECT_EQ(report.shardIndex, s);
+        EXPECT_EQ(report.shardCount, shards);
+        // Near-equal split: the strided partition differs by at
+        // most one cell between shards.
+        EXPECT_GE(report.cells.size(), total / shards);
+        EXPECT_LE(report.cells.size(), total / shards + 1);
+
+        for (const SweepCell &cell : report.cells) {
+            ASSERT_NE(cell.config, nullptr);
+            ASSERT_NE(cell.benchmark, nullptr);
+            // Recover the global row-major index from the grid.
+            size_t ci = 0, bi = 0;
+            for (size_t k = 0; k < report.configs.size(); ++k)
+                if (cell.config == &report.configs[k])
+                    ci = k;
+            for (size_t k = 0; k < report.benchmarks.size(); ++k)
+                if (cell.benchmark == &report.benchmarks[k])
+                    bi = k;
+            const size_t idx = ci * benchmarks.size() + bi;
+            EXPECT_EQ(idx % shards, static_cast<size_t>(s));
+            ++owner[idx];
+        }
+    }
+    for (size_t idx = 0; idx < total; ++idx)
+        EXPECT_EQ(owner[idx], 1) << "cell " << idx;
+}
+
+TEST(Sweep, ShardMergeIsByteIdenticalToSingleProcess)
+{
+    // The acceptance contract of the sharded sweep: N independent
+    // shard processes (modeled here as independent runners with the
+    // same seed) produce partial stores that merge into a store
+    // byte-identical to a single-process sweep of the whole grid.
+    const auto configs = testConfigs();
+    const auto benchmarks = testBenchmarks();
+
+    ExperimentRunner whole(0xBEEF);
+    SweepEngine engine(whole, {.threads = 4});
+    const std::string single =
+        savedText(toStore(engine.run(configs, benchmarks)));
+
+    ResultStore merged;
+    for (int s = 0; s < 3; ++s) {
+        ExperimentRunner runner(0xBEEF); // fresh process, same seed
+        SweepEngine shardEngine(runner, {.threads = 2,
+                                         .shardIndex = s,
+                                         .shardCount = 3});
+        const ResultStore part =
+            toStore(shardEngine.run(configs, benchmarks));
+        const Status ok = merged.merge(part);
+        ASSERT_TRUE(ok.ok()) << ok.toString();
+    }
+    EXPECT_EQ(savedText(merged), single);
+}
+
+TEST(Sweep, ShardOutsideContractDies)
+{
+    ExperimentRunner runner(0xBEEF);
+    SweepEngine engine(runner, {.shardIndex = 3, .shardCount = 3});
+    EXPECT_DEATH(engine.run(testConfigs(), testBenchmarks()),
+                 "shard");
+}
+
+TEST(Sweep, WarmStartResumesWithoutRemeasuring)
+{
+    // Checkpoint/resume: a sweep warm-started from a complete prior
+    // store re-measures nothing — zero cache misses, every lookup a
+    // hit — and still round-trips to the identical snapshot bytes.
+    const auto configs = testConfigs();
+    const auto benchmarks = testBenchmarks();
+
+    ExperimentRunner first(0xBEEF);
+    SweepEngine firstEngine(first, {.threads = 4});
+    const ResultStore prior =
+        toStore(firstEngine.run(configs, benchmarks));
+
+    ExperimentRunner resumed(0xBEEF);
+    SweepEngine engine(resumed, {.threads = 4, .warmStart = &prior});
+    const SweepReport report = engine.run(configs, benchmarks);
+
+    EXPECT_EQ(report.seededCells, report.cells.size());
+    EXPECT_EQ(report.cache.misses, 0u);
+    EXPECT_EQ(report.cache.hits, report.cells.size());
+    EXPECT_NE(report.summary().find("resumed from store"),
+              std::string::npos);
+    // The resumed store is byte-identical: %.6f text parsed back and
+    // re-printed reproduces itself.
+    EXPECT_EQ(savedText(toStore(report)), savedText(prior));
+}
+
+TEST(Sweep, PartialWarmStartMeasuresOnlyTheMissingCells)
+{
+    const auto configs = testConfigs();
+    const auto benchmarks = testBenchmarks();
+
+    ExperimentRunner first(0xBEEF);
+    SweepEngine firstEngine(first, {.threads = 4});
+    ResultStore prior = toStore(firstEngine.run(configs, benchmarks));
+
+    // Simulate an interrupted sweep: the last checkpoint is missing
+    // a handful of rows.
+    const std::vector<std::string> missing = {
+        benchmarks[1].name, benchmarks[4].name, benchmarks[7].name};
+    ResultStore partial;
+    for (const auto *r : prior.all()) {
+        if (std::find(missing.begin(), missing.end(), r->benchmark) ==
+            missing.end())
+            partial.put(*r);
+    }
+    const size_t holes = prior.size() - partial.size();
+    ASSERT_EQ(holes, configs.size() * missing.size());
+
+    ExperimentRunner resumed(0xBEEF);
+    SweepEngine engine(resumed, {.threads = 4,
+                                 .warmStart = &partial});
+    const SweepReport report = engine.run(configs, benchmarks);
+
+    EXPECT_EQ(report.seededCells, partial.size());
+    EXPECT_EQ(report.cache.misses, holes);
+    EXPECT_EQ(report.cache.hits, partial.size());
+    // Re-measured holes carry full-precision bits, so compare via
+    // the persisted rounding: the final snapshot matches the
+    // original complete one byte for byte.
+    EXPECT_EQ(savedText(toStore(report)), savedText(prior));
+}
+
+TEST(Sweep, WarmStartAppliesOnlyToThisShardsCells)
+{
+    // A full-grid prior store seeds only the cells this shard owns:
+    // the other shards' rows must not inflate this shard's report
+    // or its store.
+    const auto configs = testConfigs();
+    const auto benchmarks = testBenchmarks();
+
+    ExperimentRunner first(0xBEEF);
+    SweepEngine firstEngine(first, {.threads = 4});
+    const ResultStore prior =
+        toStore(firstEngine.run(configs, benchmarks));
+
+    ExperimentRunner resumed(0xBEEF);
+    SweepEngine engine(resumed, {.threads = 2,
+                                 .shardIndex = 1,
+                                 .shardCount = 3,
+                                 .warmStart = &prior});
+    const SweepReport report = engine.run(configs, benchmarks);
+    EXPECT_EQ(report.seededCells, report.cells.size());
+    EXPECT_EQ(report.cache.misses, 0u);
+    EXPECT_EQ(toStore(report).size(), report.cells.size());
+}
+
+TEST(Sweep, CheckpointPersistsMidRunAndResumes)
+{
+    const auto configs = testConfigs();
+    const auto benchmarks = testBenchmarks();
+    const std::string path =
+        testing::TempDir() + "sweep_checkpoint.csv";
+    std::remove(path.c_str());
+
+    // One thread makes the checkpoint cadence deterministic: saves
+    // land at exactly 5, 10, ..., 25 completed cells (the final
+    // partial interval is the caller's save), so the file holds
+    // exactly 25 of the 30 rows.
+    ExperimentRunner runner(0xBEEF);
+    SweepEngine engine(runner, {.threads = 1,
+                                .checkpointEvery = 5,
+                                .checkpointPath = path});
+    const SweepReport report = engine.run(configs, benchmarks);
+    ASSERT_EQ(report.cells.size(), 30u);
+
+    const Expected<ResultStore> checkpoint =
+        ResultStore::tryLoadFile(path);
+    ASSERT_TRUE(checkpoint.ok()) << checkpoint.status().toString();
+    EXPECT_EQ(checkpoint.value().size(), 25u);
+    // Every checkpoint row matches the final results through the
+    // persisted rounding (checkpoint rows went through %.6f text;
+    // the report still holds full-precision doubles).
+    const ResultStore full = toStore(report);
+    ResultStore fullSubset;
+    for (const auto *r : checkpoint.value().all()) {
+        const StoredResult *other =
+            full.find(r->configLabel, r->benchmark);
+        ASSERT_NE(other, nullptr)
+            << r->configLabel << " / " << r->benchmark;
+        fullSubset.put(*other);
+    }
+    EXPECT_EQ(savedText(checkpoint.value()), savedText(fullSubset));
+
+    // Resume from the checkpoint: seeded cells equal its rows, and
+    // the final store matches the uninterrupted sweep byte for byte.
+    ExperimentRunner resumed(0xBEEF);
+    SweepEngine resumeEngine(resumed,
+                             {.threads = 2,
+                              .warmStart = &checkpoint.value()});
+    const SweepReport resumedReport =
+        resumeEngine.run(configs, benchmarks);
+    EXPECT_EQ(resumedReport.seededCells, checkpoint.value().size());
+    EXPECT_EQ(resumedReport.cache.misses,
+              resumedReport.cells.size() - checkpoint.value().size());
+    EXPECT_EQ(savedText(toStore(resumedReport)), savedText(full));
+    std::remove(path.c_str());
 }
 
 TEST(Sweep, CacheStatsResetKeepsEntries)
