@@ -1,0 +1,57 @@
+#include "cpu/config_batch.hh"
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+void
+ConfigBatch::push(const MachineConfig &cfg, size_t source_index)
+{
+    if (cfg.spec == nullptr)
+        panic("ConfigBatch: configuration without a spec");
+    if (spec == nullptr) {
+        spec = cfg.spec;
+        llcMb = spec->llcMb;
+        capScale = spec->tech().capScale;
+        leakScale = spec->tech().leakScale;
+        tdpW = spec->tdpW;
+        stockClockGhz = spec->stockClockGhz;
+    } else if (cfg.spec != spec) {
+        panic("ConfigBatch: mixed processor specs in one batch");
+    }
+    configs.push_back(&cfg);
+    sourceIndex.push_back(source_index);
+    enabledCores.push_back(cfg.enabledCores);
+    smtPerCore.push_back(cfg.smtPerCore);
+    clockGhz.push_back(cfg.clockGhz);
+    turboEnabled.push_back(cfg.turboEnabled ? 1 : 0);
+    contexts.push_back(cfg.contexts());
+    voltage.push_back(cfg.voltageAt(cfg.clockGhz));
+}
+
+std::vector<ConfigBatch>
+ConfigBatch::partition(const std::vector<const MachineConfig *> &configs)
+{
+    std::vector<ConfigBatch> batches;
+    for (size_t i = 0; i < configs.size(); ++i) {
+        const MachineConfig *cfg = configs[i];
+        if (cfg == nullptr)
+            panic("ConfigBatch::partition: null configuration");
+        ConfigBatch *batch = nullptr;
+        for (ConfigBatch &b : batches) {
+            if (b.spec == cfg->spec) {
+                batch = &b;
+                break;
+            }
+        }
+        if (batch == nullptr) {
+            batches.emplace_back();
+            batch = &batches.back();
+        }
+        batch->push(*cfg, i);
+    }
+    return batches;
+}
+
+} // namespace lhr

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Structure-of-arrays layout of machine configurations for batch
+ * model evaluation.
+ *
+ * The sweep evaluates one benchmark against 45+ configurations; the
+ * scalar path walks MachineConfig objects one at a time, so every
+ * model pass reloads spec pointers and scattered fields per cell. A
+ * ConfigBatch regroups one processor's configurations into
+ * contiguous per-field arrays (clock, cores, SMT, turbo, contexts,
+ * V(f) voltage) plus the spec-wide cache-geometry and process-node
+ * constants every lane shares, so PerfModel::evaluateBatch and
+ * ChipPowerModel::computeBatch can run tight lane loops over flat
+ * data — the auto-vectorizable shape — while still producing, lane
+ * for lane, exactly the floating-point operation sequence of the
+ * scalar path (the bit-identity contract, DESIGN.md §8).
+ *
+ * A batch holds configurations of a single ProcessorSpec: cache
+ * geometry and process-node parameters are per-spec, so mixing specs
+ * in one batch would turn the shared constants back into per-lane
+ * loads. partition() splits an arbitrary configuration list into
+ * per-spec batches, remembering each lane's index in the original
+ * list so callers can scatter results back.
+ */
+
+#ifndef LHR_CPU_CONFIG_BATCH_HH
+#define LHR_CPU_CONFIG_BATCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/processor.hh"
+
+namespace lhr
+{
+
+/** SoA view of one processor's configurations; see file comment. */
+struct ConfigBatch
+{
+    /** The processor every lane belongs to. */
+    const ProcessorSpec *spec = nullptr;
+
+    /** Original MachineConfig of each lane (not owned). */
+    std::vector<const MachineConfig *> configs;
+
+    /** Lane's index in the list handed to partition(). */
+    std::vector<size_t> sourceIndex;
+
+    // -- Per-configuration arrays (one entry per lane) ---------------
+    std::vector<int> enabledCores;
+    std::vector<int> smtPerCore;
+    std::vector<double> clockGhz;
+    std::vector<uint8_t> turboEnabled;
+    std::vector<int> contexts;      ///< enabledCores * smtPerCore
+    std::vector<double> voltage;    ///< cfg.voltageAt(cfg.clockGhz)
+
+    // -- Spec-wide constants shared by every lane --------------------
+    double llcMb = 0.0;             ///< cache geometry
+    double capScale = 0.0;          ///< process node: capacitance scale
+    double leakScale = 0.0;         ///< process node: leakage scale
+    double tdpW = 0.0;
+    double stockClockGhz = 0.0;
+
+    size_t size() const { return configs.size(); }
+    bool empty() const { return configs.empty(); }
+
+    /** Append one lane; panics when cfg's spec differs. */
+    void push(const MachineConfig &cfg, size_t source_index);
+
+    /**
+     * Split a configuration list into per-spec batches. Batches
+     * appear in order of each spec's first appearance; lanes keep
+     * the original relative order. Null entries are not allowed.
+     */
+    static std::vector<ConfigBatch>
+    partition(const std::vector<const MachineConfig *> &configs);
+};
+
+} // namespace lhr
+
+#endif // LHR_CPU_CONFIG_BATCH_HH

@@ -1,0 +1,56 @@
+#include "harness/gauss_kernel.hh"
+
+#define LHR_GAUSS_KERNEL_FN lhrGaussPairsBaseImpl
+#include "harness/gauss_kernel.inl"
+#undef LHR_GAUSS_KERNEL_FN
+
+#define LHR_SAMPLE_QUANTIZE_FN lhrSampleQuantizeBaseImpl
+#include "harness/sample_quantize.inl"
+#undef LHR_SAMPLE_QUANTIZE_FN
+
+namespace lhr
+{
+
+void
+gaussPairsBase(const double *u1, const double *u2, double *gcos,
+               double *gsin, size_t n)
+{
+    lhrGaussPairsBaseImpl(u1, u2, gcos, gsin, n);
+}
+
+GaussKernelFn
+resolveGaussKernel()
+{
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+    if (__builtin_cpu_supports("avx2") &&
+        __builtin_cpu_supports("fma")) {
+        if (GaussKernelFn fn = gaussKernelAvx2OrNull())
+            return fn;
+    }
+#endif
+    return &gaussPairsBase;
+}
+
+size_t
+sampleQuantizeBase(const double *w, const double *g1, const double *g2,
+                   int n, const SampleQuantizeParams &p,
+                   int32_t *counts, int32_t *uncertain)
+{
+    return lhrSampleQuantizeBaseImpl(w, g1, g2, n, p, counts,
+                                     uncertain);
+}
+
+SampleQuantizeFn
+resolveSampleQuantize()
+{
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+    if (__builtin_cpu_supports("avx2") &&
+        __builtin_cpu_supports("fma")) {
+        if (SampleQuantizeFn fn = sampleQuantizeAvx2OrNull())
+            return fn;
+    }
+#endif
+    return &sampleQuantizeBase;
+}
+
+} // namespace lhr

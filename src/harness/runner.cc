@@ -6,6 +6,7 @@
 #include <functional>
 #include <utility>
 
+#include "harness/sampling.hh"
 #include "jvm/jvm_model.hh"
 #include "sensor/trace_log.hh"
 #include "workload/phases.hh"
@@ -189,10 +190,18 @@ ExperimentRunner::profile(const MachineConfig &cfg, const Benchmark &bench)
 
     double clock = cfg.clockGhz;
     if (spec.hasTurbo && cfg.turboEnabled) {
-        auto breakdownAt = [&](double f) {
-            const PerfResult r = execute(f);
-            return power.compute(cfg, f, activityOf(r, bench),
-                                 r.llcActivity, r.dramGBs);
+        // The governor probes each candidate clock twice (power cap
+        // and junction cap); breakdownAt is pure per clock, so one
+        // memoized slot halves the model work of the turbo search.
+        auto breakdownAt = [&, memoClock = -1.0,
+                            memo = PowerBreakdown{}](double f) mutable {
+            if (f != memoClock) {
+                const PerfResult r = execute(f);
+                memo = power.compute(cfg, f, activityOf(r, bench),
+                                     r.llcActivity, r.dramGBs);
+                memoClock = f;
+            }
+            return memo;
         };
         auto powerAt = [&](double f) { return breakdownAt(f).total(); };
         auto junctionAt = [&](double f) {
@@ -223,6 +232,87 @@ ExperimentRunner::profile(const MachineConfig &cfg, const Benchmark &bench)
     return prof;
 }
 
+/**
+ * Execution profiles for every lane of one spec's ConfigBatch. JVM
+ * executions size their heap per configuration and turbo lanes run
+ * the governor's iterative clock search, so those stay scalar; every
+ * other lane flows through PerfModel::evaluateBatch and
+ * ChipPowerModel::computeBatch in one flat pass. Per lane the result
+ * is bit-identical to profile(): the batch entry points share their
+ * per-lane bodies with the scalar ones, and the activity composition
+ * below repeats activityOf() op for op.
+ */
+std::vector<ExecutionProfile>
+ExperimentRunner::profileBatch(const ConfigBatch &batch,
+                               const Benchmark &bench)
+{
+    const ProcessorSpec &spec = *batch.spec;
+    std::vector<ExecutionProfile> profiles(batch.size());
+
+    std::vector<size_t> plainLanes;
+    plainLanes.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+        const MachineConfig &cfg = *batch.configs[i];
+        if (bench.language() == Language::Java ||
+            (spec.hasTurbo && cfg.turboEnabled))
+            profiles[i] = profile(cfg, bench);
+        else
+            plainLanes.push_back(i);
+    }
+    if (plainLanes.empty())
+        return profiles;
+
+    const PerfModel &perf = perfModel(spec);
+    const ChipPowerModel &power = powerModel(spec);
+    const double work = bench.instructionsB() * 1e9;
+
+    ConfigBatch sub; // plain lanes, remembering their batch index
+    for (const size_t i : plainLanes)
+        sub.push(*batch.configs[i], i);
+
+    thread_local Arena arena;
+    arena.reset();
+    const PerfBatch runs =
+        perf.evaluateBatch(bench, sub, nullptr, work, bench.appThreads,
+                           arena);
+
+    // Switching activity per lane: activityOf(), flattened onto the
+    // batch's ragged core rows.
+    double *act = arena.alloc<double>(runs.utilOffset[runs.lanes]);
+    for (size_t j = 0; j < runs.lanes; ++j) {
+        const double smtBoost = 0.07 * (runs.threadsPerCore[j] - 1);
+        const double *util = runs.utilRow(j);
+        double *row = act + runs.utilOffset[j];
+        for (size_t c = 0; c < runs.utilCount(j); ++c) {
+            row[c] = util[c] > 0.0
+                ? std::min(1.0, switchingActivity(util[c],
+                                                  bench.fpShare) +
+                               smtBoost)
+                : 0.0;
+        }
+    }
+    const PowerBatch pw =
+        power.computeBatch(sub, nullptr, act, runs.utilOffset,
+                           runs.llcActivity, runs.dramGBs, arena);
+
+    for (size_t j = 0; j < runs.lanes; ++j) {
+        ExecutionProfile &prof = profiles[sub.sourceIndex[j]];
+        prof.timeSec = runs.timeSec[j];
+        prof.grantedClockGhz = sub.clockGhz[j]; // no turbo: BIOS clock
+        prof.coreActivity.assign(act + runs.utilOffset[j],
+                                 act + runs.utilOffset[j + 1]);
+        prof.llcActivity = runs.llcActivity[j];
+        prof.dramGBs = runs.dramGBs[j];
+        int active = 0;
+        for (const double a : prof.coreActivity)
+            if (a > 0.0)
+                ++active;
+        prof.activeCores = std::max(1, active);
+        prof.power = pw.breakdown(j);
+    }
+    return profiles;
+}
+
 const Measurement &
 ExperimentRunner::measure(const MachineConfig &cfg, const Benchmark &bench)
 {
@@ -240,9 +330,9 @@ ExperimentRunner::measure(const MachineConfig &cfg, const Benchmark &bench)
         inserted = fresh;
     }
     if (inserted)
-        memoMisses.fetch_add(1, std::memory_order_relaxed);
+        shard.misses.fetch_add(1, std::memory_order_relaxed);
     else
-        memoHits.fetch_add(1, std::memory_order_relaxed);
+        shard.hits.fetch_add(1, std::memory_order_relaxed);
 
     // The inserting thread measures; concurrent readers of the same
     // key block here until the measurement is published.
@@ -250,6 +340,92 @@ ExperimentRunner::measure(const MachineConfig &cfg, const Benchmark &bench)
         entry->value = runMeasurement(cfg, bench);
     });
     return entry->value;
+}
+
+std::vector<ExperimentRunner::BatchOutcome>
+ExperimentRunner::measureBatch(
+    const std::vector<const MachineConfig *> &configs,
+    const Benchmark &bench)
+{
+    std::vector<BatchOutcome> out(configs.size());
+    if (configs.empty())
+        return out;
+
+    // Cache lookup for every cell up front — same keys and the same
+    // per-shard hit/miss accounting as measure(): the cell that
+    // inserts its entry is the miss, every other lookup a hit
+    // (duplicates within one call included).
+    std::vector<OnceSlot<Measurement> *> entries(configs.size());
+    std::vector<const MachineConfig *> pendingCfg;
+    std::vector<size_t> pendingOut;
+    for (size_t i = 0; i < configs.size(); ++i) {
+        if (configs[i] == nullptr)
+            panic("ExperimentRunner::measureBatch: null configuration");
+        const std::string key = experimentKey(*configs[i], bench);
+        MemoShard &shard = memoShards[fnv1a(key) % memoShardCount];
+        bool inserted;
+        {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            auto [it, fresh] = shard.entries.try_emplace(key);
+            if (fresh)
+                it->second = std::make_unique<OnceSlot<Measurement>>();
+            entries[i] = it->second.get();
+            inserted = fresh;
+        }
+        if (inserted) {
+            shard.misses.fetch_add(1, std::memory_order_relaxed);
+            pendingCfg.push_back(configs[i]);
+            pendingOut.push_back(i);
+        } else {
+            shard.hits.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    // Publish cell i through its once_flag. A compute() that throws
+    // leaves the flag unset (exactly measure()'s semantics: the next
+    // caller retries) and degrades only this cell's outcome.
+    auto resolve = [&](size_t i, auto &&compute) {
+        try {
+            std::call_once(entries[i]->once,
+                           [&] { entries[i]->value = compute(); });
+            out[i].measurement = &entries[i]->value;
+        } catch (const FaultError &e) {
+            out[i].status = e.status();
+        } catch (const std::exception &e) {
+            out[i].status =
+                Status::error(StatusCode::Internal, e.what());
+        }
+    };
+
+    const bool cleanPlan =
+        faults.poisonedConfig.empty() && !faults.injectsSamples();
+    if (cleanPlan && !pendingCfg.empty()) {
+        // The batch fill proper: group this call's fresh cells per
+        // spec and compute their profiles through the SoA model
+        // batch, then run each cell's sampling off its batch lane.
+        for (const ConfigBatch &batch :
+             ConfigBatch::partition(pendingCfg)) {
+            const std::vector<ExecutionProfile> profiles =
+                profileBatch(batch, bench);
+            for (size_t lane = 0; lane < batch.size(); ++lane) {
+                const size_t i = pendingOut[batch.sourceIndex[lane]];
+                resolve(i, [&] {
+                    return measureWithProfile(*batch.configs[lane],
+                                              bench, profiles[lane]);
+                });
+            }
+        }
+    }
+
+    // Hits, faulted plans (poison checks and injection live in the
+    // scalar path), and any cell whose concurrent producer threw all
+    // resolve here; a published entry makes this a plain read.
+    for (size_t i = 0; i < out.size(); ++i) {
+        if (out[i].measurement != nullptr || !out[i].status.ok())
+            continue;
+        resolve(i, [&] { return runMeasurement(*configs[i], bench); });
+    }
+    return out;
 }
 
 bool
@@ -280,16 +456,20 @@ CacheStats
 ExperimentRunner::cacheStats() const
 {
     CacheStats stats;
-    stats.hits = memoHits.load(std::memory_order_relaxed);
-    stats.misses = memoMisses.load(std::memory_order_relaxed);
+    for (const MemoShard &shard : memoShards) {
+        stats.hits += shard.hits.load(std::memory_order_relaxed);
+        stats.misses += shard.misses.load(std::memory_order_relaxed);
+    }
     return stats;
 }
 
 void
 ExperimentRunner::resetCacheStats()
 {
-    memoHits.store(0, std::memory_order_relaxed);
-    memoMisses.store(0, std::memory_order_relaxed);
+    for (MemoShard &shard : memoShards) {
+        shard.hits.store(0, std::memory_order_relaxed);
+        shard.misses.store(0, std::memory_order_relaxed);
+    }
 }
 
 size_t
@@ -363,7 +543,6 @@ Measurement
 ExperimentRunner::runMeasurement(const MachineConfig &cfg,
                                  const Benchmark &bench)
 {
-    const ProcessorSpec &spec = *cfg.spec;
     if (!faults.poisonedConfig.empty() &&
         cfg.label() == faults.poisonedConfig) {
         throw FaultError(Status::error(
@@ -371,9 +550,21 @@ ExperimentRunner::runMeasurement(const MachineConfig &cfg,
             "rig offline for poisoned configuration '" + cfg.label() +
                 "' (" + bench.name + ")"));
     }
+    return measureWithProfile(cfg, bench, profile(cfg, bench));
+}
 
-    const ExecutionProfile prof = profile(cfg, bench);
-    const Rig &sensorRig = rig(spec);
+/**
+ * Everything downstream of the execution profile: phase waveform,
+ * invocation methodology, the sensor sampling sessions. Split from
+ * runMeasurement() so the batch fill path can feed profiles computed
+ * through the SoA model batch while sharing the rest verbatim.
+ */
+Measurement
+ExperimentRunner::measureWithProfile(const MachineConfig &cfg,
+                                     const Benchmark &bench,
+                                     const ExecutionProfile &prof)
+{
+    const Rig &sensorRig = rig(*cfg.spec);
     const bool java = bench.language() == Language::Java;
 
     const uint64_t streamHash = fnv1a(experimentKey(cfg, bench));
@@ -385,10 +576,11 @@ ExperimentRunner::runMeasurement(const MachineConfig &cfg,
     for (size_t k = 0; k < phases.size(); ++k)
         phasePowerW[k] = phases[k].total();
 
-    // A plan with nonzero rates takes the fault-aware path. The
-    // clean path below is deliberately untouched legacy code: with
-    // an empty plan the runner must stay byte-identical to the
-    // fault-free laboratory (the golden-output contract).
+    // A plan with nonzero rates takes the fault-aware path. With an
+    // empty plan the runner must stay byte-identical to the
+    // fault-free laboratory (the golden-output contract); the clean
+    // path below keeps that contract while sampling each session
+    // through the batched bit-exact pipeline.
     if (faults.injectsSamples()) {
         return faultedMeasurement(cfg, bench, prof, phasePowerW, rng,
                                   streamHash);
@@ -421,22 +613,17 @@ ExperimentRunner::runMeasurement(const MachineConfig &cfg,
         const double invocationPowerScale =
             1.0 + powerSigma * invRng.gaussian();
 
-        // Sample the power trace at 50Hz through the sensor chain.
+        // Sample the power trace at 50Hz through the sensor chain —
+        // supply ripple on the 12V rail (< 1%, section 2.5), Hall
+        // sensor, ADC, calibration decode. The batched session is
+        // bitwise equal to sampling one-by-one through
+        // channel->sampleCounts (see harness/sampling.hh).
         const double duration = std::min(measuredTime, maxSampledSec);
         const int samples = std::max(
             10, static_cast<int>(duration * PowerChannel::sampleHz));
-        double wattsSum = 0.0;
-        for (int s = 0; s < samples; ++s) {
-            const int k = static_cast<int>(
-                static_cast<int64_t>(s) * powerPhases / samples) %
-                powerPhases;
-            // Supply ripple on the 12V rail (< 1%, section 2.5).
-            const double trueW = phasePowerW[k] * invocationPowerScale *
-                (1.0 + 0.003 * invRng.gaussian());
-            const int counts =
-                sensorRig.channel->sampleCounts(trueW, invRng);
-            wattsSum += sensorRig.calib->wattsFromCounts(counts);
-        }
+        const double wattsSum = sampleSessionWatts(
+            *sensorRig.channel, *sensorRig.calib, phasePowerW.data(),
+            powerPhases, invocationPowerScale, samples, invRng);
 
         timeStats.add(measuredTime);
         powerStats.add(wattsSum / samples);

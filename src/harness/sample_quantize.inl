@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared loop body of the sample-quantize kernel; see
+ * gauss_kernel.hh. Included by gauss_kernel_base.cc and
+ * gauss_kernel_avx2.cc with LHR_SAMPLE_QUANTIZE_FN set to the
+ * function name each translation unit defines (the AVX2 build uses
+ * it only for the final n % 4 tail).
+ *
+ * Mirrors PowerChannel::outputVolts + quantize op for op on the fast
+ * path; lanes whose integer count is not provably independent of the
+ * gaussian kernel's error (or whose power is close enough to 0 W to
+ * reach the quantizer's negative-power panic) are flagged for the
+ * caller's exact-libm fallback instead of quantized.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "sensor/channel.hh"
+
+size_t
+LHR_SAMPLE_QUANTIZE_FN(const double *w, const double *g1,
+                       const double *g2, int n,
+                       const lhr::SampleQuantizeParams &p,
+                       int32_t *counts, int32_t *uncertain)
+{
+    size_t flagged = 0;
+    for (int s = 0; s < n; ++s) {
+        const double trueW = w[s] * (1.0 + 0.003 * g1[s]);
+        const double amps = trueW / lhr::PowerChannel::railVolts;
+        double effective = amps;
+        if (amps > p.ratedAmps) {
+            effective = p.ratedAmps +
+                (amps - p.ratedAmps) * lhr::PowerChannel::overRangeGain;
+        } else if (amps < -p.ratedAmps) {
+            effective = -p.ratedAmps +
+                (amps + p.ratedAmps) * lhr::PowerChannel::overRangeGain;
+        }
+        const double volts = lhr::PowerChannel::zeroCurrentVolts +
+            p.sens * effective * p.gainFactor + p.offsetVolts +
+            (0.0 + p.noiseVolts * g2[s]);
+        const double clamped =
+            std::clamp(volts, 0.0, lhr::PowerChannel::adcVref);
+        const double y = clamped / lhr::PowerChannel::adcVref *
+            (lhr::PowerChannel::adcCounts - 1);
+
+        const double frac = y - std::floor(y);
+        if (trueW > p.zeroWattsGuard &&
+            std::fabs(frac - 0.5) > p.window) {
+            const int c = static_cast<int>(y + 0.5); // lround, y >= 0
+            counts[s] = std::clamp(
+                c, 0, lhr::PowerChannel::adcCounts - 1);
+        } else {
+            uncertain[flagged++] = s;
+        }
+    }
+    return flagged;
+}

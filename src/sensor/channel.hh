@@ -84,6 +84,16 @@ class PowerChannel
 
     SensorVariant variant() const { return sensorVariant; }
 
+    /**
+     * The device's fixed error terms and noise sigma. The batch
+     * sampler (harness/sampling.cc) replays outputVolts() op for op
+     * over many samples at once, so it needs the same constants this
+     * channel draws at construction.
+     */
+    double deviceGainError() const { return gainError; }
+    double deviceOffsetVolts() const { return offsetVolts; }
+    double sampleNoiseVolts() const { return noiseVolts; }
+
     static constexpr double railVolts = 12.0;
     static constexpr double zeroCurrentVolts = 2.5;
     static constexpr double sampleHz = 50.0;

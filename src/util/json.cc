@@ -1,7 +1,9 @@
 #include "util/json.hh"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/logging.hh"
 
@@ -176,6 +178,436 @@ JsonWriter::raw(const std::string &token)
     separate();
     out << token;
     return *this;
+}
+
+bool
+JsonValue::asBoolean() const
+{
+    if (!isBoolean())
+        panic("JsonValue: asBoolean on a non-boolean");
+    return boolValue;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (!isNumber())
+        panic("JsonValue: asNumber on a non-number");
+    return numberValue;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (!isString())
+        panic("JsonValue: asString on a non-string");
+    return stringValue;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    if (!isArray())
+        panic("JsonValue: items on a non-array");
+    return elements;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    if (!isObject())
+        panic("JsonValue: members on a non-object");
+    return fields;
+}
+
+size_t
+JsonValue::size() const
+{
+    if (isArray())
+        return elements.size();
+    if (isObject())
+        return fields.size();
+    return 0;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (!isObject())
+        return nullptr;
+    for (const auto &member : fields)
+        if (member.first == key)
+            return &member.second;
+    return nullptr;
+}
+
+double
+JsonValue::numberOr(const std::string &key, double fallback) const
+{
+    const JsonValue *member = find(key);
+    return member && member->isNumber() ? member->numberValue
+                                        : fallback;
+}
+
+std::string
+JsonValue::stringOr(const std::string &key, std::string fallback) const
+{
+    const JsonValue *member = find(key);
+    return member && member->isString() ? member->stringValue
+                                        : std::move(fallback);
+}
+
+JsonValue
+JsonValue::makeBoolean(bool flag)
+{
+    JsonValue v;
+    v.valueKind = Kind::Boolean;
+    v.boolValue = flag;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double number)
+{
+    JsonValue v;
+    v.valueKind = Kind::Number;
+    v.numberValue = number;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string text)
+{
+    JsonValue v;
+    v.valueKind = Kind::String;
+    v.stringValue = std::move(text);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> elements)
+{
+    JsonValue v;
+    v.valueKind = Kind::Array;
+    v.elements = std::move(elements);
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(
+    std::vector<std::pair<std::string, JsonValue>> fields)
+{
+    JsonValue v;
+    v.valueKind = Kind::Object;
+    v.fields = std::move(fields);
+    return v;
+}
+
+namespace
+{
+
+/**
+ * Recursive-descent JSON parser. One instance parses one document;
+ * errors propagate as ParseError Status with 1-based line/column of
+ * the offending byte. Nesting is depth-capped so a hostile document
+ * degrades to an error instead of a stack overflow.
+ */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text(text) {}
+
+    Expected<JsonValue> parse()
+    {
+        Expected<JsonValue> root = parseValue(0);
+        if (!root.ok())
+            return root;
+        skipWhitespace();
+        if (pos != text.size())
+            return errorHere("trailing characters after the document");
+        return root;
+    }
+
+  private:
+    static constexpr int maxDepth = 64;
+
+    Status errorHere(const std::string &what) const
+    {
+        // Recount line/column only on the error path; the happy path
+        // tracks nothing.
+        size_t line = 1, col = 1;
+        for (size_t i = 0; i < pos && i < text.size(); ++i) {
+            if (text[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        return Status::error(StatusCode::ParseError,
+                             msgOf("json: line ", line, " column ", col,
+                                   ": ", what));
+    }
+
+    void skipWhitespace()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool consumeLiteral(const char *word)
+    {
+        const size_t len = std::char_traits<char>::length(word);
+        if (text.compare(pos, len, word) != 0)
+            return false;
+        pos += len;
+        return true;
+    }
+
+    Expected<JsonValue> parseValue(int depth)
+    {
+        if (depth > maxDepth)
+            return errorHere("nesting deeper than 64 levels");
+        skipWhitespace();
+        if (pos >= text.size())
+            return errorHere("unexpected end of document");
+        const char ch = text[pos];
+        switch (ch) {
+          case 'n':
+            if (consumeLiteral("null"))
+                return JsonValue::makeNull();
+            return errorHere("expected 'null'");
+          case 't':
+            if (consumeLiteral("true"))
+                return JsonValue::makeBoolean(true);
+            return errorHere("expected 'true'");
+          case 'f':
+            if (consumeLiteral("false"))
+                return JsonValue::makeBoolean(false);
+            return errorHere("expected 'false'");
+          case '"': return parseString();
+          case '[': return parseArray(depth);
+          case '{': return parseObject(depth);
+          default:
+            if (ch == '-' || (ch >= '0' && ch <= '9'))
+                return parseNumber();
+            return errorHere(msgOf("unexpected character '", ch, "'"));
+        }
+    }
+
+    Expected<JsonValue> parseNumber()
+    {
+        const size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        // Strict JSON: an integer part is "0" or starts 1-9; strtod
+        // alone would accept C-style leading zeros like "01".
+        if (pos + 1 < text.size() && text[pos] == '0' &&
+            std::isdigit(static_cast<unsigned char>(text[pos + 1]))) {
+            pos = start;
+            return errorHere("number with a leading zero");
+        }
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '+' ||
+                text[pos] == '-'))
+            ++pos;
+        const std::string token = text.substr(start, pos - start);
+        char *end = nullptr;
+        const double number = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size() || token.empty() ||
+            !std::isfinite(number)) {
+            pos = start;
+            return errorHere(msgOf("malformed number '", token, "'"));
+        }
+        return JsonValue::makeNumber(number);
+    }
+
+    /** Append one Unicode code point as UTF-8. */
+    static void appendUtf8(std::string &out, uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    bool parseHex4(uint32_t &out)
+    {
+        if (pos + 4 > text.size())
+            return false;
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char ch = text[pos + i];
+            uint32_t digit;
+            if (ch >= '0' && ch <= '9')
+                digit = ch - '0';
+            else if (ch >= 'a' && ch <= 'f')
+                digit = 10 + (ch - 'a');
+            else if (ch >= 'A' && ch <= 'F')
+                digit = 10 + (ch - 'A');
+            else
+                return false;
+            out = out * 16 + digit;
+        }
+        pos += 4;
+        return true;
+    }
+
+    Expected<JsonValue> parseString()
+    {
+        ++pos; // opening quote
+        std::string out;
+        while (true) {
+            if (pos >= text.size())
+                return errorHere("unterminated string");
+            const char ch = text[pos];
+            if (ch == '"') {
+                ++pos;
+                return JsonValue::makeString(std::move(out));
+            }
+            if (static_cast<unsigned char>(ch) < 0x20)
+                return errorHere("raw control character in string");
+            if (ch != '\\') {
+                out += ch;
+                ++pos;
+                continue;
+            }
+            ++pos;
+            if (pos >= text.size())
+                return errorHere("unterminated escape");
+            const char esc = text[pos++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                uint32_t cp;
+                if (!parseHex4(cp))
+                    return errorHere("malformed \\u escape");
+                if (cp >= 0xd800 && cp < 0xdc00) {
+                    // High surrogate: the low half must follow.
+                    uint32_t lo;
+                    if (pos + 2 > text.size() || text[pos] != '\\' ||
+                        text[pos + 1] != 'u')
+                        return errorHere("unpaired surrogate");
+                    pos += 2;
+                    if (!parseHex4(lo) ||
+                        !(lo >= 0xdc00 && lo < 0xe000))
+                        return errorHere("unpaired surrogate");
+                    cp = 0x10000 + ((cp - 0xd800) << 10) +
+                        (lo - 0xdc00);
+                } else if (cp >= 0xdc00 && cp < 0xe000) {
+                    return errorHere("unpaired surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                return errorHere(
+                    msgOf("unknown escape '\\", esc, "'"));
+            }
+        }
+    }
+
+    Expected<JsonValue> parseArray(int depth)
+    {
+        ++pos; // '['
+        std::vector<JsonValue> elements;
+        skipWhitespace();
+        if (pos < text.size() && text[pos] == ']') {
+            ++pos;
+            return JsonValue::makeArray(std::move(elements));
+        }
+        while (true) {
+            Expected<JsonValue> element = parseValue(depth + 1);
+            if (!element.ok())
+                return element;
+            elements.push_back(std::move(element).value());
+            skipWhitespace();
+            if (pos >= text.size())
+                return errorHere("unterminated array");
+            if (text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (text[pos] == ']') {
+                ++pos;
+                return JsonValue::makeArray(std::move(elements));
+            }
+            return errorHere("expected ',' or ']' in array");
+        }
+    }
+
+    Expected<JsonValue> parseObject(int depth)
+    {
+        ++pos; // '{'
+        std::vector<std::pair<std::string, JsonValue>> fields;
+        skipWhitespace();
+        if (pos < text.size() && text[pos] == '}') {
+            ++pos;
+            return JsonValue::makeObject(std::move(fields));
+        }
+        while (true) {
+            skipWhitespace();
+            if (pos >= text.size() || text[pos] != '"')
+                return errorHere("expected string key in object");
+            Expected<JsonValue> key = parseString();
+            if (!key.ok())
+                return key;
+            skipWhitespace();
+            if (pos >= text.size() || text[pos] != ':')
+                return errorHere("expected ':' after object key");
+            ++pos;
+            Expected<JsonValue> member = parseValue(depth + 1);
+            if (!member.ok())
+                return member;
+            fields.emplace_back(key.value().asString(),
+                                std::move(member).value());
+            skipWhitespace();
+            if (pos >= text.size())
+                return errorHere("unterminated object");
+            if (text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (text[pos] == '}') {
+                ++pos;
+                return JsonValue::makeObject(std::move(fields));
+            }
+            return errorHere("expected ',' or '}' in object");
+        }
+    }
+
+    const std::string &text;
+    size_t pos = 0;
+};
+
+} // namespace
+
+Expected<JsonValue>
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
 }
 
 } // namespace lhr

@@ -1,10 +1,12 @@
 /**
  * @file
- * Minimal streaming JSON emission for the laboratory's structured
- * artifacts (study sinks, perf-baseline files). Values are written
- * as they are appended; objects and arrays nest via begin/end pairs.
- * The writer tracks separators and indentation; the caller supplies
- * structure in order.
+ * Minimal JSON for the laboratory's structured artifacts (study
+ * sinks, perf-baseline files): streaming emission (JsonWriter) and a
+ * small recursive-descent parser (parseJson -> JsonValue) so tools
+ * like bench/bench_compare can read the artifacts back. Values are
+ * written as they are appended; objects and arrays nest via
+ * begin/end pairs. The writer tracks separators and indentation; the
+ * caller supplies structure in order.
  */
 
 #ifndef LHR_UTIL_JSON_HH
@@ -13,7 +15,10 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "util/status.hh"
 
 namespace lhr
 {
@@ -64,6 +69,84 @@ class JsonWriter
     std::vector<bool> firstInScope;
     bool afterKey = false;
 };
+
+/**
+ * One parsed JSON value. A tree of these comes back from parseJson;
+ * the accessors follow the repo's contract style: asX() on the wrong
+ * kind panics (a caller that cannot assume the kind checks isX()
+ * first or uses the *Or lookups, which fall back instead).
+ */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Boolean,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+
+    Kind kind() const { return valueKind; }
+    bool isNull() const { return valueKind == Kind::Null; }
+    bool isBoolean() const { return valueKind == Kind::Boolean; }
+    bool isNumber() const { return valueKind == Kind::Number; }
+    bool isString() const { return valueKind == Kind::String; }
+    bool isArray() const { return valueKind == Kind::Array; }
+    bool isObject() const { return valueKind == Kind::Object; }
+
+    bool asBoolean() const;
+    double asNumber() const;
+    const std::string &asString() const;
+
+    /** Array elements (panics unless isArray()). */
+    const std::vector<JsonValue> &items() const;
+
+    /** Object members in document order (panics unless isObject()). */
+    const std::vector<std::pair<std::string, JsonValue>> &members() const;
+
+    /** Element/member count of an array/object; 0 for scalars. */
+    size_t size() const;
+
+    /** Member by key, or nullptr (absent key or non-object). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Member's number, or `fallback` (absent / not a number). */
+    double numberOr(const std::string &key, double fallback) const;
+
+    /** Member's string, or `fallback` (absent / not a string). */
+    std::string stringOr(const std::string &key,
+                         std::string fallback) const;
+
+    static JsonValue makeNull() { return JsonValue(); }
+    static JsonValue makeBoolean(bool flag);
+    static JsonValue makeNumber(double number);
+    static JsonValue makeString(std::string text);
+    static JsonValue makeArray(std::vector<JsonValue> elements);
+    static JsonValue
+    makeObject(std::vector<std::pair<std::string, JsonValue>> fields);
+
+  private:
+    Kind valueKind = Kind::Null;
+    bool boolValue = false;
+    double numberValue = 0.0;
+    std::string stringValue;
+    std::vector<JsonValue> elements;
+    std::vector<std::pair<std::string, JsonValue>> fields;
+};
+
+/**
+ * Parse one JSON document (the whole string must be consumed, bar
+ * trailing whitespace). Accepts exactly what JsonWriter emits plus
+ * standard JSON: null/true/false, numbers, strings with the usual
+ * escapes (\uXXXX decodes to UTF-8; unpaired surrogates are a
+ * ParseError), arrays and objects. Errors carry 1-based line/column.
+ */
+Expected<JsonValue> parseJson(const std::string &text);
 
 } // namespace lhr
 

@@ -71,6 +71,13 @@ class Rng
     /** Standard normal deviate (Box-Muller, cached pair). */
     double gaussian();
 
+    /**
+     * Whether the next gaussian() will return the cached second half
+     * of a Box-Muller pair (and so consume no uniforms). The batch
+     * sampler uses this to align its pair stream with the scalar one.
+     */
+    bool hasPendingGaussian() const { return hasCachedGaussian; }
+
     /** Normal deviate with the given mean and standard deviation. */
     double gaussian(double mean, double stddev);
 

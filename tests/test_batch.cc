@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Tests for the batch evaluation path (ExperimentRunner::measureBatch
+ * and the SweepEngine's batch fill mode): bitwise equivalence to the
+ * scalar path over the full experimental grid, degenerate batch
+ * shapes, fault fallback semantics, cache accounting, and the
+ * accuracy bound the certainty-window sampler relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "fault/fault.hh"
+#include "harness/gauss_kernel.hh"
+#include "harness/runner.hh"
+#include "machine/processor.hh"
+#include "sweep/sweep.hh"
+#include "util/status.hh"
+#include "workload/benchmark.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+/** Bitwise equality over every Measurement field — no tolerance. */
+bool
+identical(const Measurement &a, const Measurement &b)
+{
+    return a.timeSec == b.timeSec && a.timeCi95Rel == b.timeCi95Rel &&
+        a.powerW == b.powerW && a.powerCi95Rel == b.powerCi95Rel &&
+        a.invocations == b.invocations &&
+        a.samplesLost == b.samplesLost &&
+        a.samplesRailed == b.samplesRailed &&
+        a.samplesDuplicated == b.samplesDuplicated &&
+        a.retries == b.retries &&
+        a.extraInvocations == b.extraInvocations &&
+        a.outlierInvocations == b.outlierInvocations &&
+        a.degraded == b.degraded;
+}
+
+std::vector<const MachineConfig *>
+pointers(const std::vector<MachineConfig> &configs)
+{
+    std::vector<const MachineConfig *> out;
+    out.reserve(configs.size());
+    for (const MachineConfig &cfg : configs)
+        out.push_back(&cfg);
+    return out;
+}
+
+} // namespace
+
+// The tentpole contract: measureBatch over the paper's full grid —
+// every standard configuration (which spans both SMT settings),
+// every benchmark — is bit-identical to scalar measure(), across
+// every Measurement field including the fault accounting.
+TEST(BatchEquivalence, FullGridBitIdentical)
+{
+    const std::vector<MachineConfig> configs =
+        standardConfigurations();
+    const std::vector<const MachineConfig *> batch =
+        pointers(configs);
+    const auto &benchmarks = allBenchmarks();
+
+    ExperimentRunner scalar;
+    ExperimentRunner batched;
+    for (const Benchmark &bench : benchmarks) {
+        const std::vector<ExperimentRunner::BatchOutcome> outcomes =
+            batched.measureBatch(batch, bench);
+        ASSERT_EQ(outcomes.size(), configs.size());
+        for (size_t i = 0; i < configs.size(); ++i) {
+            ASSERT_TRUE(outcomes[i].ok())
+                << bench.name << " @ " << configs[i].label() << ": "
+                << outcomes[i].status.toString();
+            const Measurement &reference =
+                scalar.measure(configs[i], bench);
+            EXPECT_TRUE(
+                identical(reference, *outcomes[i].measurement))
+                << bench.name << " @ " << configs[i].label();
+        }
+    }
+}
+
+// Explicit both-SMT coverage on an SMT-capable part: the batch path
+// must keep the two siblings distinct and each bit-identical to its
+// scalar measurement.
+TEST(BatchEquivalence, BothSmtSettingsDistinctAndIdentical)
+{
+    const MachineConfig on =
+        withSmt(stockConfig(processorById("i7 (45)")), true);
+    const MachineConfig off =
+        withSmt(stockConfig(processorById("i7 (45)")), false);
+    const Benchmark &bench = allBenchmarks().front();
+
+    ExperimentRunner scalar;
+    ExperimentRunner batched;
+    const auto outcomes = batched.measureBatch({&on, &off}, bench);
+    ASSERT_EQ(outcomes.size(), 2u);
+    ASSERT_TRUE(outcomes[0].ok());
+    ASSERT_TRUE(outcomes[1].ok());
+    EXPECT_TRUE(identical(scalar.measure(on, bench),
+                          *outcomes[0].measurement));
+    EXPECT_TRUE(identical(scalar.measure(off, bench),
+                          *outcomes[1].measurement));
+    EXPECT_FALSE(identical(*outcomes[0].measurement,
+                           *outcomes[1].measurement));
+}
+
+TEST(BatchEquivalence, DegenerateBatches)
+{
+    const MachineConfig cfg = stockConfig(processorById("Atom (45)"));
+    const Benchmark &bench = allBenchmarks().front();
+
+    ExperimentRunner runner;
+
+    // Empty batch: nothing measured, nothing counted.
+    EXPECT_TRUE(runner.measureBatch({}, bench).empty());
+    EXPECT_EQ(runner.cacheStats().lookups(), 0u);
+
+    // Size-1 batch behaves exactly like measure().
+    const auto one = runner.measureBatch({&cfg}, bench);
+    ASSERT_EQ(one.size(), 1u);
+    ASSERT_TRUE(one[0].ok());
+    ExperimentRunner reference;
+    EXPECT_TRUE(identical(reference.measure(cfg, bench),
+                          *one[0].measurement));
+
+    // Single-config shard: the same configuration repeated resolves
+    // every slot to the one cached measurement.
+    ExperimentRunner dup;
+    const auto repeated =
+        dup.measureBatch({&cfg, &cfg, &cfg}, bench);
+    ASSERT_EQ(repeated.size(), 3u);
+    for (const auto &outcome : repeated) {
+        ASSERT_TRUE(outcome.ok());
+        EXPECT_EQ(outcome.measurement, repeated[0].measurement);
+    }
+    EXPECT_EQ(dup.cacheStats().misses, 1u);
+    EXPECT_EQ(dup.cacheStats().hits, 2u);
+}
+
+// A poisoned configuration inside a batch carries its error in its
+// own outcome; every clean cell of the same batch stays bit-identical
+// to a plan-free scalar runner.
+TEST(BatchEquivalence, PoisonedConfigLeavesCleanCellsUntouched)
+{
+    std::vector<MachineConfig> configs = {
+        stockConfig(processorById("Atom (45)")),
+        stockConfig(processorById("i7 (45)")),
+        withSmt(stockConfig(processorById("i5 (32)")), false),
+    };
+    const Benchmark &bench = allBenchmarks().front();
+
+    ExperimentRunner poisoned;
+    FaultPlan plan;
+    plan.poisonedConfig = configs[1].label();
+    poisoned.setFaultPlan(plan);
+
+    const auto outcomes =
+        poisoned.measureBatch(pointers(configs), bench);
+    ASSERT_EQ(outcomes.size(), configs.size());
+
+    EXPECT_FALSE(outcomes[1].ok());
+    EXPECT_NE(outcomes[1].status.message().find(configs[1].label()),
+              std::string::npos);
+
+    ExperimentRunner clean;
+    for (const size_t i : {size_t{0}, size_t{2}}) {
+        ASSERT_TRUE(outcomes[i].ok()) << configs[i].label();
+        EXPECT_TRUE(identical(clean.measure(configs[i], bench),
+                              *outcomes[i].measurement))
+            << configs[i].label();
+    }
+}
+
+// measureBatch must keep measure()'s cache accounting: one miss per
+// cell the call computes, one hit per cell already cached — summed
+// correctly across the runner's shards.
+TEST(BatchEquivalence, CacheCountsOneMissPerComputedCell)
+{
+    const std::vector<MachineConfig> configs = {
+        stockConfig(processorById("Atom (45)")),
+        stockConfig(processorById("i7 (45)")),
+        withSmt(stockConfig(processorById("i5 (32)")), false),
+    };
+    const Benchmark &bench = allBenchmarks().front();
+
+    ExperimentRunner runner;
+    const auto first = runner.measureBatch(pointers(configs), bench);
+    ASSERT_EQ(first.size(), configs.size());
+    EXPECT_EQ(runner.cacheStats().misses, configs.size());
+    EXPECT_EQ(runner.cacheStats().hits, 0u);
+
+    const auto second = runner.measureBatch(pointers(configs), bench);
+    ASSERT_EQ(second.size(), configs.size());
+    EXPECT_EQ(runner.cacheStats().misses, configs.size());
+    EXPECT_EQ(runner.cacheStats().hits, configs.size());
+}
+
+// The sweep's batch fill mode inherits the same accounting: a cold
+// sweep counts exactly one miss per cell, a warm re-sweep one hit.
+TEST(BatchEquivalence, SweepBatchFillCountsOneMissPerCell)
+{
+    std::vector<MachineConfig> configs = standardConfigurations();
+    configs.resize(4);
+    const std::vector<Benchmark> benchmarks(
+        allBenchmarks().begin(), allBenchmarks().begin() + 5);
+    const size_t cells = configs.size() * benchmarks.size();
+
+    ExperimentRunner runner;
+    SweepEngine engine(runner, {.threads = 1});
+    const SweepReport cold = engine.run(configs, benchmarks);
+    EXPECT_EQ(cold.cache.misses, cells);
+    EXPECT_EQ(cold.cache.hits, 0u);
+
+    // The report's counters are per-sweep deltas: a warm re-sweep
+    // is all hits, no misses.
+    const SweepReport warm = engine.run(configs, benchmarks);
+    EXPECT_EQ(warm.cache.misses, 0u);
+    EXPECT_EQ(warm.cache.hits, cells);
+}
+
+// The sweep's batch fill and scalar per-cell fill must agree cell by
+// cell — the guarantee SweepOptions::batchFill documents.
+TEST(BatchEquivalence, SweepBatchFillMatchesScalarFill)
+{
+    std::vector<MachineConfig> configs = standardConfigurations();
+    configs.resize(6);
+    const std::vector<Benchmark> benchmarks(
+        allBenchmarks().begin(), allBenchmarks().begin() + 8);
+
+    ExperimentRunner batchRunner;
+    SweepEngine batchEngine(batchRunner, {.threads = 1});
+    const SweepReport batch = batchEngine.run(configs, benchmarks);
+
+    ExperimentRunner scalarRunner;
+    SweepEngine scalarEngine(scalarRunner,
+                             {.threads = 1, .batchFill = false});
+    const SweepReport scalar = scalarEngine.run(configs, benchmarks);
+
+    ASSERT_EQ(batch.cells.size(), scalar.cells.size());
+    for (size_t i = 0; i < batch.cells.size(); ++i) {
+        ASSERT_NE(batch.cells[i].measurement, nullptr);
+        ASSERT_NE(scalar.cells[i].measurement, nullptr);
+        EXPECT_TRUE(identical(*batch.cells[i].measurement,
+                              *scalar.cells[i].measurement))
+            << batch.cells[i].benchmark->name << " @ "
+            << batch.cells[i].config->label();
+    }
+}
+
+// The certainty-window sampler is sound only while the polynomial
+// kernel stays within gaussKernelMaxError of libm. Measure the
+// actual worst case of every resolved kernel against the exact
+// Box-Muller expression and require an order of magnitude of slack.
+TEST(GaussKernel, StaysWithinDocumentedErrorBound)
+{
+    constexpr size_t n = 1 << 15;
+    std::vector<double> u1(n), u2(n), gc(n), gs(n);
+    std::mt19937_64 rng(0x1234abcdu);
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    for (size_t i = 0; i < n; ++i) {
+        double u = 0.0;
+        while (u <= 0.0)
+            u = uniform(rng);
+        u1[i] = u;
+        u2[i] = uniform(rng);
+    }
+    // Include the extremes the sampler can actually produce.
+    u1[0] = 0x1p-53;
+    u1[1] = 1.0 - 0x1p-53;
+    u2[1] = 1.0 - 0x1p-53;
+
+    std::vector<GaussKernelFn> kernels = {&gaussPairsBase};
+    if (GaussKernelFn avx2 = gaussKernelAvx2OrNull())
+        kernels.push_back(avx2);
+
+    for (GaussKernelFn kernel : kernels) {
+        kernel(u1.data(), u2.data(), gc.data(), gs.data(), n);
+        double maxError = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            const double r = std::sqrt(-2.0 * std::log(u1[i]));
+            const double theta =
+                2.0 * 3.141592653589793238462643383279502884 * u2[i];
+            maxError = std::max(
+                maxError, std::fabs(gc[i] - r * std::cos(theta)));
+            maxError = std::max(
+                maxError, std::fabs(gs[i] - r * std::sin(theta)));
+        }
+        EXPECT_LT(maxError, gaussKernelMaxError / 10.0);
+    }
+}
+
+// Where both quantize builds accept a lane, they must agree on its
+// count: acceptance means the count is provably the exact one, so
+// any disagreement would break the bit-identity argument.
+TEST(GaussKernel, QuantizeBuildsAgreeOnAcceptedLanes)
+{
+    SampleQuantizeFn avx2 = sampleQuantizeAvx2OrNull();
+    if (!avx2)
+        GTEST_SKIP() << "binary built without the AVX2 kernel";
+
+    constexpr int n = 4096;
+    std::vector<double> w(n), g1(n), g2(n);
+    std::mt19937_64 rng(0x5678u);
+    std::uniform_real_distribution<double> watts(0.0, 120.0);
+    std::normal_distribution<double> gauss(0.0, 1.0);
+    for (int i = 0; i < n; ++i) {
+        w[i] = watts(rng);
+        g1[i] = gauss(rng);
+        g2[i] = gauss(rng);
+    }
+
+    SampleQuantizeParams p;
+    p.sens = 0.09;
+    p.gainFactor = 1.004;
+    p.offsetVolts = 0.002;
+    p.noiseVolts = 0.005;
+    p.ratedAmps = 20.0;
+    p.window = 1e-4;
+    p.zeroWattsGuard = 1e-6;
+
+    std::vector<int32_t> countsA(n, -1), countsB(n, -1);
+    std::vector<int32_t> flaggedA(n), flaggedB(n);
+    const size_t nA = sampleQuantizeBase(
+        w.data(), g1.data(), g2.data(), n, p, countsA.data(),
+        flaggedA.data());
+    const size_t nB = avx2(w.data(), g1.data(), g2.data(), n, p,
+                           countsB.data(), flaggedB.data());
+
+    std::vector<bool> uncertainA(n, false), uncertainB(n, false);
+    for (size_t i = 0; i < nA; ++i)
+        uncertainA[(size_t)flaggedA[i]] = true;
+    for (size_t i = 0; i < nB; ++i)
+        uncertainB[(size_t)flaggedB[i]] = true;
+
+    size_t bothAccepted = 0;
+    for (int s = 0; s < n; ++s) {
+        if (uncertainA[(size_t)s] || uncertainB[(size_t)s])
+            continue;
+        ++bothAccepted;
+        EXPECT_EQ(countsA[(size_t)s], countsB[(size_t)s])
+            << "lane " << s;
+    }
+    // The window above is tight; nearly every lane should be
+    // accepted, otherwise the fast path is not actually fast.
+    EXPECT_GT(bothAccepted, (size_t)(0.99 * n));
+}
+
+} // namespace lhr
