@@ -17,7 +17,9 @@
  * Options for measure/aggregate:
  *   --cores N   --smt on|off   --clock GHZ   --turbo on|off
  * Global options (before the command):
- *   --seed N     experiment seed (also: LHR_SEED env variable)
+ *   --seed N             experiment seed (also: LHR_SEED env)
+ *   --sensor hall|rapl   force the measurement backend of every rig
+ *                        (also: LHR_SENSOR env; default per era)
  *
  * Examples:
  *   lhrlab run fig04 --format=json
@@ -43,6 +45,7 @@
 #include "counters/hwcounters.hh"
 #include "harness/corun.hh"
 #include "harness/multiprog.hh"
+#include "sensor/sensor.hh"
 #include "store/results_store.hh"
 #include "study/study.hh"
 #include "util/env.hh"
@@ -56,7 +59,8 @@ void
 usage(std::ostream &os)
 {
     os <<
-        "usage: lhrlab [--seed N] <command> [args]\n"
+        "usage: lhrlab [--seed N] [--sensor hall|rapl] <command> "
+        "[args]\n"
         "  list [--names]\n"
         "  run <study>... | run --all  [--format text|csv|json]\n"
         "      [--out DIR] [--jobs N] [--no-prewarm]\n"
@@ -166,20 +170,29 @@ cmdProcessors()
     table.addColumn("Id", lhr::TableWriter::Align::Left);
     table.addColumn("Model", lhr::TableWriter::Align::Left);
     table.addColumn("uArch", lhr::TableWriter::Align::Left);
+    table.addColumn("Era", lhr::TableWriter::Align::Left);
     table.addColumn("nm");
     table.addColumn("Config", lhr::TableWriter::Align::Left);
     table.addColumn("GHz");
     table.addColumn("TDP W");
-    for (const auto &spec : lhr::allProcessors()) {
+    table.addColumn("Sensor", lhr::TableWriter::Align::Left);
+    auto row = [&](const lhr::ProcessorSpec &spec) {
         table.beginRow();
         table.cell(spec.id);
         table.cell(spec.model);
         table.cell(lhr::familyName(spec.family));
+        table.cell(lhr::eraName(spec.era));
         table.cell(static_cast<long>(spec.tech().featureNm));
         table.cell(lhr::msgOf(spec.cores, "C", spec.smtWays, "T"));
         table.cell(spec.stockClockGhz, 2);
         table.cell(spec.tdpW, 0);
-    }
+        table.cell(
+            lhr::sensorBackendName(lhr::defaultSensorBackend(spec)));
+    };
+    for (const auto &spec : lhr::allProcessors())
+        row(spec);
+    for (const auto &spec : lhr::postPaperProcessors())
+        row(spec);
     table.print(std::cout);
     return 0;
 }
@@ -570,13 +583,24 @@ main(int argc, char **argv)
 
     // Global options come before the command.
     size_t first = 1;
-    while (first < args.size() && args[first] == "--seed") {
+    while (first < args.size() &&
+           (args[first] == "--seed" || args[first] == "--sensor")) {
         if (first + 1 >= args.size())
-            usageError("--seed needs a value");
-        const auto seed = lhr::parseSeed(args[first + 1]);
-        if (!seed)
-            usageError("malformed --seed '" + args[first + 1] + "'");
-        lhr::setSeedOverride(seed);
+            usageError("option " + args[first] + " needs a value");
+        if (args[first] == "--seed") {
+            const auto seed = lhr::parseSeed(args[first + 1]);
+            if (!seed)
+                usageError("malformed --seed '" + args[first + 1] +
+                           "'");
+            lhr::setSeedOverride(seed);
+        } else {
+            const auto backend =
+                lhr::parseSensorBackend(args[first + 1]);
+            if (!backend)
+                usageError("--sensor takes hall|rapl, got '" +
+                           args[first + 1] + "'");
+            lhr::setSensorBackendOverride(backend);
+        }
         args.erase(args.begin() + first, args.begin() + first + 2);
     }
 

@@ -92,6 +92,10 @@ characterizeWorkload(const Benchmark &bench, const ProcessorSpec &spec,
       case Family::Core:     tlbEntries = 256; break;
       case Family::Bonnell:  tlbEntries = 64; break;
       case Family::Nehalem:  tlbEntries = 512; break;
+      case Family::SandyBridge: tlbEntries = 512; break;
+      case Family::Haswell:     tlbEntries = 1024; break;
+      case Family::Broadwell:   tlbEntries = 1536; break;
+      case Family::SkylakeSP:   tlbEntries = 1536; break;
     }
     TlbArray dtlb(tlbEntries);
     BimodalPredictor predictor(14);

@@ -45,6 +45,10 @@ faultClassName(FaultClass cls)
         return "thermal-throttle";
     case FaultClass::CorunInterference:
         return "corun-interference";
+    case FaultClass::CounterWraparound:
+        return "counter-wraparound";
+    case FaultClass::StaleCounter:
+        return "stale-counter";
     }
     panic("faultClassName: unknown fault class");
 }
@@ -65,7 +69,8 @@ allFaultClasses()
     return {FaultClass::DroppedSample,     FaultClass::DuplicatedSample,
             FaultClass::SensorSaturation,  FaultClass::CalibrationDrift,
             FaultClass::LoggerDisconnect,  FaultClass::ThermalThrottle,
-            FaultClass::CorunInterference};
+            FaultClass::CorunInterference, FaultClass::CounterWraparound,
+            FaultClass::StaleCounter};
 }
 
 FaultPlan &
@@ -99,6 +104,8 @@ FaultInjector::FaultInjector(const FaultPlan &plan_, uint64_t stream_hash,
                              int session, int expected_samples)
     : plan(plan_),
       rng(mixStreamSeed(plan_.seed, stream_hash, session)),
+      auxRng(mixStreamSeed(plan_.seed, stream_hash, session) ^
+             0x5241504c434e5452ull), // "RAPLCNTR"
       expectedSamples(std::max(expected_samples, 1))
 {
     // Session-scoped events are all decided up front, in a fixed
@@ -195,6 +202,24 @@ FaultInjector::next()
         fault.powerScale *= interfereScale;
 
     fault.countsGain = 1.0 + driftGainPerSample * i;
+
+    // RAPL classes on the aux stream: a fixed three draws per slot
+    // (one wrap check, two for the stale-burst machinery) keep the
+    // aux position a pure function of the slot index too.
+    fault.wrapGlitch =
+        auxRng.uniform() < plan.rate(FaultClass::CounterWraparound);
+    if (staleRemaining > 0) {
+        fault.stale = true;
+        --staleRemaining;
+        auxRng.uniform(); // in place of the burst-start check
+        auxRng.uniform();
+    } else if (auxRng.uniform() <
+               plan.rate(FaultClass::StaleCounter)) {
+        fault.stale = true;
+        staleRemaining = 1 + static_cast<int>(auxRng.uniform() * 2.0);
+    } else {
+        auxRng.uniform();
+    }
     return fault;
 }
 

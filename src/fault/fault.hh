@@ -53,9 +53,12 @@ enum class FaultClass
     LoggerDisconnect,   ///< all samples after a cut point are lost
     ThermalThrottle,    ///< true power depressed for a window
     CorunInterference,  ///< true power inflated for a window
+    // RAPL-backend classes (no effect on the Hall chain):
+    CounterWraparound,  ///< energy MSR wraps inside a read interval
+    StaleCounter,       ///< MSR reads return a stale counter value
 };
 
-inline constexpr size_t faultClassCount = 7;
+inline constexpr size_t faultClassCount = 9;
 
 /** Stable kebab-case name, e.g. "dropped-sample". */
 const char *faultClassName(FaultClass cls);
@@ -111,6 +114,8 @@ struct SampleFault
     int extraCopies = 0;      ///< stale duplicates logged after it
     double powerScale = 1.0;  ///< throttle x interference on true W
     double countsGain = 1.0;  ///< calibration drift on the decode
+    bool wrapGlitch = false;  ///< RAPL: mis-handled counter wrap
+    bool stale = false;       ///< RAPL: read returns the old counter
 };
 
 /**
@@ -144,10 +149,17 @@ class FaultInjector
 
     FaultPlan plan;
     Rng rng;
+    /**
+     * The RAPL fault classes draw from their own stream so enabling
+     * them never shifts the draw positions — and therefore the
+     * decisions — of the original seven classes.
+     */
+    Rng auxRng;
     int expectedSamples;
     int index = 0;
 
     int railRemaining = 0;
+    int staleRemaining = 0;
     double driftGainPerSample = 0.0;
     int disconnectAt = -1;      ///< sample index; -1 = never
     int throttleStart = -1, throttleEnd = -1;

@@ -50,6 +50,12 @@ struct ExecutionProfile
 {
     double timeSec;                    ///< true execution time
     double grantedClockGhz;            ///< after the Turbo governor
+    /**
+     * The clock the pipeline actually ran at: grantedClockGhz minus
+     * any AVX license reduction (ProcessorSpec::avxClockPenalty).
+     * Equal to grantedClockGhz on the paper parts.
+     */
+    double effectiveClockGhz;
     std::vector<double> coreActivity;  ///< per enabled core (0 idle)
     double llcActivity;
     double dramGBs;

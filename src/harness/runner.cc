@@ -6,7 +6,6 @@
 #include <functional>
 #include <utility>
 
-#include "harness/sampling.hh"
 #include "jvm/jvm_model.hh"
 #include "sensor/trace_log.hh"
 #include "workload/phases.hh"
@@ -150,23 +149,42 @@ const ExperimentRunner::Rig &
 ExperimentRunner::rig(const ProcessorSpec &spec)
 {
     return specOnce(rigs, spec, [&](Rig &value) {
-        // Parts whose peak rail current exceeds 5A carry the 30A
-        // sensor (the paper names the i7 explicitly).
-        const bool big = spec.tdpW > 70.0;
-        const auto variant =
-            big ? SensorVariant::A30 : SensorVariant::A5;
-        value.channel = std::make_unique<PowerChannel>(
-            variant, baseSeed ^ fnv1a(spec.id));
-        Rng calRng(baseSeed ^ fnv1a(spec.id + "/cal"));
-        value.calib = std::make_unique<Calibration>(
-            Calibration::calibrate(*value.channel, calRng));
+        const SensorBackend backend =
+            backendChoice ? *backendChoice : defaultSensorBackend(spec);
+        value.sensor = makeSensor(backend, spec, baseSeed);
     });
 }
 
 const Calibration &
 ExperimentRunner::calibration(const ProcessorSpec &spec)
 {
-    return *rig(spec).calib;
+    const PowerSensor &s = *rig(spec).sensor;
+    const Calibration *calib = s.calibration();
+    if (calib == nullptr) {
+        panic(msgOf("ExperimentRunner::calibration: the '",
+                    sensorBackendName(s.backend()), "' rig of '",
+                    spec.id, "' decodes without a calibration"));
+    }
+    return *calib;
+}
+
+const PowerSensor &
+ExperimentRunner::sensor(const ProcessorSpec &spec)
+{
+    return *rig(spec).sensor;
+}
+
+void
+ExperimentRunner::setSensorBackend(std::optional<SensorBackend> backend)
+{
+    {
+        std::lock_guard<std::mutex> lock(specMutex);
+        if (!rigs.empty()) {
+            panic("ExperimentRunner::setSensorBackend: rigs built "
+                  "under the previous backend already exist");
+        }
+    }
+    backendChoice = backend;
 }
 
 ExecutionProfile
@@ -177,11 +195,23 @@ ExperimentRunner::profile(const MachineConfig &cfg, const Benchmark &bench)
     const ChipPowerModel &power = powerModel(spec);
     const double work = bench.instructionsB() * 1e9;
 
+    // AVX license derating (server parts): vector-heavy code pulls
+    // the core below its granted clock, with the benchmark's FP share
+    // standing in for AVX residency. The pipeline and the power model
+    // both see the licensed clock; the granted clock keeps its Turbo
+    // -step semantics. Guarded so paper parts (penalty 0) evaluate
+    // the exact same expression as before.
+    auto licensed = [&](double f) {
+        return spec.avxClockPenalty > 0.0
+            ? f * (1.0 - spec.avxClockPenalty * bench.fpShare)
+            : f;
+    };
+
     auto execute = [&](double clock_ghz) {
+        const double f = licensed(clock_ghz);
         if (bench.language() == Language::Java)
-            return JvmModel::run(perf, bench, cfg, clock_ghz);
-        return perf.evaluate(bench, cfg, clock_ghz, work,
-                             bench.appThreads);
+            return JvmModel::run(perf, bench, cfg, f);
+        return perf.evaluate(bench, cfg, f, work, bench.appThreads);
     };
 
     PerfResult run = execute(cfg.clockGhz);
@@ -197,7 +227,8 @@ ExperimentRunner::profile(const MachineConfig &cfg, const Benchmark &bench)
                             memo = PowerBreakdown{}](double f) mutable {
             if (f != memoClock) {
                 const PerfResult r = execute(f);
-                memo = power.compute(cfg, f, activityOf(r, bench),
+                memo = power.compute(cfg, licensed(f),
+                                     activityOf(r, bench),
                                      r.llcActivity, r.dramGBs);
                 memoClock = f;
             }
@@ -223,12 +254,13 @@ ExperimentRunner::profile(const MachineConfig &cfg, const Benchmark &bench)
     ExecutionProfile prof;
     prof.timeSec = run.timeSec;
     prof.grantedClockGhz = clock;
+    prof.effectiveClockGhz = licensed(clock);
     prof.coreActivity = activity;
     prof.llcActivity = run.llcActivity;
     prof.dramGBs = run.dramGBs;
     prof.activeCores = activeCores;
-    prof.power = power.compute(cfg, clock, activity, run.llcActivity,
-                               run.dramGBs);
+    prof.power = power.compute(cfg, prof.effectiveClockGhz, activity,
+                               run.llcActivity, run.dramGBs);
     return prof;
 }
 
@@ -272,9 +304,24 @@ ExperimentRunner::profileBatch(const ConfigBatch &batch,
 
     thread_local Arena arena;
     arena.reset();
+
+    // AVX license derating (see profile()): lanes of a derated spec
+    // run and burn power at the licensed clock. The nullptr fast path
+    // (each lane's BIOS clock) is kept for penalty-free specs so the
+    // paper grid's batch arithmetic is untouched.
+    const double *laneClock = nullptr;
+    if (spec.avxClockPenalty > 0.0) {
+        const double derate =
+            1.0 - spec.avxClockPenalty * bench.fpShare;
+        double *clk = arena.alloc<double>(sub.size());
+        for (size_t j = 0; j < sub.size(); ++j)
+            clk[j] = sub.clockGhz[j] * derate;
+        laneClock = clk;
+    }
+
     const PerfBatch runs =
-        perf.evaluateBatch(bench, sub, nullptr, work, bench.appThreads,
-                           arena);
+        perf.evaluateBatch(bench, sub, laneClock, work,
+                           bench.appThreads, arena);
 
     // Switching activity per lane: activityOf(), flattened onto the
     // batch's ragged core rows.
@@ -292,13 +339,15 @@ ExperimentRunner::profileBatch(const ConfigBatch &batch,
         }
     }
     const PowerBatch pw =
-        power.computeBatch(sub, nullptr, act, runs.utilOffset,
+        power.computeBatch(sub, laneClock, act, runs.utilOffset,
                            runs.llcActivity, runs.dramGBs, arena);
 
     for (size_t j = 0; j < runs.lanes; ++j) {
         ExecutionProfile &prof = profiles[sub.sourceIndex[j]];
         prof.timeSec = runs.timeSec[j];
         prof.grantedClockGhz = sub.clockGhz[j]; // no turbo: BIOS clock
+        prof.effectiveClockGhz =
+            laneClock ? laneClock[j] : sub.clockGhz[j];
         prof.coreActivity.assign(act + runs.utilOffset[j],
                                  act + runs.utilOffset[j + 1]);
         prof.llcActivity = runs.llcActivity[j];
@@ -503,7 +552,7 @@ ExperimentRunner::phaseBreakdowns(const MachineConfig &cfg,
         for (double &a : act)
             a = std::clamp(a * points[k].activityMult, 0.0, 1.0);
         phases[k] = power.compute(
-            cfg, prof.grantedClockGhz, act,
+            cfg, prof.effectiveClockGhz, act,
             std::clamp(prof.llcActivity * points[k].memoryMult, 0.0,
                        1.0),
             prof.dramGBs * points[k].memoryMult);
@@ -617,13 +666,13 @@ ExperimentRunner::measureWithProfile(const MachineConfig &cfg,
         // supply ripple on the 12V rail (< 1%, section 2.5), Hall
         // sensor, ADC, calibration decode. The batched session is
         // bitwise equal to sampling one-by-one through
-        // channel->sampleCounts (see harness/sampling.hh).
+        // channel->sampleCounts (see sensor/sampling.hh).
         const double duration = std::min(measuredTime, maxSampledSec);
         const int samples = std::max(
             10, static_cast<int>(duration * PowerChannel::sampleHz));
-        const double wattsSum = sampleSessionWatts(
-            *sensorRig.channel, *sensorRig.calib, phasePowerW.data(),
-            powerPhases, invocationPowerScale, samples, invRng);
+        const double wattsSum = sensorRig.sensor->sessionWatts(
+            phasePowerW.data(), powerPhases, invocationPowerScale,
+            samples, invRng);
 
         timeStats.add(measuredTime);
         powerStats.add(wattsSum / samples);
@@ -660,8 +709,8 @@ ExperimentRunner::faultedMeasurement(const MachineConfig &cfg,
     const double timeSigma = java ? 0.016 : 0.004;
     const double powerSigma =
         (java ? 0.012 : 0.008) + 0.04 * bench.phaseVariability;
-    const int railHigh = sensorRig.channel->railHighCounts();
-    const int railLow = sensorRig.channel->railLowCounts();
+    const int railHigh = sensorRig.sensor->railHighCode();
+    const int railLow = sensorRig.sensor->railLowCode();
 
     struct Session
     {
@@ -698,7 +747,9 @@ ExperimentRunner::faultedMeasurement(const MachineConfig &cfg,
         out.expectedSamples = samples;
 
         FaultInjector injector(faults, stream_hash, session, samples);
-        PowerTraceLogger logger(*sensorRig.channel, *sensorRig.calib);
+        const auto sensorSession =
+            sensorRig.sensor->beginSession(invRng);
+        PowerTraceLogger logger(*sensorSession);
         for (int s = 0; s < samples; ++s) {
             const int k = static_cast<int>(
                 static_cast<int64_t>(s) * powerPhases / samples) %

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -36,6 +37,7 @@
 #include "power/meters.hh"
 #include "sensor/calibration.hh"
 #include "sensor/channel.hh"
+#include "sensor/sensor.hh"
 #include "util/rng.hh"
 #include "util/status.hh"
 #include "workload/benchmark.hh"
@@ -184,8 +186,23 @@ class ExperimentRunner
     /** The power model of a processor (built lazily, once). */
     const ChipPowerModel &powerModel(const ProcessorSpec &spec);
 
-    /** The calibrated measurement channel of a processor's rig. */
+    /**
+     * The calibrated measurement channel of a processor's rig.
+     * panic()s when the rig's backend has no calibration (RAPL
+     * decodes directly from energy units).
+     */
     const Calibration &calibration(const ProcessorSpec &spec);
+
+    /** The measurement backend of a processor's rig. */
+    const PowerSensor &sensor(const ProcessorSpec &spec);
+
+    /**
+     * Force every rig this runner builds onto one backend (nullopt
+     * restores the per-spec default). Must be called before any rig
+     * is built — a rig constructed under another backend would
+     * silently mix measurement chains (panic otherwise).
+     */
+    void setSensorBackend(std::optional<SensorBackend> backend);
 
     /**
      * The true per-phase power waveform of one execution — the
@@ -242,8 +259,7 @@ class ExperimentRunner
   private:
     struct Rig
     {
-        std::unique_ptr<PowerChannel> channel;
-        std::unique_ptr<Calibration> calib;
+        std::unique_ptr<PowerSensor> sensor;
     };
 
     /**
@@ -310,6 +326,7 @@ class ExperimentRunner
     uint64_t baseSeed;
     FaultPlan faults;
     MeasurementPolicy policy;
+    std::optional<SensorBackend> backendChoice;
 
     std::array<MemoShard, memoShardCount> memoShards;
 

@@ -33,7 +33,33 @@ parseFamily(const std::string &name)
         return Family::Bonnell;
     if (name == "Nehalem")
         return Family::Nehalem;
+    if (name == "SandyBridge")
+        return Family::SandyBridge;
+    if (name == "Haswell")
+        return Family::Haswell;
+    if (name == "Broadwell")
+        return Family::Broadwell;
+    if (name == "SkylakeSP")
+        return Family::SkylakeSP;
     fatal("CustomProcessor: unknown family '" + name + "'");
+}
+
+Era
+defaultEra(Family family, Node node)
+{
+    switch (family) {
+      case Family::SandyBridge: return Era::SandyBridge;
+      case Family::Haswell:     return Era::Haswell;
+      case Family::Broadwell:   return Era::Broadwell;
+      case Family::SkylakeSP:   return Era::Skylake;
+      default: break;
+    }
+    switch (node) {
+      case Node::Nm130: return Era::Paper130;
+      case Node::Nm65:  return Era::Paper65;
+      case Node::Nm45:  return Era::Paper45;
+      default:          return Era::Paper32;
+    }
 }
 
 double
@@ -97,6 +123,8 @@ CustomProcessor::parse(std::istream &is)
     spec.family = parseFamily(require("family"));
     const int nm = static_cast<int>(number("node_nm"));
     spec.node = techNodeByNm(nm).node;
+    spec.era = kv.count("era") ? parseEra(kv["era"])
+                               : defaultEra(spec.family, spec.node);
     spec.releaseDate = kv.count("released") ? kv["released"] : "--";
     spec.releasePriceUsd = optional("price_usd", 0.0);
 
@@ -124,6 +152,12 @@ CustomProcessor::parse(std::istream &is)
     spec.powerCal = optional("power_cal", 1.0);
     spec.leakCal = optional("leak_cal", 1.0);
     spec.turboVKickV = optional("turbo_vkick", 0.0);
+    spec.turboStepGhz = optional("turbo_step_ghz", 0.133);
+    spec.turboSteps1C =
+        static_cast<int>(optional("turbo_steps_1c", 2.0));
+    spec.turboStepsAllC =
+        static_cast<int>(optional("turbo_steps_allc", 1.0));
+    spec.avxClockPenalty = optional("avx_clock_penalty", 0.0);
 
     // Validate the physics-facing fields now, loudly.
     if (spec.cores < 1 || spec.smtWays < 1 || spec.smtWays > 2)
@@ -136,6 +170,13 @@ CustomProcessor::parse(std::istream &is)
         fatal("CustomProcessor: fmin_ghz above clock_ghz");
     if (spec.vEffMin > spec.vEffMax)
         fatal("CustomProcessor: veff_min above veff_max");
+    if (spec.avxClockPenalty < 0.0 || spec.avxClockPenalty >= 1.0)
+        fatal("CustomProcessor: avx_clock_penalty out of [0, 1)");
+    if (spec.hasTurbo &&
+        (spec.turboStepGhz <= 0.0 || spec.turboSteps1C < 1 ||
+         spec.turboStepsAllC < 1)) {
+        fatal("CustomProcessor: invalid turbo parameters");
+    }
     dramModel(spec.dram); // fatal on unknown memory
 
     return custom;

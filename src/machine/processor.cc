@@ -1,5 +1,6 @@
 #include "machine/processor.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -15,7 +16,7 @@ namespace
 const std::vector<ProcessorSpec> processors = {
     {
         "Pentium4 (130)", "Pentium 4", "SL6WF", "Northwood",
-        Family::NetBurst, Node::Nm130, "May '03", 0.0,
+        Family::NetBurst, Node::Nm130, Era::Paper130, "May '03", 0.0,
         /* cores */ 1, /* smtWays */ 2, /* llcMb */ 0.5,
         /* clock */ 2.4, /* transM */ 55, /* die */ 131,
         /* vid */ 0.0, 0.0, /* tdp */ 66, /* fsb */ 800,
@@ -27,7 +28,7 @@ const std::vector<ProcessorSpec> processors = {
     },
     {
         "C2D (65)", "Core 2 Duo E6600", "SL9S8", "Conroe",
-        Family::Core, Node::Nm65, "Jul '06", 316.0,
+        Family::Core, Node::Nm65, Era::Paper65, "Jul '06", 316.0,
         2, 1, 4.0,
         2.4, 291, 143,
         0.85, 1.50, 65, 1066,
@@ -38,7 +39,7 @@ const std::vector<ProcessorSpec> processors = {
     },
     {
         "C2Q (65)", "Core 2 Quad Q6600", "SL9UM", "Kentsfield",
-        Family::Core, Node::Nm65, "Jan '07", 851.0,
+        Family::Core, Node::Nm65, Era::Paper65, "Jan '07", 851.0,
         4, 1, 8.0,
         2.4, 582, 286,
         0.85, 1.50, 105, 1066,
@@ -49,7 +50,7 @@ const std::vector<ProcessorSpec> processors = {
     },
     {
         "i7 (45)", "Core i7 920", "SLBCH", "Bloomfield",
-        Family::Nehalem, Node::Nm45, "Nov '08", 284.0,
+        Family::Nehalem, Node::Nm45, Era::Paper45, "Nov '08", 284.0,
         4, 2, 8.0,
         2.667, 731, 263,
         0.80, 1.38, 130, 0,
@@ -60,7 +61,7 @@ const std::vector<ProcessorSpec> processors = {
     },
     {
         "Atom (45)", "Atom 230", "SLB6Z", "Diamondville",
-        Family::Bonnell, Node::Nm45, "Jun '08", 29.0,
+        Family::Bonnell, Node::Nm45, Era::Paper45, "Jun '08", 29.0,
         1, 2, 0.5,
         1.667, 47, 26,
         0.90, 1.16, 4, 533,
@@ -71,7 +72,7 @@ const std::vector<ProcessorSpec> processors = {
     },
     {
         "C2D (45)", "Core 2 Duo E7600", "SLGTD", "Wolfdale",
-        Family::Core, Node::Nm45, "May '09", 133.0,
+        Family::Core, Node::Nm45, Era::Paper45, "May '09", 133.0,
         2, 1, 3.0,
         3.06, 228, 82,
         0.85, 1.36, 65, 1066,
@@ -82,7 +83,7 @@ const std::vector<ProcessorSpec> processors = {
     },
     {
         "AtomD (45)", "Atom D510", "SLBLA", "Pineview",
-        Family::Bonnell, Node::Nm45, "Dec '09", 63.0,
+        Family::Bonnell, Node::Nm45, Era::Paper45, "Dec '09", 63.0,
         2, 2, 1.0,
         1.667, 176, 87,
         0.80, 1.17, 13, 665,
@@ -93,7 +94,7 @@ const std::vector<ProcessorSpec> processors = {
     },
     {
         "i5 (32)", "Core i5 670", "SLBLT", "Clarkdale",
-        Family::Nehalem, Node::Nm32, "Jan '10", 284.0,
+        Family::Nehalem, Node::Nm32, Era::Paper32, "Jan '10", 284.0,
         2, 2, 4.0,
         3.46, 382, 81,
         0.65, 1.40, 73, 0,
@@ -103,6 +104,92 @@ const std::vector<ProcessorSpec> processors = {
         1.0, 0.88, 0.60, 0.015,
     },
 };
+
+// Post-2011 server parts (Hofmann et al. generations, PAPERS.md).
+// Kept in a separate table so allProcessors() — and with it every
+// paper-era grid and golden output — is unchanged. Trailing fields:
+// turboStepGhz, turboSteps1C, turboStepsAllC, avxClockPenalty.
+const std::vector<ProcessorSpec> postPaper = {
+    {
+        "XeonE5 (32)", "Xeon E5-2670", "SR0KX", "Sandy Bridge-EP",
+        Family::SandyBridge, Node::Nm32, Era::SandyBridge,
+        "Mar '12", 1552.0,
+        /* cores */ 8, /* smtWays */ 2, /* llcMb */ 20.0,
+        /* clock */ 2.6, /* transM */ 2270, /* die */ 416,
+        /* vid */ 0.60, 1.35, /* tdp */ 115, /* fsb */ 0,
+        "DDR3-1600", /* turbo */ true,
+        /* fMin */ 1.2, /* vEff */ 0.80, 1.05, /* gamma */ 1.2,
+        /* uncoreBase */ 14.0, /* uncoreDyn */ 7.0,
+        /* perfCal */ 1.0, /* powerCal */ 0.90, /* leakCal */ 0.25,
+        /* turboVKickV */ 0.020,
+        /* turboStepGhz */ 0.1, /* steps1C */ 7, /* stepsAllC */ 4,
+        /* avxClockPenalty */ 0.0,
+    },
+    {
+        "XeonE5v3 (22)", "Xeon E5-2690 v3", "SR1XN", "Haswell-EP",
+        Family::Haswell, Node::Nm22, Era::Haswell,
+        "Sep '14", 2090.0,
+        12, 2, 30.0,
+        2.6, 3840, 492,
+        0.65, 1.30, 135, 0,
+        "DDR4-2133", true,
+        1.2, 0.75, 1.00, 1.2,
+        18.0, 9.0,
+        1.0, 0.90, 0.25, 0.020,
+        0.1, 9, 5, 0.10,
+    },
+    {
+        "XeonE5v4 (14)", "Xeon E5-2697 v4", "SR2JV", "Broadwell-EP",
+        Family::Broadwell, Node::Nm14, Era::Broadwell,
+        "Mar '16", 2702.0,
+        18, 2, 45.0,
+        2.3, 7200, 456,
+        0.60, 1.25, 145, 0,
+        "DDR4-2400", true,
+        1.2, 0.70, 0.95, 1.2,
+        20.0, 10.0,
+        1.0, 0.90, 0.25, 0.018,
+        0.1, 13, 5, 0.12,
+    },
+    {
+        "XeonSP (14)", "Xeon Gold 6148", "SR3B6", "Skylake-SP",
+        Family::SkylakeSP, Node::Nm14, Era::Skylake,
+        "Jul '17", 3072.0,
+        20, 2, 27.5,
+        2.4, 8000, 694,
+        0.60, 1.25, 150, 0,
+        "DDR4-2666", true,
+        1.2, 0.70, 0.95, 1.2,
+        24.0, 12.0,
+        1.0, 0.90, 0.25, 0.018,
+        0.1, 13, 7, 0.18,
+    },
+};
+
+/**
+ * Startup guard: ids must be unique across both spec tables, or
+ * id-keyed stores and sweep shards would silently collide. Runs once
+ * on first table access.
+ */
+bool
+checkUniqueIds()
+{
+    std::vector<const std::vector<ProcessorSpec> *> tables = {
+        &processors, &postPaper};
+    std::vector<std::string> seen;
+    for (const auto *table : tables) {
+        for (const auto &spec : *table) {
+            for (const auto &id : seen)
+                if (id == spec.id)
+                    panic(msgOf("duplicate processor id '", spec.id,
+                                "' in spec tables"));
+            seen.push_back(spec.id);
+        }
+    }
+    return true;
+}
+
+const bool idsChecked = checkUniqueIds();
 
 } // namespace
 
@@ -130,10 +217,19 @@ allProcessors()
     return processors;
 }
 
+const std::vector<ProcessorSpec> &
+postPaperProcessors()
+{
+    return postPaper;
+}
+
 const ProcessorSpec *
 findProcessor(const std::string &id)
 {
     for (const auto &spec : processors)
+        if (spec.id == id)
+            return &spec;
+    for (const auto &spec : postPaper)
         if (spec.id == id)
             return &spec;
     return nullptr;
@@ -144,7 +240,51 @@ processorById(const std::string &id)
 {
     if (const ProcessorSpec *spec = findProcessor(id))
         return *spec;
-    panic(msgOf("processorById: unknown processor '", id, "'"));
+    std::string valid;
+    for (const auto &spec : processors)
+        valid += (valid.empty() ? "'" : ", '") + spec.id + "'";
+    for (const auto &spec : postPaper)
+        valid += ", '" + spec.id + "'";
+    panic(msgOf("processorById: unknown processor '", id,
+                "' (valid ids: ", valid, ")"));
+}
+
+std::string
+eraName(Era era)
+{
+    switch (era) {
+      case Era::Paper130:    return "130nm";
+      case Era::Paper65:     return "65nm";
+      case Era::Paper45:     return "45nm";
+      case Era::Paper32:     return "32nm";
+      case Era::SandyBridge: return "sandy-bridge";
+      case Era::Haswell:     return "haswell";
+      case Era::Broadwell:   return "broadwell";
+      case Era::Skylake:     return "skylake";
+    }
+    panic("eraName: unknown era");
+}
+
+Era
+parseEra(const std::string &name)
+{
+    for (Era era : allEras())
+        if (eraName(era) == name)
+            return era;
+    std::string valid;
+    for (Era era : allEras())
+        valid += (valid.empty() ? "'" : ", '") + eraName(era) + "'";
+    panic(msgOf("parseEra: unknown era '", name,
+                "' (valid: ", valid, ")"));
+}
+
+const std::vector<Era> &
+allEras()
+{
+    static const std::vector<Era> eras = {
+        Era::Paper130, Era::Paper65, Era::Paper45, Era::Paper32,
+        Era::SandyBridge, Era::Haswell, Era::Broadwell, Era::Skylake};
+    return eras;
 }
 
 CacheHierarchy
@@ -181,6 +321,27 @@ makeHierarchy(const ProcessorSpec &spec)
              spec.node == Node::Nm32 ? 11.0 : 14.0,
              Scope::Shared, spec.cores},
         }, spec.memory().latencyNs);
+      case Family::SandyBridge:
+      case Family::Haswell:
+      case Family::Broadwell:
+        // Ring-connected inclusive L3, 256kB private L2s.
+        return CacheHierarchy({
+            {"L1", 32, 0.0, Scope::PerCore, 1},
+            {"L2", 256, spec.family == Family::SandyBridge ? 3.5 : 3.2,
+             Scope::PerCore, 1},
+            {"L3", spec.llcMb * 1024.0,
+             spec.family == Family::SandyBridge ? 13.0 : 12.0,
+             Scope::Shared, spec.cores},
+        }, spec.memory().latencyNs);
+      case Family::SkylakeSP:
+        // Mesh uncore: L2 grows to 1MB, L3 shrinks to a
+        // non-inclusive victim cache.
+        return CacheHierarchy({
+            {"L1", 32, 0.0, Scope::PerCore, 1},
+            {"L2", 1024, 4.2, Scope::PerCore, 1},
+            {"L3", spec.llcMb * 1024.0, 16.0,
+             Scope::Shared, spec.cores},
+        }, spec.memory().latencyNs);
     }
     panic("makeHierarchy: unknown family");
 }
@@ -209,7 +370,7 @@ MachineConfig::voltageAt(double f_ghz) const
     if (f_ghz > s.stockClockGhz + 1e-9) {
         // Turbo overdrive: the governor raises VID per boost step.
         const double steps =
-            (f_ghz - s.stockClockGhz) / ProcessorSpec::turboStepGhz;
+            (f_ghz - s.stockClockGhz) / s.turboStepGhz;
         return s.vEffMax + s.turboVKickV * steps;
     }
     const double x = (f_ghz - s.fMinGhz) / span;
@@ -352,6 +513,77 @@ standardConfigurations()
     configs.push_back(withClock(i5NoTb, 1.2));               // 2C2T@1.2
 
     return configs;
+}
+
+namespace
+{
+
+/**
+ * Ten-point BIOS ladder for one server part: the same knobs the
+ * paper turned (core count, SMT, clock, Turbo) applied to a much
+ * wider chip.
+ */
+std::vector<MachineConfig>
+serverLadder(const ProcessorSpec &spec)
+{
+    std::vector<MachineConfig> configs;
+    const auto stock = stockConfig(spec);
+    const auto noTb = withTurbo(stock, false);
+    configs.push_back(stock);                                 // stock TB
+    configs.push_back(withSmt(stock, false));                 // TB, no SMT
+    configs.push_back(noTb);
+    configs.push_back(withSmt(noTb, false));
+    configs.push_back(withCores(noTb, spec.cores / 2));
+    configs.push_back(withCores(noTb, std::max(1, spec.cores / 4)));
+    configs.push_back(withCores(noTb, 1));
+    configs.push_back(withClock(noTb, 1.6));
+    configs.push_back(withClock(noTb, 2.0));
+    configs.push_back(withClock(withCores(noTb, spec.cores / 2), 1.6));
+    return configs;
+}
+
+const ProcessorSpec &
+eraServerPart(Era era)
+{
+    for (const auto &spec : postPaper)
+        if (spec.era == era)
+            return spec;
+    panic(msgOf("eraServerPart: no server part for era ",
+                eraName(era)));
+}
+
+} // namespace
+
+std::vector<MachineConfig>
+configurationsOfEra(Era era)
+{
+    switch (era) {
+      case Era::Paper130:
+      case Era::Paper65:
+      case Era::Paper45:
+      case Era::Paper32: {
+        std::vector<MachineConfig> configs;
+        for (const auto &cfg : standardConfigurations())
+            if (cfg.spec->era == era)
+                configs.push_back(cfg);
+        return configs;
+      }
+      case Era::SandyBridge:
+      case Era::Haswell:
+      case Era::Broadwell:
+      case Era::Skylake:
+        return serverLadder(eraServerPart(era));
+    }
+    panic("configurationsOfEra: unknown era");
+}
+
+std::vector<EraConfigurations>
+configurationsByEra()
+{
+    std::vector<EraConfigurations> eras;
+    for (Era era : allEras())
+        eras.push_back({era, configurationsOfEra(era)});
+    return eras;
 }
 
 } // namespace lhr

@@ -27,6 +27,33 @@
 namespace lhr
 {
 
+/**
+ * Machine era: the paper's four process generations plus the
+ * post-2011 server generations the era extension adds (ROADMAP
+ * item 3). Paper eras group parts by node; server eras are one part
+ * per microarchitecture generation.
+ */
+enum class Era
+{
+    Paper130,
+    Paper65,
+    Paper45,
+    Paper32,
+    SandyBridge,
+    Haswell,
+    Broadwell,
+    Skylake
+};
+
+/** Printable era name, e.g. "45nm" or "haswell". */
+std::string eraName(Era era);
+
+/** Parse an era name as printed by eraName(); panic()s when unknown. */
+Era parseEra(const std::string &name);
+
+/** All eras in chronological order. */
+const std::vector<Era> &allEras();
+
 /** Static description of one experimental processor. */
 struct ProcessorSpec
 {
@@ -36,6 +63,7 @@ struct ProcessorSpec
     std::string codename;    ///< e.g. "Bloomfield"
     Family family;
     Node node;
+    Era era;                 ///< machine era (see Era)
     std::string releaseDate;
     double releasePriceUsd;  ///< 0 when unpublished
 
@@ -78,14 +106,35 @@ struct ProcessorSpec
     /** Attached memory model. */
     const DramModel &memory() const;
 
-    /** Turbo Boost step size: 133 MHz on Nehalem parts. */
-    static constexpr double turboStepGhz = 0.133;
+    // -- Turbo and AVX behavior (defaults match the paper parts) -----
+    /** Turbo Boost step size: 133 MHz on Nehalem, 100 MHz later. */
+    double turboStepGhz = 0.133;
+    /** Turbo steps above stock with one active core. */
+    int turboSteps1C = 2;
+    /** Turbo steps above stock with all cores active. */
+    int turboStepsAllC = 1;
+    /**
+     * Fractional clock reduction under a full AVX license (Haswell
+     * onwards): the effective penalty scales with the workload's
+     * floating-point share. 0 disables the model entirely.
+     */
+    double avxClockPenalty = 0.0;
 };
 
 /** All eight processors in Table 3 order. */
 const std::vector<ProcessorSpec> &allProcessors();
 
-/** Look up a processor by its short id (e.g. "i5 (32)"). */
+/**
+ * The post-2011 server parts (Sandy Bridge through Skylake-SP) in
+ * release order. Kept out of allProcessors() so the paper-era grids
+ * and golden outputs are untouched.
+ */
+const std::vector<ProcessorSpec> &postPaperProcessors();
+
+/**
+ * Look up a processor by its short id (e.g. "i5 (32)") across the
+ * paper and post-paper tables.
+ */
 const ProcessorSpec &processorById(const std::string &id);
 
 /** Look up a processor by id; nullptr when unknown. */
@@ -141,6 +190,23 @@ std::vector<MachineConfig> standardConfigurations();
 
 /** The 45nm subset of standardConfigurations() (29 configs). */
 std::vector<MachineConfig> configurations45nm();
+
+/**
+ * The configuration grid of one era: paper eras are the matching
+ * subset of standardConfigurations(); each server era is a ten-point
+ * BIOS ladder (core count, SMT, clock, Turbo) over its one part.
+ */
+std::vector<MachineConfig> configurationsOfEra(Era era);
+
+/** One era's configuration grid, for configurationsByEra(). */
+struct EraConfigurations
+{
+    Era era;
+    std::vector<MachineConfig> configs;
+};
+
+/** Every era's grid in chronological order. */
+std::vector<EraConfigurations> configurationsByEra();
 
 } // namespace lhr
 

@@ -20,6 +20,13 @@ const DramModel models[] = {
     {"DDR2-800-FSB665",75.0,       4.2},
     {"DDR3-1066",      55.0,      19.0},
     {"DDR3-1333",      68.0,      16.0},
+    // Server-era quad-channel configurations behind the post-2011
+    // parts: latency flattens out while bandwidth keeps scaling with
+    // channel count and transfer rate.
+    {"DDR3-1600",      52.0,      51.2},
+    {"DDR4-2133",      48.0,      68.0},
+    {"DDR4-2400",      46.0,      76.8},
+    {"DDR4-2666",      45.0,     128.0},
 };
 
 } // namespace

@@ -25,6 +25,10 @@ PipelineConfig::of(const ProcessorSpec &spec, double clock_ghz)
       case Family::Core:     cfg.windowSize = 96; break;
       case Family::Bonnell:  cfg.windowSize = 8; break;
       case Family::Nehalem:  cfg.windowSize = 128; break;
+      case Family::SandyBridge: cfg.windowSize = 168; break;
+      case Family::Haswell:     cfg.windowSize = 192; break;
+      case Family::Broadwell:   cfg.windowSize = 192; break;
+      case Family::SkylakeSP:   cfg.windowSize = 224; break;
     }
     cfg.branchPenalty = ua.branchPenalty;
     cfg.issueEfficiency = ua.issueEfficiency;

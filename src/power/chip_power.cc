@@ -85,9 +85,11 @@ ChipPowerModel::computeOne(const MachineConfig &cfg, double clock_ghz,
     }
 
     // -- LLC power ------------------------------------------------------
-    // Nehalem's L3 sits in the uncore clock domain (~2.1GHz).
-    const double llcClock = s.family == Family::Nehalem
-        ? std::min(clock_ghz, 2.13) : clock_ghz;
+    // From Nehalem on, the L3 sits in a separate uncore clock domain
+    // with a per-generation ceiling.
+    const double uncoreCap = familyUncoreClockCapGhz(s.family);
+    const double llcClock = uncoreCap > 0.0
+        ? std::min(clock_ghz, uncoreCap) : clock_ghz;
     const double llcCap =
         ua.llcCapNfPerMb130 * s.llcMb * tech.capScale * s.powerCal;
     pb.llcW = llcCap * v * v * llcClock * (0.15 + 0.50 * llc_activity);
@@ -101,13 +103,14 @@ ChipPowerModel::computeOne(const MachineConfig &cfg, double clock_ghz,
     // BIOS-disabled cores are fully power gated; on pre-Nehalem parts
     // the gating is leaky. Nehalem additionally power gates *idle*
     // cores at runtime (C6), so they stop leaking too.
+    const bool gatesIdle = familyPowerGatesIdleCores(s.family);
     int gatedCores = s.cores - cfg.enabledCores;
-    if (s.family == Family::Nehalem) {
+    if (gatesIdle) {
         for (int core = 0; core < activity_count; ++core)
             if (core_activity[core] == 0.0)
                 ++gatedCores;
     }
-    const double gatedLeak = s.family == Family::Nehalem ? 0.10 : 0.60;
+    const double gatedLeak = gatesIdle ? 0.10 : 0.60;
     const double effTransistorsM = s.transistorsM -
         (1.0 - gatedLeak) * gatedCores * ua.coreTransistorsM;
     const double leakBase = leakPerMtranW130 * tech.leakScale *

@@ -50,7 +50,7 @@ ThermalThrottle::step(const std::function<double(double)> &power_at,
                       double dt_sec)
 {
     const double clock = config.clockGhz +
-        steps * ProcessorSpec::turboStepGhz;
+        steps * config.spec->turboStepGhz;
     thermal.step(power_at(clock), dt_sec);
 
     if (thermal.junctionC() >= ThermalModel::throttleJunctionC &&

@@ -1,5 +1,6 @@
 #include "power/turbo.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "power/chip_power.hh"
@@ -12,6 +13,15 @@ int
 TurboGovernor::maxSteps(int active_cores)
 {
     return active_cores <= 1 ? 2 : 1;
+}
+
+int
+TurboGovernor::maxSteps(const ProcessorSpec &spec, int active_cores)
+{
+    if (active_cores <= 1)
+        return spec.turboSteps1C;
+    return std::max(spec.turboStepsAllC,
+                    spec.turboSteps1C - (active_cores - 1));
 }
 
 double
@@ -27,8 +37,9 @@ TurboGovernor::grant(const MachineConfig &cfg, int active_cores,
     if (active_cores < 1)
         panic("TurboGovernor: no active cores");
 
-    const double step = ProcessorSpec::turboStepGhz;
-    for (int steps = maxSteps(active_cores); steps > 0; --steps) {
+    const double step = cfg.spec->turboStepGhz;
+    for (int steps = maxSteps(*cfg.spec, active_cores); steps > 0;
+         --steps) {
         const double candidate = cfg.clockGhz + steps * step;
         const bool powerOk =
             power_at(candidate) <= tdpHeadroom * cfg.spec->tdpW;

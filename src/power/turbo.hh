@@ -42,8 +42,19 @@ class TurboGovernor
                         const std::function<double(double)> &power_at,
                         const std::function<double(double)> &junction_at);
 
-    /** Maximum boost steps for a given active-core count. */
+    /**
+     * Maximum boost steps for a given active-core count on the
+     * paper's Nehalem parts (2 with one active core, 1 otherwise).
+     */
     static int maxSteps(int active_cores);
+
+    /**
+     * Per-generation variant: interpolates between the spec's
+     * single-core and all-core step counts, losing one step per
+     * additional active core (the published bin ladders). Reduces to
+     * maxSteps(active_cores) on the paper parts.
+     */
+    static int maxSteps(const ProcessorSpec &spec, int active_cores);
 
     /** Power headroom: boost requires power below this TDP share. */
     static constexpr double tdpHeadroom = 0.95;

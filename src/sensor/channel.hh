@@ -86,7 +86,7 @@ class PowerChannel
 
     /**
      * The device's fixed error terms and noise sigma. The batch
-     * sampler (harness/sampling.cc) replays outputVolts() op for op
+     * sampler (sensor/sampling.cc) replays outputVolts() op for op
      * over many samples at once, so it needs the same constants this
      * channel draws at construction.
      */

@@ -22,8 +22,8 @@
  * same reason.
  */
 
-#ifndef LHR_HARNESS_GAUSS_KERNEL_HH
-#define LHR_HARNESS_GAUSS_KERNEL_HH
+#ifndef LHR_SENSOR_GAUSS_KERNEL_HH
+#define LHR_SENSOR_GAUSS_KERNEL_HH
 
 #include <cstddef>
 #include <cstdint>
@@ -107,4 +107,4 @@ SampleQuantizeFn resolveSampleQuantize();
 
 } // namespace lhr
 
-#endif // LHR_HARNESS_GAUSS_KERNEL_HH
+#endif // LHR_SENSOR_GAUSS_KERNEL_HH

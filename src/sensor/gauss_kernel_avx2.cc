@@ -18,7 +18,7 @@
  * CPU support before this code ever executes.
  */
 
-#include "harness/gauss_kernel.hh"
+#include "sensor/gauss_kernel.hh"
 
 #if defined(__AVX2__) && defined(__FMA__)
 
@@ -26,10 +26,10 @@
 
 // Scalar tails for the final n % 4 lanes.
 #define LHR_GAUSS_KERNEL_FN lhrGaussPairsAvx2Tail
-#include "harness/gauss_kernel.inl"
+#include "sensor/gauss_kernel.inl"
 #undef LHR_GAUSS_KERNEL_FN
 #define LHR_SAMPLE_QUANTIZE_FN lhrSampleQuantizeAvx2Tail
-#include "harness/sample_quantize.inl"
+#include "sensor/sample_quantize.inl"
 #undef LHR_SAMPLE_QUANTIZE_FN
 
 namespace

@@ -1,11 +1,11 @@
-#include "harness/gauss_kernel.hh"
+#include "sensor/gauss_kernel.hh"
 
 #define LHR_GAUSS_KERNEL_FN lhrGaussPairsBaseImpl
-#include "harness/gauss_kernel.inl"
+#include "sensor/gauss_kernel.inl"
 #undef LHR_GAUSS_KERNEL_FN
 
 #define LHR_SAMPLE_QUANTIZE_FN lhrSampleQuantizeBaseImpl
-#include "harness/sample_quantize.inl"
+#include "sensor/sample_quantize.inl"
 #undef LHR_SAMPLE_QUANTIZE_FN
 
 namespace lhr

@@ -1,0 +1,67 @@
+#include "sensor/hall.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sensor/sampling.hh"
+
+namespace lhr
+{
+
+SensorReading
+HallSession::read(double true_watts, Rng &rng,
+                  const SampleFault &fault)
+{
+    // The sensor always converts — the same rng draws are consumed
+    // as on the clean path — and the fault acts on what gets
+    // recorded: a railed slot records the rail counts, calibration
+    // drift rescales the counts about the zero-current code. The
+    // RAPL-only flags (wrapGlitch, stale) have no Hall equivalent.
+    const double scaledW = true_watts * fault.powerScale;
+    int counts = chan.sampleCounts(scaledW, rng);
+    if (fault.railed)
+        counts = chan.railHighCounts();
+    if (fault.countsGain != 1.0) {
+        // Drift scales the sensor transfer about the zero-current
+        // output, so the recorded code drifts proportionally to the
+        // distance from the zero code.
+        const int zero =
+            PowerChannel::quantize(PowerChannel::zeroCurrentVolts);
+        const double shifted =
+            zero + (counts - zero) * fault.countsGain;
+        counts = std::clamp(
+            static_cast<int>(std::lround(shifted)), 0,
+            PowerChannel::adcCounts - 1);
+    }
+    return {counts, calib.wattsFromCounts(counts)};
+}
+
+HallEffectSensor::HallEffectSensor(SensorVariant variant,
+                                   uint64_t device_seed,
+                                   uint64_t cal_seed)
+    : chan(variant, device_seed),
+      calib([&] {
+          Rng calRng(cal_seed);
+          return Calibration::calibrate(chan, calRng);
+      }())
+{
+}
+
+std::unique_ptr<SensorSession>
+HallEffectSensor::beginSession(Rng &) const
+{
+    // Draws nothing: the Hall chain has no per-session state, and
+    // consuming a draw here would shift every downstream stream.
+    return std::make_unique<HallSession>(chan, calib);
+}
+
+double
+HallEffectSensor::sessionWatts(const double *phase_power_w, int phases,
+                               double scale, int samples,
+                               Rng &inv_rng) const
+{
+    return sampleSessionWatts(chan, calib, phase_power_w, phases,
+                              scale, samples, inv_rng);
+}
+
+} // namespace lhr

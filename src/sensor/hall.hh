@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The Hall-effect measurement backend: the paper's original chain —
+ * ACS714 sensor on the 12V rail, 10-bit ADC, 28-point calibration —
+ * behind the PowerSensor interface. Construction, random draws and
+ * arithmetic reproduce the pre-abstraction rig exactly, so the
+ * paper-era grid stays byte-identical to the golden outputs.
+ */
+
+#ifndef LHR_SENSOR_HALL_HH
+#define LHR_SENSOR_HALL_HH
+
+#include "sensor/calibration.hh"
+#include "sensor/channel.hh"
+#include "sensor/sensor.hh"
+
+namespace lhr
+{
+
+/**
+ * One Hall-chain sampling session. Stateless between slots; read()
+ * replays the channel conversion with the fault decisions applied
+ * to what gets recorded (see PowerTraceLogger).
+ */
+class HallSession : public SensorSession
+{
+  public:
+    HallSession(const PowerChannel &channel,
+                const Calibration &calibration)
+        : chan(channel), calib(calibration)
+    {
+    }
+
+    SensorReading read(double true_watts, Rng &rng,
+                       const SampleFault &fault) override;
+
+  private:
+    const PowerChannel &chan;
+    const Calibration &calib;
+};
+
+/** The Hall-effect backend of one rig. */
+class HallEffectSensor : public PowerSensor
+{
+  public:
+    /**
+     * @param variant sensor model (A30 above 5A peak rail current)
+     * @param device_seed per-device seed fixing its error terms
+     * @param cal_seed seed of the calibration sweep's random stream
+     */
+    HallEffectSensor(SensorVariant variant, uint64_t device_seed,
+                     uint64_t cal_seed);
+
+    SensorBackend backend() const override
+    {
+        return SensorBackend::HallEffect;
+    }
+
+    int railHighCode() const override
+    {
+        return chan.railHighCounts();
+    }
+
+    int railLowCode() const override { return chan.railLowCounts(); }
+
+    std::unique_ptr<SensorSession>
+    beginSession(Rng &rng) const override;
+
+    /** The vectorized bit-exact session (sensor/sampling.hh). */
+    double sessionWatts(const double *phase_power_w, int phases,
+                        double scale, int samples,
+                        Rng &inv_rng) const override;
+
+    const Calibration *calibration() const override { return &calib; }
+
+    const PowerChannel &channel() const { return chan; }
+
+  private:
+    PowerChannel chan;
+    Calibration calib;
+};
+
+} // namespace lhr
+
+#endif // LHR_SENSOR_HALL_HH

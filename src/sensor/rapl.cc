@@ -1,0 +1,72 @@
+#include "sensor/rapl.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sensor/channel.hh"
+
+namespace lhr
+{
+
+RaplSensor::RaplSensor(uint64_t device_seed)
+{
+    // RAPL reports a power *model*'s output, not a measurement; its
+    // systematic error is a fixed property of the part's fusing.
+    Rng deviceRng(device_seed);
+    gain = 1.0 + 0.02 * deviceRng.gaussian();
+}
+
+std::unique_ptr<SensorSession>
+RaplSensor::beginSession(Rng &rng) const
+{
+    return std::make_unique<RaplSession>(*this, rng);
+}
+
+RaplSession::RaplSession(const RaplSensor &sensor, Rng &rng)
+    : rapl(sensor), counter(static_cast<uint32_t>(rng.next()))
+{
+    // The reader primes itself with one read before the session, so
+    // the first slot's delta is genuine.
+    lastRead = counter;
+}
+
+SensorReading
+RaplSession::read(double true_watts, Rng &, const SampleFault &fault)
+{
+    // Firmware updates between two reader visits: at 1000Hz there
+    // are 20 updates per 50Hz slot, each adding a whole number of
+    // energy units. Power is constant within a slot, so each update
+    // adds the same quantized increment. Calibration drift maps to
+    // the energy model's gain ramping.
+    const double scaledW = true_watts * fault.powerScale;
+    const double updateJ =
+        scaledW * rapl.deviceGain() * fault.countsGain /
+        RaplSensor::updateHz;
+    const long units =
+        std::lround(updateJ / RaplSensor::energyUnitJ);
+    const int updates = static_cast<int>(
+        RaplSensor::updateHz / PowerChannel::sampleHz);
+    counter += static_cast<uint32_t>(units) *
+               static_cast<uint32_t>(updates);
+
+    // The reader differences in uint32 arithmetic, so a natural
+    // counter wrap inside the slot is absorbed here. A stale read
+    // returns the previous visible value: delta 0 now, and the next
+    // good read catches up with the accumulated energy.
+    const uint32_t returned = fault.stale ? lastRead : counter;
+    uint32_t delta = returned - lastRead;
+    lastRead = returned;
+
+    int code = static_cast<int>(std::min<uint32_t>(
+        delta, static_cast<uint32_t>(RaplSensor::wrapGlitchCode)));
+    if (fault.wrapGlitch) {
+        // The reader's wrap handling misfires and produces a
+        // nonsense delta; the recorded slot pegs at the glitch code.
+        code = RaplSensor::wrapGlitchCode;
+    }
+    const double watts =
+        code * RaplSensor::energyUnitJ * PowerChannel::sampleHz;
+    return {code, watts};
+}
+
+} // namespace lhr

@@ -1,10 +1,10 @@
-#include "harness/sampling.hh"
+#include "sensor/sampling.hh"
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
 
-#include "harness/gauss_kernel.hh"
+#include "sensor/gauss_kernel.hh"
 #include "util/arena.hh"
 #include "util/logging.hh"
 

@@ -35,8 +35,8 @@
  * and batch-equivalence tests pin this down.
  */
 
-#ifndef LHR_HARNESS_SAMPLING_HH
-#define LHR_HARNESS_SAMPLING_HH
+#ifndef LHR_SENSOR_SAMPLING_HH
+#define LHR_SENSOR_SAMPLING_HH
 
 #include "sensor/calibration.hh"
 #include "sensor/channel.hh"
@@ -66,4 +66,4 @@ double sampleSessionWatts(const PowerChannel &channel,
 
 } // namespace lhr
 
-#endif // LHR_HARNESS_SAMPLING_HH
+#endif // LHR_SENSOR_SAMPLING_HH

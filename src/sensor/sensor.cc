@@ -1,0 +1,116 @@
+#include "sensor/sensor.hh"
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "machine/processor.hh"
+#include "sensor/hall.hh"
+#include "sensor/rapl.hh"
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+std::optional<SensorBackend> backendOverride;
+
+} // namespace
+
+const char *
+sensorBackendName(SensorBackend backend)
+{
+    switch (backend) {
+      case SensorBackend::HallEffect: return "hall";
+      case SensorBackend::Rapl:       return "rapl";
+    }
+    panic("sensorBackendName: unknown backend");
+}
+
+std::optional<SensorBackend>
+parseSensorBackend(std::string_view text)
+{
+    if (text == "hall")
+        return SensorBackend::HallEffect;
+    if (text == "rapl")
+        return SensorBackend::Rapl;
+    return std::nullopt;
+}
+
+double
+PowerSensor::sessionWatts(const double *phase_power_w, int phases,
+                          double scale, int samples,
+                          Rng &inv_rng) const
+{
+    const auto session = beginSession(inv_rng);
+    const SampleFault noFault;
+    double sum = 0.0;
+    for (int s = 0; s < samples; ++s) {
+        const int k = static_cast<int>(
+            static_cast<int64_t>(s) * phases / samples) % phases;
+        const double trueW = phase_power_w[k] * scale *
+            (1.0 + 0.003 * inv_rng.gaussian());
+        sum += session->read(trueW, inv_rng, noFault).watts;
+    }
+    return sum;
+}
+
+std::unique_ptr<PowerSensor>
+makeSensor(SensorBackend backend, const ProcessorSpec &spec,
+           uint64_t base_seed)
+{
+    switch (backend) {
+      case SensorBackend::HallEffect: {
+        // Parts whose peak rail current exceeds 5A carry the 30A
+        // sensor (the paper names the i7 explicitly). Seeds and
+        // construction order are the pre-abstraction rig's, so the
+        // Hall chain stays byte-identical.
+        const bool big = spec.tdpW > 70.0;
+        const auto variant =
+            big ? SensorVariant::A30 : SensorVariant::A5;
+        return std::make_unique<HallEffectSensor>(
+            variant, base_seed ^ fnv1a(spec.id),
+            base_seed ^ fnv1a(spec.id + "/cal"));
+      }
+      case SensorBackend::Rapl:
+        return std::make_unique<RaplSensor>(
+            base_seed ^ fnv1a(spec.id + "/rapl"));
+    }
+    panic("makeSensor: unknown backend");
+}
+
+SensorBackend
+defaultSensorBackend(const ProcessorSpec &spec)
+{
+    if (const auto backend = sensorBackendOverride())
+        return *backend;
+    // Paper-era rigs carry the Hall chain (the golden-output
+    // contract); server-era parts expose energy MSRs.
+    return spec.era >= Era::SandyBridge ? SensorBackend::Rapl
+                                        : SensorBackend::HallEffect;
+}
+
+void
+setSensorBackendOverride(std::optional<SensorBackend> backend)
+{
+    backendOverride = backend;
+}
+
+std::optional<SensorBackend>
+sensorBackendOverride()
+{
+    if (backendOverride)
+        return backendOverride;
+    if (const char *env = std::getenv("LHR_SENSOR")) {
+        const auto parsed = parseSensorBackend(env);
+        if (!parsed)
+            panic(msgOf("LHR_SENSOR: unknown backend '", env,
+                        "' (valid: hall, rapl)"));
+        return parsed;
+    }
+    return std::nullopt;
+}
+
+} // namespace lhr

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sensor/hall.hh"
 #include "stats/summary.hh"
 #include "util/csv.hh"
 #include "util/logging.hh"
@@ -12,44 +13,40 @@ namespace lhr
 
 PowerTraceLogger::PowerTraceLogger(const PowerChannel &channel,
                                    const Calibration &calibration)
-    : sensorChannel(channel), calib(calibration)
+    : ownedSession(std::make_unique<HallSession>(channel, calibration)),
+      session(*ownedSession)
+{
+}
+
+PowerTraceLogger::PowerTraceLogger(SensorSession &session_)
+    : session(session_)
 {
 }
 
 void
 PowerTraceLogger::sample(double time_sec, double true_watts, Rng &rng)
 {
-    const int counts = sensorChannel.sampleCounts(true_watts, rng);
-    log.push_back({time_sec, counts, calib.wattsFromCounts(counts)});
+    const SensorReading r = session.read(true_watts, rng, SampleFault{});
+    log.push_back({time_sec, r.code, r.watts});
 }
 
 void
 PowerTraceLogger::sampleFaulted(double time_sec, double true_watts,
                                 Rng &rng, const SampleFault &fault)
 {
-    const double scaledW = true_watts * fault.powerScale;
-    int counts = sensorChannel.sampleCounts(scaledW, rng);
-    if (fault.railed)
-        counts = sensorChannel.railHighCounts();
-    if (fault.countsGain != 1.0) {
-        // Drift scales the sensor transfer about the zero-current
-        // output, so the recorded code drifts proportionally to the
-        // distance from the zero code.
-        const int zero = PowerChannel::quantize(
-            PowerChannel::zeroCurrentVolts);
-        const double shifted = zero + (counts - zero) * fault.countsGain;
-        counts = std::clamp(
-            static_cast<int>(std::lround(shifted)), 0,
-            PowerChannel::adcCounts - 1);
-    }
+    // The session always converts (rng draws are consumed as on the
+    // clean path); the fault's recording effects act on what the
+    // logger keeps: a lost slot is counted but not logged,
+    // duplicates re-log the slot.
+    const SensorReading r = session.read(true_watts, rng, fault);
     if (fault.lost) {
         ++lostCount;
         return;
     }
-    log.push_back({time_sec, counts, calib.wattsFromCounts(counts)});
+    log.push_back({time_sec, r.code, r.watts});
     for (int i = 0; i < fault.extraCopies; ++i) {
         ++duplicateCount;
-        log.push_back({time_sec, counts, calib.wattsFromCounts(counts)});
+        log.push_back({time_sec, r.code, r.watts});
     }
 }
 

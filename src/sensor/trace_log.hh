@@ -13,12 +13,14 @@
 #define LHR_SENSOR_TRACE_LOG_HH
 
 #include <cstddef>
+#include <memory>
 #include <ostream>
 #include <vector>
 
 #include "fault/fault.hh"
 #include "sensor/calibration.hh"
 #include "sensor/channel.hh"
+#include "sensor/sensor.hh"
 
 namespace lhr
 {
@@ -35,9 +37,18 @@ struct TraceSample
 class PowerTraceLogger
 {
   public:
-    /** Bind to a channel and its calibration. */
+    /**
+     * Bind to a Hall channel and its calibration (the historical
+     * rig): logs through an internally owned HallSession.
+     */
     PowerTraceLogger(const PowerChannel &channel,
                      const Calibration &calibration);
+
+    /**
+     * Bind to an already-begun sensor session of any backend. The
+     * session must outlive the logger.
+     */
+    explicit PowerTraceLogger(SensorSession &session);
 
     /**
      * Sample a true power value at a timestamp (the harness calls
@@ -92,8 +103,8 @@ class PowerTraceLogger
     }
 
   private:
-    const PowerChannel &sensorChannel;
-    const Calibration &calib;
+    std::unique_ptr<SensorSession> ownedSession; ///< legacy ctor only
+    SensorSession &session;
     std::vector<TraceSample> log;
     size_t lostCount = 0;
     size_t duplicateCount = 0;

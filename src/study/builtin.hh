@@ -20,6 +20,7 @@ void registerFindingsStudies(StudyRegistry &registry);
 void registerModelAblationStudies(StudyRegistry &registry);
 void registerLabAblationStudies(StudyRegistry &registry);
 void registerFaultStudies(StudyRegistry &registry);
+void registerHistoryStudies(StudyRegistry &registry);
 
 } // namespace lhr
 

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The post-paper history study: the paper's energy/performance
+ * Pareto analysis (Figure 12) extended past 2011. Each era — the
+ * paper's four process nodes, then the Sandy Bridge through
+ * Skylake-SP server parts — contributes its configuration grid
+ * (configurationsByEra()), and the study reports each era's
+ * Pareto-efficient frontier, showing how the frontier kept moving
+ * after the study period closed.
+ */
+
+#include "study/builtin.hh"
+
+#include "core/lab.hh"
+#include "stats/pareto.hh"
+#include "study/study.hh"
+#include "util/table.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+std::vector<MachineConfig>
+historyGrid()
+{
+    std::vector<MachineConfig> grid;
+    for (const auto &era : configurationsByEra())
+        grid.insert(grid.end(), era.configs.begin(),
+                    era.configs.end());
+    return grid;
+}
+
+void
+runParetoHistory(Lab &lab, ReportContext &ctx)
+{
+    Sink &sink = ctx.out();
+    sink.prose(
+        "Pareto history: energy / performance frontiers by era\n"
+        "(the paper's Figure 12 analysis, weighted workload average,\n"
+        " extended past 2011: paper nodes measured on the Hall rig,\n"
+        " server eras on their RAPL energy counters; performance and\n"
+        " energy normalized to the paper's reference)\n\n");
+
+    for (const auto &era : configurationsByEra()) {
+        std::vector<ParetoPoint> points;
+        points.reserve(era.configs.size());
+        for (const auto &cfg : era.configs) {
+            const ConfigAggregate agg =
+                aggregateConfig(lab.runner(), lab.reference(), cfg);
+            points.push_back(
+                {cfg.label(), agg.weighted.perf, agg.weighted.energy});
+        }
+        const auto frontier = paretoFrontier(points);
+
+        const std::string label = eraName(era.era);
+        sink.prose(label + " (" + std::to_string(frontier.size()) +
+                   " of " + std::to_string(points.size()) +
+                   " configurations efficient):\n");
+        sink.beginTable("frontier_" + label,
+                        {leftColumn("Configuration"), {"Perf/Ref"},
+                         {"Energy/Ref"}});
+        for (const auto &pt : frontier) {
+            sink.beginRow();
+            sink.cell(pt.label);
+            sink.cell(pt.performance, 2);
+            sink.cell(pt.energy, 2);
+        }
+        sink.endTable();
+        sink.prose("\n");
+    }
+}
+
+} // namespace
+
+void
+registerHistoryStudies(StudyRegistry &registry)
+{
+    registry.add(makeStudy(
+        "pareto_history",
+        "Energy/performance Pareto frontiers per era, 130nm to "
+        "Skylake-SP",
+        historyGrid, runParetoHistory));
+}
+
+} // namespace lhr

@@ -151,6 +151,7 @@ registerBuiltinStudies(StudyRegistry &registry)
     registerModelAblationStudies(registry);
     registerLabAblationStudies(registry);
     registerFaultStudies(registry);
+    registerHistoryStudies(registry);
 }
 
 // ---- running ----------------------------------------------------------

@@ -16,6 +16,11 @@ const TechNode nodes[] = {
     {Node::Nm65,   65, "65nm",   0.490,   2.20,     1.30, 0.85},
     {Node::Nm45,   45, "45nm",   0.343,   1.60,     1.20, 0.80},
     {Node::Nm32,   32, "32nm",   0.245,   1.50,     1.10, 0.65},
+    // FinFET generations: the tri-gate transistor recovers leakage
+    // below the planar trend while capacitance keeps shrinking, and
+    // nominal voltage finally dips below 1V.
+    {Node::Nm22,   22, "22nm",   0.170,   0.90,     1.00, 0.60},
+    {Node::Nm14,   14, "14nm",   0.115,   0.80,     0.95, 0.55},
 };
 
 } // namespace

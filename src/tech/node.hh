@@ -19,13 +19,15 @@
 namespace lhr
 {
 
-/** Feature sizes used in the study. */
+/** Feature sizes used in the study, plus the post-2011 extension. */
 enum class Node
 {
     Nm130,
     Nm65,
     Nm45,
-    Nm32
+    Nm32,
+    Nm22,   ///< FinFET (Ivy Bridge / Haswell server parts)
+    Nm14    ///< second-generation FinFET (Broadwell / Skylake)
 };
 
 /** Scaling parameters of one process technology generation. */

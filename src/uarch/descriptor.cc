@@ -9,12 +9,51 @@ std::string
 familyName(Family family)
 {
     switch (family) {
-      case Family::NetBurst: return "NetBurst";
-      case Family::Core:     return "Core";
-      case Family::Bonnell:  return "Bonnell";
-      case Family::Nehalem:  return "Nehalem";
+      case Family::NetBurst:    return "NetBurst";
+      case Family::Core:        return "Core";
+      case Family::Bonnell:     return "Bonnell";
+      case Family::Nehalem:     return "Nehalem";
+      case Family::SandyBridge: return "SandyBridge";
+      case Family::Haswell:     return "Haswell";
+      case Family::Broadwell:   return "Broadwell";
+      case Family::SkylakeSP:   return "SkylakeSP";
     }
     panic("familyName: unknown family");
+}
+
+bool
+familyPowerGatesIdleCores(Family family)
+{
+    switch (family) {
+      case Family::NetBurst:
+      case Family::Core:
+      case Family::Bonnell:
+        return false;
+      case Family::Nehalem:
+      case Family::SandyBridge:
+      case Family::Haswell:
+      case Family::Broadwell:
+      case Family::SkylakeSP:
+        return true;
+    }
+    panic("familyPowerGatesIdleCores: unknown family");
+}
+
+double
+familyUncoreClockCapGhz(Family family)
+{
+    switch (family) {
+      case Family::NetBurst:
+      case Family::Core:
+      case Family::Bonnell:
+        return 0.0; // LLC in the core clock domain
+      case Family::Nehalem:     return 2.13;
+      case Family::SandyBridge: return 2.70;
+      case Family::Haswell:     return 3.00;
+      case Family::Broadwell:   return 2.80;
+      case Family::SkylakeSP:   return 2.40;
+    }
+    panic("familyUncoreClockCapGhz: unknown family");
 }
 
 namespace
@@ -71,6 +110,57 @@ const MicroArch uarchs[] = {
         /* coreCapNf130 */ 16.5, /* llcCapNfPerMb130 */ 1.2,
         /* idleCoreFraction */ 0.20,
         /* coreTransistorsM */ 90.0,
+    },
+    // Post-2011 server generations (Hofmann et al., PAPERS.md):
+    // pipeline parameters from the published descriptions, energy
+    // terms calibrated so each part lands inside its TDP at stock.
+    {
+        Family::SandyBridge, "SandyBridge",
+        /* issueWidth */ 4, /* pipelineDepth */ 14, /* outOfOrder */ true,
+        /* issueEfficiency */ 0.80,
+        /* ilpExtraction */ 1.45,
+        /* stallExposure */ 0.30,
+        /* smtQuality */ 0.45, /* smtCachePressure */ 0.40,
+        /* branchPenalty */ 14.0,
+        /* coreCapNf130 */ 18.0, /* llcCapNfPerMb130 */ 1.2,
+        /* idleCoreFraction */ 0.18,
+        /* coreTransistorsM */ 150.0,
+    },
+    {
+        Family::Haswell, "Haswell",
+        /* issueWidth */ 4, /* pipelineDepth */ 14, /* outOfOrder */ true,
+        /* issueEfficiency */ 0.83,
+        /* ilpExtraction */ 1.60,
+        /* stallExposure */ 0.28,
+        /* smtQuality */ 0.48, /* smtCachePressure */ 0.38,
+        /* branchPenalty */ 14.0,
+        /* coreCapNf130 */ 20.0, /* llcCapNfPerMb130 */ 1.3,
+        /* idleCoreFraction */ 0.15,
+        /* coreTransistorsM */ 190.0,
+    },
+    {
+        Family::Broadwell, "Broadwell",
+        /* issueWidth */ 4, /* pipelineDepth */ 14, /* outOfOrder */ true,
+        /* issueEfficiency */ 0.84,
+        /* ilpExtraction */ 1.68,
+        /* stallExposure */ 0.27,
+        /* smtQuality */ 0.48, /* smtCachePressure */ 0.38,
+        /* branchPenalty */ 14.0,
+        /* coreCapNf130 */ 19.0, /* llcCapNfPerMb130 */ 1.3,
+        /* idleCoreFraction */ 0.14,
+        /* coreTransistorsM */ 200.0,
+    },
+    {
+        Family::SkylakeSP, "SkylakeSP",
+        /* issueWidth */ 5, /* pipelineDepth */ 14, /* outOfOrder */ true,
+        /* issueEfficiency */ 0.85,
+        /* ilpExtraction */ 1.80,
+        /* stallExposure */ 0.26,
+        /* smtQuality */ 0.50, /* smtCachePressure */ 0.36,
+        /* branchPenalty */ 14.0,
+        /* coreCapNf130 */ 24.0, /* llcCapNfPerMb130 */ 1.4,
+        /* idleCoreFraction */ 0.12,
+        /* coreTransistorsM */ 260.0,
     },
 };
 

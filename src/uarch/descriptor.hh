@@ -17,17 +17,40 @@
 namespace lhr
 {
 
-/** The four microarchitecture families in the study. */
+/**
+ * The four microarchitecture families in the study plus the
+ * post-2011 server generations the era extension models.
+ */
 enum class Family
 {
     NetBurst,
     Core,
     Bonnell,
-    Nehalem
+    Nehalem,
+    SandyBridge,
+    Haswell,
+    Broadwell,
+    SkylakeSP
 };
 
 /** Printable family name. */
 std::string familyName(Family family);
+
+/**
+ * True for families that power gate *idle* (enabled but unused)
+ * cores at runtime (C6): Nehalem and everything descended from it.
+ * Pre-Nehalem parts only gate BIOS-disabled cores, and leakily.
+ */
+bool familyPowerGatesIdleCores(Family family);
+
+/**
+ * Clock ceiling of the LLC/uncore domain in GHz, or 0 when the LLC
+ * shares the core clock domain (pre-Nehalem parts). Nehalem's L3
+ * sits in a fixed ~2.13GHz uncore; the server generations run a
+ * separate uncore clock whose ceiling creeps up per generation while
+ * its power share grows.
+ */
+double familyUncoreClockCapGhz(Family family);
 
 /** Pipeline and energy parameters of one microarchitecture. */
 struct MicroArch

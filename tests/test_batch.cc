@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "fault/fault.hh"
-#include "harness/gauss_kernel.hh"
+#include "sensor/gauss_kernel.hh"
 #include "harness/runner.hh"
 #include "machine/processor.hh"
 #include "sweep/sweep.hh"

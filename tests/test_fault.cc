@@ -33,12 +33,20 @@ identical(const Measurement &a, const Measurement &b)
         a.invocations == b.invocations;
 }
 
+/** Equality of the fault fields the Hall-era classes drive. */
 bool
-sameFault(const SampleFault &a, const SampleFault &b)
+samePaperFault(const SampleFault &a, const SampleFault &b)
 {
     return a.lost == b.lost && a.railed == b.railed &&
         a.extraCopies == b.extraCopies &&
         a.powerScale == b.powerScale && a.countsGain == b.countsGain;
+}
+
+bool
+sameFault(const SampleFault &a, const SampleFault &b)
+{
+    return samePaperFault(a, b) && a.wrapGlitch == b.wrapGlitch &&
+        a.stale == b.stale;
 }
 
 } // namespace
@@ -110,6 +118,49 @@ TEST(FaultInjector, StreamIsAPureFunctionOfItsKey)
     EXPECT_TRUE(experimentDiffers);
 }
 
+TEST(FaultInjector, RaplRatesLeaveTheOriginalStreamsUntouched)
+{
+    // The counter classes draw from a separate auxiliary stream, so
+    // enabling them must not shift a single decision of the seven
+    // Hall-era classes — existing fault studies stay reproducible.
+    FaultPlan base;
+    base.seed = 0xABCD;
+    for (const FaultClass cls : allFaultClasses())
+        if (cls != FaultClass::CounterWraparound &&
+            cls != FaultClass::StaleCounter)
+            base.with(cls, 0.2);
+    FaultPlan withRapl = base;
+    withRapl.with(FaultClass::CounterWraparound, 0.5)
+        .with(FaultClass::StaleCounter, 0.5);
+
+    constexpr int samples = 400;
+    FaultInjector a(base, 0x1111, 2, samples);
+    FaultInjector b(withRapl, 0x1111, 2, samples);
+    bool sawWrap = false, sawStale = false;
+    for (int i = 0; i < samples; ++i) {
+        const SampleFault fa = a.next();
+        const SampleFault fb = b.next();
+        EXPECT_TRUE(samePaperFault(fa, fb)) << "sample " << i;
+        EXPECT_FALSE(fa.wrapGlitch);
+        EXPECT_FALSE(fa.stale);
+        sawWrap |= fb.wrapGlitch;
+        sawStale |= fb.stale;
+    }
+    EXPECT_TRUE(sawWrap);
+    EXPECT_TRUE(sawStale);
+}
+
+TEST(FaultInjector, StaleBurstsChainAcrossSlots)
+{
+    // A rate-1.0 stale plan starts a burst on the first slot and
+    // chains: every slot of the session re-reads the old counter.
+    FaultPlan plan;
+    plan.with(FaultClass::StaleCounter, 1.0);
+    FaultInjector injector(plan, 0x5EED, 0, 64);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_TRUE(injector.next().stale) << "sample " << i;
+}
+
 TEST(FaultInjector, ZeroRatesYieldCleanSamples)
 {
     const FaultPlan plan; // all rates zero
@@ -121,6 +172,8 @@ TEST(FaultInjector, ZeroRatesYieldCleanSamples)
         EXPECT_EQ(fault.extraCopies, 0);
         EXPECT_DOUBLE_EQ(fault.powerScale, 1.0);
         EXPECT_DOUBLE_EQ(fault.countsGain, 1.0);
+        EXPECT_FALSE(fault.wrapGlitch);
+        EXPECT_FALSE(fault.stale);
     }
 }
 

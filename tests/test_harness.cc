@@ -124,7 +124,7 @@ TEST(Runner, TurboGrantsOnStockI7)
     const auto tb = runner.profile(stockConfig(i7()), bench);
     // One active core: two turbo steps.
     EXPECT_NEAR(tb.grantedClockGhz,
-                i7().stockClockGhz + 2.0 * ProcessorSpec::turboStepGhz,
+                i7().stockClockGhz + 2.0 * i7().turboStepGhz,
                 1e-9);
     const auto noTb =
         runner.profile(withTurbo(stockConfig(i7()), false), bench);

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "machine/processor.hh"
 
 namespace lhr
@@ -89,6 +91,78 @@ TEST(Machine, ConfigurationCounts)
     EXPECT_EQ(configurations45nm().size(), 29u);
 }
 
+TEST(Machine, EraNamesRoundTrip)
+{
+    ASSERT_EQ(allEras().size(), 8u);
+    for (const Era era : allEras())
+        EXPECT_EQ(parseEra(eraName(era)), era);
+    EXPECT_EQ(eraName(Era::Paper45), "45nm");
+    EXPECT_EQ(eraName(Era::Haswell), "haswell");
+    EXPECT_DEATH(parseEra("7nm"), "unknown era");
+}
+
+TEST(Machine, PostPaperServerParts)
+{
+    const auto &servers = postPaperProcessors();
+    ASSERT_EQ(servers.size(), 4u);
+    EXPECT_EQ(servers[0].era, Era::SandyBridge);
+    EXPECT_EQ(servers[3].era, Era::Skylake);
+    for (size_t i = 0; i < servers.size(); ++i) {
+        const ProcessorSpec &s = servers[i];
+        EXPECT_TRUE(s.hasTurbo) << s.id;
+        EXPECT_EQ(s.smtWays, 2) << s.id;
+        EXPECT_GE(s.turboSteps1C, s.turboStepsAllC) << s.id;
+        // Core counts grow monotonically across the generations.
+        if (i > 0) {
+            EXPECT_GT(s.cores, servers[i - 1].cores) << s.id;
+        }
+    }
+    // AVX license derating starts at Haswell; Sandy Bridge has none.
+    EXPECT_DOUBLE_EQ(servers[0].avxClockPenalty, 0.0);
+    for (size_t i = 1; i < servers.size(); ++i)
+        EXPECT_GT(servers[i].avxClockPenalty, 0.0) << servers[i].id;
+}
+
+TEST(Machine, ProcessorIdsAreUniqueAcrossBothTables)
+{
+    std::set<std::string> ids;
+    for (const auto &spec : allProcessors())
+        EXPECT_TRUE(ids.insert(spec.id).second) << spec.id;
+    for (const auto &spec : postPaperProcessors())
+        EXPECT_TRUE(ids.insert(spec.id).second) << spec.id;
+    EXPECT_EQ(ids.size(), 12u);
+}
+
+TEST(Machine, UnknownProcessorIdListsTheValidOnes)
+{
+    // The panic names every valid id from both tables, so a typo'd
+    // sweep config is a one-look fix.
+    EXPECT_DEATH(processorById("Itanium"),
+                 "valid ids.*i7 \\(45\\).*XeonSP \\(14\\)");
+    EXPECT_EQ(findProcessor("Itanium"), nullptr);
+    EXPECT_EQ(findProcessor("XeonSP (14)"),
+              &processorById("XeonSP (14)"));
+}
+
+TEST(Machine, EraGridsCoverEveryEra)
+{
+    const auto byEra = configurationsByEra();
+    ASSERT_EQ(byEra.size(), 8u);
+    size_t paperTotal = 0;
+    for (const auto &era : byEra) {
+        ASSERT_FALSE(era.configs.empty()) << eraName(era.era);
+        for (const auto &cfg : era.configs)
+            EXPECT_EQ(cfg.spec->era, era.era) << cfg.label();
+        if (era.era >= Era::SandyBridge)
+            EXPECT_EQ(era.configs.size(), 10u) << eraName(era.era);
+        else
+            paperTotal += era.configs.size();
+    }
+    // The paper eras partition the 45-configuration standard grid.
+    EXPECT_EQ(paperTotal, standardConfigurations().size());
+    EXPECT_EQ(configurationsOfEra(Era::Paper45).size(), 29u);
+}
+
 TEST(Machine, All45nmConfigurationsAreAt45nm)
 {
     for (const auto &cfg : configurations45nm())
@@ -161,9 +235,9 @@ TEST(Machine, TurboVoltageKick)
     const ProcessorSpec &i7 = processorById("i7 (45)");
     const auto cfg = stockConfig(i7);
     const double oneStep =
-        cfg.voltageAt(i7.stockClockGhz + ProcessorSpec::turboStepGhz);
+        cfg.voltageAt(i7.stockClockGhz + i7.turboStepGhz);
     const double twoSteps = cfg.voltageAt(
-        i7.stockClockGhz + 2.0 * ProcessorSpec::turboStepGhz);
+        i7.stockClockGhz + 2.0 * i7.turboStepGhz);
     EXPECT_NEAR(oneStep, i7.vEffMax + i7.turboVKickV, 1e-9);
     EXPECT_NEAR(twoSteps, i7.vEffMax + 2.0 * i7.turboVKickV, 1e-9);
 }

@@ -58,6 +58,42 @@ TEST(Pareto, EmptyInputYieldsEmptyFrontier)
     EXPECT_TRUE(paretoFrontier({}).empty());
 }
 
+TEST(Pareto, OneDominatorCollapsesTheFrontier)
+{
+    // One config better on both axes than every other: the frontier
+    // is exactly that point, whatever the input order.
+    const std::vector<ParetoPoint> points = {
+        {"worst", 0.5, 4.0},
+        {"king", 5.0, 0.5},
+        {"mediocre", 2.0, 2.0},
+        {"close", 4.9, 0.6},
+    };
+    const auto frontier = paretoFrontier(points);
+    ASSERT_EQ(frontier.size(), 1u);
+    EXPECT_EQ(frontier[0].label, "king");
+}
+
+TEST(Pareto, TiesOnOneAxisKeepOnlyTheBetterOtherAxis)
+{
+    // Equal performance: the cheaper point dominates the other.
+    const auto byEnergy = paretoFrontier(
+        {{"cheap", 2.0, 1.0}, {"costly", 2.0, 3.0}});
+    ASSERT_EQ(byEnergy.size(), 1u);
+    EXPECT_EQ(byEnergy[0].label, "cheap");
+
+    // Equal energy: the faster point dominates the other.
+    const auto byPerf = paretoFrontier(
+        {{"slow", 1.0, 2.0}, {"fast", 3.0, 2.0}});
+    ASSERT_EQ(byPerf.size(), 1u);
+    EXPECT_EQ(byPerf[0].label, "fast");
+
+    // A tie on one axis between otherwise-incomparable points keeps
+    // both: neither strictly improves the other.
+    const auto mixed = paretoFrontier(
+        {{"a", 2.0, 1.0}, {"b", 2.0, 1.0}, {"c", 3.0, 2.0}});
+    EXPECT_EQ(mixed.size(), 3u);
+}
+
 TEST(Pareto, FrontierSortedByPerformance)
 {
     const std::vector<ParetoPoint> points = {

@@ -68,9 +68,25 @@ TEST(StudyRegistry, HoldsEveryConvertedDriver)
     // The paper's figures and tables are all present.
     for (const char *name :
          {"fig01", "fig04", "fig07", "fig12", "table1", "table3",
-          "table5", "findings", "dataset", "ablation_pipesim"})
+          "table5", "findings", "dataset", "ablation_pipesim",
+          "pareto_history"})
         EXPECT_NE(StudyRegistry::instance().find(name), nullptr)
             << "study " << name << " not registered";
+}
+
+TEST(StudyRegistry, ParetoHistoryGridSpansEveryEra)
+{
+    const Study *study =
+        StudyRegistry::instance().find("pareto_history");
+    ASSERT_NE(study, nullptr);
+    const auto grid = study->grid();
+    // The 45 paper configurations plus a ten-point ladder for each
+    // of the four server eras.
+    EXPECT_EQ(grid.size(), 85u);
+    std::set<Era> eras;
+    for (const auto &cfg : grid)
+        eras.insert(cfg.spec->era);
+    EXPECT_EQ(eras.size(), allEras().size());
 }
 
 TEST(StudyRegistry, FindIsExactMatch)

@@ -116,7 +116,7 @@ TEST(ThermalThrottle, BoostedClockIsReported)
     ThermalThrottle throttle(cfg, 1);
     const double clock =
         throttle.step([](double) { return 40.0; }, 0.1);
-    EXPECT_NEAR(clock, cfg.clockGhz + ProcessorSpec::turboStepGhz,
+    EXPECT_NEAR(clock, cfg.clockGhz + cfg.spec->turboStepGhz,
                 1e-12);
 }
 

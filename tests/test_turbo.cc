@@ -31,6 +31,25 @@ TEST(Turbo, MaxSteps)
     EXPECT_EQ(TurboGovernor::maxSteps(4), 1);
 }
 
+TEST(Turbo, MaxStepsPerSpecMatchesTheBinLadder)
+{
+    // The paper parts reduce to the legacy Nehalem ladder.
+    for (const int active : {1, 2, 3, 4})
+        EXPECT_EQ(TurboGovernor::maxSteps(i7(), active),
+                  TurboGovernor::maxSteps(active));
+
+    // Server bins interpolate: one step lost per extra active core,
+    // floored at the published all-core count.
+    const ProcessorSpec &xeon = processorById("XeonE5 (32)");
+    EXPECT_EQ(TurboGovernor::maxSteps(xeon, 1), xeon.turboSteps1C);
+    EXPECT_EQ(TurboGovernor::maxSteps(xeon, 2),
+              xeon.turboSteps1C - 1);
+    EXPECT_EQ(TurboGovernor::maxSteps(xeon, 4),
+              xeon.turboStepsAllC);
+    EXPECT_EQ(TurboGovernor::maxSteps(xeon, xeon.cores),
+              xeon.turboStepsAllC);
+}
+
 TEST(Turbo, NoBoostWhenDisabled)
 {
     const auto cfg = withTurbo(stockConfig(i7()), false);
@@ -62,7 +81,7 @@ TEST(Turbo, SingleCoreGetsTwoSteps)
     const double granted = TurboGovernor::grant(
         cfg, 1, [](double) { return 30.0; }, alwaysCool);
     EXPECT_NEAR(granted,
-                cfg.clockGhz + 2.0 * ProcessorSpec::turboStepGhz,
+                cfg.clockGhz + 2.0 * cfg.spec->turboStepGhz,
                 1e-12);
 }
 
@@ -71,7 +90,7 @@ TEST(Turbo, MultiCoreGetsOneStep)
     const auto cfg = stockConfig(i7());
     const double granted = TurboGovernor::grant(
         cfg, 4, [](double) { return 60.0; }, alwaysCool);
-    EXPECT_NEAR(granted, cfg.clockGhz + ProcessorSpec::turboStepGhz,
+    EXPECT_NEAR(granted, cfg.clockGhz + cfg.spec->turboStepGhz,
                 1e-12);
 }
 
@@ -92,7 +111,7 @@ TEST(Turbo, FallsBackToFewerSteps)
 {
     // Two steps exceed the budget but one step fits.
     const auto cfg = stockConfig(i7());
-    const double oneStep = cfg.clockGhz + ProcessorSpec::turboStepGhz;
+    const double oneStep = cfg.clockGhz + cfg.spec->turboStepGhz;
     const double granted = TurboGovernor::grant(
         cfg, 1,
         [&](double f) {
