@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "util/json.hh"
+#include "util/fp.hh"
 #include "util/logging.hh"
 
 namespace lhr
@@ -25,7 +26,7 @@ std::string
 formatNumber(double v)
 {
     char buf[64];
-    if (v != 0.0 && (std::fabs(v) >= 1e6 || std::fabs(v) < 1e-3))
+    if (!exactZero(v) && (std::fabs(v) >= 1e6 || std::fabs(v) < 1e-3))
         std::snprintf(buf, sizeof(buf), "%.3g", v);
     else
         std::snprintf(buf, sizeof(buf), "%.4g", v);

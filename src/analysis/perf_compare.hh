@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/fp.hh"
 #include "util/status.hh"
 
 namespace lhr
@@ -38,8 +39,8 @@ struct PerfRecord
     std::vector<std::pair<std::string, double>> metrics;
 
     /** Metric by name, or `fallback` when absent. */
-    double metricOr(const std::string &key, double fallback) const;
-    bool hasMetric(const std::string &key) const;
+    [[nodiscard]] double metricOr(const std::string &key, double fallback) const;
+    [[nodiscard]] bool hasMetric(const std::string &key) const;
 };
 
 /**
@@ -47,7 +48,7 @@ struct PerfRecord
  * Records without a string "name" are a ParseError; non-numeric
  * metrics are skipped (the writer emits null for non-finite values).
  */
-Expected<std::vector<PerfRecord>>
+[[nodiscard]] Expected<std::vector<PerfRecord>>
 parsePerfRecords(const std::string &json_text);
 
 /** How a metric's delta is judged. */
@@ -57,7 +58,7 @@ enum class MetricDirection
     Informational,  ///< everything else — reported only
 };
 
-MetricDirection metricDirection(const std::string &metric);
+[[nodiscard]] MetricDirection metricDirection(const std::string &metric);
 
 /** One metric of one record, before vs after. */
 struct PerfDelta
@@ -75,13 +76,13 @@ struct PerfDelta
     double tolerance = 0.0;
 
     /** (after - before) / before; 0 when before is 0. */
-    double deltaRel() const
+    [[nodiscard]] double deltaRel() const
     {
-        return before != 0.0 ? (after - before) / before : 0.0;
+        return !exactZero(before) ? (after - before) / before : 0.0;
     }
 
     /** True when this delta fails the gate. */
-    bool regression() const
+    [[nodiscard]] bool regression() const
     {
         return direction == MetricDirection::HigherIsBetter &&
             deltaRel() < -tolerance;
@@ -95,8 +96,8 @@ struct PerfComparison
     std::vector<std::string> onlyBefore; ///< records gone in B
     std::vector<std::string> onlyAfter;  ///< records new in B
 
-    bool hasRegression() const;
-    std::vector<const PerfDelta *> regressions() const;
+    [[nodiscard]] bool hasRegression() const;
+    [[nodiscard]] std::vector<const PerfDelta *> regressions() const;
 };
 
 /**
@@ -104,7 +105,7 @@ struct PerfComparison
  * gating metric may take before it counts as a regression (0.15 =
  * 15%); per-metric spreads can only widen it, never narrow it.
  */
-PerfComparison comparePerfRecords(const std::vector<PerfRecord> &before,
+[[nodiscard]] PerfComparison comparePerfRecords(const std::vector<PerfRecord> &before,
                                   const std::vector<PerfRecord> &after,
                                   double tolerance);
 

@@ -138,6 +138,7 @@ class TlbArray
     std::vector<uint64_t> pages; ///< entryCount page numbers
     std::vector<uint64_t> ages;  ///< last-touch stamp; 0 = invalid
     std::vector<uint32_t> freeSlots;           ///< invalid slots
+    // lhrlint:allow-next-line(det-unordered): page->slot lookups only — victims are chosen by the clock hand, never by map order
     std::unordered_map<uint64_t, uint32_t> pageIndex; ///< page->slot
 };
 

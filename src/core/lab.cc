@@ -3,6 +3,8 @@
 #include <set>
 #include <utility>
 
+#include "util/logging.hh"
+
 namespace lhr
 {
 
@@ -79,7 +81,15 @@ Lab::prewarm(const std::vector<MachineConfig> &configs,
             grid.push_back(cfg);
     }
     SweepEngine engine(experimentRunner, options);
-    engine.run(grid, allBenchmarks());
+    // Prewarm is run for its cache side effect, but the report is
+    // still triaged: a cell that failed here will fail again (or
+    // silently re-measure) inside a study's serial loop, and that is
+    // worth a warning now instead of a mystery later.
+    const SweepReport report = engine.run(grid, allBenchmarks());
+    if (const size_t failed = report.failedCells(); failed > 0)
+        warn(msgOf("prewarm: ", failed, " of ", report.experiments(),
+                   " cells failed; dependent studies will re-measure "
+                   "or degrade"));
 }
 
 } // namespace lhr

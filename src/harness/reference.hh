@@ -49,6 +49,7 @@ class ReferenceSet
         double powerW;
     };
 
+    // lhrlint:allow-next-line(det-unordered): keyed lookups only — never iterated, so the unspecified order cannot reach output
     std::unordered_map<std::string, Entry> entries;
     const Entry &entry(const Benchmark &bench) const;
 };

@@ -289,6 +289,7 @@ class ExperimentRunner
         // unique_ptr gives every entry a stable address: references
         // handed out by measure() survive rehashing and concurrent
         // inserts into the same shard.
+        // lhrlint:allow-next-line(det-unordered): keyed lookups only — the memo cache is never iterated (sweeps emit in row-major grid order)
         std::unordered_map<std::string, std::unique_ptr<OnceSlot<Measurement>>>
             entries;
         std::atomic<uint64_t> hits{0};
@@ -298,7 +299,7 @@ class ExperimentRunner
     static constexpr size_t memoShardCount = 16;
 
     template <typename T>
-    using SpecSlotMap =
+    using SpecSlotMap = // lhrlint:allow-next-line(det-unordered): keyed lookups only — slot maps are never iterated
         std::unordered_map<const ProcessorSpec *,
                            std::unique_ptr<OnceSlot<T>>>;
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/hash.hh"
+#include "util/fp.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -50,7 +51,7 @@ double
 vendorPerfFactor(const JvmVendorProfile &profile,
                  const std::string &bench_name)
 {
-    if (profile.perfSpread == 0.0)
+    if (exactZero(profile.perfSpread))
         return profile.perfBias;
     // Derive a fixed deviate from the (vendor, benchmark) pair so
     // the same JVM always wins or loses on the same benchmark.

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/logging.hh"
+#include "util/fp.hh"
 
 namespace lhr
 {
@@ -137,7 +138,7 @@ CustomProcessor::parse(std::istream &is)
     spec.tdpW = number("tdp_w");
     spec.fsbMhz = optional("fsb_mhz", 0.0);
     spec.dram = require("dram");
-    spec.hasTurbo = optional("turbo", 0.0) != 0.0;
+    spec.hasTurbo = !exactZero(optional("turbo", 0.0));
 
     const TechNode &tech = spec.tech();
     spec.fMinGhz = optional("fmin_ghz", spec.stockClockGhz);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/fp.hh"
 
 namespace lhr
 {
@@ -107,7 +108,7 @@ ChipPowerModel::computeOne(const MachineConfig &cfg, double clock_ghz,
     int gatedCores = s.cores - cfg.enabledCores;
     if (gatesIdle) {
         for (int core = 0; core < activity_count; ++core)
-            if (core_activity[core] == 0.0)
+            if (exactZero(core_activity[core]))
                 ++gatedCores;
     }
     const double gatedLeak = gatesIdle ? 0.10 : 0.60;

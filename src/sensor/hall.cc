@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sensor/sampling.hh"
+#include "util/fp.hh"
 
 namespace lhr
 {
@@ -21,7 +22,7 @@ HallSession::read(double true_watts, Rng &rng,
     int counts = chan.sampleCounts(scaledW, rng);
     if (fault.railed)
         counts = chan.railHighCounts();
-    if (fault.countsGain != 1.0) {
+    if (!exactlyEqual(fault.countsGain, 1.0)) {
         // Drift scales the sensor transfer about the zero-current
         // output, so the recorded code drifts proportionally to the
         // distance from the zero code.

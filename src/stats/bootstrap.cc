@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/fp.hh"
 
 namespace lhr
 {
@@ -13,7 +14,7 @@ namespace lhr
 double
 BootstrapCi::halfWidthRelative() const
 {
-    if (mean == 0.0)
+    if (exactZero(mean))
         return 0.0;
     return (hi - lo) / 2.0 / std::fabs(mean);
 }

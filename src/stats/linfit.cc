@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/fp.hh"
 
 namespace lhr
 {
@@ -32,14 +33,14 @@ fitLinear(const std::vector<double> &xs, const std::vector<double> &ys)
         sxy += dx * dy;
         syy += dy * dy;
     }
-    if (sxx == 0.0)
+    if (exactZero(sxx))
         panic("fitLinear: all x values identical");
 
     LinearFit fit;
     fit.slope = sxy / sxx;
     fit.intercept = my - fit.slope * mx;
 
-    if (syy == 0.0) {
+    if (exactZero(syy)) {
         fit.r2 = 1.0; // constant y perfectly explained
     } else {
         double ssRes = 0.0;

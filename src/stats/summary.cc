@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/logging.hh"
+#include "util/fp.hh"
 
 namespace lhr
 {
@@ -77,7 +78,7 @@ Summary::ci95() const
 double
 Summary::ci95Relative() const
 {
-    if (n == 0 || meanAcc == 0.0)
+    if (n == 0 || exactZero(meanAcc))
         return 0.0;
     return ci95() / std::fabs(meanAcc);
 }

@@ -35,7 +35,7 @@ struct StoredResult
     double powerW;
     double powerCi95Rel;
 
-    double energyJ() const { return timeSec * powerW; }
+    [[nodiscard]] double energyJ() const { return timeSec * powerW; }
 
     /**
      * The row as a Measurement, for re-seeding a runner's memo
@@ -43,7 +43,7 @@ struct StoredResult
      * persisted fields carry over; invocation and fault-recovery
      * accounting is not stored, so it comes back zero.
      */
-    Measurement toMeasurement() const;
+    [[nodiscard]] Measurement toMeasurement() const;
 
     /**
      * Bitwise equality of the persisted fields — the merge
@@ -51,7 +51,7 @@ struct StoredResult
      * two shards of the same seeded sweep agree exactly or one of
      * them is wrong.
      */
-    bool sameBits(const StoredResult &other) const;
+    [[nodiscard]] bool sameBits(const StoredResult &other) const;
 };
 
 /** A keyed collection of measurements with CSV persistence. */
@@ -66,13 +66,13 @@ class ResultStore
              const Measurement &m);
 
     /** Find a row; nullptr when absent. */
-    const StoredResult *find(const std::string &config_label,
+    [[nodiscard]] const StoredResult *find(const std::string &config_label,
                              const std::string &benchmark) const;
 
-    size_t size() const { return rows.size(); }
+    [[nodiscard]] size_t size() const { return rows.size(); }
 
     /** Rows in key order. */
-    std::vector<const StoredResult *> all() const;
+    [[nodiscard]] std::vector<const StoredResult *> all() const;
 
     /**
      * Union another store into this one. Duplicate keys whose rows
@@ -81,7 +81,7 @@ class ResultStore
      * returns a Conflict naming the row, and this store is left
      * untouched (the check runs before any row is copied).
      */
-    Status merge(const ResultStore &other);
+    [[nodiscard]] Status merge(const ResultStore &other);
 
     /**
      * Serialize as CSV (stable row order). A row holding a
@@ -89,7 +89,7 @@ class ResultStore
      * written: the load path rejects NaN/inf fields, so writing
      * them would produce a snapshot save's own reader refuses.
      */
-    Status save(std::ostream &os) const;
+    [[nodiscard]] Status save(std::ostream &os) const;
 
     /**
      * Serialize to a file atomically: the CSV is written to a
@@ -98,7 +98,7 @@ class ResultStore
      * good one (or nothing) used to be. Returns an IoError with the
      * failing path on any filesystem problem.
      */
-    Status saveToFile(const std::string &path) const;
+    [[nodiscard]] Status saveToFile(const std::string &path) const;
 
     /**
      * Parse a store from CSV as written by save(). A malformed
@@ -106,17 +106,17 @@ class ResultStore
      * field, duplicate (config, benchmark) key — returns a
      * line-numbered ParseError instead of a store.
      */
-    static Expected<ResultStore> tryLoad(std::istream &is);
+    [[nodiscard]] static Expected<ResultStore> tryLoad(std::istream &is);
 
     /** tryLoad() on a file; IoError when it cannot be opened. */
-    static Expected<ResultStore> tryLoadFile(const std::string &path);
+    [[nodiscard]] static Expected<ResultStore> tryLoadFile(const std::string &path);
 
     /**
      * Parse a store from CSV as written by save(). fatal()s on a
      * malformed header or row (a user-supplied file is user input);
      * front ends that want to report instead of exit use tryLoad().
      */
-    static ResultStore load(std::istream &is);
+    [[nodiscard]] static ResultStore load(std::istream &is);
 
     /**
      * Snapshot a configuration set: measures every benchmark on
@@ -160,7 +160,7 @@ struct StoreComparison
     std::vector<std::string> onlyInAfter;
     size_t compared = 0;
 
-    bool clean() const
+    [[nodiscard]] bool clean() const
     {
         return regressions.empty() && onlyInBefore.empty() &&
             onlyInAfter.empty();
@@ -174,7 +174,7 @@ struct StoreComparison
  * NaN fails every `>` comparison — is always a regression: a
  * nonsense baseline must never read as a clean run.
  */
-StoreComparison compareStores(const ResultStore &before,
+[[nodiscard]] StoreComparison compareStores(const ResultStore &before,
                               const ResultStore &after,
                               double tolerance);
 

@@ -15,7 +15,11 @@ namespace lhr
 namespace
 {
 
-using Clock = std::chrono::steady_clock;
+// The sweep's wall-clock reads feed only observability fields
+// (SweepReport wallSec/throughput, progress lines, the perf
+// baselines) — never a Measurement. The persisted store fields are
+// produced entirely from seeded model evaluation.
+using Clock = std::chrono::steady_clock; // lhrlint:allow(det-clock): observability-only timing, never reaches measured outputs
 
 double
 secondsSince(Clock::time_point start)

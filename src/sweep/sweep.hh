@@ -139,7 +139,7 @@ struct SweepCell
     double wallSec = 0.0;   ///< time this cell's measure() took
     Status status;          ///< ok, or why the cell has no result
 
-    bool ok() const { return status.ok() && measurement != nullptr; }
+    [[nodiscard]] bool ok() const { return status.ok() && measurement != nullptr; }
 };
 
 /** Outcome and observability of one sweep. */
@@ -169,16 +169,16 @@ struct SweepReport
     int shardCount = 1;        ///< total shards of the grid
     size_t seededCells = 0;    ///< cells warm-started from a store
 
-    size_t experiments() const { return cells.size(); }
+    [[nodiscard]] size_t experiments() const { return cells.size(); }
 
     /** Cells that failed (FaultError, timeout flag, cancellation). */
-    size_t failedCells() const;
+    [[nodiscard]] size_t failedCells() const;
 
     /** Cells whose recovery hit a cap (Measurement::degraded). */
-    size_t degradedCells() const;
+    [[nodiscard]] size_t degradedCells() const;
 
     /** Throughput in experiments per second of wall time. */
-    double experimentsPerSec() const
+    [[nodiscard]] double experimentsPerSec() const
     {
         return wallSec > 0.0 ? cells.size() / wallSec : 0.0;
     }
@@ -187,14 +187,14 @@ struct SweepReport
      * Parallel efficiency proxy: total per-cell work divided by
      * (wall time x threads). 1.0 means perfectly packed workers.
      */
-    double utilization() const
+    [[nodiscard]] double utilization() const
     {
         const double capacity = wallSec * threads;
         return capacity > 0.0 ? sumCellSec / capacity : 0.0;
     }
 
     /** One-paragraph human-readable summary. */
-    std::string summary() const;
+    [[nodiscard]] std::string summary() const;
 };
 
 /**
@@ -213,14 +213,14 @@ class SweepEngine
      * report copies the grid vectors, and the Measurement pointers
      * stay valid for the runner's lifetime.
      */
-    SweepReport run(std::vector<MachineConfig> configs,
+    [[nodiscard]] SweepReport run(std::vector<MachineConfig> configs,
                     std::vector<Benchmark> benchmarks);
 
     /**
      * The paper's full grid: standardConfigurations() (45) x
      * allBenchmarks() (61).
      */
-    SweepReport runFullGrid();
+    [[nodiscard]] SweepReport runFullGrid();
 
   private:
     ExperimentRunner &runner;
@@ -232,7 +232,7 @@ class SweepEngine
  * cells (no measurement) are skipped — the store holds only rows
  * that actually measured.
  */
-ResultStore toStore(const SweepReport &report);
+[[nodiscard]] ResultStore toStore(const SweepReport &report);
 
 } // namespace lhr
 

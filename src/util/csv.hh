@@ -65,10 +65,10 @@ class CsvWriter
  * therefore survives a round trip exactly when the writer quotes it
  * (CsvWriter does).
  */
-std::vector<std::string> splitCsvLine(const std::string &line);
+[[nodiscard]] std::vector<std::string> splitCsvLine(const std::string &line);
 
 /** Strip surrounding whitespace (and a stray '\r') from a field. */
-std::string trimmedField(const std::string &text);
+[[nodiscard]] std::string trimmedField(const std::string &text);
 
 /**
  * Parse one CSV field as a finite double. Tolerates surrounding
@@ -76,7 +76,7 @@ std::string trimmedField(const std::string &text);
  * fields, trailing junk, and non-finite values (NaN/inf) with a
  * ParseError naming the offending text.
  */
-Expected<double> parseCsvNumber(const std::string &raw);
+[[nodiscard]] Expected<double> parseCsvNumber(const std::string &raw);
 
 } // namespace lhr
 

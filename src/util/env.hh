@@ -28,7 +28,7 @@ inline constexpr uint64_t builtinSeed = 0xC0FFEEull;
  * The experiment seed: the --seed override if one was installed,
  * else LHR_SEED from the environment, else builtinSeed.
  */
-uint64_t defaultSeed();
+[[nodiscard]] uint64_t defaultSeed();
 
 /** Install (or, with nullopt, clear) a process-wide seed override. */
 void setSeedOverride(std::optional<uint64_t> seed);
@@ -37,20 +37,20 @@ void setSeedOverride(std::optional<uint64_t> seed);
  * Parse a seed string: decimal or 0x-prefixed hexadecimal.
  * Returns nullopt on malformed input.
  */
-std::optional<uint64_t> parseSeed(const std::string &text);
+[[nodiscard]] std::optional<uint64_t> parseSeed(const std::string &text);
 
 /**
  * Parse a command-line integer strictly: the whole string must be a
  * decimal integer inside [min, max]. Unlike atoi, "banana" and "4x"
  * are ParseErrors instead of silently becoming 0 and 4.
  */
-Expected<long> parseInt(const std::string &text, long min, long max);
+[[nodiscard]] Expected<long> parseInt(const std::string &text, long min, long max);
 
 /**
  * Parse a command-line real strictly: the whole string must be a
  * finite number. Unlike atof, trailing junk is a ParseError.
  */
-Expected<double> parseReal(const std::string &text);
+[[nodiscard]] Expected<double> parseReal(const std::string &text);
 
 } // namespace lhr
 

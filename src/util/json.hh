@@ -146,7 +146,7 @@ class JsonValue
  * escapes (\uXXXX decodes to UTF-8; unpaired surrogates are a
  * ParseError), arrays and objects. Errors carry 1-based line/column.
  */
-Expected<JsonValue> parseJson(const std::string &text);
+[[nodiscard]] Expected<JsonValue> parseJson(const std::string &text);
 
 } // namespace lhr
 

@@ -42,7 +42,7 @@ enum class StatusCode
 };
 
 /** Stable lower-case name of a code, e.g. "parse-error". */
-const char *statusCodeName(StatusCode code);
+[[nodiscard]] const char *statusCodeName(StatusCode code);
 
 /** An error code with its explanation; default-constructed is Ok. */
 class [[nodiscard]] Status
@@ -51,17 +51,17 @@ class [[nodiscard]] Status
     Status() = default;
 
     /** Build a non-Ok status; panics if called with StatusCode::Ok. */
-    static Status error(StatusCode code, std::string message);
+    [[nodiscard]] static Status error(StatusCode code, std::string message);
 
-    bool ok() const { return statusCode == StatusCode::Ok; }
+    [[nodiscard]] bool ok() const { return statusCode == StatusCode::Ok; }
 
-    StatusCode code() const { return statusCode; }
+    [[nodiscard]] StatusCode code() const { return statusCode; }
 
     /** Empty for Ok statuses. */
-    const std::string &message() const { return text; }
+    [[nodiscard]] const std::string &message() const { return text; }
 
     /** "parse-error: line 3 has 4 fields, expected 6" (or "ok"). */
-    std::string toString() const;
+    [[nodiscard]] std::string toString() const;
 
   private:
     Status(StatusCode code, std::string message)
@@ -91,29 +91,29 @@ class [[nodiscard]] Expected
                 "Expected: constructed from an Ok status");
     }
 
-    bool ok() const { return held.has_value(); }
+    [[nodiscard]] bool ok() const { return held.has_value(); }
     explicit operator bool() const { return ok(); }
 
-    const T &value() const &
+    [[nodiscard]] const T &value() const &
     {
         requireValue();
         return *held;
     }
 
-    T &value() &
+    [[nodiscard]] T &value() &
     {
         requireValue();
         return *held;
     }
 
-    T &&value() &&
+    [[nodiscard]] T &&value() &&
     {
         requireValue();
         return std::move(*held);
     }
 
     /** The error; panics when this Expected holds a value. */
-    const Status &status() const
+    [[nodiscard]] const Status &status() const
     {
         if (ok())
             throw std::logic_error(
@@ -122,7 +122,7 @@ class [[nodiscard]] Expected
     }
 
     /** The value, or `fallback` when this holds an error. */
-    T valueOr(T fallback) const
+    [[nodiscard]] T valueOr(T fallback) const
     {
         return ok() ? *held : std::move(fallback);
     }

@@ -64,14 +64,14 @@ class ThreadPool
     void wait();
 
     /** Number of worker threads. */
-    int threadCount() const { return static_cast<int>(workers.size()); }
+    [[nodiscard]] int threadCount() const { return static_cast<int>(workers.size()); }
 
     /**
      * The pool size used when none is requested: the LHR_THREADS
      * environment variable when set to a positive integer, otherwise
      * std::thread::hardware_concurrency() (at least 1).
      */
-    static int defaultThreadCount();
+    [[nodiscard]] static int defaultThreadCount();
 
     /**
      * Run fn(0) .. fn(n-1) across the pool and wait for all of them.
@@ -88,7 +88,7 @@ class ThreadPool
      * job to return early. reset by resetCancel().
      */
     void cancel() { cancelFlag.store(true, std::memory_order_relaxed); }
-    bool cancelled() const
+    [[nodiscard]] bool cancelled() const
     {
         return cancelFlag.load(std::memory_order_relaxed);
     }

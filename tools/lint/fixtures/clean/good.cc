@@ -1,0 +1,20 @@
+// Clean fixture body: handled Status results, a justified inline
+// suppression, and a justified allow-next-line suppression.
+
+#include <unordered_map>
+
+#include "good.hh"
+
+// lhrlint:allow-next-line(det-unordered): lookup-only cache, never iterated
+static std::unordered_map<int, int> lookupOnly;
+
+bool
+handleEverything()
+{
+    const Status saved = saveEverything("grid.csv");
+    if (!saved.ok())
+        return false;
+    // Explicit discard with a reason reads as intent, not a leak.
+    (void)mergeStores("a.csv", "b.csv"); // best-effort merge
+    return lookupOnly.count(3) == 0;     // lhrlint:allow(det-unordered): lookup-only
+}

@@ -1,0 +1,20 @@
+// Clean fixture: the same shapes as the dirty tree, written the way
+// the repo's invariants demand — guarded header, no leaked
+// namespace, results handled, and every remaining rule hit either
+// suppressed inline with a justification or covered by
+// clean.allow. lhrlint_fixture_clean requires exit 0 here.
+
+#ifndef LHRLINT_FIXTURE_GOOD_HH
+#define LHRLINT_FIXTURE_GOOD_HH
+
+#include <string>
+
+struct Status
+{
+    bool ok() const { return true; }
+};
+
+Status saveEverything(const std::string &path);
+Status mergeStores(const std::string &a, const std::string &b);
+
+#endif // LHRLINT_FIXTURE_GOOD_HH

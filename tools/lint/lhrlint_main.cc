@@ -1,0 +1,18 @@
+/**
+ * @file
+ * lhrlint CLI entry point. All logic lives in lint.cc so the fixture
+ * tests (tests/test_lint.cc) can drive the same code in-process.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return lhrlint::runLhrlint(args, std::cout, std::cerr);
+}
