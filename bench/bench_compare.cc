@@ -19,7 +19,10 @@
  *
  * Exit status: 0 pass, 1 regression, 2 usage or unreadable input.
  * A missing BEFORE file is a pass with a note (first run on a
- * branch has no prior artifact to compare against).
+ * branch has no prior artifact to compare against). Likewise a
+ * record name present on only one side is reported ("new" /
+ * "removed") but never gated: only metrics matched by name on both
+ * sides can regress.
  */
 
 #include <cstdio>
@@ -127,6 +130,17 @@ main(int argc, char **argv)
         report += lhr::perfTableMarkdown(cmp, title);
         sections.emplace_back(title, cmp);
         ++compared;
+        // Record kinds present on only one side are reported, never
+        // gated: a record's first introduction (a new bench suite
+        // landing in AFTER) must not fail the comparison it debuts in.
+        for (const std::string &name : cmp.onlyAfter)
+            std::cout << "bench_compare: note: " << name
+                      << " is new in " << afterPath
+                      << " (not gated on first introduction)\n";
+        for (const std::string &name : cmp.onlyBefore)
+            std::cout << "bench_compare: note: " << name
+                      << " is gone from " << afterPath
+                      << " (was only in the baseline; not gated)\n";
         for (const lhr::PerfDelta *delta : cmp.regressions()) {
             std::fprintf(stderr,
                          "bench_compare: REGRESSION %s %s: %.4g -> "

@@ -33,9 +33,13 @@
  *   lhrlab merge grid.csv s1.csv s2.csv s3.csv
  */
 
+#include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -46,9 +50,12 @@
 #include "harness/corun.hh"
 #include "harness/multiprog.hh"
 #include "sensor/sensor.hh"
+#include "serve/loadgen.hh"
+#include "serve/server.hh"
 #include "store/results_store.hh"
 #include "study/study.hh"
 #include "util/env.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -76,7 +83,12 @@ usage(std::ostream &os)
         "  snapshot <file.csv> [--45nm] [--shard I/N]\n"
         "           [--resume] [--checkpoint N]\n"
         "  merge <out.csv> <in.csv> [in.csv ...]\n"
-        "  compare <before.csv> <after.csv> [tolerance]\n";
+        "  compare <before.csv> <after.csv> [tolerance]\n"
+        "  serve --socket PATH [--workers N] [--queue N]\n"
+        "        [--deadline MS]\n"
+        "  loadgen --socket PATH [--clients N[,N...]]\n"
+        "          [--requests N] [--keys N] [--deadline MS]\n"
+        "          [--stall MS] [--reps N] [--json FILE]\n";
 }
 
 /**
@@ -393,6 +405,34 @@ cmdCorun(const std::vector<std::string> &args)
     return 0;
 }
 
+namespace
+{
+
+/**
+ * SIGINT/SIGTERM request a clean wind-down instead of killing the
+ * process mid-write: snapshot flushes a final checkpoint, serve
+ * drains its admitted work. The handler only sets flags (the only
+ * async-signal-safe thing to do); the long-running loops poll them.
+ */
+std::atomic<bool> gStopRequested{false};
+volatile std::sig_atomic_t gStopSignal = 0;
+
+void
+onStopSignal(int sig)
+{
+    gStopSignal = sig;
+    gStopRequested.store(true);
+}
+
+void
+installStopHandlers()
+{
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
+}
+
+} // namespace
+
 /** Parse the `--shard I/N` contract (1-based I, 1 <= I <= N). */
 void
 parseShardSpec(const std::string &value, lhr::SweepOptions &options)
@@ -472,6 +512,13 @@ cmdSnapshot(const std::vector<std::string> &args)
         }
     }
 
+    // SIGINT/SIGTERM stop the sweep at the next cell boundary; the
+    // rows completed by then are still flushed below, so a resumed
+    // run restarts from the last completed cell rather than the
+    // last --checkpoint interval.
+    installStopHandlers();
+    options.stopFlag = &gStopRequested;
+
     lhr::Lab lab;
     // Snapshot through the parallel sweep engine: bit-identical to
     // a serial sweep, but grid cells fan out across cores (thread
@@ -480,12 +527,28 @@ cmdSnapshot(const std::vector<std::string> &args)
         lab.sweep(only45 ? lhr::configurations45nm()
                          : lhr::standardConfigurations(),
                   lhr::allBenchmarks(), options);
-    const auto store = lhr::toStore(report);
+    const bool interrupted = gStopRequested.load();
+    auto store = lhr::toStore(report);
+    if (interrupted && options.warmStart != nullptr) {
+        // Cancelled cells carry no measurement, so fold the resumed
+        // rows back in — the final checkpoint must never shrink
+        // below the store it was resumed from.
+        const lhr::Status merged = store.merge(prior);
+        if (!merged.ok())
+            lhr::fatal("snapshot: resumed rows conflict with "
+                       "re-measured ones: " + merged.toString());
+    }
     // Atomic temp-then-rename write: an interrupted snapshot never
     // clobbers the previous good file with a truncated one.
     const lhr::Status saved = store.saveToFile(path);
     if (!saved.ok())
         lhr::fatal("snapshot: " + saved.toString());
+    if (interrupted) {
+        std::cerr << "snapshot: interrupted by signal " << gStopSignal
+                  << "; checkpointed " << store.size() << " rows to "
+                  << path << " (rerun with --resume to continue)\n";
+        return 128 + static_cast<int>(gStopSignal);
+    }
     std::cout << "wrote " << store.size() << " measurements to "
               << path;
     if (options.shardCount > 1)
@@ -577,6 +640,237 @@ cmdCompare(const std::vector<std::string> &args)
 }
 
 int
+cmdServe(const std::vector<std::string> &args)
+{
+    lhr::ServeOptions options;
+    for (size_t i = 2; i < args.size(); i += 2) {
+        if (i + 1 >= args.size())
+            usageError("option " + args[i] + " needs a value");
+        const std::string &opt = args[i];
+        const std::string &value = args[i + 1];
+        if (opt == "--socket") {
+            options.socketPath = value;
+        } else if (opt == "--workers") {
+            const lhr::Expected<long> workers =
+                lhr::parseInt(value, 1, 256);
+            if (!workers.ok())
+                usageError("--workers: " +
+                           workers.status().message());
+            options.workers = static_cast<int>(workers.value());
+        } else if (opt == "--queue") {
+            const lhr::Expected<long> depth =
+                lhr::parseInt(value, 1, 1 << 20);
+            if (!depth.ok())
+                usageError("--queue: " + depth.status().message());
+            options.queueDepth = static_cast<size_t>(depth.value());
+        } else if (opt == "--deadline") {
+            const lhr::Expected<double> deadline =
+                lhr::parseReal(value);
+            if (!deadline.ok() || deadline.value() < 0.0)
+                usageError("--deadline takes milliseconds >= 0, "
+                           "got '" + value + "'");
+            options.defaultDeadlineMs = deadline.value();
+        } else {
+            usageError("unknown serve option " + opt);
+        }
+    }
+    if (options.socketPath.empty())
+        usageError("serve needs --socket PATH");
+
+    // SIGINT/SIGTERM drain: stop accepting, flush admitted work,
+    // then exit 0 — a supervisor restarting the daemon never sees
+    // a truncated reply or lost admitted request.
+    installStopHandlers();
+    options.stopFlag = &gStopRequested;
+
+    lhr::Lab lab;
+    lhr::LabServer server(lab.runner(), options);
+    const lhr::Status status = server.serve();
+    if (!status.ok())
+        lhr::fatal("serve: " + status.toString());
+    const lhr::ServeStatsSnapshot stats = server.statsSnapshot();
+    std::cout << "serve: drained; " << stats.served << " served, "
+              << stats.degraded << " degraded, " << stats.overloaded
+              << " overloaded, " << stats.deadlineShed << " shed, "
+              << stats.coalesced << " coalesced, "
+              << stats.refusedDraining << " refused while draining\n";
+    return 0;
+}
+
+/** One `--clients` entry of a loadgen run, with its rep statistics. */
+struct LoadgenSeries
+{
+    int clients = 0;
+    std::vector<lhr::LoadgenReport> reps; ///< sorted by throughput
+};
+
+int
+cmdLoadgen(const std::vector<std::string> &args)
+{
+    lhr::LoadgenOptions options;
+    std::vector<int> clientCounts;
+    int repsPerPoint = 1;
+    std::string jsonPath;
+    for (size_t i = 2; i < args.size(); i += 2) {
+        if (i + 1 >= args.size())
+            usageError("option " + args[i] + " needs a value");
+        const std::string &opt = args[i];
+        const std::string &value = args[i + 1];
+        if (opt == "--socket") {
+            options.socketPath = value;
+        } else if (opt == "--clients") {
+            std::stringstream list(value);
+            std::string item;
+            while (std::getline(list, item, ',')) {
+                const lhr::Expected<long> n =
+                    lhr::parseInt(item, 1, 4096);
+                if (!n.ok())
+                    usageError("--clients: " + n.status().message());
+                clientCounts.push_back(static_cast<int>(n.value()));
+            }
+        } else if (opt == "--requests") {
+            const lhr::Expected<long> n =
+                lhr::parseInt(value, 1, 1L << 30);
+            if (!n.ok())
+                usageError("--requests: " + n.status().message());
+            options.requestsPerClient = static_cast<int>(n.value());
+        } else if (opt == "--keys") {
+            const lhr::Expected<long> n = lhr::parseInt(value, 1, 32);
+            if (!n.ok())
+                usageError("--keys: " + n.status().message());
+            options.keys = static_cast<int>(n.value());
+        } else if (opt == "--deadline") {
+            const lhr::Expected<double> ms = lhr::parseReal(value);
+            if (!ms.ok() || ms.value() < 0.0)
+                usageError("--deadline takes milliseconds >= 0, "
+                           "got '" + value + "'");
+            options.deadlineMs = ms.value();
+        } else if (opt == "--stall") {
+            const lhr::Expected<double> ms = lhr::parseReal(value);
+            if (!ms.ok() || ms.value() < 0.0)
+                usageError("--stall takes milliseconds >= 0, got '" +
+                           value + "'");
+            options.stallMs = ms.value();
+        } else if (opt == "--reps") {
+            const lhr::Expected<long> n = lhr::parseInt(value, 1, 64);
+            if (!n.ok())
+                usageError("--reps: " + n.status().message());
+            repsPerPoint = static_cast<int>(n.value());
+        } else if (opt == "--json") {
+            jsonPath = value;
+        } else {
+            usageError("unknown loadgen option " + opt);
+        }
+    }
+    if (options.socketPath.empty())
+        usageError("loadgen needs --socket PATH");
+    if (clientCounts.empty())
+        clientCounts.push_back(options.clients);
+
+    std::vector<LoadgenSeries> series;
+    for (const int clients : clientCounts) {
+        LoadgenSeries point;
+        point.clients = clients;
+        options.clients = clients;
+        for (int rep = 0; rep < repsPerPoint; ++rep) {
+            lhr::Expected<lhr::LoadgenReport> run =
+                lhr::runLoadgen(options);
+            if (!run.ok())
+                lhr::fatal("loadgen: " + run.status().toString());
+            point.reps.push_back(run.value());
+        }
+        std::sort(point.reps.begin(), point.reps.end(),
+                  [](const lhr::LoadgenReport &a,
+                     const lhr::LoadgenReport &b) {
+                      return a.requestsPerSec < b.requestsPerSec;
+                  });
+        series.push_back(std::move(point));
+    }
+
+    lhr::TableWriter table;
+    table.addColumn("Clients");
+    table.addColumn("Req/s");
+    table.addColumn("p50 ms");
+    table.addColumn("p95 ms");
+    table.addColumn("p99 ms");
+    table.addColumn("ok");
+    table.addColumn("degr");
+    table.addColumn("over");
+    table.addColumn("shed");
+    table.addColumn("err");
+    for (const LoadgenSeries &point : series) {
+        // Median-throughput repetition: the gate compares medians,
+        // so the human report shows the same numbers.
+        const lhr::LoadgenReport &median =
+            point.reps[point.reps.size() / 2];
+        table.beginRow();
+        table.cell(static_cast<long>(point.clients));
+        table.cell(median.requestsPerSec, 1);
+        table.cell(median.p50Ms, 2);
+        table.cell(median.p95Ms, 2);
+        table.cell(median.p99Ms, 2);
+        table.cell(static_cast<long>(median.okCount));
+        table.cell(static_cast<long>(median.degradedCount));
+        table.cell(static_cast<long>(median.overloadedCount));
+        table.cell(static_cast<long>(median.shedCount));
+        table.cell(static_cast<long>(median.errorCount));
+    }
+    table.print(std::cout);
+
+    if (jsonPath.empty())
+        return 0;
+    // One bench record per client count, in the BENCH_*.json shape
+    // bench/bench_compare.cc gates: requests_per_sec is the median
+    // over --reps, *_spread_rel keeps the gate noise-aware.
+    std::ofstream jsonOut(jsonPath);
+    if (!jsonOut)
+        lhr::fatal("loadgen: cannot write " + jsonPath);
+    lhr::JsonWriter json(jsonOut);
+    json.beginArray();
+    for (const LoadgenSeries &point : series) {
+        const lhr::LoadgenReport &median =
+            point.reps[point.reps.size() / 2];
+        const double best = point.reps.back().requestsPerSec;
+        const double worst = point.reps.front().requestsPerSec;
+        const double spread =
+            median.requestsPerSec > 0.0
+                ? (best - worst) / median.requestsPerSec
+                : 0.0;
+        json.beginObject();
+        json.key("name").value(lhr::msgOf("serve_c", point.clients));
+        json.key("config").beginObject();
+        json.key("clients").value(static_cast<long>(point.clients));
+        json.key("requests_per_client")
+            .value(static_cast<long>(options.requestsPerClient));
+        json.key("keys").value(static_cast<long>(options.keys));
+        json.key("reps").value(static_cast<long>(repsPerPoint));
+        json.key("deadline_ms").value(options.deadlineMs, 3);
+        json.key("stall_ms").value(options.stallMs, 3);
+        json.endObject();
+        json.key("metrics").beginObject();
+        json.key("requests_per_sec").value(median.requestsPerSec, 1);
+        json.key("requests_per_sec_best").value(best, 1);
+        json.key("requests_per_sec_spread_rel").value(spread, 4);
+        json.key("p50_ms").value(median.p50Ms, 3);
+        json.key("p95_ms").value(median.p95Ms, 3);
+        json.key("p99_ms").value(median.p99Ms, 3);
+        json.key("ok").value(median.okCount);
+        json.key("degraded").value(median.degradedCount);
+        json.key("overloaded").value(median.overloadedCount);
+        json.key("deadline_shed").value(median.shedCount);
+        json.key("refused").value(median.refusedCount);
+        json.key("errors").value(median.errorCount);
+        json.endObject();
+        json.key("wall_sec").value(median.wallSec, 6);
+        json.endObject();
+    }
+    json.endArray();
+    std::cout << "wrote " << series.size() << " records to "
+              << jsonPath << "\n";
+    return 0;
+}
+
+int
 main(int argc, char **argv)
 {
     std::vector<std::string> args(argv, argv + argc);
@@ -644,5 +938,9 @@ main(int argc, char **argv)
         return cmdMerge(args);
     if (command == "compare")
         return cmdCompare(args);
+    if (command == "serve")
+        return cmdServe(args);
+    if (command == "loadgen")
+        return cmdLoadgen(args);
     usageError("unknown command '" + command + "'");
 }

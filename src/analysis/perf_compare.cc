@@ -203,9 +203,11 @@ perfTableMarkdown(const PerfComparison &cmp, const std::string &title)
             formatPercent(delta.deltaRel()) + " | " + gate + " |\n";
     }
     for (const std::string &name : cmp.onlyBefore)
-        out += "| " + name + " | — | — | *(record removed)* | | |\n";
+        out += "| " + name +
+            " | — | — | *(record removed)* | | not gated |\n";
     for (const std::string &name : cmp.onlyAfter)
-        out += "| " + name + " | — | *(new record)* | — | | |\n";
+        out += "| " + name +
+            " | — | *(new record)* | — | | not gated |\n";
     out += "\n";
     return out;
 }
@@ -307,11 +309,11 @@ perfReportHtml(
         for (const std::string &name : cmp.onlyBefore)
             out += "<tr><td>" + escapeHtml(name) +
                 "</td><td colspan=\"6\" class=\"note\">record "
-                "removed</td></tr>\n";
+                "removed (not gated)</td></tr>\n";
         for (const std::string &name : cmp.onlyAfter)
             out += "<tr><td>" + escapeHtml(name) +
-                "</td><td colspan=\"6\" class=\"note\">new record"
-                "</td></tr>\n";
+                "</td><td colspan=\"6\" class=\"note\">new record "
+                "(not gated)</td></tr>\n";
         out += "</table>\n";
     }
     out += "</body>\n</html>\n";

@@ -20,35 +20,6 @@ namespace lhr
 namespace
 {
 
-/**
- * Exact identity of one experiment. The display label rounds the
- * clock to one decimal, so it MUST NOT key caches or random
- * streams: configurations 0.04GHz apart would silently share
- * measurements.
- *
- * The numeric mid-section is sized by a first snprintf pass, so the
- * key can never be silently truncated (truncation would alias cache
- * keys and RNG streams between distinct configurations).
- */
-std::string
-experimentKey(const MachineConfig &cfg, const Benchmark &bench)
-{
-    static const char *const fmt = "|%d|%d|%.6f|%d|";
-    const int turbo = cfg.turboEnabled ? 1 : 0;
-    const int len = std::snprintf(nullptr, 0, fmt, cfg.enabledCores,
-                                  cfg.smtPerCore, cfg.clockGhz, turbo);
-    if (len <= 0)
-        panic("experimentKey: cannot format configuration fields");
-    std::string mid(static_cast<size_t>(len), '\0');
-    const int written =
-        std::snprintf(mid.data(), mid.size() + 1, fmt, cfg.enabledCores,
-                      cfg.smtPerCore, cfg.clockGhz, turbo);
-    if (written != len)
-        panic(msgOf("experimentKey: truncated key for '", cfg.spec->id,
-                    "' (needed ", len, ", wrote ", written, ")"));
-    return cfg.spec->id + mid + bench.name;
-}
-
 /** Switching-activity vector from a PerfResult's utilizations. */
 std::vector<double>
 activityOf(const PerfResult &run, const Benchmark &bench)
@@ -82,6 +53,37 @@ countActive(const std::vector<double> &activity)
 ExperimentRunner::ExperimentRunner(uint64_t seed)
     : baseSeed(seed)
 {
+}
+
+/**
+ * Exact identity of one experiment. The display label rounds the
+ * clock to one decimal, so it MUST NOT key caches or random
+ * streams: configurations 0.04GHz apart would silently share
+ * measurements.
+ *
+ * The numeric mid-section is sized by a first snprintf pass, so the
+ * key can never be silently truncated (truncation would alias cache
+ * keys and RNG streams between distinct configurations).
+ */
+std::string
+ExperimentRunner::keyOf(const MachineConfig &cfg, const Benchmark &bench)
+{
+    static const char *const fmt = "|%d|%d|%.6f|%d|";
+    const int turbo = cfg.turboEnabled ? 1 : 0;
+    const int len = std::snprintf(nullptr, 0, fmt, cfg.enabledCores,
+                                  cfg.smtPerCore, cfg.clockGhz, turbo);
+    if (len <= 0)
+        panic("ExperimentRunner::keyOf: cannot format configuration "
+              "fields");
+    std::string mid(static_cast<size_t>(len), '\0');
+    const int written =
+        std::snprintf(mid.data(), mid.size() + 1, fmt, cfg.enabledCores,
+                      cfg.smtPerCore, cfg.clockGhz, turbo);
+    if (written != len)
+        panic(msgOf("ExperimentRunner::keyOf: truncated key for '",
+                    cfg.spec->id, "' (needed ", len, ", wrote ",
+                    written, ")"));
+    return cfg.spec->id + mid + bench.name;
 }
 
 void
@@ -365,16 +367,16 @@ ExperimentRunner::profileBatch(const ConfigBatch &batch,
 const Measurement &
 ExperimentRunner::measure(const MachineConfig &cfg, const Benchmark &bench)
 {
-    const std::string key = experimentKey(cfg, bench);
+    const std::string key = ExperimentRunner::keyOf(cfg, bench);
     MemoShard &shard = memoShards[fnv1a(key) % memoShardCount];
 
-    OnceSlot<Measurement> *entry;
+    MemoEntry *entry;
     bool inserted;
     {
         std::lock_guard<std::mutex> lock(shard.mutex);
         auto [it, fresh] = shard.entries.try_emplace(key);
         if (fresh)
-            it->second = std::make_unique<OnceSlot<Measurement>>();
+            it->second = std::make_unique<MemoEntry>();
         entry = it->second.get();
         inserted = fresh;
     }
@@ -384,9 +386,12 @@ ExperimentRunner::measure(const MachineConfig &cfg, const Benchmark &bench)
         shard.hits.fetch_add(1, std::memory_order_relaxed);
 
     // The inserting thread measures; concurrent readers of the same
-    // key block here until the measurement is published.
+    // key block here until the measurement is published. `ready`
+    // flips only after the value is fully assigned (release pairs
+    // with peekCache's acquire).
     std::call_once(entry->once, [&] {
         entry->value = runMeasurement(cfg, bench);
+        entry->ready.store(true, std::memory_order_release);
     });
     return entry->value;
 }
@@ -404,20 +409,20 @@ ExperimentRunner::measureBatch(
     // per-shard hit/miss accounting as measure(): the cell that
     // inserts its entry is the miss, every other lookup a hit
     // (duplicates within one call included).
-    std::vector<OnceSlot<Measurement> *> entries(configs.size());
+    std::vector<MemoEntry *> entries(configs.size());
     std::vector<const MachineConfig *> pendingCfg;
     std::vector<size_t> pendingOut;
     for (size_t i = 0; i < configs.size(); ++i) {
         if (configs[i] == nullptr)
             panic("ExperimentRunner::measureBatch: null configuration");
-        const std::string key = experimentKey(*configs[i], bench);
+        const std::string key = ExperimentRunner::keyOf(*configs[i], bench);
         MemoShard &shard = memoShards[fnv1a(key) % memoShardCount];
         bool inserted;
         {
             std::lock_guard<std::mutex> lock(shard.mutex);
             auto [it, fresh] = shard.entries.try_emplace(key);
             if (fresh)
-                it->second = std::make_unique<OnceSlot<Measurement>>();
+                it->second = std::make_unique<MemoEntry>();
             entries[i] = it->second.get();
             inserted = fresh;
         }
@@ -435,8 +440,11 @@ ExperimentRunner::measureBatch(
     // caller retries) and degrades only this cell's outcome.
     auto resolve = [&](size_t i, auto &&compute) {
         try {
-            std::call_once(entries[i]->once,
-                           [&] { entries[i]->value = compute(); });
+            std::call_once(entries[i]->once, [&] {
+                entries[i]->value = compute();
+                entries[i]->ready.store(true,
+                                        std::memory_order_release);
+            });
             out[i].measurement = &entries[i]->value;
         } catch (const FaultError &e) {
             out[i].status = e.status();
@@ -482,23 +490,49 @@ ExperimentRunner::seedCache(const MachineConfig &cfg,
                             const Benchmark &bench,
                             const Measurement &m)
 {
-    const std::string key = experimentKey(cfg, bench);
+    const std::string key = ExperimentRunner::keyOf(cfg, bench);
     MemoShard &shard = memoShards[fnv1a(key) % memoShardCount];
 
-    OnceSlot<Measurement> *entry;
+    MemoEntry *entry;
     {
         std::lock_guard<std::mutex> lock(shard.mutex);
         auto [it, fresh] = shard.entries.try_emplace(key);
         if (!fresh)
             return false;
-        it->second = std::make_unique<OnceSlot<Measurement>>();
+        it->second = std::make_unique<MemoEntry>();
         entry = it->second.get();
     }
     // Publish through the slot's once_flag, the same protocol
     // measure() uses: a concurrent measure() of this key blocks on
     // the flag and then reads the seeded value as a plain hit.
-    std::call_once(entry->once, [&] { entry->value = m; });
+    std::call_once(entry->once, [&] {
+        entry->value = m;
+        entry->ready.store(true, std::memory_order_release);
+    });
     return true;
+}
+
+const Measurement *
+ExperimentRunner::peekCache(const MachineConfig &cfg,
+                            const Benchmark &bench) const
+{
+    const std::string key = ExperimentRunner::keyOf(cfg, bench);
+    const MemoShard &shard = memoShards[fnv1a(key) % memoShardCount];
+    const MemoEntry *entry;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        const auto it = shard.entries.find(key);
+        if (it == shard.entries.end())
+            return nullptr;
+        entry = it->second.get();
+    }
+    // An entry exists from the moment a producer claims the key; it
+    // is only readable once published. Never block on the once_flag
+    // here — the whole point of the probe is answering "not yet"
+    // instantly while another thread is mid-measurement.
+    if (!entry->ready.load(std::memory_order_acquire))
+        return nullptr;
+    return &entry->value;
 }
 
 CacheStats
@@ -565,7 +599,7 @@ ExperimentRunner::phasePowerSeries(const MachineConfig &cfg,
                                    const Benchmark &bench)
 {
     const ExecutionProfile prof = profile(cfg, bench);
-    Rng rng(baseSeed ^ fnv1a(experimentKey(cfg, bench)));
+    Rng rng(baseSeed ^ fnv1a(ExperimentRunner::keyOf(cfg, bench)));
     return phaseBreakdowns(cfg, bench, prof, rng);
 }
 
@@ -576,7 +610,7 @@ ExperimentRunner::meterRun(const MachineConfig &cfg,
     const ExecutionProfile prof = profile(cfg, bench);
     // The meters see the identical phase series the Hall sensor
     // samples in measure(): same derived stream, same phases.
-    Rng rng(baseSeed ^ fnv1a(experimentKey(cfg, bench)));
+    Rng rng(baseSeed ^ fnv1a(ExperimentRunner::keyOf(cfg, bench)));
     const auto phases = phaseBreakdowns(cfg, bench, prof, rng);
 
     StructureMeters meters;
@@ -616,7 +650,7 @@ ExperimentRunner::measureWithProfile(const MachineConfig &cfg,
     const Rig &sensorRig = rig(*cfg.spec);
     const bool java = bench.language() == Language::Java;
 
-    const uint64_t streamHash = fnv1a(experimentKey(cfg, bench));
+    const uint64_t streamHash = fnv1a(ExperimentRunner::keyOf(cfg, bench));
     Rng rng(baseSeed ^ streamHash);
 
     const std::vector<PowerBreakdown> phases =

@@ -237,6 +237,28 @@ class ExperimentRunner
                    const Measurement &m);
 
     /**
+     * Probe the memo cache without computing, blocking, or touching
+     * the hit/miss counters: the published measurement if this key
+     * has one, nullptr when the key is absent OR still being
+     * computed by another thread. This is the degraded-serve fast
+     * path of `lhrlab serve` — under overload the daemon answers
+     * from whatever is already warm rather than queueing, so the
+     * probe must never wait on an in-flight computation.
+     */
+    [[nodiscard]] const Measurement *peekCache(const MachineConfig &cfg,
+                                               const Benchmark &bench) const;
+
+    /**
+     * The exact cache/stream identity of one experiment — the string
+     * the memo shards and random streams key on. Exposed for layers
+     * that must agree with the cache about identity (the serve
+     * module's request-coalescing registry); the display label is
+     * NOT a substitute (it rounds the clock).
+     */
+    [[nodiscard]] static std::string keyOf(const MachineConfig &cfg,
+                                           const Benchmark &bench);
+
+    /**
      * Memo-cache counters since construction (or the last reset).
      * A miss is counted by the thread that inserts the entry; every
      * other lookup of that key is a hit, including lookups that
@@ -277,6 +299,20 @@ class ExperimentRunner
     };
 
     /**
+     * One memoized measurement. Producers publish through the
+     * once_flag (concurrent readers of the same key block there);
+     * `ready` flips true only after `value` is fully assigned, so
+     * peekCache() can answer "is this published?" without blocking
+     * on an in-flight computation.
+     */
+    struct MemoEntry
+    {
+        std::once_flag once;
+        std::atomic<bool> ready{false};
+        Measurement value;
+    };
+
+    /**
      * One memo-cache shard: a mutex plus the entries it guards. The
      * hit/miss counters live per shard too (summed by cacheStats()),
      * so the counter cache line is contended by at most the threads
@@ -290,7 +326,7 @@ class ExperimentRunner
         // handed out by measure() survive rehashing and concurrent
         // inserts into the same shard.
         // lhrlint:allow-next-line(det-unordered): keyed lookups only — the memo cache is never iterated (sweeps emit in row-major grid order)
-        std::unordered_map<std::string, std::unique_ptr<OnceSlot<Measurement>>>
+        std::unordered_map<std::string, std::unique_ptr<MemoEntry>>
             entries;
         std::atomic<uint64_t> hits{0};
         std::atomic<uint64_t> misses{0};

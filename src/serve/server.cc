@@ -1,0 +1,462 @@
+#include "serve/server.hh"
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.hh"
+#include "serve/protocol.hh"
+#include "util/bounded_queue.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/net.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** How long the accept loop waits before re-checking drain flags. */
+constexpr int acceptPollMs = 100;
+
+/**
+ * One connected client. Workers and the connection's reader thread
+ * both write replies, so every frame goes out under the write lock —
+ * frames interleave, bytes within a frame never do.
+ */
+struct ClientConn
+{
+    explicit ClientConn(Socket s) : sock(std::move(s)) {}
+
+    [[nodiscard]] Status send(const std::string &body)
+    {
+        std::lock_guard<std::mutex> lock(writeMutex);
+        return writeFrame(sock, body);
+    }
+
+    Socket sock;
+    std::mutex writeMutex;
+};
+
+/** One admitted measure request, waiting for a worker. */
+struct Job
+{
+    ServeRequest req;
+    ResolvedQuery query;
+    std::shared_ptr<ClientConn> conn;
+    bool hasDeadline = false;
+    Clock::time_point deadline;
+};
+
+/** Monotonic counters; snapshotted for the stats op. */
+struct Counters
+{
+    std::atomic<uint64_t> connections{0};
+    std::atomic<uint64_t> admitted{0};
+    std::atomic<uint64_t> served{0};
+    std::atomic<uint64_t> degraded{0};
+    std::atomic<uint64_t> overloaded{0};
+    std::atomic<uint64_t> deadlineShed{0};
+    std::atomic<uint64_t> coalesced{0};
+    std::atomic<uint64_t> parseErrors{0};
+    std::atomic<uint64_t> invalidArguments{0};
+    std::atomic<uint64_t> refusedDraining{0};
+    std::atomic<uint64_t> internalErrors{0};
+};
+
+/** A reply send can only fail because the client left; that is load. */
+void
+sendBestEffort(ClientConn &conn, const std::string &body)
+{
+    const Status status = conn.send(body);
+    if (!status.ok())
+        inform("serve: client gone before reply: " + status.message());
+}
+
+} // namespace
+
+struct LabServer::Impl
+{
+    Impl(ExperimentRunner &r, ServeOptions o)
+        : runner(r), options(std::move(o)), queue(options.queueDepth)
+    {
+    }
+
+    ExperimentRunner &runner;
+    const ServeOptions options;
+    BoundedQueue<Job> queue;
+    Counters counters;
+
+    std::atomic<bool> draining{false};
+
+    std::mutex connMutex; ///< guards conns (list of live connections)
+    std::vector<std::shared_ptr<ClientConn>> conns;
+
+    std::mutex inFlightMutex; ///< guards inFlight
+    /**
+     * Experiment keys currently being computed by a worker, with a
+     * joiner count. A worker arriving at a key that is already here
+     * will block inside the runner's call_once and receive the shared
+     * result — that is a coalesced request, counted as such.
+     */
+    std::map<std::string, int> inFlight;
+
+    void serveMeasure(const ServeRequest &req,
+                      const std::shared_ptr<ClientConn> &conn);
+    void serveStats(const ServeRequest &req, ClientConn &conn);
+    void handleFrame(const std::string &body,
+                     const std::shared_ptr<ClientConn> &conn);
+    void connectionLoop(std::shared_ptr<ClientConn> conn);
+    void workerLoop();
+    void requestDrain();
+    [[nodiscard]] ServeStatsSnapshot snapshot() const;
+};
+
+ServeStatsSnapshot
+LabServer::Impl::snapshot() const
+{
+    ServeStatsSnapshot s;
+    s.connections = counters.connections.load();
+    s.admitted = counters.admitted.load();
+    s.served = counters.served.load();
+    s.degraded = counters.degraded.load();
+    s.overloaded = counters.overloaded.load();
+    s.deadlineShed = counters.deadlineShed.load();
+    s.coalesced = counters.coalesced.load();
+    s.parseErrors = counters.parseErrors.load();
+    s.invalidArguments = counters.invalidArguments.load();
+    s.refusedDraining = counters.refusedDraining.load();
+    s.internalErrors = counters.internalErrors.load();
+    return s;
+}
+
+void
+LabServer::Impl::serveStats(const ServeRequest &req, ClientConn &conn)
+{
+    const ServeStatsSnapshot s = snapshot();
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.beginObject();
+    json.key("id").value(req.id);
+    json.key("status").value(serveStatusName(ServeStatus::Ok));
+    json.key("stats").beginObject();
+    json.key("connections").value(s.connections);
+    json.key("admitted").value(s.admitted);
+    json.key("served").value(s.served);
+    json.key("degraded").value(s.degraded);
+    json.key("overloaded").value(s.overloaded);
+    json.key("deadline_shed").value(s.deadlineShed);
+    json.key("coalesced").value(s.coalesced);
+    json.key("parse_errors").value(s.parseErrors);
+    json.key("invalid_arguments").value(s.invalidArguments);
+    json.key("refused_draining").value(s.refusedDraining);
+    json.key("internal_errors").value(s.internalErrors);
+    json.key("queue_depth").value(static_cast<uint64_t>(queue.size()));
+    json.key("queue_capacity")
+        .value(static_cast<uint64_t>(queue.capacity()));
+    json.key("cached_measurements")
+        .value(static_cast<uint64_t>(runner.cachedMeasurements()));
+    json.endObject();
+    json.endObject();
+    sendBestEffort(conn, out.str());
+}
+
+void
+LabServer::Impl::serveMeasure(const ServeRequest &req,
+                              const std::shared_ptr<ClientConn> &conn)
+{
+    Expected<ResolvedQuery> resolved = resolveQuery(req);
+    if (!resolved.ok()) {
+        counters.invalidArguments.fetch_add(1);
+        sendBestEffort(*conn, errorReplyJson(
+                                  req.id, ServeStatus::InvalidArgument,
+                                  resolved.status().message()));
+        return;
+    }
+
+    if (draining.load()) {
+        counters.refusedDraining.fetch_add(1);
+        sendBestEffort(*conn,
+                       errorReplyJson(req.id, ServeStatus::ShuttingDown,
+                                      "daemon is draining"));
+        return;
+    }
+
+    Job job;
+    job.req = req;
+    job.query = resolved.value();
+    job.conn = conn;
+    const double deadline_ms = req.deadlineMs > 0.0
+                                   ? req.deadlineMs
+                                   : options.defaultDeadlineMs;
+    if (deadline_ms > 0.0) {
+        job.hasDeadline = true;
+        job.deadline =
+            Clock::now() + std::chrono::microseconds(static_cast<long>(
+                               deadline_ms * 1000.0));
+    }
+
+    if (queue.tryPush(std::move(job))) {
+        counters.admitted.fetch_add(1);
+        return;
+    }
+
+    // Queue full (or closed under a racing drain): degrade before
+    // shedding. A warm cache entry answers instantly without a
+    // worker; only a cold key is refused.
+    const Measurement *cached =
+        runner.peekCache(resolved.value().config,
+                         *resolved.value().benchmark);
+    if (cached != nullptr) {
+        counters.degraded.fetch_add(1);
+        sendBestEffort(*conn,
+                       measurementReplyJson(req.id, *cached, true));
+        return;
+    }
+    if (queue.closed()) {
+        counters.refusedDraining.fetch_add(1);
+        sendBestEffort(*conn,
+                       errorReplyJson(req.id, ServeStatus::ShuttingDown,
+                                      "daemon is draining"));
+        return;
+    }
+    counters.overloaded.fetch_add(1);
+    sendBestEffort(
+        *conn,
+        errorReplyJson(req.id, ServeStatus::Overloaded,
+                       msgOf("admission queue full (depth ",
+                             queue.capacity(), "); retry with backoff")));
+}
+
+void
+LabServer::Impl::handleFrame(const std::string &body,
+                             const std::shared_ptr<ClientConn> &conn)
+{
+    Expected<ServeRequest> parsed = parseServeRequest(body);
+    if (!parsed.ok()) {
+        const bool malformed =
+            parsed.status().code() == StatusCode::ParseError;
+        if (malformed)
+            counters.parseErrors.fetch_add(1);
+        else
+            counters.invalidArguments.fetch_add(1);
+        sendBestEffort(*conn,
+                       errorReplyJson(0,
+                                      malformed
+                                          ? ServeStatus::ParseError
+                                          : ServeStatus::InvalidArgument,
+                                      parsed.status().message()));
+        return;
+    }
+
+    const ServeRequest &req = parsed.value();
+    switch (req.op) {
+    case ServeOp::Ping:
+        sendBestEffort(*conn, errorReplyJson(req.id, ServeStatus::Ok,
+                                             "pong"));
+        return;
+    case ServeOp::Stats:
+        serveStats(req, *conn);
+        return;
+    case ServeOp::Shutdown:
+        sendBestEffort(*conn, errorReplyJson(req.id, ServeStatus::Ok,
+                                             "draining"));
+        requestDrain();
+        return;
+    case ServeOp::Measure:
+        serveMeasure(req, conn);
+        return;
+    }
+}
+
+void
+LabServer::Impl::connectionLoop(std::shared_ptr<ClientConn> conn)
+{
+    for (;;) {
+        Expected<std::string> frame =
+            readFrame(conn->sock, options.maxFrameBytes);
+        if (!frame.ok()) {
+            // An oversized prefix is the one protocol error the
+            // stream cannot recover from: answer it, then drop the
+            // connection (the next bytes are unframeable).
+            if (frame.status().code() == StatusCode::InvalidArgument) {
+                counters.parseErrors.fetch_add(1);
+                sendBestEffort(
+                    *conn,
+                    errorReplyJson(0, ServeStatus::ParseError,
+                                   frame.status().message()));
+            }
+            break; // EOF (clean or mid-frame) ends the connection
+        }
+        handleFrame(frame.value(), conn);
+    }
+    // Retire the connection from the live list. Admitted jobs keep
+    // it alive through their own shared_ptr until their replies are
+    // flushed; with none pending, dropping the last reference here
+    // closes the socket and the client sees a clean EOF.
+    std::lock_guard<std::mutex> lock(connMutex);
+    for (size_t i = 0; i < conns.size(); ++i) {
+        if (conns[i] == conn) {
+            conns.erase(conns.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+            break;
+        }
+    }
+}
+
+void
+LabServer::Impl::workerLoop()
+{
+    while (std::optional<Job> popped = queue.pop()) {
+        Job &job = *popped;
+
+        // Deadline gate one: shed work that expired while queued.
+        if (job.hasDeadline && Clock::now() > job.deadline) {
+            counters.deadlineShed.fetch_add(1);
+            sendBestEffort(
+                *job.conn,
+                errorReplyJson(job.req.id,
+                               ServeStatus::DeadlineExceeded,
+                               "deadline expired in queue; shed"));
+            continue;
+        }
+
+        // Load-test stall: stand in for an expensive query.
+        if (job.req.stallMs > 0.0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                static_cast<long>(job.req.stallMs * 1000.0)));
+            // Deadline gate two: the stall may have consumed it.
+            if (job.hasDeadline && Clock::now() > job.deadline) {
+                counters.deadlineShed.fetch_add(1);
+                sendBestEffort(
+                    *job.conn,
+                    errorReplyJson(job.req.id,
+                                   ServeStatus::DeadlineExceeded,
+                                   "deadline expired in queue; shed"));
+                continue;
+            }
+        }
+
+        const std::string key = ExperimentRunner::keyOf(
+            job.query.config, *job.query.benchmark);
+        {
+            std::lock_guard<std::mutex> lock(inFlightMutex);
+            auto [it, inserted] = inFlight.try_emplace(key, 0);
+            if (!inserted || it->second > 0)
+                counters.coalesced.fetch_add(1);
+            ++it->second;
+        }
+
+        try {
+            const Measurement &m =
+                runner.measure(job.query.config, *job.query.benchmark);
+            counters.served.fetch_add(1);
+            sendBestEffort(*job.conn,
+                           measurementReplyJson(job.req.id, m, false));
+        } catch (const FaultError &err) {
+            counters.internalErrors.fetch_add(1);
+            sendBestEffort(*job.conn,
+                           errorReplyJson(job.req.id,
+                                          ServeStatus::Internal,
+                                          err.what()));
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(inFlightMutex);
+            const auto it = inFlight.find(key);
+            if (it != inFlight.end() && --it->second <= 0)
+                inFlight.erase(it);
+        }
+    }
+}
+
+void
+LabServer::Impl::requestDrain()
+{
+    draining.store(true);
+}
+
+LabServer::LabServer(ExperimentRunner &runner, ServeOptions options)
+    : impl(new Impl(runner, std::move(options)))
+{
+}
+
+LabServer::~LabServer() { delete impl; }
+
+ServeStatsSnapshot
+LabServer::statsSnapshot() const
+{
+    return impl->snapshot();
+}
+
+Status
+LabServer::serve()
+{
+    Expected<Socket> listener = listenUnix(impl->options.socketPath);
+    if (!listener.ok())
+        return listener.status();
+    inform("serve: listening on " + impl->options.socketPath);
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(impl->options.workers));
+    for (int i = 0; i < impl->options.workers; ++i)
+        workers.emplace_back([this] { impl->workerLoop(); });
+
+    std::vector<std::thread> connThreads;
+    while (!impl->draining.load()) {
+        if (impl->options.stopFlag != nullptr &&
+            impl->options.stopFlag->load()) {
+            impl->requestDrain();
+            break;
+        }
+        Expected<Socket> client =
+            acceptClient(listener.value(), acceptPollMs);
+        if (!client.ok()) {
+            if (client.status().code() == StatusCode::Timeout)
+                continue; // lapse or signal: re-check the flags
+            warn("serve: accept failed: " + client.status().message());
+            continue;
+        }
+        auto conn =
+            std::make_shared<ClientConn>(std::move(client.value()));
+        impl->counters.connections.fetch_add(1);
+        {
+            std::lock_guard<std::mutex> lock(impl->connMutex);
+            impl->conns.push_back(conn);
+        }
+        connThreads.emplace_back(
+            [this, conn] { impl->connectionLoop(conn); });
+    }
+
+    // Drain, in order: stop accepting (done — the loop exited), wake
+    // blocked readers so connection threads wind down, stop admitting
+    // (queue.close: new pushes fail, admitted jobs still pop), finish
+    // every admitted job, and only then let the sockets close. The
+    // jobs keep their connections alive via shared_ptr, so replies to
+    // admitted work always reach a writable socket.
+    listener.value().close();
+    {
+        std::lock_guard<std::mutex> lock(impl->connMutex);
+        for (const std::shared_ptr<ClientConn> &conn : impl->conns)
+            conn->sock.shutdownRead();
+    }
+    for (std::thread &t : connThreads)
+        t.join();
+    impl->queue.close();
+    for (std::thread &t : workers)
+        t.join();
+    {
+        std::lock_guard<std::mutex> lock(impl->connMutex);
+        impl->conns.clear();
+    }
+    inform("serve: drained cleanly");
+    return Status();
+}
+
+} // namespace lhr

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The `lhrlab serve` daemon: answers measurement queries over a
+ * local socket from a shared warm ExperimentRunner.
+ *
+ * Robustness model (DESIGN.md section 11):
+ *
+ *  - Admission control. Measure requests pass through a bounded
+ *    queue. A full queue NEVER blocks the client: the daemon either
+ *    degrades (answers immediately from warm cache, reply flagged
+ *    "degraded") or sheds (typed `overloaded` reply). Backpressure
+ *    is explicit and observable, not an unbounded buffer.
+ *
+ *  - Deadlines. Each request carries (or inherits) a deadline.
+ *    Expired work is shed at dequeue — a worker never spends compute
+ *    on an answer nobody is waiting for.
+ *
+ *  - Coalescing. Concurrent requests for the same experiment key
+ *    share one computation through the runner's call_once memo;
+ *    the in-flight registry counts how often that saved a run.
+ *
+ *  - Control plane. ping/stats/shutdown are answered inline on the
+ *    connection thread, so an overloaded daemon remains observable
+ *    and drainable — the control plane never queues behind the
+ *    data plane.
+ *
+ *  - Drain. On shutdown (signal or request) the daemon stops
+ *    accepting, refuses new measures with `shutting-down`, finishes
+ *    every admitted job, flushes every reply, and exits cleanly.
+ *    No truncated frames, no lost admitted work.
+ */
+
+#ifndef LHR_SERVE_SERVER_HH
+#define LHR_SERVE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "harness/runner.hh"
+#include "util/status.hh"
+
+namespace lhr
+{
+
+/** Tunables of one daemon instance. */
+struct ServeOptions
+{
+    std::string socketPath;    ///< Unix-domain socket to listen on
+    int workers = 2;           ///< measurement worker threads
+    size_t queueDepth = 32;    ///< admission-queue bound
+    double defaultDeadlineMs = 0.0; ///< applied when a request has none (0 = none)
+    size_t maxFrameBytes = 1 << 20; ///< request-frame cap
+    /**
+     * External drain request (the CLI's signal handlers set it).
+     * Polled by the accept loop; nullptr = only the shutdown op
+     * drains.
+     */
+    const std::atomic<bool> *stopFlag = nullptr;
+};
+
+/** Counters the stats op reports (all monotonic since start). */
+struct ServeStatsSnapshot
+{
+    uint64_t connections = 0;    ///< clients accepted
+    uint64_t admitted = 0;       ///< measures that entered the queue
+    uint64_t served = 0;         ///< measures answered with computed data
+    uint64_t degraded = 0;       ///< queue-full answers from warm cache
+    uint64_t overloaded = 0;     ///< queue-full sheds (nothing cached)
+    uint64_t deadlineShed = 0;   ///< admitted but expired before compute
+    uint64_t coalesced = 0;      ///< measures that joined an in-flight run
+    uint64_t parseErrors = 0;    ///< malformed frames answered with an error
+    uint64_t invalidArguments = 0; ///< well-formed but out-of-contract
+    uint64_t refusedDraining = 0;  ///< measures refused during drain
+    uint64_t internalErrors = 0;   ///< compute failures answered `internal`
+};
+
+/**
+ * One daemon instance. Construct, then serve() until drained; serve()
+ * owns every thread it spawns and joins them before returning.
+ */
+class LabServer
+{
+  public:
+    LabServer(ExperimentRunner &runner, ServeOptions options);
+    ~LabServer();
+
+    LabServer(const LabServer &) = delete;
+    LabServer &operator=(const LabServer &) = delete;
+
+    /**
+     * Listen, serve, drain, return. Blocks until a drain is
+     * requested (stopFlag, shutdown op) and every admitted job has
+     * been answered. IoError when the socket cannot be bound.
+     */
+    [[nodiscard]] Status serve();
+
+    /** Point-in-time copy of the counters (also available via stats op). */
+    [[nodiscard]] ServeStatsSnapshot statsSnapshot() const;
+
+  private:
+    struct Impl;
+    Impl *impl;
+};
+
+} // namespace lhr
+
+#endif // LHR_SERVE_SERVER_HH

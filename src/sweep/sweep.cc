@@ -145,6 +145,14 @@ SweepEngine::run(std::vector<MachineConfig> configs,
 
     std::atomic<int> failures{0};
 
+    // External stop (snapshot's signal handler sets the flag): work
+    // not yet started is marked Cancelled instead of run, so the
+    // sweep returns at the next cell/group boundary with every
+    // completed row intact.
+    const auto stopRequested = [this] {
+        return options.stopFlag != nullptr && options.stopFlag->load();
+    };
+
     // Shared per-cell completion bookkeeping (checkpoint + progress),
     // identical between the batch and per-cell fill paths.
     const auto finishCell = [&](SweepCell &cell, const MachineConfig &cfg,
@@ -214,6 +222,19 @@ SweepEngine::run(std::vector<MachineConfig> configs,
         pool.parallelFor(groups.size(), [&](size_t gi) {
             const Group &group = groups[gi];
             const Benchmark &bench = report.benchmarks[group.bi];
+            if (stopRequested()) {
+                for (const size_t slot : group.slots) {
+                    SweepCell &cell = report.cells[slot];
+                    cell.config =
+                        &report.configs[mine[slot] / nBench];
+                    cell.benchmark = &bench;
+                    cell.status = Status::error(
+                        StatusCode::Cancelled,
+                        "sweep stopped before this group ran");
+                    finishCell(cell, *cell.config, bench);
+                }
+                return;
+            }
             const Clock::time_point groupStart = Clock::now();
             std::vector<const MachineConfig *> cfgs;
             cfgs.reserve(group.slots.size());
@@ -264,7 +285,11 @@ SweepEngine::run(std::vector<MachineConfig> configs,
         cell.config = &cfg;
         cell.benchmark = &bench;
 
-        if (pool.cancelled()) {
+        if (stopRequested()) {
+            cell.status =
+                Status::error(StatusCode::Cancelled,
+                              "sweep stopped before this cell ran");
+        } else if (pool.cancelled()) {
             cell.status = Status::error(
                 StatusCode::Cancelled,
                 "sweep cancelled after too many failed cells");

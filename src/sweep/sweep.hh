@@ -36,6 +36,7 @@
 #ifndef LHR_SWEEP_SWEEP_HH
 #define LHR_SWEEP_SWEEP_HH
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -123,6 +124,18 @@ struct SweepOptions
      */
     size_t checkpointEvery = 0;
     std::string checkpointPath = "";
+
+    /**
+     * Cooperative stop request (typically set by a SIGINT/SIGTERM
+     * handler): checked before each batch group / cell, so a stop
+     * lands at the next cell boundary. Cells not yet started come
+     * back StatusCode::Cancelled without running; cells already
+     * measuring finish normally — their rows are kept, which is
+     * what lets `lhrlab snapshot` flush a final checkpoint at the
+     * last *completed* cell instead of the last --checkpoint
+     * boundary. nullptr = never stopped externally. Not owned.
+     */
+    const std::atomic<bool> *stopFlag = nullptr;
 };
 
 /**

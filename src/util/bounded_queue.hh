@@ -1,0 +1,117 @@
+/**
+ * @file
+ * A bounded multi-producer/multi-consumer queue with explicit
+ * backpressure — the admission-control primitive of `lhrlab serve`.
+ *
+ * The shape matters more than the throughput: tryPush() NEVER
+ * blocks. A full queue is a normal, typed outcome the caller must
+ * handle (the server answers `overloaded` immediately), not a
+ * condition to wait out — blocking producers is exactly how an
+ * overloaded daemon stops accepting even the requests it could
+ * shed cheaply. Consumers block in pop() until an item or shutdown
+ * arrives.
+ *
+ * close() ends the queue's life in two phases: pushes fail from the
+ * moment it is called, while pops continue to drain whatever was
+ * admitted before — so a draining server finishes every request it
+ * accepted and loses none (the clean-drain contract in
+ * DESIGN.md "Serving & overload policy").
+ */
+
+#ifndef LHR_UTIL_BOUNDED_QUEUE_HH
+#define LHR_UTIL_BOUNDED_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace lhr
+{
+
+/** A fixed-capacity FIFO; full is a result, never a wait. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity) : cap(capacity) {}
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    /**
+     * Admit one item without ever blocking. Returns false when the
+     * queue is full (backpressure: the caller sheds or degrades) or
+     * closed (drain: the caller reports shutdown instead).
+     */
+    [[nodiscard]] bool tryPush(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (closedFlag || items.size() >= cap)
+                return false;
+            items.push_back(std::move(item));
+        }
+        itemAvailable.notify_one();
+        return true;
+    }
+
+    /**
+     * Take the oldest item, blocking until one arrives. Returns
+     * nullopt only when the queue is closed AND drained — a consumer
+     * seeing nullopt can exit knowing no admitted work remains.
+     */
+    [[nodiscard]] std::optional<T> pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        itemAvailable.wait(lock, [&] {
+            return closedFlag || !items.empty();
+        });
+        if (items.empty())
+            return std::nullopt;
+        T item = std::move(items.front());
+        items.pop_front();
+        return item;
+    }
+
+    /**
+     * Stop admissions; wake every blocked consumer. Items already
+     * admitted stay poppable (two-phase drain). Idempotent.
+     */
+    void close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            closedFlag = true;
+        }
+        itemAvailable.notify_all();
+    }
+
+    [[nodiscard]] bool closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return closedFlag;
+    }
+
+    /** Instantaneous depth (racy by nature; observability only). */
+    [[nodiscard]] size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return items.size();
+    }
+
+    [[nodiscard]] size_t capacity() const { return cap; }
+
+  private:
+    const size_t cap;
+    mutable std::mutex mutex;
+    std::condition_variable itemAvailable;
+    std::deque<T> items;
+    bool closedFlag = false;
+};
+
+} // namespace lhr
+
+#endif // LHR_UTIL_BOUNDED_QUEUE_HH

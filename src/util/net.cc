@@ -1,0 +1,223 @@
+#include "util/net.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace lhr
+{
+
+namespace
+{
+
+Status
+ioError(const std::string &what)
+{
+    return Status::error(StatusCode::IoError,
+                         what + ": " + std::strerror(errno));
+}
+
+/**
+ * Write all of buf, absorbing EINTR and partial writes.
+ * MSG_NOSIGNAL: a peer that hung up must surface as EPIPE (a typed
+ * IoError the caller absorbs as routine client churn), never as a
+ * process-killing SIGPIPE.
+ */
+Status
+writeAll(int fd, const char *buf, size_t len)
+{
+    size_t done = 0;
+    while (done < len) {
+        const ssize_t n =
+            ::send(fd, buf + done, len - done, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return ioError("send");
+        }
+        done += static_cast<size_t>(n);
+    }
+    return Status();
+}
+
+/**
+ * Read exactly len bytes. eof_ok distinguishes the two flavours of
+ * hangup: EOF before any byte of a frame is a clean close; EOF
+ * mid-frame is a truncated message.
+ */
+Status
+readAll(int fd, char *buf, size_t len, bool eof_ok_at_start)
+{
+    size_t done = 0;
+    while (done < len) {
+        const ssize_t n = ::read(fd, buf + done, len - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return ioError("read");
+        }
+        if (n == 0) {
+            if (done == 0 && eof_ok_at_start) {
+                return Status::error(StatusCode::IoError,
+                                     "connection closed");
+            }
+            return Status::error(StatusCode::IoError,
+                                 "connection closed mid-frame");
+        }
+        done += static_cast<size_t>(n);
+    }
+    return Status();
+}
+
+} // namespace
+
+void
+Socket::close()
+{
+    if (fileDescriptor >= 0) {
+        ::close(fileDescriptor);
+        fileDescriptor = -1;
+    }
+}
+
+void
+Socket::shutdownRead()
+{
+    if (fileDescriptor >= 0)
+        ::shutdown(fileDescriptor, SHUT_RD);
+}
+
+Expected<Socket>
+listenUnix(const std::string &path, int backlog)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        return Status::error(
+            StatusCode::InvalidArgument,
+            msgOf("socket path must be 1..",
+                  sizeof(addr.sun_path) - 1, " bytes, got ",
+                  path.size()));
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!sock.valid())
+        return ioError("socket");
+    // A stale socket file from a killed daemon must not wedge the
+    // next start; unlink failures surface as the bind error below.
+    ::unlink(path.c_str());
+    if (::bind(sock.fd(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return ioError("bind " + path);
+    if (::listen(sock.fd(), backlog) != 0)
+        return ioError("listen " + path);
+    return sock;
+}
+
+Expected<Socket>
+connectUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        return Status::error(
+            StatusCode::InvalidArgument,
+            msgOf("socket path must be 1..",
+                  sizeof(addr.sun_path) - 1, " bytes, got ",
+                  path.size()));
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!sock.valid())
+        return ioError("socket");
+    if (::connect(sock.fd(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        return ioError("connect " + path);
+    return sock;
+}
+
+Expected<Socket>
+acceptClient(const Socket &listener, int timeout_ms)
+{
+    pollfd pfd{};
+    pfd.fd = listener.fd();
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+        if (errno == EINTR) {
+            // A signal (typically the drain request itself) landed
+            // during the wait; report it as the timeout it behaves
+            // like so the accept loop re-checks its flags.
+            return Status::error(StatusCode::Timeout,
+                                 "accept interrupted by signal");
+        }
+        return ioError("poll");
+    }
+    if (ready == 0)
+        return Status::error(StatusCode::Timeout, "accept timed out");
+    Socket client(::accept(listener.fd(), nullptr, nullptr));
+    if (!client.valid())
+        return ioError("accept");
+    return client;
+}
+
+Status
+writeFrame(const Socket &sock, const std::string &body)
+{
+    if (body.size() > 0xFFFFFFFFull) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "frame body exceeds the u32 prefix");
+    }
+    const uint32_t len = static_cast<uint32_t>(body.size());
+    char prefix[4] = {
+        static_cast<char>((len >> 24) & 0xFF),
+        static_cast<char>((len >> 16) & 0xFF),
+        static_cast<char>((len >> 8) & 0xFF),
+        static_cast<char>(len & 0xFF),
+    };
+    const Status head = writeAll(sock.fd(), prefix, sizeof(prefix));
+    if (!head.ok())
+        return head;
+    return writeAll(sock.fd(), body.data(), body.size());
+}
+
+Expected<std::string>
+readFrame(const Socket &sock, size_t max_bytes)
+{
+    char prefix[4];
+    const Status head =
+        readAll(sock.fd(), prefix, sizeof(prefix), true);
+    if (!head.ok())
+        return head;
+    const uint32_t len =
+        (static_cast<uint32_t>(static_cast<unsigned char>(prefix[0]))
+         << 24) |
+        (static_cast<uint32_t>(static_cast<unsigned char>(prefix[1]))
+         << 16) |
+        (static_cast<uint32_t>(static_cast<unsigned char>(prefix[2]))
+         << 8) |
+        static_cast<uint32_t>(static_cast<unsigned char>(prefix[3]));
+    if (len > max_bytes) {
+        return Status::error(
+            StatusCode::InvalidArgument,
+            msgOf("frame of ", len, " bytes exceeds the ", max_bytes,
+                  "-byte cap"));
+    }
+    std::string body(len, '\0');
+    if (len > 0) {
+        const Status rest = readAll(sock.fd(), body.data(), len, false);
+        if (!rest.ok())
+            return rest;
+    }
+    return body;
+}
+
+} // namespace lhr

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Local-socket transport for `lhrlab serve`: RAII Unix-domain
+ * sockets plus the length-prefixed frame format both sides speak.
+ *
+ * A frame is a 4-byte big-endian length followed by that many bytes
+ * of JSON. The prefix makes message boundaries explicit, so a
+ * malformed body never desynchronizes the stream — the reader knows
+ * exactly how much to consume before the next frame starts. The one
+ * unrecoverable case is a hostile prefix (longer than the agreed
+ * cap): the reader refuses to allocate and the connection must be
+ * dropped, which readFrame reports as a typed InvalidArgument.
+ *
+ * Every operation returns Status/Expected instead of throwing: a
+ * client hanging up mid-frame is routine server load, not an
+ * exception.
+ */
+
+#ifndef LHR_UTIL_NET_HH
+#define LHR_UTIL_NET_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.hh"
+
+namespace lhr
+{
+
+/** Move-only owner of one socket file descriptor. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fileDescriptor(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket &&other) noexcept
+        : fileDescriptor(other.fileDescriptor)
+    {
+        other.fileDescriptor = -1;
+    }
+
+    Socket &operator=(Socket &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fileDescriptor = other.fileDescriptor;
+            other.fileDescriptor = -1;
+        }
+        return *this;
+    }
+
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    [[nodiscard]] int fd() const { return fileDescriptor; }
+    [[nodiscard]] bool valid() const { return fileDescriptor >= 0; }
+
+    /** Close now (idempotent; the destructor also closes). */
+    void close();
+
+    /**
+     * Shut down the read side only: a blocked reader on the peer
+     * returns EOF while responses in flight still drain.
+     */
+    void shutdownRead();
+
+  private:
+    int fileDescriptor = -1;
+};
+
+/**
+ * Bind and listen on a Unix-domain socket path. An existing file at
+ * `path` is unlinked first (a dead daemon's leftover socket must not
+ * block the next one). Fails with IoError on bind/listen problems —
+ * most usefully a path longer than sockaddr_un allows.
+ */
+[[nodiscard]] Expected<Socket> listenUnix(const std::string &path,
+                                          int backlog = 64);
+
+/** Connect to a listening Unix-domain socket. */
+[[nodiscard]] Expected<Socket> connectUnix(const std::string &path);
+
+/**
+ * Accept one client, waiting at most `timeout_ms` (-1 = forever).
+ * A timeout comes back as StatusCode::Timeout so accept loops can
+ * poll a drain flag between waits without treating the lapse as an
+ * error.
+ */
+[[nodiscard]] Expected<Socket> acceptClient(const Socket &listener,
+                                            int timeout_ms);
+
+/**
+ * Write one length-prefixed frame, retrying partial writes until
+ * the whole frame is on the wire — a response is either fully
+ * written or the connection errors; no truncated frames.
+ */
+[[nodiscard]] Status writeFrame(const Socket &sock,
+                                const std::string &body);
+
+/**
+ * Read one length-prefixed frame of at most `max_bytes` payload.
+ * Typed failures:
+ *   IoError          — peer closed (message "connection closed" at
+ *                      a clean frame boundary) or a transport error;
+ *   InvalidArgument  — the prefix exceeds max_bytes (hostile or
+ *                      corrupt: drop the connection, the stream
+ *                      cannot be resynchronized).
+ */
+[[nodiscard]] Expected<std::string> readFrame(const Socket &sock,
+                                              size_t max_bytes);
+
+} // namespace lhr
+
+#endif // LHR_UTIL_NET_HH

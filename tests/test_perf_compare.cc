@@ -227,6 +227,37 @@ TEST(PerfCompare, TracksRecordChurn)
     const std::string table = perfTableMarkdown(cmp, "t");
     EXPECT_NE(table.find("record removed"), std::string::npos);
     EXPECT_NE(table.find("new record"), std::string::npos);
+    EXPECT_NE(table.find("not gated"), std::string::npos);
+}
+
+// A record kind present on only one side never gates, even when it
+// carries a gating-suffixed metric: there is nothing to diff a first
+// introduction (or a retirement) against.
+TEST(PerfCompare, OneSidedRecordsNeverGate)
+{
+    const auto before = parsePerfRecords(
+        "[{\"name\": \"sweep_serial\", \"metrics\": "
+        "{\"experiments_per_sec\": 1000.0}}]").value();
+    const auto after = parsePerfRecords(
+        "[{\"name\": \"sweep_serial\", \"metrics\": "
+        "{\"experiments_per_sec\": 1000.0}}, "
+        "{\"name\": \"serve_c8\", \"metrics\": "
+        "{\"requests_per_sec\": 50.0}}]").value();
+
+    // Zero tolerance: any gated delta would fail; the new record
+    // contributes no delta at all.
+    const PerfComparison cmp = comparePerfRecords(before, after, 0.0);
+    EXPECT_FALSE(cmp.hasRegression());
+    ASSERT_EQ(cmp.onlyAfter.size(), 1u);
+    EXPECT_EQ(cmp.onlyAfter[0], "serve_c8");
+    for (const PerfDelta &delta : cmp.deltas)
+        EXPECT_EQ(delta.record, "sweep_serial");
+
+    // The reverse direction (record retired) is just as silent.
+    const PerfComparison gone = comparePerfRecords(after, before, 0.0);
+    EXPECT_FALSE(gone.hasRegression());
+    ASSERT_EQ(gone.onlyBefore.size(), 1u);
+    EXPECT_EQ(gone.onlyBefore[0], "serve_c8");
 }
 
 TEST(PerfCompare, MarkdownTableMarksPassAndFail)
@@ -342,6 +373,45 @@ TEST(BenchCompareCli, MissingBaselineIsAPassWithANote)
         runGate(testing::TempDir() + "bc_never_written.json " + after);
     EXPECT_EQ(r.exitCode, 0) << r.output;
     EXPECT_TRUE(mentions(r, "no prior baseline"));
+}
+
+// First introduction of a new record kind (a serve baseline landing
+// next to an existing sweep baseline): the run must pass, with the
+// newcomer reported but not gated.
+TEST(BenchCompareCli, NewRecordKindPassesOnFirstIntroduction)
+{
+    const std::string before =
+        writeFile("bc_intro_before.json", baseline(1000.0, 0.02));
+    const std::string after = writeFile(
+        "bc_intro_after.json",
+        "[{\"name\": \"sweep_serial\", \"metrics\": "
+        "{\"experiments_per_sec\": 1000.0, "
+        "\"experiments_per_sec_spread_rel\": 0.02}, "
+        "\"wall_sec\": 1.0}, "
+        "{\"name\": \"serve_c8\", \"metrics\": "
+        "{\"requests_per_sec\": 42.0, "
+        "\"requests_per_sec_spread_rel\": 0.10}, "
+        "\"wall_sec\": 2.0}]");
+    const CliResult r = runGate(before + " " + after);
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_TRUE(mentions(r, "bench_compare: pass"));
+    EXPECT_TRUE(mentions(r, "serve_c8 is new in"));
+    EXPECT_TRUE(mentions(r, "not gated"));
+}
+
+TEST(BenchCompareCli, RemovedRecordKindIsANoteNotAFailure)
+{
+    const std::string before = writeFile(
+        "bc_gone_before.json",
+        "[{\"name\": \"sweep_serial\", \"metrics\": "
+        "{\"experiments_per_sec\": 1000.0}}, "
+        "{\"name\": \"serve_c8\", \"metrics\": "
+        "{\"requests_per_sec\": 42.0}}]");
+    const std::string after =
+        writeFile("bc_gone_after.json", baseline(1000.0, 0.0));
+    const CliResult r = runGate(before + " " + after);
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_TRUE(mentions(r, "serve_c8 is gone from"));
 }
 
 TEST(BenchCompareCli, BadInputsExitTwo)

@@ -663,6 +663,62 @@ TEST(Sweep, CheckpointPersistsMidRunAndResumes)
     std::remove(path.c_str());
 }
 
+TEST(Sweep, StopFlagCancelsUnstartedCellsAndKeepsCompletedRows)
+{
+    // A stop flag that is already set when the sweep starts must
+    // cancel every cell without running any experiment — this is
+    // the boundary snapshot's SIGINT handler relies on.
+    ExperimentRunner runner(0xBEEF);
+    std::atomic<bool> stop{true};
+    SweepOptions options;
+    options.threads = 2;
+    options.stopFlag = &stop;
+    SweepEngine engine(runner, options);
+    const SweepReport report = engine.run(testConfigs(),
+                                          testBenchmarks());
+    ASSERT_EQ(report.cells.size(), 30u);
+    for (const SweepCell &cell : report.cells) {
+        EXPECT_FALSE(cell.ok());
+        EXPECT_EQ(cell.status.code(), StatusCode::Cancelled);
+    }
+    EXPECT_EQ(runner.cacheStats().lookups(), 0u);
+    EXPECT_EQ(toStore(report).size(), 0u);
+
+    // Cleared flag: the identical sweep runs to completion, and its
+    // rows are bit-identical to an unflagged engine's (the stop
+    // plumbing must not perturb determinism).
+    stop.store(false);
+    const SweepReport resumed = engine.run(testConfigs(),
+                                           testBenchmarks());
+    EXPECT_EQ(resumed.failedCells(), 0u);
+    ExperimentRunner plainRunner(0xBEEF);
+    SweepEngine plain(plainRunner, SweepOptions{.threads = 2});
+    const SweepReport reference = plain.run(testConfigs(),
+                                            testBenchmarks());
+    ASSERT_EQ(resumed.cells.size(), reference.cells.size());
+    for (size_t i = 0; i < resumed.cells.size(); ++i) {
+        ASSERT_TRUE(resumed.cells[i].ok());
+        EXPECT_TRUE(identical(*resumed.cells[i].measurement,
+                              *reference.cells[i].measurement));
+    }
+}
+
+TEST(Sweep, StopFlagInPerCellModeCancelsToo)
+{
+    ExperimentRunner runner(0xBEEF);
+    std::atomic<bool> stop{true};
+    SweepOptions options;
+    options.threads = 2;
+    options.batchFill = false;
+    options.stopFlag = &stop;
+    SweepEngine engine(runner, options);
+    const SweepReport report = engine.run(testConfigs(),
+                                          testBenchmarks());
+    for (const SweepCell &cell : report.cells)
+        EXPECT_EQ(cell.status.code(), StatusCode::Cancelled);
+    EXPECT_EQ(runner.cacheStats().lookups(), 0u);
+}
+
 TEST(Sweep, CacheStatsResetKeepsEntries)
 {
     ExperimentRunner runner(0xBEEF);
